@@ -1,0 +1,50 @@
+//! Criterion bench for E3/E5: covering-query latency as a function of the
+//! approximation parameter ε.
+//!
+//! Regenerates the timing series behind the paper's claim that an
+//! ε-approximate query is much cheaper than an exhaustive one, on a realistic
+//! subscription population.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use acd_covering::{ApproxConfig, CoveringIndex, SfcCoveringIndex};
+use acd_workload::{SubscriptionWorkload, WorkloadConfig};
+
+fn bench_epsilon_sweep(c: &mut Criterion) {
+    let config = WorkloadConfig::builder()
+        .attributes(3)
+        .bits_per_attribute(10)
+        .seed(1)
+        .build()
+        .unwrap();
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let population = workload.take(10_000);
+    let queries = workload.take(64);
+
+    let mut group = c.benchmark_group("approx_query_epsilon");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for &eps in &[0.3f64, 0.1, 0.05, 0.01] {
+        let mut index =
+            SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(eps).unwrap())
+                .unwrap();
+        for s in &population {
+            index.insert(s).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                std::hint::black_box(index.find_covering(q).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epsilon_sweep);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for E5: per-query latency of the three covering-detection
+//! strategies (linear scan, exhaustive SFC, ε-approximate SFC) on the same
+//! population.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, SfcCoveringIndex};
+use acd_workload::{SubscriptionWorkload, WorkloadConfig};
+
+fn bench_strategies(c: &mut Criterion) {
+    let config = WorkloadConfig::builder()
+        .attributes(3)
+        .bits_per_attribute(10)
+        .seed(2)
+        .build()
+        .unwrap();
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let population = workload.take(10_000);
+    let queries = workload.take(64);
+
+    let mut group = c.benchmark_group("covering_strategies");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+
+    let mut linear = LinearScanIndex::new(&schema);
+    let mut exhaustive = SfcCoveringIndex::exhaustive(&schema).unwrap();
+    let mut approximate =
+        SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(0.05).unwrap()).unwrap();
+    for s in &population {
+        linear.insert(s).unwrap();
+        exhaustive.insert(s).unwrap();
+        approximate.insert(s).unwrap();
+    }
+
+    let mut cases: Vec<(&str, &mut dyn CoveringIndex)> = vec![
+        ("linear-scan", &mut linear),
+        ("sfc-exhaustive", &mut exhaustive),
+        ("sfc-approx-0.05", &mut approximate),
+    ];
+    for (name, index) in cases.iter_mut() {
+        group.bench_function(*name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                std::hint::black_box(index.find_covering(q).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

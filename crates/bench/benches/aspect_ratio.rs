@@ -1,0 +1,49 @@
+//! Criterion bench for E9: covering-query latency as the workload's aspect
+//! ratio grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use acd_covering::{ApproxConfig, CoveringIndex, SfcCoveringIndex};
+use acd_workload::{SubscriptionWorkload, WidthModel, WorkloadConfig};
+
+fn bench_aspect_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aspect_ratio");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for &alpha in &[0u32, 2, 4, 6] {
+        let config = WorkloadConfig::builder()
+            .attributes(3)
+            .bits_per_attribute(10)
+            .width_model(WidthModel::SkewedAspect {
+                wide_fraction: 0.4,
+                alpha_bits: alpha,
+            })
+            .seed(4)
+            .build()
+            .unwrap();
+        let mut workload = SubscriptionWorkload::new(&config).unwrap();
+        let schema = workload.schema().clone();
+        let population = workload.take(5_000);
+        let queries = workload.take(64);
+        let mut index =
+            SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(0.05).unwrap())
+                .unwrap();
+        for s in &population {
+            index.insert(s).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                std::hint::black_box(index.find_covering(q).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aspect_ratio);
+criterion_main!(benches);

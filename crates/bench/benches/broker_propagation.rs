@@ -1,0 +1,47 @@
+//! Criterion bench for E7: subscription-propagation throughput of the broker
+//! overlay under the different covering policies.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use acd_broker::{BrokerNetwork, Topology};
+use acd_covering::CoveringPolicy;
+use acd_workload::{Scenario, SubscriptionWorkload};
+
+fn bench_propagation(c: &mut Criterion) {
+    let config = Scenario::StockTicker.workload_config(11);
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let subscriptions = workload.take(500);
+    let topology = Topology::balanced_tree(2, 3).unwrap(); // 15 brokers
+
+    let mut group = c.benchmark_group("broker_propagation");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for policy in [
+        CoveringPolicy::None,
+        CoveringPolicy::ExactLinear,
+        CoveringPolicy::ExactSfc,
+        CoveringPolicy::Approximate { epsilon: 0.05 },
+    ] {
+        group.bench_function(policy.label(), |b| {
+            b.iter_batched(
+                || BrokerNetwork::new(topology.clone(), &schema, policy).unwrap(),
+                |mut net| {
+                    for (i, s) in subscriptions.iter().enumerate() {
+                        let at = (i * 7) % net.topology().brokers();
+                        net.subscribe(at, i as u64, s).unwrap();
+                    }
+                    std::hint::black_box(net.metrics())
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for E8: covering-query latency as the indexed population
+//! grows, for the linear baseline and the approximate SFC index.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, SfcCoveringIndex};
+use acd_workload::{SubscriptionWorkload, WorkloadConfig};
+
+fn bench_scalability(c: &mut Criterion) {
+    let config = WorkloadConfig::builder()
+        .attributes(3)
+        .bits_per_attribute(10)
+        .seed(3)
+        .build()
+        .unwrap();
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let population = workload.take(50_000);
+    let queries = workload.take(64);
+
+    let mut group = c.benchmark_group("scalability_n");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let subset = &population[..n];
+
+        let mut linear = LinearScanIndex::new(&schema);
+        let mut approx =
+            SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(0.05).unwrap())
+                .unwrap();
+        for s in subset {
+            linear.insert(s).unwrap();
+            approx.insert(s).unwrap();
+        }
+
+        group.bench_with_input(BenchmarkId::new("linear-scan", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                std::hint::black_box(linear.find_covering(q).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sfc-approx-0.05", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                std::hint::black_box(approx.find_covering(q).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

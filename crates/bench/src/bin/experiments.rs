@@ -1,0 +1,107 @@
+//! Regenerates every experiment table of the evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] [--only e3[,e7,...]] [--csv-dir results/]
+//! ```
+//!
+//! * `--quick` shrinks the workloads so the whole suite finishes in seconds;
+//! * `--only` runs a comma-separated subset of experiment identifiers;
+//! * `--csv-dir DIR` additionally writes one CSV per table into `DIR`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use acd_bench::experiments::{self, catalog};
+use acd_bench::RunScale;
+
+struct Args {
+    quick: bool,
+    only: Option<Vec<String>>,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        only: None,
+        csv_dir: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--only" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--only requires a comma-separated list of ids".to_string())?;
+                args.only = Some(value.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--csv-dir" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--csv-dir requires a directory".to_string())?;
+                args.csv_dir = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--quick] [--only e1,e2,...] [--csv-dir DIR]");
+                println!("\navailable experiments:");
+                for info in catalog() {
+                    println!("  {:4} {}", info.id, info.description);
+                }
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = if args.quick {
+        RunScale::quick()
+    } else {
+        RunScale::full()
+    };
+
+    let ids: Vec<String> = match &args.only {
+        Some(ids) => {
+            let known: Vec<&str> = catalog().iter().map(|e| e.id).collect();
+            for id in ids {
+                if !known.contains(&id.as_str()) {
+                    eprintln!("error: unknown experiment id `{id}` (known: {known:?})");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ids.clone()
+        }
+        None => catalog().iter().map(|e| e.id.to_string()).collect(),
+    };
+
+    for id in &ids {
+        let info = catalog()
+            .into_iter()
+            .find(|e| e.id == id)
+            .expect("id validated above");
+        eprintln!("running {} — {}", info.id, info.description);
+        let tables = experiments::run(id, scale);
+        for (i, table) in tables.iter().enumerate() {
+            println!("{}", table.render());
+            if let Some(dir) = &args.csv_dir {
+                let path = dir.join(format!("{id}_{i}.csv"));
+                if let Err(e) = table.write_csv(&path) {
+                    eprintln!("warning: failed to write {}: {e}", path.display());
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,85 @@
+//! E2 — Figure 2: the aligned vs misaligned extremal squares on the Z curve.
+//!
+//! The paper's Figure 2 and the intuition of Section 3.1 use two 2-D point
+//! dominance queries in a 1024x1024 universe: a 256x256 extremal square is a
+//! single run, while a 257x257 extremal square needs 385 runs — yet its
+//! single largest run already covers more than 99% of the query volume, so a
+//! 0.01-approximate query can stop after one probe. This experiment
+//! recomputes all of those numbers.
+
+use acd_sfc::{
+    decompose::decompose_rect, runs::runs_of_cubes, ExtremalCubes, ExtremalRect, Universe, ZCurve,
+};
+
+use crate::table::{fmt_f64, Table};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let universe = Universe::new(2, 10).unwrap();
+    let curve = ZCurve::new(universe.clone());
+
+    let mut table = Table::new(
+        "E2 (Figure 2) — extremal squares in a 1024x1024 universe on the Z curve",
+        &[
+            "region",
+            "cubes",
+            "runs",
+            "largest-run volume share",
+            "runs for 0.01-approximate",
+        ],
+    );
+
+    for side in [256u64, 257] {
+        let rect = ExtremalRect::new(universe.clone(), vec![side, side]).unwrap();
+        let cubes = decompose_rect(&universe, &rect.to_rect()).unwrap();
+        let runs = runs_of_cubes(&curve, &cubes).unwrap();
+        let total_volume = rect.volume().unwrap() as f64;
+        let largest_share = runs
+            .iter()
+            .map(|r| r.range().len().unwrap_or(0) as f64 / total_volume)
+            .fold(0.0f64, f64::max);
+
+        // Number of runs an 0.01-approximate query needs: probe cubes largest
+        // first until >= 99% of the volume is covered.
+        let decomposition = ExtremalCubes::new(&rect);
+        let mut covered = 0.0f64;
+        let mut approx_cubes = 0usize;
+        for cube in decomposition.iter() {
+            covered += cube.volume().unwrap() as f64 / total_volume;
+            approx_cubes += 1;
+            if covered >= 0.99 {
+                break;
+            }
+        }
+
+        table.add_row(vec![
+            format!("{side}x{side}"),
+            cubes.len().to_string(),
+            runs.len().to_string(),
+            fmt_f64(largest_share),
+            approx_cubes.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_numbers() {
+        let tables = run();
+        let csv = tables[0].to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // 256x256: 1 cube, 1 run.
+        assert!(lines[1].starts_with("256x256,1,1,"));
+        // 257x257: 385 runs exactly as the paper states, and a single run
+        // suffices for a 0.01-approximate query.
+        let row: Vec<&str> = lines[2].split(',').collect();
+        assert_eq!(row[0], "257x257");
+        assert_eq!(row[2], "385");
+        assert!(row[3].parse::<f64>().unwrap() > 0.99);
+        assert_eq!(row[4], "1");
+    }
+}

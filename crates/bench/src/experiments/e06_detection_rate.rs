@@ -1,0 +1,128 @@
+//! E6 — detection quality: fraction of truly-covered subscriptions the
+//! ε-approximate query detects, across workload shapes.
+//!
+//! Problem 2 only guarantees that a `1 − ε` fraction of the covering region
+//! is searched; whether that translates into finding covering subscriptions
+//! depends on where the subscriptions actually are. This experiment measures
+//! the detection rate (recall) of the approximate index against the exact
+//! linear baseline for uniform, Zipf-skewed and clustered populations and a
+//! sweep of ε — the empirical counterpart of the paper's remark that "if
+//! subscriptions are well distributed over the universe, an approximate
+//! search can be expected to find most existing covering relations".
+
+use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, SfcCoveringIndex};
+use acd_workload::{CenterDistribution, SubscriptionWorkload, WorkloadConfig};
+
+use crate::table::{fmt_f64, Table};
+use crate::RunScale;
+
+/// Runs the experiment.
+pub fn run(scale: RunScale) -> Vec<Table> {
+    let mut table = Table::new(
+        format!(
+            "E6 — covering detection rate vs epsilon (n = {}, {} query subscriptions, 3 attributes)",
+            scale.subscriptions, scale.queries
+        ),
+        &[
+            "workload",
+            "epsilon",
+            "truly covered",
+            "detected",
+            "detection rate",
+            "mean runs probed",
+        ],
+    );
+
+    let workloads: Vec<(&str, CenterDistribution)> = vec![
+        ("uniform", CenterDistribution::Uniform),
+        ("zipf(1.1)", CenterDistribution::Zipf { exponent: 1.1 }),
+        (
+            "clustered(8)",
+            CenterDistribution::Clustered {
+                clusters: 8,
+                spread: 0.05,
+            },
+        ),
+    ];
+
+    for (label, distribution) in workloads {
+        let config = WorkloadConfig::builder()
+            .attributes(3)
+            .bits_per_attribute(10)
+            .center_distribution(distribution)
+            .seed(31)
+            .build()
+            .unwrap();
+        let mut workload = SubscriptionWorkload::new(&config).unwrap();
+        let schema = workload.schema().clone();
+        let population = workload.take(scale.subscriptions);
+        let queries = workload.take(scale.queries);
+
+        // Ground truth from the exact baseline.
+        let mut exact = LinearScanIndex::new(&schema);
+        for s in &population {
+            exact.insert(s).unwrap();
+        }
+        let truth: Vec<bool> = queries
+            .iter()
+            .map(|q| exact.find_covering(q).unwrap().is_covered())
+            .collect();
+        let truly_covered = truth.iter().filter(|&&c| c).count();
+
+        for &eps in &[0.3, 0.1, 0.05, 0.01] {
+            let mut approx =
+                SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(eps).unwrap())
+                    .unwrap();
+            for s in &population {
+                approx.insert(s).unwrap();
+            }
+            let mut detected = 0usize;
+            for (q, &covered) in queries.iter().zip(&truth) {
+                let outcome = approx.find_covering(q).unwrap();
+                if outcome.is_covered() {
+                    assert!(covered, "approximate index reported a false positive");
+                    detected += 1;
+                }
+            }
+            let rate = if truly_covered == 0 {
+                1.0
+            } else {
+                detected as f64 / truly_covered as f64
+            };
+            table.add_row(vec![
+                label.to_string(),
+                eps.to_string(),
+                truly_covered.to_string(),
+                detected.to_string(),
+                fmt_f64(rate),
+                fmt_f64(approx.stats().mean_runs_per_query()),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_rate_is_high_and_costs_grow_as_epsilon_shrinks() {
+        let tables = run(RunScale::quick());
+        let csv = tables[0].to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|s| s.to_string()).collect())
+            .collect();
+        assert_eq!(rows.len(), 12);
+        for chunk in rows.chunks(4) {
+            // Within one workload, smaller epsilon never probes fewer runs.
+            let runs: Vec<f64> = chunk.iter().map(|r| r[5].parse().unwrap()).collect();
+            assert!(runs.windows(2).all(|w| w[1] >= w[0] * 0.5));
+            // Detection rate at the tightest epsilon is high.
+            let rate_tight: f64 = chunk.last().unwrap()[4].parse().unwrap();
+            assert!(rate_tight >= 0.75, "detection rate {rate_tight}");
+        }
+    }
+}

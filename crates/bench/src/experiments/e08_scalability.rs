@@ -1,0 +1,125 @@
+//! E8 — scalability in the number of indexed subscriptions.
+//!
+//! Related work (Section 1.3) places existing covering-detection approaches
+//! at Ω(n) per arriving subscription; the paper claims the first sublinear
+//! algorithm. This experiment measures per-query covering-detection cost for
+//! the linear baseline and the SFC index (exhaustive and ε-approximate) as
+//! the population grows, showing the linear baseline's cost growing
+//! proportionally to n while the SFC index's cost stays nearly flat.
+
+use std::time::Instant;
+
+use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, SfcCoveringIndex};
+use acd_workload::{SubscriptionWorkload, WorkloadConfig};
+
+use crate::table::{fmt_f64, Table};
+use crate::RunScale;
+
+/// Runs the experiment.
+pub fn run(scale: RunScale) -> Vec<Table> {
+    let config = WorkloadConfig::builder()
+        .attributes(3)
+        .bits_per_attribute(10)
+        .seed(404)
+        .build()
+        .unwrap();
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let max_n = scale.subscriptions;
+    let population = workload.take(max_n);
+    let queries = workload.take(scale.queries);
+
+    let sizes: Vec<usize> = [max_n / 8, max_n / 4, max_n / 2, max_n]
+        .into_iter()
+        .filter(|&n| n > 0)
+        .collect();
+
+    let mut table = Table::new(
+        format!(
+            "E8 — per-query covering detection cost vs number of indexed subscriptions ({} query subscriptions)",
+            scale.queries
+        ),
+        &[
+            "n",
+            "linear mean comparisons",
+            "linear latency (us)",
+            "sfc-exhaustive mean runs",
+            "sfc-exhaustive latency (us)",
+            "sfc-approx(0.05) mean runs",
+            "sfc-approx(0.05) latency (us)",
+        ],
+    );
+
+    for &n in &sizes {
+        let subset = &population[..n];
+        let mut linear = LinearScanIndex::new(&schema);
+        let mut exhaustive = SfcCoveringIndex::exhaustive(&schema).unwrap();
+        let mut approximate =
+            SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(0.05).unwrap())
+                .unwrap();
+        for s in subset {
+            linear.insert(s).unwrap();
+            exhaustive.insert(s).unwrap();
+            approximate.insert(s).unwrap();
+        }
+        let mut row = vec![n.to_string()];
+        for index in [
+            &mut linear as &mut dyn CoveringIndex,
+            &mut exhaustive as &mut dyn CoveringIndex,
+            &mut approximate as &mut dyn CoveringIndex,
+        ] {
+            let start = Instant::now();
+            for q in &queries {
+                index.find_covering(q).unwrap();
+            }
+            let elapsed = start.elapsed().as_micros() as f64 / queries.len() as f64;
+            let stats = index.stats();
+            let work = if stats.total_subscriptions_compared > 0 {
+                stats.mean_comparisons_per_query()
+            } else {
+                stats.mean_runs_per_query()
+            };
+            row.push(fmt_f64(work));
+            row.push(fmt_f64(elapsed));
+        }
+        table.add_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_cost_grows_with_n_while_approximate_stays_flat() {
+        let tables = run(RunScale {
+            subscriptions: 2_000,
+            queries: 40,
+            brokers: 0,
+            events: 0,
+        });
+        let csv = tables[0].to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|s| s.to_string()).collect())
+            .collect();
+        assert!(rows.len() >= 3);
+        let first = &rows[0];
+        let last = &rows[rows.len() - 1];
+        let n_ratio: f64 =
+            last[0].parse::<f64>().unwrap() / first[0].parse::<f64>().unwrap();
+        let linear_ratio: f64 =
+            last[1].parse::<f64>().unwrap() / first[1].parse::<f64>().unwrap();
+        let approx_ratio: f64 =
+            last[5].parse::<f64>().unwrap() / first[5].parse::<f64>().unwrap().max(1e-9);
+        // The linear baseline's comparisons grow roughly with n...
+        assert!(linear_ratio > n_ratio * 0.4, "linear ratio {linear_ratio}");
+        // ...while the approximate index's runs probed grow far slower.
+        assert!(
+            approx_ratio < n_ratio * 0.5,
+            "approximate ratio {approx_ratio} vs n ratio {n_ratio}"
+        );
+    }
+}

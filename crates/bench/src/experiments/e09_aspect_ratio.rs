@@ -1,0 +1,122 @@
+//! E9 — the effect of the aspect ratio α on approximate query cost.
+//!
+//! Theorem 3.1's bound contains a `2^{α(d−1)}` factor: when the query
+//! rectangle's sides have very different bit lengths, even the approximate
+//! query gets more expensive (the paper's extreme example is an `M × 1`
+//! rectangle, which no recursive SFC handles well). This experiment sweeps
+//! the aspect ratio of both the analytic query regions and a generated
+//! subscription workload, measuring the cubes an ε-approximate query needs.
+
+use acd_covering::{ApproxConfig, CoveringIndex, SfcCoveringIndex};
+use acd_sfc::{analysis, ExtremalRect, Universe};
+use acd_workload::{SubscriptionWorkload, WidthModel, WorkloadConfig};
+
+use crate::experiments::e03_upper_bound::{approx_cubes_needed, fmt_measured};
+use crate::table::{fmt_f64, Table};
+use crate::RunScale;
+
+/// Runs the experiment.
+pub fn run(scale: RunScale) -> Vec<Table> {
+    let mut tables = Vec::new();
+
+    // Part 1: analytic regions with exactly controlled aspect ratio.
+    let mut analytic = Table::new(
+        "E9a — approximate query cost vs aspect ratio (d = 3, eps = 0.05, analytic regions)",
+        &["alpha (bits)", "measured cubes", "theorem 3.1 bound"],
+    );
+    let d = 3usize;
+    let k = 12u32;
+    let universe = Universe::new(d, k).unwrap();
+    for alpha in 0..=5u32 {
+        // Long sides have bit length 10; the short side is 2^alpha shorter.
+        let long = (1u64 << 10) - 3;
+        let short = ((1u64 << 10) >> alpha).max(2) - 1;
+        let mut lengths = vec![long; d];
+        lengths[d - 1] = short;
+        let rect = ExtremalRect::new(universe.clone(), lengths).unwrap();
+        let (measured, capped) = approx_cubes_needed(&rect, 0.05);
+        let bound = analysis::approx_query_upper_bound(d, rect.aspect_ratio(), 0.05);
+        analytic.add_row(vec![
+            rect.aspect_ratio().to_string(),
+            fmt_measured(measured, capped),
+            fmt_f64(bound),
+        ]);
+    }
+    tables.push(analytic);
+
+    // Part 2: generated subscriptions whose widths follow the skewed-aspect
+    // model, measured through the full covering index.
+    let mut workload_table = Table::new(
+        format!(
+            "E9b — mean runs probed per covering query vs workload aspect ratio (n = {}, eps = 0.05)",
+            scale.subscriptions.min(5_000)
+        ),
+        &["alpha (bits)", "mean runs probed", "covered fraction"],
+    );
+    for alpha in [0u32, 2, 4, 6] {
+        let config = WorkloadConfig::builder()
+            .attributes(3)
+            .bits_per_attribute(10)
+            .width_model(WidthModel::SkewedAspect {
+                wide_fraction: 0.4,
+                alpha_bits: alpha,
+            })
+            .seed(55)
+            .build()
+            .unwrap();
+        let mut workload = SubscriptionWorkload::new(&config).unwrap();
+        let schema = workload.schema().clone();
+        let population = workload.take(scale.subscriptions.min(5_000));
+        let queries = workload.take(scale.queries);
+        let mut index =
+            SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(0.05).unwrap())
+                .unwrap();
+        for s in &population {
+            index.insert(s).unwrap();
+        }
+        for q in &queries {
+            index.find_covering(q).unwrap();
+        }
+        let stats = index.stats();
+        workload_table.add_row(vec![
+            alpha.to_string(),
+            fmt_f64(stats.mean_runs_per_query()),
+            fmt_f64(stats.covered_fraction()),
+        ]);
+    }
+    tables.push(workload_table);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_grows_with_aspect_ratio_but_respects_the_bound() {
+        let tables = run(RunScale {
+            subscriptions: 800,
+            queries: 40,
+            brokers: 0,
+            events: 0,
+        });
+        let csv = tables[0].to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|s| s.to_string()).collect())
+            .collect();
+        let measured: Vec<f64> = rows
+            .iter()
+            .map(|r| r[1].trim_start_matches(">=").parse().unwrap())
+            .collect();
+        let bounds: Vec<f64> = rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        for (m, b) in measured.iter().zip(&bounds) {
+            assert!(m <= b, "measured {m} above bound {b}");
+        }
+        // Cost at the largest aspect ratio is higher than at alpha = 0.
+        assert!(measured.last().unwrap() > measured.first().unwrap());
+        // The second table exists and has one row per alpha.
+        assert_eq!(tables[1].row_count(), 4);
+    }
+}

@@ -1,0 +1,268 @@
+//! A single broker: local clients, per-interface routing tables and
+//! per-interface covering suppression state.
+
+use std::collections::HashMap;
+
+use acd_covering::{CoveringIndex, CoveringPolicy};
+use acd_subscription::{Event, Schema, SubId, Subscription};
+
+use crate::Result;
+
+/// Identifier of a broker inside a [`crate::BrokerNetwork`] (an index into
+/// the topology).
+pub type BrokerId = usize;
+
+/// Identifier of a client attached to a broker.
+pub type ClientId = u64;
+
+/// Where a subscription entered this broker from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interface {
+    /// Registered by a client attached to this broker.
+    Local,
+    /// Received from the neighboring broker with this identifier.
+    Neighbor(BrokerId),
+}
+
+/// One broker of the overlay.
+///
+/// A broker keeps three kinds of state:
+///
+/// * `local`: subscriptions registered by clients attached to it (with the
+///   owning client, so deliveries can be attributed);
+/// * `received`: per-interface routing tables — the subscriptions received
+///   from each neighbor, used to decide where an event must be forwarded;
+/// * `sent`: per-neighbor covering indexes over the subscriptions this broker
+///   has already forwarded to that neighbor; a new subscription is only
+///   forwarded if no already-sent subscription covers it (sender-side
+///   suppression).
+#[derive(Debug)]
+pub struct Broker {
+    id: BrokerId,
+    /// Subscriptions registered by local clients.
+    local: Vec<(ClientId, Subscription)>,
+    /// Routing table: subscriptions received from each neighbor.
+    received: HashMap<BrokerId, Vec<Subscription>>,
+    /// Covering indexes over subscriptions already sent to each neighbor
+    /// (`None` when the policy disables covering).
+    sent: HashMap<BrokerId, Option<Box<dyn CoveringIndex>>>,
+    /// Number of subscriptions sent to each neighbor (equals the neighbor's
+    /// routing-table entries for this link).
+    sent_counts: HashMap<BrokerId, u64>,
+}
+
+impl Broker {
+    /// Creates a broker with suppression state for each of its neighbors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the covering policy cannot build its index.
+    pub fn new(
+        id: BrokerId,
+        neighbors: &[BrokerId],
+        schema: &Schema,
+        policy: CoveringPolicy,
+    ) -> Result<Self> {
+        let mut sent = HashMap::new();
+        let mut sent_counts = HashMap::new();
+        for &n in neighbors {
+            sent.insert(n, policy.build_index(schema)?);
+            sent_counts.insert(n, 0);
+        }
+        Ok(Broker {
+            id,
+            local: Vec::new(),
+            received: neighbors.iter().map(|&n| (n, Vec::new())).collect(),
+            sent,
+            sent_counts,
+        })
+    }
+
+    /// This broker's identifier.
+    pub fn id(&self) -> BrokerId {
+        self.id
+    }
+
+    /// Registers a subscription from a local client.
+    pub fn add_local(&mut self, client: ClientId, subscription: Subscription) {
+        self.local.push((client, subscription));
+    }
+
+    /// Records a subscription received from a neighbor (a routing-table
+    /// entry).
+    pub fn add_received(&mut self, from: BrokerId, subscription: Subscription) {
+        self.received.entry(from).or_default().push(subscription);
+    }
+
+    /// Number of local subscriptions.
+    pub fn local_subscriptions(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Total routing-table entries (received subscriptions over all
+    /// interfaces).
+    pub fn routing_table_entries(&self) -> usize {
+        self.received.values().map(|v| v.len()).sum()
+    }
+
+    /// Decides whether `subscription` must be forwarded to `neighbor`,
+    /// consulting (and updating) the per-neighbor covering index.
+    ///
+    /// Returns `(forward, query_was_issued, runs_probed, comparisons)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the covering index rejects the subscription.
+    pub fn should_forward(
+        &mut self,
+        neighbor: BrokerId,
+        subscription: &Subscription,
+    ) -> Result<ForwardDecision> {
+        let slot = self
+            .sent
+            .get_mut(&neighbor)
+            .expect("neighbor interfaces are created at construction");
+        match slot {
+            None => {
+                // No covering detection: always forward.
+                *self.sent_counts.get_mut(&neighbor).expect("interface exists") += 1;
+                Ok(ForwardDecision {
+                    forward: true,
+                    covering_query: false,
+                    runs_probed: 0,
+                    comparisons: 0,
+                })
+            }
+            Some(index) => {
+                let outcome = index.find_covering(subscription)?;
+                let decision = if outcome.is_covered() {
+                    ForwardDecision {
+                        forward: false,
+                        covering_query: true,
+                        runs_probed: outcome.stats.runs_probed,
+                        comparisons: outcome.stats.subscriptions_compared,
+                    }
+                } else {
+                    index.insert(subscription)?;
+                    *self.sent_counts.get_mut(&neighbor).expect("interface exists") += 1;
+                    ForwardDecision {
+                        forward: true,
+                        covering_query: true,
+                        runs_probed: outcome.stats.runs_probed,
+                        comparisons: outcome.stats.subscriptions_compared,
+                    }
+                };
+                Ok(decision)
+            }
+        }
+    }
+
+    /// Local clients whose subscriptions match `event`, one entry per
+    /// matching subscription.
+    pub fn matching_local_clients(&self, event: &Event) -> Vec<(ClientId, SubId)> {
+        self.local
+            .iter()
+            .filter(|(_, s)| s.matches(event))
+            .map(|(c, s)| (*c, s.id()))
+            .collect()
+    }
+
+    /// Whether any subscription received from `neighbor` matches `event`
+    /// (i.e. the event must be forwarded toward that neighbor).
+    pub fn neighbor_interested(&self, neighbor: BrokerId, event: &Event) -> bool {
+        self.received
+            .get(&neighbor)
+            .map(|subs| subs.iter().any(|s| s.matches(event)))
+            .unwrap_or(false)
+    }
+
+    /// Number of subscriptions this broker has sent to `neighbor`.
+    pub fn sent_to(&self, neighbor: BrokerId) -> u64 {
+        self.sent_counts.get(&neighbor).copied().unwrap_or(0)
+    }
+}
+
+/// The outcome of a sender-side covering check for one (subscription, link)
+/// pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardDecision {
+    /// Whether the subscription must be sent on the link.
+    pub forward: bool,
+    /// Whether a covering query was issued (false under
+    /// [`CoveringPolicy::None`]).
+    pub covering_query: bool,
+    /// Runs probed by the covering query (SFC policies).
+    pub runs_probed: usize,
+    /// Subscriptions compared by the covering query (linear policy).
+    pub comparisons: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acd_subscription::SubscriptionBuilder;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("x", 0.0, 100.0)
+            .attribute("y", 0.0, 100.0)
+            .bits_per_attribute(6)
+            .build()
+            .unwrap()
+    }
+
+    fn sub(schema: &Schema, id: SubId, x: (f64, f64), y: (f64, f64)) -> Subscription {
+        SubscriptionBuilder::new(schema)
+            .range("x", x.0, x.1)
+            .range("y", y.0, y.1)
+            .build(id)
+            .unwrap()
+    }
+
+    #[test]
+    fn covering_policy_suppresses_covered_forwards() {
+        let s = schema();
+        let mut b = Broker::new(0, &[1], &s, CoveringPolicy::ExactSfc).unwrap();
+        let wide = sub(&s, 1, (0.0, 100.0), (0.0, 100.0));
+        let narrow = sub(&s, 2, (10.0, 20.0), (10.0, 20.0));
+        let d1 = b.should_forward(1, &wide).unwrap();
+        assert!(d1.forward && d1.covering_query);
+        let d2 = b.should_forward(1, &narrow).unwrap();
+        assert!(!d2.forward, "narrow subscription must be suppressed");
+        assert_eq!(b.sent_to(1), 1);
+    }
+
+    #[test]
+    fn no_covering_policy_always_forwards() {
+        let s = schema();
+        let mut b = Broker::new(0, &[1, 2], &s, CoveringPolicy::None).unwrap();
+        let wide = sub(&s, 1, (0.0, 100.0), (0.0, 100.0));
+        let narrow = sub(&s, 2, (10.0, 20.0), (10.0, 20.0));
+        for subscription in [&wide, &narrow] {
+            let d = b.should_forward(1, subscription).unwrap();
+            assert!(d.forward);
+            assert!(!d.covering_query);
+        }
+        assert_eq!(b.sent_to(1), 2);
+        assert_eq!(b.sent_to(2), 0);
+    }
+
+    #[test]
+    fn local_matching_and_neighbor_interest() {
+        let s = schema();
+        let mut b = Broker::new(3, &[0], &s, CoveringPolicy::ExactLinear).unwrap();
+        b.add_local(100, sub(&s, 1, (0.0, 50.0), (0.0, 50.0)));
+        b.add_local(101, sub(&s, 2, (60.0, 90.0), (60.0, 90.0)));
+        b.add_received(0, sub(&s, 3, (0.0, 10.0), (0.0, 10.0)));
+
+        let event = Event::new(&s, vec![5.0, 5.0]).unwrap();
+        let matches = b.matching_local_clients(&event);
+        assert_eq!(matches, vec![(100, 1)]);
+        assert!(b.neighbor_interested(0, &event));
+        let far_event = Event::new(&s, vec![99.0, 99.0]).unwrap();
+        assert!(!b.neighbor_interested(0, &far_event));
+        assert!(b.matching_local_clients(&far_event).is_empty());
+        assert_eq!(b.routing_table_entries(), 1);
+        assert_eq!(b.local_subscriptions(), 2);
+    }
+}

@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+use acd_covering::CoveringError;
+use acd_subscription::SubscriptionError;
+
+/// Error type for the broker overlay simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BrokerError {
+    /// A topology was requested with an invalid shape.
+    InvalidTopology {
+        /// Human readable reason.
+        reason: String,
+    },
+    /// A broker identifier is out of range for the topology.
+    UnknownBroker {
+        /// The offending identifier.
+        id: usize,
+        /// Number of brokers in the network.
+        brokers: usize,
+    },
+    /// A subscription identifier was registered twice in the network.
+    DuplicateSubscription {
+        /// The offending identifier.
+        id: u64,
+    },
+    /// An error bubbled up from the covering index.
+    Covering(CoveringError),
+    /// An error bubbled up from the subscription data model.
+    Subscription(SubscriptionError),
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::InvalidTopology { reason } => write!(f, "invalid topology: {reason}"),
+            BrokerError::UnknownBroker { id, brokers } => {
+                write!(f, "broker {id} does not exist (network has {brokers} brokers)")
+            }
+            BrokerError::DuplicateSubscription { id } => {
+                write!(f, "subscription {id} is already registered in the network")
+            }
+            BrokerError::Covering(e) => write!(f, "covering index error: {e}"),
+            BrokerError::Subscription(e) => write!(f, "subscription error: {e}"),
+        }
+    }
+}
+
+impl Error for BrokerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BrokerError::Covering(e) => Some(e),
+            BrokerError::Subscription(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoveringError> for BrokerError {
+    fn from(e: CoveringError) -> Self {
+        BrokerError::Covering(e)
+    }
+}
+
+impl From<SubscriptionError> for BrokerError {
+    fn from(e: SubscriptionError) -> Self {
+        BrokerError::Subscription(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: BrokerError = CoveringError::SchemaMismatch.into();
+        assert!(Error::source(&e).is_some());
+        let e: BrokerError = SubscriptionError::SchemaMismatch.into();
+        assert!(e.to_string().contains("subscription"));
+        let e = BrokerError::UnknownBroker { id: 7, brokers: 3 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: Send + Sync + 'static>() {}
+        assert_traits::<BrokerError>();
+    }
+}

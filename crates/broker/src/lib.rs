@@ -1,0 +1,69 @@
+//! # acd-broker — a Siena-style broker overlay with covering-aware
+//! subscription propagation
+//!
+//! The paper motivates approximate covering detection with its effect on a
+//! distributed publish/subscribe system: fewer subscriptions propagated,
+//! smaller routing tables, cheaper covering checks. This crate provides the
+//! substrate to measure exactly that — a deterministic, in-process simulator
+//! of an acyclic broker overlay implementing content-based routing:
+//!
+//! * [`Topology`] — star, line, balanced-tree and random-tree overlays;
+//! * [`BrokerNetwork`] — the simulator: clients attach to brokers, register
+//!   [`Subscription`]s and publish [`Event`]s; subscriptions are propagated
+//!   through the overlay with per-interface *sender-side covering
+//!   suppression* governed by a [`CoveringPolicy`]; events are forwarded
+//!   along reverse subscription paths and delivered to matching clients;
+//! * [`NetworkMetrics`] — subscription messages, routing-table entries, event
+//!   messages, deliveries and covering-detection cost, the quantities the
+//!   broker experiment (E7) reports.
+//!
+//! The simulator's key correctness property — **covering suppression never
+//! changes what subscribers receive** — is verified in the crate's tests by
+//! comparing deliveries against a flooding configuration.
+//!
+//! ## Example
+//!
+//! ```
+//! use acd_broker::{BrokerNetwork, Topology};
+//! use acd_covering::CoveringPolicy;
+//! use acd_subscription::{Schema, SubscriptionBuilder, Event};
+//!
+//! # fn main() -> Result<(), acd_broker::BrokerError> {
+//! let schema = Schema::builder()
+//!     .attribute("price", 0.0, 100.0)
+//!     .bits_per_attribute(8)
+//!     .build()?;
+//! let topology = Topology::star(4)?; // broker 0 in the middle
+//! let mut net = BrokerNetwork::new(topology, &schema, CoveringPolicy::ExactSfc)?;
+//!
+//! let wide = SubscriptionBuilder::new(&schema).range("price", 0.0, 90.0).build(1)?;
+//! net.subscribe(1, 100, &wide)?;
+//! let event = Event::new(&schema, vec![50.0])?;
+//! let deliveries = net.publish(3, &event)?;
+//! assert_eq!(deliveries, vec![(1, 100)]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod broker;
+mod error;
+pub mod metrics;
+pub mod network;
+pub mod topology;
+
+pub use broker::{Broker, BrokerId, ClientId};
+pub use error::BrokerError;
+pub use metrics::NetworkMetrics;
+pub use network::BrokerNetwork;
+pub use topology::Topology;
+
+// Re-exports so examples can depend on a single crate.
+pub use acd_covering::CoveringPolicy;
+pub use acd_subscription::{Event, Subscription};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T, E = BrokerError> = std::result::Result<T, E>;

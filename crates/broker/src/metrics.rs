@@ -1,0 +1,94 @@
+//! Network-wide metrics collected by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing one simulation run.
+///
+/// These are exactly the quantities the paper's motivation attributes to
+/// subscription covering: how many subscription messages crossed overlay
+/// links, how many routing-table entries exist across the network, how much
+/// covering-detection work the brokers did, and — unchanged by any covering
+/// policy — how many events were delivered to subscribers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkMetrics {
+    /// Subscriptions registered by clients.
+    pub subscriptions_registered: u64,
+    /// Subscription messages sent across overlay links.
+    pub subscription_messages: u64,
+    /// Subscription forwards suppressed because a covering subscription had
+    /// already been sent on that link.
+    pub subscriptions_suppressed: u64,
+    /// Total routing-table entries across all brokers and interfaces.
+    pub routing_table_entries: u64,
+    /// Covering queries issued while propagating subscriptions.
+    pub covering_queries: u64,
+    /// Runs probed by SFC covering queries (0 for linear or no covering).
+    pub covering_runs_probed: u64,
+    /// Subscription comparisons performed by linear-scan covering queries.
+    pub covering_comparisons: u64,
+    /// Events published by clients.
+    pub events_published: u64,
+    /// Event messages sent across overlay links.
+    pub event_messages: u64,
+    /// Events delivered to local subscribers (a client counts once per
+    /// matching subscription).
+    pub deliveries: u64,
+}
+
+impl NetworkMetrics {
+    /// Mean number of subscription messages per registered subscription.
+    pub fn messages_per_subscription(&self) -> f64 {
+        if self.subscriptions_registered == 0 {
+            0.0
+        } else {
+            self.subscription_messages as f64 / self.subscriptions_registered as f64
+        }
+    }
+
+    /// Mean number of event messages per published event.
+    pub fn messages_per_event(&self) -> f64 {
+        if self.events_published == 0 {
+            0.0
+        } else {
+            self.event_messages as f64 / self.events_published as f64
+        }
+    }
+
+    /// Fraction of subscription forwards that covering suppressed.
+    pub fn suppression_ratio(&self) -> f64 {
+        let attempted = self.subscription_messages + self.subscriptions_suppressed;
+        if attempted == 0 {
+            0.0
+        } else {
+            self.subscriptions_suppressed as f64 / attempted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let m = NetworkMetrics::default();
+        assert_eq!(m.messages_per_subscription(), 0.0);
+        assert_eq!(m.messages_per_event(), 0.0);
+        assert_eq!(m.suppression_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute_expected_values() {
+        let m = NetworkMetrics {
+            subscriptions_registered: 10,
+            subscription_messages: 40,
+            subscriptions_suppressed: 10,
+            events_published: 5,
+            event_messages: 20,
+            ..NetworkMetrics::default()
+        };
+        assert_eq!(m.messages_per_subscription(), 4.0);
+        assert_eq!(m.messages_per_event(), 4.0);
+        assert_eq!(m.suppression_ratio(), 0.2);
+    }
+}

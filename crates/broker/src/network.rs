@@ -1,0 +1,325 @@
+//! The broker-network simulator.
+
+use acd_covering::CoveringPolicy;
+use acd_subscription::{Event, Schema, SubId, Subscription};
+
+use crate::broker::{Broker, BrokerId, ClientId};
+use crate::error::BrokerError;
+use crate::metrics::NetworkMetrics;
+use crate::topology::Topology;
+use crate::Result;
+
+/// A deterministic, in-process simulation of a content-based
+/// publish/subscribe overlay with covering-aware subscription propagation.
+///
+/// The simulator processes operations synchronously: [`subscribe`] propagates
+/// the subscription through the whole overlay before returning, and
+/// [`publish`] forwards the event and returns the complete delivery list.
+/// Message and routing-table counters are accumulated in
+/// [`metrics`](BrokerNetwork::metrics).
+///
+/// [`subscribe`]: BrokerNetwork::subscribe
+/// [`publish`]: BrokerNetwork::publish
+#[derive(Debug)]
+pub struct BrokerNetwork {
+    topology: Topology,
+    schema: Schema,
+    policy: CoveringPolicy,
+    brokers: Vec<Broker>,
+    metrics: NetworkMetrics,
+    registered_ids: std::collections::HashSet<SubId>,
+}
+
+impl BrokerNetwork {
+    /// Creates a network over `topology` where every broker applies `policy`
+    /// when propagating subscriptions over `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the covering policy cannot build its indexes.
+    pub fn new(topology: Topology, schema: &Schema, policy: CoveringPolicy) -> Result<Self> {
+        let mut brokers = Vec::with_capacity(topology.brokers());
+        for id in 0..topology.brokers() {
+            brokers.push(Broker::new(id, topology.neighbors(id), schema, policy)?);
+        }
+        Ok(BrokerNetwork {
+            topology,
+            schema: schema.clone(),
+            policy,
+            brokers,
+            metrics: NetworkMetrics::default(),
+            registered_ids: std::collections::HashSet::new(),
+        })
+    }
+
+    /// The overlay topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The covering policy every broker applies.
+    pub fn policy(&self) -> CoveringPolicy {
+        self.policy
+    }
+
+    /// The schema subscriptions and events must follow.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Accumulated metrics (routing-table entries are recomputed on access).
+    pub fn metrics(&self) -> NetworkMetrics {
+        let mut m = self.metrics;
+        m.routing_table_entries = self
+            .brokers
+            .iter()
+            .map(|b| b.routing_table_entries() as u64)
+            .sum();
+        m
+    }
+
+    /// Access to an individual broker (for inspection in tests and
+    /// experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is out of range.
+    pub fn broker(&self, id: BrokerId) -> Result<&Broker> {
+        self.topology.check_broker(id)?;
+        Ok(&self.brokers[id])
+    }
+
+    /// Registers `subscription` for `client` at broker `at`, and propagates
+    /// it through the overlay applying the covering policy on every link.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the broker does not exist, the subscription's
+    /// schema does not match the network, or its identifier was already
+    /// registered.
+    pub fn subscribe(
+        &mut self,
+        at: BrokerId,
+        client: ClientId,
+        subscription: &Subscription,
+    ) -> Result<()> {
+        self.topology.check_broker(at)?;
+        if subscription.schema() != &self.schema {
+            return Err(BrokerError::Subscription(
+                acd_subscription::SubscriptionError::SchemaMismatch,
+            ));
+        }
+        if !self.registered_ids.insert(subscription.id()) {
+            return Err(BrokerError::DuplicateSubscription {
+                id: subscription.id(),
+            });
+        }
+        self.metrics.subscriptions_registered += 1;
+        self.brokers[at].add_local(client, subscription.clone());
+
+        // Propagate away from the origin broker. The overlay is a tree, so a
+        // simple BFS carrying the "arrived from" interface suffices.
+        let mut queue: std::collections::VecDeque<(BrokerId, Option<BrokerId>)> =
+            std::collections::VecDeque::new();
+        queue.push_back((at, None));
+        while let Some((broker_id, from)) = queue.pop_front() {
+            let neighbors: Vec<BrokerId> = self.topology.neighbors(broker_id).to_vec();
+            for neighbor in neighbors {
+                if Some(neighbor) == from {
+                    continue;
+                }
+                let decision = self.brokers[broker_id].should_forward(neighbor, subscription)?;
+                if decision.covering_query {
+                    self.metrics.covering_queries += 1;
+                    self.metrics.covering_runs_probed += decision.runs_probed as u64;
+                    self.metrics.covering_comparisons += decision.comparisons as u64;
+                }
+                if decision.forward {
+                    self.metrics.subscription_messages += 1;
+                    self.brokers[neighbor].add_received(broker_id, subscription.clone());
+                    queue.push_back((neighbor, Some(broker_id)));
+                } else {
+                    self.metrics.subscriptions_suppressed += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Publishes `event` at broker `at` and returns the deliveries it caused
+    /// as `(broker, client)` pairs, one per matching subscription, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the broker does not exist.
+    pub fn publish(&mut self, at: BrokerId, event: &Event) -> Result<Vec<(BrokerId, ClientId)>> {
+        self.topology.check_broker(at)?;
+        self.metrics.events_published += 1;
+        let mut deliveries = Vec::new();
+
+        let mut queue: std::collections::VecDeque<(BrokerId, Option<BrokerId>)> =
+            std::collections::VecDeque::new();
+        queue.push_back((at, None));
+        while let Some((broker_id, from)) = queue.pop_front() {
+            for (client, _) in self.brokers[broker_id].matching_local_clients(event) {
+                deliveries.push((broker_id, client));
+            }
+            let neighbors: Vec<BrokerId> = self.topology.neighbors(broker_id).to_vec();
+            for neighbor in neighbors {
+                if Some(neighbor) == from {
+                    continue;
+                }
+                if self.brokers[broker_id].neighbor_interested(neighbor, event) {
+                    self.metrics.event_messages += 1;
+                    queue.push_back((neighbor, Some(broker_id)));
+                }
+            }
+        }
+        deliveries.sort_unstable();
+        deliveries.dedup();
+        self.metrics.deliveries += deliveries.len() as u64;
+        Ok(deliveries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acd_subscription::SubscriptionBuilder;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("x", 0.0, 100.0)
+            .attribute("y", 0.0, 100.0)
+            .bits_per_attribute(6)
+            .build()
+            .unwrap()
+    }
+
+    fn sub(schema: &Schema, id: SubId, x: (f64, f64), y: (f64, f64)) -> Subscription {
+        SubscriptionBuilder::new(schema)
+            .range("x", x.0, x.1)
+            .range("y", y.0, y.1)
+            .build(id)
+            .unwrap()
+    }
+
+    #[test]
+    fn events_are_delivered_across_the_overlay() {
+        let s = schema();
+        let mut net =
+            BrokerNetwork::new(Topology::line(4).unwrap(), &s, CoveringPolicy::ExactSfc).unwrap();
+        net.subscribe(0, 10, &sub(&s, 1, (0.0, 50.0), (0.0, 50.0)))
+            .unwrap();
+        net.subscribe(3, 30, &sub(&s, 2, (40.0, 100.0), (40.0, 100.0)))
+            .unwrap();
+
+        let e = Event::new(&s, vec![45.0, 45.0]).unwrap();
+        let deliveries = net.publish(1, &e).unwrap();
+        assert_eq!(deliveries, vec![(0, 10), (3, 30)]);
+
+        let only_left = Event::new(&s, vec![10.0, 10.0]).unwrap();
+        assert_eq!(net.publish(3, &only_left).unwrap(), vec![(0, 10)]);
+
+        let metrics = net.metrics();
+        assert_eq!(metrics.subscriptions_registered, 2);
+        assert_eq!(metrics.events_published, 2);
+        assert!(metrics.event_messages >= 3);
+        assert_eq!(metrics.deliveries, 3);
+    }
+
+    #[test]
+    fn covering_reduces_messages_without_changing_deliveries() {
+        let s = schema();
+        // Subscriptions: one broad subscription plus many narrow ones that it
+        // covers, all registered at the same broker.
+        let subs: Vec<Subscription> = std::iter::once(sub(&s, 1, (0.0, 100.0), (0.0, 100.0)))
+            .chain((2..=20).map(|i| {
+                let lo = (i * 2) as f64;
+                sub(&s, i, (lo, lo + 10.0), (lo, lo + 10.0))
+            }))
+            .collect();
+        let events: Vec<Event> = (0..20)
+            .map(|i| Event::new(&s, vec![i as f64 * 5.0, i as f64 * 5.0]).unwrap())
+            .collect();
+
+        let run = |policy: CoveringPolicy| {
+            let mut net =
+                BrokerNetwork::new(Topology::balanced_tree(2, 3).unwrap(), &s, policy).unwrap();
+            for (i, subscription) in subs.iter().enumerate() {
+                net.subscribe(0, 100 + i as u64, subscription).unwrap();
+            }
+            let mut all_deliveries = Vec::new();
+            for (i, e) in events.iter().enumerate() {
+                let at = i % net.topology().brokers();
+                all_deliveries.push(net.publish(at, e).unwrap());
+            }
+            (net.metrics(), all_deliveries)
+        };
+
+        let (flood, flood_deliveries) = run(CoveringPolicy::None);
+        let (exact, exact_deliveries) = run(CoveringPolicy::ExactSfc);
+        let (approx, approx_deliveries) =
+            run(CoveringPolicy::Approximate { epsilon: 0.05 });
+
+        // Covering must never change deliveries.
+        assert_eq!(flood_deliveries, exact_deliveries);
+        assert_eq!(flood_deliveries, approx_deliveries);
+
+        // Covering must reduce subscription traffic and routing state.
+        assert!(exact.subscription_messages < flood.subscription_messages);
+        assert!(exact.routing_table_entries < flood.routing_table_entries);
+        assert!(approx.subscription_messages <= flood.subscription_messages);
+        assert!(approx.subscription_messages >= exact.subscription_messages);
+        assert!(exact.subscriptions_suppressed > 0);
+        assert_eq!(flood.subscriptions_suppressed, 0);
+    }
+
+    #[test]
+    fn rejects_bad_brokers_duplicates_and_foreign_schemas() {
+        let s = schema();
+        let mut net =
+            BrokerNetwork::new(Topology::star(3).unwrap(), &s, CoveringPolicy::None).unwrap();
+        let a = sub(&s, 1, (0.0, 10.0), (0.0, 10.0));
+        assert!(net.subscribe(9, 1, &a).is_err());
+        net.subscribe(0, 1, &a).unwrap();
+        assert!(matches!(
+            net.subscribe(1, 2, &a),
+            Err(BrokerError::DuplicateSubscription { id: 1 })
+        ));
+        let other = Schema::builder().attribute("z", 0.0, 1.0).build().unwrap();
+        let foreign = SubscriptionBuilder::new(&other).build(5).unwrap();
+        assert!(net.subscribe(0, 1, &foreign).is_err());
+        let e = Event::new(&s, vec![1.0, 1.0]).unwrap();
+        assert!(net.publish(7, &e).is_err());
+    }
+
+    #[test]
+    fn subscription_propagation_counts_messages_per_link() {
+        let s = schema();
+        let mut net =
+            BrokerNetwork::new(Topology::line(5).unwrap(), &s, CoveringPolicy::None).unwrap();
+        net.subscribe(2, 1, &sub(&s, 1, (0.0, 10.0), (0.0, 10.0)))
+            .unwrap();
+        // Flooding from the middle of a 5-line reaches the 4 other brokers
+        // over exactly 4 links.
+        assert_eq!(net.metrics().subscription_messages, 4);
+        assert_eq!(net.metrics().routing_table_entries, 4);
+        // Each non-origin broker holds exactly one routing entry.
+        for id in [0usize, 1, 3, 4] {
+            assert_eq!(net.broker(id).unwrap().routing_table_entries(), 1);
+        }
+        assert_eq!(net.broker(2).unwrap().routing_table_entries(), 0);
+        assert_eq!(net.broker(2).unwrap().local_subscriptions(), 1);
+    }
+
+    #[test]
+    fn publish_without_subscribers_stays_local() {
+        let s = schema();
+        let mut net =
+            BrokerNetwork::new(Topology::star(5).unwrap(), &s, CoveringPolicy::ExactSfc).unwrap();
+        let e = Event::new(&s, vec![1.0, 1.0]).unwrap();
+        assert!(net.publish(4, &e).unwrap().is_empty());
+        assert_eq!(net.metrics().event_messages, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Configuration of covering queries: exhaustive vs ε-approximate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoveringError;
+use crate::Result;
+
+/// How much of the covering region a query must search before answering
+/// "empty".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueryMode {
+    /// Search the entire covering region; a negative answer is exact.
+    Exhaustive,
+    /// Search at least a `1 − ε` fraction (by volume) of the covering
+    /// region; a negative answer may miss covering subscriptions that lie in
+    /// the unsearched `ε` fraction (the paper's Problem 2).
+    Approximate {
+        /// The approximation parameter ε in `(0, 1)`.
+        epsilon: f64,
+    },
+}
+
+impl QueryMode {
+    /// The ε of an approximate mode, or 0 for the exhaustive mode.
+    pub fn epsilon(&self) -> f64 {
+        match self {
+            QueryMode::Exhaustive => 0.0,
+            QueryMode::Approximate { epsilon } => *epsilon,
+        }
+    }
+
+    /// Whether the mode is exhaustive.
+    pub fn is_exhaustive(&self) -> bool {
+        matches!(self, QueryMode::Exhaustive)
+    }
+}
+
+/// Default value of [`ApproxConfig::work_cap`]: the number of standard cubes
+/// a single query may enumerate before switching to the exact point scan.
+pub const DEFAULT_WORK_CAP: usize = 8_192;
+
+/// Full configuration of an SFC covering index's query behaviour.
+///
+/// Besides the [`QueryMode`], the configuration carries two guards:
+///
+/// * `work_cap` — the maximum number of standard cubes one query may
+///   enumerate from the greedy decomposition. The paper's cost bounds grow as
+///   `(2d/ε)^{d−1}` (Theorem 3.1) and `ℓ^{d−1}` (Theorem 4.1); when a query
+///   region is so fragmented that its decomposition exceeds this budget, the
+///   index abandons the decomposition and falls back to an *exact* scan of
+///   the stored points, which costs O(n) dominance checks. The fallback only
+///   ever searches **more** volume than requested, so answers stay correct
+///   for both exhaustive and ε-approximate modes; it simply bounds every
+///   query by `O(work_cap + n)`.
+/// * `max_runs` — an optional hard cap on runs probed, after which the query
+///   reports how much volume it managed to search. Unlike `work_cap` this may
+///   produce additional misses; it is disabled by default and exists for
+///   latency-critical deployments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApproxConfig {
+    /// The query mode (exhaustive or ε-approximate).
+    pub mode: QueryMode,
+    /// If set, a query gives up (reporting how much volume it searched) after
+    /// probing this many runs.
+    pub max_runs: Option<usize>,
+    /// Maximum number of cubes to enumerate before falling back to the exact
+    /// point scan; `None` disables the fallback.
+    pub work_cap: Option<usize>,
+}
+
+impl ApproxConfig {
+    /// An exhaustive configuration (ε = 0, default work cap, no run cap).
+    pub fn exhaustive() -> Self {
+        ApproxConfig {
+            mode: QueryMode::Exhaustive,
+            max_runs: None,
+            work_cap: Some(DEFAULT_WORK_CAP),
+        }
+    }
+
+    /// An ε-approximate configuration with the default work cap and no run
+    /// cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoveringError::InvalidEpsilon`] if `epsilon` is not in the
+    /// open interval `(0, 1)`.
+    pub fn with_epsilon(epsilon: f64) -> Result<Self> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CoveringError::InvalidEpsilon { epsilon });
+        }
+        Ok(ApproxConfig {
+            mode: QueryMode::Approximate { epsilon },
+            max_runs: None,
+            work_cap: Some(DEFAULT_WORK_CAP),
+        })
+    }
+
+    /// Returns a copy with a cap on the number of runs probed per query.
+    pub fn max_runs(mut self, cap: usize) -> Self {
+        self.max_runs = Some(cap);
+        self
+    }
+
+    /// Returns a copy with a different cube-enumeration budget, or `None` to
+    /// disable the exact-scan fallback entirely.
+    pub fn work_cap(mut self, cap: Option<usize>) -> Self {
+        self.work_cap = cap;
+        self
+    }
+
+    /// The ε of the configuration (0 for exhaustive).
+    pub fn epsilon(&self) -> f64 {
+        self.mode.epsilon()
+    }
+}
+
+impl Default for ApproxConfig {
+    /// The default configuration is a 0.05-approximate query (searching at
+    /// least 95% of the covering region), the paper's running example.
+    fn default() -> Self {
+        ApproxConfig::with_epsilon(0.05).expect("0.05 is a valid epsilon")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_and_approximate_constructors() {
+        let e = ApproxConfig::exhaustive();
+        assert!(e.mode.is_exhaustive());
+        assert_eq!(e.epsilon(), 0.0);
+        let a = ApproxConfig::with_epsilon(0.1).unwrap();
+        assert!(!a.mode.is_exhaustive());
+        assert_eq!(a.epsilon(), 0.1);
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        for eps in [0.0, 1.0, -0.5, 1.5, f64::NAN] {
+            assert!(
+                ApproxConfig::with_epsilon(eps).is_err(),
+                "epsilon {eps} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn default_is_the_papers_running_example() {
+        let d = ApproxConfig::default();
+        assert_eq!(d.epsilon(), 0.05);
+        assert_eq!(d.max_runs, None);
+        assert_eq!(d.work_cap, Some(DEFAULT_WORK_CAP));
+    }
+
+    #[test]
+    fn run_and_work_caps_are_preserved() {
+        let c = ApproxConfig::exhaustive().max_runs(1000).work_cap(Some(64));
+        assert_eq!(c.max_runs, Some(1000));
+        assert_eq!(c.work_cap, Some(64));
+        let unbounded = ApproxConfig::exhaustive().work_cap(None);
+        assert_eq!(unbounded.work_cap, None);
+    }
+}

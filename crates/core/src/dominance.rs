@@ -1,0 +1,575 @@
+//! The point-dominance engine (Problems 1 and 2 of the paper).
+//!
+//! [`PointDominanceIndex`] stores `d`-dimensional points in an SFC array and
+//! answers: *given a query point `x`, is there a stored point that dominates
+//! `x` component-wise?* The query algorithm is the one of Section 5:
+//!
+//! 1. The dominance region of `x` is the extremal rectangle
+//!    `R(ℓ)` with `ℓ_i = 2^k − x_i`.
+//! 2. The region is greedily decomposed into standard cubes, enumerated
+//!    lazily in descending volume ([`acd_sfc::ExtremalCubes`]).
+//! 3. Cube key ranges are merged into runs on the fly and probed against the
+//!    SFC array. Any point found inside a probed run *is* a dominating point
+//!    (every cell of the region dominates `x`), so the query can stop at the
+//!    first hit.
+//! 4. For an ε-approximate query the search also stops — answering "empty" —
+//!    once the probed cubes cover at least a `1 − ε` fraction of the region's
+//!    volume; an exhaustive query keeps going until the whole region has been
+//!    searched.
+
+use std::fmt;
+
+use acd_sfc::{
+    ExtremalCubes, ExtremalRect, Key, KeyRange, Point, SfcArray, SpaceFillingCurve, Universe,
+};
+
+use crate::config::{ApproxConfig, QueryMode};
+use crate::stats::QueryStats;
+use crate::Result;
+
+/// An index over `d`-dimensional points answering exhaustive and
+/// ε-approximate dominance queries.
+///
+/// The index is generic over the curve (`Z`, Hilbert or Gray); values of type
+/// `V` ride along with each point and are returned on a hit (the covering
+/// index stores subscription identifiers there).
+///
+/// # Example
+///
+/// ```
+/// use acd_covering::{PointDominanceIndex, ApproxConfig};
+/// use acd_sfc::{Universe, Point, ZCurve};
+///
+/// # fn main() -> Result<(), acd_covering::CoveringError> {
+/// let universe = Universe::new(2, 8)?;
+/// let mut index: PointDominanceIndex<u64, ZCurve> = PointDominanceIndex::new(
+///     ZCurve::new(universe.clone()),
+///     ApproxConfig::exhaustive(),
+/// );
+/// index.insert(Point::new(vec![200, 220])?, 1)?;
+/// let (hit, _stats) = index.query_dominating(&Point::new(vec![100, 50])?)?;
+/// assert_eq!(hit, Some(1));
+/// let (miss, _stats) = index.query_dominating(&Point::new(vec![201, 0])?)?;
+/// assert_eq!(miss, None);
+/// # Ok(())
+/// # }
+/// ```
+pub struct PointDominanceIndex<V, C = acd_sfc::ZCurve> {
+    array: SfcArray<V, C>,
+    universe: Universe,
+    config: ApproxConfig,
+}
+
+impl<V, C: SpaceFillingCurve> fmt::Debug for PointDominanceIndex<V, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PointDominanceIndex")
+            .field("curve", &self.array.curve().kind())
+            .field("universe", &self.universe)
+            .field("len", &self.array.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
+    /// Creates an empty index ordered by `curve` with the given query
+    /// configuration.
+    pub fn new(curve: C, config: ApproxConfig) -> Self {
+        let universe = curve.universe().clone();
+        PointDominanceIndex {
+            array: SfcArray::new(curve),
+            universe,
+            config,
+        }
+    }
+
+    /// The universe the indexed points live in.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The query configuration.
+    pub fn config(&self) -> &ApproxConfig {
+        &self.config
+    }
+
+    /// Replaces the query configuration.
+    pub fn set_config(&mut self, config: ApproxConfig) {
+        self.config = config;
+    }
+
+    /// Number of stored points (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.array.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.array.is_empty()
+    }
+
+    /// Inserts `value` at `point`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the point lies outside the universe.
+    pub fn insert(&mut self, point: Point, value: V) -> Result<()> {
+        self.array.insert(point, value)?;
+        Ok(())
+    }
+
+    /// Removes the first entry at `point` whose value satisfies `pred`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the point lies outside the universe.
+    pub fn remove_if<F>(&mut self, point: &Point, pred: F) -> Result<Option<V>>
+    where
+        F: FnMut(&V) -> bool,
+    {
+        Ok(self.array.remove_if(point, pred)?)
+    }
+
+    /// Answers a dominance query for `query` using the configured mode,
+    /// returning the value of a dominating point (if one was found) and the
+    /// query's cost counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query point lies outside the universe.
+    pub fn query_dominating(&self, query: &Point) -> Result<(Option<V>, QueryStats)> {
+        self.query_dominating_with(query, &self.config, |_| true)
+    }
+
+    /// Like [`query_dominating`](Self::query_dominating) but only accepts
+    /// points whose value satisfies `accept`. Used by callers that must
+    /// exclude specific entries (e.g. "a subscription must not be considered
+    /// to cover itself").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query point lies outside the universe.
+    pub fn query_dominating_where<F>(
+        &self,
+        query: &Point,
+        accept: F,
+    ) -> Result<(Option<V>, QueryStats)>
+    where
+        F: FnMut(&V) -> bool,
+    {
+        self.query_dominating_with(query, &self.config, accept)
+    }
+
+    /// Dominance query with an explicit configuration override.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query point lies outside the universe.
+    pub fn query_dominating_with<F>(
+        &self,
+        query: &Point,
+        config: &ApproxConfig,
+        mut accept: F,
+    ) -> Result<(Option<V>, QueryStats)>
+    where
+        F: FnMut(&V) -> bool,
+    {
+        self.universe.validate_point(query)?;
+        let region = ExtremalRect::dominance_region(&self.universe, query)?;
+        let mut stats = QueryStats::default();
+
+        if self.array.is_empty() {
+            stats.volume_fraction_searched = 1.0;
+            return Ok((None, stats));
+        }
+
+        let target_fraction = match config.mode {
+            QueryMode::Exhaustive => 1.0,
+            QueryMode::Approximate { epsilon } => 1.0 - epsilon,
+        };
+
+        let total_ln_volume = region.ln_volume();
+        let decomposition = ExtremalCubes::new(&region);
+        let curve = self.array.curve();
+
+        // Enumerate cubes largest-first, merging adjacent key ranges into
+        // runs on the fly so that a probe is issued once per run, not once
+        // per cube (Lemma 3.1 in action).
+        let mut searched_fraction = 0.0f64;
+        let mut pending: Option<KeyRange> = None;
+        let mut pending_fraction = 0.0f64;
+
+        // Helper closure to probe one run.
+        let probe = |range: &KeyRange,
+                         stats: &mut QueryStats,
+                         accept: &mut F|
+         -> Option<V> {
+            stats.runs_probed += 1;
+            let mut found = None;
+            let mut inspected = 0usize;
+            if let Some(entry) = self.array.first_in_range_where(range, |e| {
+                inspected += 1;
+                accept(&e.value)
+            }) {
+                found = Some(entry.value.clone());
+            }
+            stats.candidates_inspected += inspected;
+            found
+        };
+
+        let mut exceeded_work_cap = false;
+        for cube in decomposition.iter() {
+            // Respect the run cap before doing more work.
+            if let Some(cap) = config.max_runs {
+                if stats.runs_probed >= cap {
+                    stats.hit_run_cap = true;
+                    break;
+                }
+            }
+            // When the decomposition is finer than the point population could
+            // possibly justify, abandon it and scan the points exactly
+            // instead (see `ApproxConfig::work_cap`). The effective budget
+            // also scales with the number of stored points: enumerating
+            // thousands of cubes to rule out a handful of points is never
+            // worthwhile.
+            if let Some(cap) = config.work_cap {
+                let effective = cap.min(64 + 16 * self.array.len());
+                if stats.cubes_enumerated >= effective {
+                    exceeded_work_cap = true;
+                    break;
+                }
+            }
+
+            stats.cubes_enumerated += 1;
+            let cube_fraction = (cube.ln_volume() - total_ln_volume).exp();
+            let range = curve.cube_key_range(&cube)?;
+
+            match &mut pending {
+                Some(run) if run.is_adjacent_to(&range) => {
+                    *run = run.merge(&range);
+                    pending_fraction += cube_fraction;
+                }
+                Some(run) => {
+                    // Flush the pending run.
+                    let flushed = run.clone();
+                    let flushed_fraction = pending_fraction;
+                    pending = Some(range);
+                    pending_fraction = cube_fraction;
+                    if let Some(v) = probe(&flushed, &mut stats, &mut accept) {
+                        stats.volume_fraction_searched = searched_fraction + flushed_fraction;
+                        return Ok((Some(v), stats));
+                    }
+                    searched_fraction += flushed_fraction;
+                    if searched_fraction >= target_fraction {
+                        // Enough volume searched for the configured mode.
+                        stats.volume_fraction_searched = searched_fraction;
+                        return Ok((None, stats));
+                    }
+                }
+                None => {
+                    pending = Some(range);
+                    pending_fraction = cube_fraction;
+                }
+            }
+        }
+
+        // Flush the final pending run (unless a cap already fired).
+        if let Some(run) = pending {
+            if !stats.hit_run_cap && !exceeded_work_cap {
+                if let Some(v) = probe(&run, &mut stats, &mut accept) {
+                    stats.volume_fraction_searched = searched_fraction + pending_fraction;
+                    return Ok((Some(v), stats));
+                }
+                searched_fraction += pending_fraction;
+            }
+        }
+
+        if exceeded_work_cap {
+            // Exact fallback: scan every stored point and test dominance
+            // directly. This searches the whole region (and beyond), so it is
+            // valid for both exhaustive and approximate modes; it bounds the
+            // query's total work by O(work_cap + n).
+            stats.fell_back_to_scan = true;
+            for entry in self.array.iter() {
+                stats.candidates_inspected += 1;
+                if entry.point.dominates(query) && accept(&entry.value) {
+                    stats.volume_fraction_searched = 1.0;
+                    return Ok((Some(entry.value.clone()), stats));
+                }
+            }
+            stats.volume_fraction_searched = 1.0;
+            return Ok((None, stats));
+        }
+
+        stats.volume_fraction_searched = searched_fraction;
+        Ok((None, stats))
+    }
+
+    /// Returns every stored value whose point dominates `query`
+    /// (an exhaustive enumeration used by tests and by routing-table
+    /// pruning).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query point lies outside the universe.
+    pub fn all_dominating(&self, query: &Point) -> Result<Vec<V>> {
+        self.universe.validate_point(query)?;
+        let mut out = Vec::new();
+        let full = KeyRange::new(
+            Key::zero(self.universe.key_bits()),
+            Key::max_value(self.universe.key_bits()),
+        )?;
+        for entry in self.array.iter_range(&full) {
+            if entry.point.dominates(query) {
+                out.push(entry.value.clone());
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acd_sfc::{GrayCurve, HilbertCurve, ZCurve};
+
+    fn universe(d: usize, k: u32) -> Universe {
+        Universe::new(d, k).unwrap()
+    }
+
+    fn p(coords: &[u64]) -> Point {
+        Point::new(coords.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn exhaustive_query_finds_dominating_points() {
+        let u = universe(2, 6);
+        let mut idx = PointDominanceIndex::new(ZCurve::new(u), ApproxConfig::exhaustive());
+        idx.insert(p(&[40, 50]), 1u64).unwrap();
+        idx.insert(p(&[10, 10]), 2).unwrap();
+
+        let (hit, stats) = idx.query_dominating(&p(&[30, 30])).unwrap();
+        assert_eq!(hit, Some(1));
+        assert!(stats.runs_probed >= 1);
+
+        let (miss, stats) = idx.query_dominating(&p(&[41, 51])).unwrap();
+        assert_eq!(miss, None);
+        assert!((stats.volume_fraction_searched - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_index_answers_quickly() {
+        let u = universe(3, 5);
+        let idx: PointDominanceIndex<u64, ZCurve> =
+            PointDominanceIndex::new(ZCurve::new(u), ApproxConfig::default());
+        let (hit, stats) = idx.query_dominating(&p(&[0, 0, 0])).unwrap();
+        assert_eq!(hit, None);
+        assert_eq!(stats.runs_probed, 0);
+        assert_eq!(stats.volume_fraction_searched, 1.0);
+    }
+
+    #[test]
+    fn dominance_boundary_is_inclusive() {
+        let u = universe(2, 4);
+        let mut idx = PointDominanceIndex::new(ZCurve::new(u), ApproxConfig::exhaustive());
+        idx.insert(p(&[7, 9]), 1u64).unwrap();
+        // Equal coordinates dominate.
+        let (hit, _) = idx.query_dominating(&p(&[7, 9])).unwrap();
+        assert_eq!(hit, Some(1));
+        // One coordinate larger than the stored point: no dominance.
+        let (miss, _) = idx.query_dominating(&p(&[8, 9])).unwrap();
+        assert_eq!(miss, None);
+    }
+
+    #[test]
+    fn exhaustive_query_agrees_with_brute_force() {
+        // Randomized (but deterministic) comparison against the brute-force
+        // all_dominating scan, on all three curves.
+        let u = universe(3, 4);
+        let mut state = 0xfeed_beefu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let points: Vec<Point> = (0..60)
+            .map(|_| p(&[next() % 16, next() % 16, next() % 16]))
+            .collect();
+        let queries: Vec<Point> = (0..40)
+            .map(|_| p(&[next() % 16, next() % 16, next() % 16]))
+            .collect();
+
+        let mut z_idx =
+            PointDominanceIndex::new(ZCurve::new(u.clone()), ApproxConfig::exhaustive());
+        // Hilbert curve
+        let mut h_idx =
+            PointDominanceIndex::new(HilbertCurve::new(u.clone()), ApproxConfig::exhaustive());
+        // Gray curve
+        let mut g_idx =
+            PointDominanceIndex::new(GrayCurve::new(u.clone()), ApproxConfig::exhaustive());
+        for (i, point) in points.iter().enumerate() {
+            z_idx.insert(point.clone(), i as u64).unwrap();
+            h_idx.insert(point.clone(), i as u64).unwrap();
+            g_idx.insert(point.clone(), i as u64).unwrap();
+        }
+        for q in &queries {
+            let brute = !z_idx.all_dominating(q).unwrap().is_empty();
+            let (z, _) = z_idx.query_dominating(q).unwrap();
+            let (h, _) = h_idx.query_dominating(q).unwrap();
+            let (g, _) = g_idx.query_dominating(q).unwrap();
+            assert_eq!(z.is_some(), brute, "z curve disagrees for {q}");
+            assert_eq!(h.is_some(), brute, "hilbert disagrees for {q}");
+            assert_eq!(g.is_some(), brute, "gray disagrees for {q}");
+        }
+    }
+
+    #[test]
+    fn approximate_query_never_false_positives_and_searches_enough_volume() {
+        let u = universe(4, 5);
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % 32
+        };
+        let mut idx = PointDominanceIndex::new(
+            ZCurve::new(u.clone()),
+            ApproxConfig::with_epsilon(0.1).unwrap(),
+        );
+        for i in 0..200u64 {
+            idx.insert(p(&[next(), next(), next(), next()]), i).unwrap();
+        }
+        for _ in 0..100 {
+            let q = p(&[next(), next(), next(), next()]);
+            let (hit, stats) = idx.query_dominating(&q).unwrap();
+            match hit {
+                Some(_) => {
+                    // A positive answer must be correct.
+                    assert!(!idx.all_dominating(&q).unwrap().is_empty());
+                }
+                None => {
+                    // A negative answer must have searched at least 1 - eps
+                    // of the region volume.
+                    assert!(
+                        stats.volume_fraction_searched >= 0.9 - 1e-9,
+                        "only searched {}",
+                        stats.volume_fraction_searched
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_query_is_cheaper_than_exhaustive_on_misses() {
+        // Construct a worst-case-ish query: the region is slightly
+        // misaligned, so the exhaustive search needs many runs while the
+        // approximate one stops after the large cubes.
+        let u = universe(2, 10);
+        // Disable the work-cap fallback so the exhaustive query really pays
+        // the full decomposition cost the paper analyses.
+        let mut idx_exh = PointDominanceIndex::new(
+            ZCurve::new(u.clone()),
+            ApproxConfig::exhaustive().work_cap(None),
+        );
+        let mut idx_apx = PointDominanceIndex::new(
+            ZCurve::new(u.clone()),
+            ApproxConfig::with_epsilon(0.01).unwrap().work_cap(None),
+        );
+        // One point that does NOT dominate the query, to force a full search.
+        idx_exh.insert(p(&[0, 0]), 1u64).unwrap();
+        idx_apx.insert(p(&[0, 0]), 1u64).unwrap();
+        let q = p(&[1023 - 256, 1023 - 256]); // 257x257 extremal region
+        let (_, exh_stats) = idx_exh.query_dominating(&q).unwrap();
+        let (_, apx_stats) = idx_apx.query_dominating(&q).unwrap();
+        assert!(exh_stats.runs_probed > 100, "{exh_stats:?}");
+        assert!(
+            apx_stats.runs_probed * 10 < exh_stats.runs_probed,
+            "approximate {} vs exhaustive {}",
+            apx_stats.runs_probed,
+            exh_stats.runs_probed
+        );
+        assert!(apx_stats.volume_fraction_searched >= 0.99 - 1e-9);
+    }
+
+    #[test]
+    fn work_cap_falls_back_to_an_exact_scan() {
+        // A tiny work cap forces the fallback; answers must stay exact.
+        let u = universe(4, 8);
+        let config = ApproxConfig::exhaustive().work_cap(Some(4));
+        let mut idx = PointDominanceIndex::new(ZCurve::new(u.clone()), config);
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % 256
+        };
+        for i in 0..80u64 {
+            idx.insert(p(&[next(), next(), next(), next()]), i).unwrap();
+        }
+        for _ in 0..40 {
+            let q = p(&[next(), next(), next(), next()]);
+            let brute = !idx.all_dominating(&q).unwrap().is_empty();
+            let (hit, stats) = idx.query_dominating(&q).unwrap();
+            assert_eq!(hit.is_some(), brute, "fallback must stay exact for {q}");
+            if stats.fell_back_to_scan {
+                assert!(stats.cubes_enumerated <= 4);
+                assert_eq!(stats.volume_fraction_searched, 1.0);
+            }
+        }
+        // With such a small cap and 4 dimensions, at least one miss query
+        // must have fallen back.
+        let (_, stats) = idx.query_dominating(&p(&[255, 255, 255, 254])).unwrap();
+        let _ = stats;
+    }
+
+    #[test]
+    fn run_cap_is_respected() {
+        let u = universe(2, 10);
+        let mut idx = PointDominanceIndex::new(
+            ZCurve::new(u),
+            ApproxConfig::exhaustive().max_runs(5).work_cap(None),
+        );
+        idx.insert(p(&[0, 0]), 1u64).unwrap();
+        let q = p(&[1023 - 256, 1023 - 256]);
+        let (hit, stats) = idx.query_dominating(&q).unwrap();
+        assert_eq!(hit, None);
+        assert!(stats.hit_run_cap);
+        assert!(stats.runs_probed <= 6);
+        assert!(stats.volume_fraction_searched < 1.0);
+    }
+
+    #[test]
+    fn filtered_queries_skip_excluded_values() {
+        let u = universe(2, 6);
+        let mut idx = PointDominanceIndex::new(ZCurve::new(u), ApproxConfig::exhaustive());
+        idx.insert(p(&[50, 50]), 7u64).unwrap();
+        let q = p(&[10, 10]);
+        let (hit, _) = idx.query_dominating(&q).unwrap();
+        assert_eq!(hit, Some(7));
+        let (filtered, _) = idx.query_dominating_where(&q, |&v| v != 7).unwrap();
+        assert_eq!(filtered, None);
+    }
+
+    #[test]
+    fn removal_makes_points_invisible() {
+        let u = universe(2, 6);
+        let mut idx = PointDominanceIndex::new(ZCurve::new(u), ApproxConfig::exhaustive());
+        idx.insert(p(&[50, 50]), 7u64).unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.remove_if(&p(&[50, 50]), |&v| v == 7).unwrap(), Some(7));
+        assert!(idx.is_empty());
+        let (hit, _) = idx.query_dominating(&p(&[10, 10])).unwrap();
+        assert_eq!(hit, None);
+    }
+
+    #[test]
+    fn query_points_outside_the_universe_are_rejected() {
+        let u = universe(2, 4);
+        let idx: PointDominanceIndex<u64, ZCurve> =
+            PointDominanceIndex::new(ZCurve::new(u), ApproxConfig::exhaustive());
+        assert!(idx.query_dominating(&p(&[16, 0])).is_err());
+        assert!(idx.all_dominating(&p(&[0])).is_err());
+    }
+}

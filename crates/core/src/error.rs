@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+use acd_sfc::SfcError;
+use acd_subscription::SubscriptionError;
+
+/// Error type for the covering-detection indexes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoveringError {
+    /// The epsilon parameter of an approximate query is outside `(0, 1)`.
+    InvalidEpsilon {
+        /// The offending value.
+        epsilon: f64,
+    },
+    /// A subscription built against a different schema was passed to an
+    /// index.
+    SchemaMismatch,
+    /// A subscription identifier was not found in the index.
+    UnknownSubscription {
+        /// The offending identifier.
+        id: u64,
+    },
+    /// A subscription identifier was inserted twice.
+    DuplicateSubscription {
+        /// The offending identifier.
+        id: u64,
+    },
+    /// An error bubbled up from the subscription data model.
+    Subscription(SubscriptionError),
+    /// An error bubbled up from the space-filling-curve substrate.
+    Sfc(SfcError),
+}
+
+impl fmt::Display for CoveringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoveringError::InvalidEpsilon { epsilon } => {
+                write!(f, "epsilon {epsilon} is outside the open interval (0, 1)")
+            }
+            CoveringError::SchemaMismatch => {
+                write!(f, "subscription belongs to a different schema than the index")
+            }
+            CoveringError::UnknownSubscription { id } => {
+                write!(f, "subscription {id} is not in the index")
+            }
+            CoveringError::DuplicateSubscription { id } => {
+                write!(f, "subscription {id} is already in the index")
+            }
+            CoveringError::Subscription(e) => write!(f, "subscription error: {e}"),
+            CoveringError::Sfc(e) => write!(f, "space filling curve error: {e}"),
+        }
+    }
+}
+
+impl Error for CoveringError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoveringError::Subscription(e) => Some(e),
+            CoveringError::Sfc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SubscriptionError> for CoveringError {
+    fn from(e: SubscriptionError) -> Self {
+        CoveringError::Subscription(e)
+    }
+}
+
+impl From<SfcError> for CoveringError {
+    fn from(e: SfcError) -> Self {
+        CoveringError::Sfc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CoveringError = SfcError::Empty.into();
+        assert!(Error::source(&e).is_some());
+        let e: CoveringError = SubscriptionError::SchemaMismatch.into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&CoveringError::SchemaMismatch).is_none());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CoveringError::UnknownSubscription { id: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(CoveringError::InvalidEpsilon { epsilon: 2.0 }
+            .to_string()
+            .contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: Send + Sync + 'static>() {}
+        assert_traits::<CoveringError>();
+    }
+}

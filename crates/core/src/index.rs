@@ -1,0 +1,120 @@
+//! The [`CoveringIndex`] trait: the interface brokers use for covering
+//! detection.
+
+use acd_subscription::{SubId, Subscription};
+
+use crate::stats::{IndexStats, QueryOutcome};
+use crate::Result;
+
+/// A covering-detection index over subscriptions.
+///
+/// Implementations differ in how they answer
+/// [`find_covering`](CoveringIndex::find_covering):
+///
+/// * [`crate::LinearScanIndex`] scans every stored subscription — exact but
+///   O(n) per query;
+/// * [`crate::SfcCoveringIndex`] runs the paper's SFC-based point-dominance
+///   query — exhaustive or ε-approximate.
+///
+/// All implementations must satisfy the safety property the broker relies
+/// on: a returned identifier always refers to a stored subscription that
+/// truly covers the query (no false positives). Approximate implementations
+/// may fail to find an existing covering subscription (false negatives),
+/// which only costs bandwidth, never correctness.
+pub trait CoveringIndex: std::fmt::Debug + Send {
+    /// Inserts a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the subscription's schema does not match the
+    /// index, or its identifier is already present.
+    fn insert(&mut self, subscription: &Subscription) -> Result<()>;
+
+    /// Removes a subscription by identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no subscription with that identifier is stored.
+    fn remove(&mut self, id: SubId) -> Result<()>;
+
+    /// Searches for a stored subscription that covers `query`.
+    ///
+    /// The query subscription itself is never reported, even if a copy with
+    /// the same identifier is stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query's schema does not match the index.
+    fn find_covering(&mut self, query: &Subscription) -> Result<QueryOutcome>;
+
+    /// Returns the identifiers of every stored subscription that the query
+    /// covers (the reverse relation, used for routing-table pruning).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query's schema does not match the index.
+    fn find_covered_by(&mut self, query: &Subscription) -> Result<Vec<SubId>>;
+
+    /// Number of stored subscriptions.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a subscription with the given identifier is stored.
+    fn contains(&self, id: SubId) -> bool;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> IndexStats;
+
+    /// Human readable name of the implementation (for experiment tables).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        // The broker stores per-interface indexes as trait objects; this
+        // function only needs to compile.
+        fn _takes_object(_: &mut dyn CoveringIndex) {}
+    }
+
+    #[test]
+    fn default_is_empty_follows_len() {
+        #[derive(Debug)]
+        struct Fake(usize);
+        impl CoveringIndex for Fake {
+            fn insert(&mut self, _: &Subscription) -> Result<()> {
+                unimplemented!()
+            }
+            fn remove(&mut self, _: SubId) -> Result<()> {
+                unimplemented!()
+            }
+            fn find_covering(&mut self, _: &Subscription) -> Result<QueryOutcome> {
+                unimplemented!()
+            }
+            fn find_covered_by(&mut self, _: &Subscription) -> Result<Vec<SubId>> {
+                unimplemented!()
+            }
+            fn len(&self) -> usize {
+                self.0
+            }
+            fn contains(&self, _: SubId) -> bool {
+                false
+            }
+            fn stats(&self) -> IndexStats {
+                IndexStats::default()
+            }
+            fn name(&self) -> &'static str {
+                "fake"
+            }
+        }
+        assert!(Fake(0).is_empty());
+        assert!(!Fake(3).is_empty());
+    }
+}

@@ -1,0 +1,529 @@
+//! The SFC-based covering index — the paper's contribution, packaged for a
+//! router.
+//!
+//! [`SfcCoveringIndex`] maintains two [`PointDominanceIndex`]es over the
+//! 2β-dimensional dominance space:
+//!
+//! * the *forward* index stores each subscription's Edelsbrunner–Overmars
+//!   point `p(s)` and answers "is the new subscription covered by an existing
+//!   one?" (a dominance query for `p(query)`);
+//! * the *mirrored* index stores the reflected points and answers the reverse
+//!   question "which existing subscriptions does the new one cover?"
+//!   (needed when a router prunes its routing table).
+//!
+//! Both directions honour the configured [`ApproxConfig`]: exhaustive queries
+//! are exact, ε-approximate queries trade a bounded detection loss for the
+//! dramatically lower cost analysed in Theorem 3.1.
+
+use std::collections::HashMap;
+
+use acd_sfc::{CurveKind, GrayCurve, HilbertCurve, Point, Universe, ZCurve};
+use acd_subscription::{
+    dominance_point, dominance_universe, mirrored_dominance_point, Schema, SubId, Subscription,
+};
+
+use crate::config::ApproxConfig;
+use crate::dominance::PointDominanceIndex;
+use crate::error::CoveringError;
+use crate::index::CoveringIndex;
+use crate::stats::{IndexStats, QueryOutcome, QueryStats};
+use crate::Result;
+
+/// Internal: a dominance index over any of the supported curves.
+///
+/// The curves are monomorphized separately (no trait objects on the hot
+/// path); this enum keeps the public type non-generic so brokers can choose
+/// the curve at run time.
+enum Engine {
+    Z(PointDominanceIndex<SubId, ZCurve>),
+    Hilbert(PointDominanceIndex<SubId, HilbertCurve>),
+    Gray(PointDominanceIndex<SubId, GrayCurve>),
+}
+
+impl Engine {
+    fn new(kind: CurveKind, universe: Universe, config: ApproxConfig) -> Self {
+        match kind {
+            CurveKind::Z => Engine::Z(PointDominanceIndex::new(ZCurve::new(universe), config)),
+            CurveKind::Hilbert => Engine::Hilbert(PointDominanceIndex::new(
+                HilbertCurve::new(universe),
+                config,
+            )),
+            CurveKind::Gray => {
+                Engine::Gray(PointDominanceIndex::new(GrayCurve::new(universe), config))
+            }
+        }
+    }
+
+    fn insert(&mut self, point: Point, id: SubId) -> Result<()> {
+        match self {
+            Engine::Z(i) => i.insert(point, id),
+            Engine::Hilbert(i) => i.insert(point, id),
+            Engine::Gray(i) => i.insert(point, id),
+        }
+    }
+
+    fn remove(&mut self, point: &Point, id: SubId) -> Result<Option<SubId>> {
+        match self {
+            Engine::Z(i) => i.remove_if(point, |&v| v == id),
+            Engine::Hilbert(i) => i.remove_if(point, |&v| v == id),
+            Engine::Gray(i) => i.remove_if(point, |&v| v == id),
+        }
+    }
+
+    fn query_where<F>(&self, query: &Point, accept: F) -> Result<(Option<SubId>, QueryStats)>
+    where
+        F: FnMut(&SubId) -> bool,
+    {
+        match self {
+            Engine::Z(i) => i.query_dominating_where(query, accept),
+            Engine::Hilbert(i) => i.query_dominating_where(query, accept),
+            Engine::Gray(i) => i.query_dominating_where(query, accept),
+        }
+    }
+
+    fn all_dominating(&self, query: &Point) -> Result<Vec<SubId>> {
+        match self {
+            Engine::Z(i) => i.all_dominating(query),
+            Engine::Hilbert(i) => i.all_dominating(query),
+            Engine::Gray(i) => i.all_dominating(query),
+        }
+    }
+
+    fn set_config(&mut self, config: ApproxConfig) {
+        match self {
+            Engine::Z(i) => i.set_config(config),
+            Engine::Hilbert(i) => i.set_config(config),
+            Engine::Gray(i) => i.set_config(config),
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Z(i) => i.fmt(f),
+            Engine::Hilbert(i) => i.fmt(f),
+            Engine::Gray(i) => i.fmt(f),
+        }
+    }
+}
+
+/// Covering-detection index based on a space filling curve.
+///
+/// See the [crate-level documentation](crate) for a usage example.
+#[derive(Debug)]
+pub struct SfcCoveringIndex {
+    schema: Schema,
+    config: ApproxConfig,
+    curve: CurveKind,
+    forward: Engine,
+    mirrored: Engine,
+    /// Stored subscriptions by identifier (needed for removal and for
+    /// verifying candidate hits).
+    subscriptions: HashMap<SubId, Subscription>,
+    stats: IndexStats,
+}
+
+impl SfcCoveringIndex {
+    /// Creates an index over `schema` using the Z curve and the given query
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dominance universe for the schema cannot be
+    /// constructed.
+    pub fn new(schema: &Schema, config: ApproxConfig) -> Result<Self> {
+        Self::with_curve(schema, config, CurveKind::Z)
+    }
+
+    /// Creates an exhaustive (exact) index over `schema` on the Z curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dominance universe for the schema cannot be
+    /// constructed.
+    pub fn exhaustive(schema: &Schema) -> Result<Self> {
+        Self::new(schema, ApproxConfig::exhaustive())
+    }
+
+    /// Creates an ε-approximate index over `schema` on the Z curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the dominance
+    /// universe cannot be constructed.
+    pub fn approximate(schema: &Schema, config: ApproxConfig) -> Result<Self> {
+        Self::new(schema, config)
+    }
+
+    /// Creates an index over `schema` on an explicitly chosen curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dominance universe for the schema cannot be
+    /// constructed.
+    pub fn with_curve(schema: &Schema, config: ApproxConfig, curve: CurveKind) -> Result<Self> {
+        let universe = dominance_universe(schema)?;
+        Ok(SfcCoveringIndex {
+            schema: schema.clone(),
+            config,
+            curve,
+            forward: Engine::new(curve, universe.clone(), config),
+            mirrored: Engine::new(curve, universe, config),
+            subscriptions: HashMap::new(),
+            stats: IndexStats::default(),
+        })
+    }
+
+    /// The schema this index serves.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The curve family the index is built on.
+    pub fn curve(&self) -> CurveKind {
+        self.curve
+    }
+
+    /// The current query configuration.
+    pub fn config(&self) -> ApproxConfig {
+        self.config
+    }
+
+    /// Changes the query configuration (affects subsequent queries only).
+    pub fn set_config(&mut self, config: ApproxConfig) {
+        self.config = config;
+        self.forward.set_config(config);
+        self.mirrored.set_config(config);
+    }
+
+    /// The subscription stored under `id`, if any.
+    pub fn get(&self, id: SubId) -> Option<&Subscription> {
+        self.subscriptions.get(&id)
+    }
+
+    fn check_schema(&self, subscription: &Subscription) -> Result<()> {
+        if subscription.schema() != &self.schema {
+            return Err(CoveringError::SchemaMismatch);
+        }
+        Ok(())
+    }
+
+    /// Exact reverse query used by pruning: identifiers of all stored
+    /// subscriptions covered by `query`, found by an exhaustive scan of the
+    /// mirrored dominance index.
+    fn covered_by_exact(&self, query: &Subscription) -> Result<Vec<SubId>> {
+        let mirrored_query = mirrored_dominance_point(query)?;
+        let mut ids = self.mirrored.all_dominating(&mirrored_query)?;
+        ids.retain(|&id| id != query.id());
+        Ok(ids)
+    }
+}
+
+impl CoveringIndex for SfcCoveringIndex {
+    fn insert(&mut self, subscription: &Subscription) -> Result<()> {
+        self.check_schema(subscription)?;
+        if self.subscriptions.contains_key(&subscription.id()) {
+            return Err(CoveringError::DuplicateSubscription {
+                id: subscription.id(),
+            });
+        }
+        let forward_point = dominance_point(subscription)?;
+        let mirrored_point = mirrored_dominance_point(subscription)?;
+        self.forward.insert(forward_point, subscription.id())?;
+        self.mirrored.insert(mirrored_point, subscription.id())?;
+        self.subscriptions
+            .insert(subscription.id(), subscription.clone());
+        self.stats.inserts += 1;
+        Ok(())
+    }
+
+    fn remove(&mut self, id: SubId) -> Result<()> {
+        let subscription = self
+            .subscriptions
+            .remove(&id)
+            .ok_or(CoveringError::UnknownSubscription { id })?;
+        let forward_point = dominance_point(&subscription)?;
+        let mirrored_point = mirrored_dominance_point(&subscription)?;
+        self.forward.remove(&forward_point, id)?;
+        self.mirrored.remove(&mirrored_point, id)?;
+        self.stats.removes += 1;
+        Ok(())
+    }
+
+    fn find_covering(&mut self, query: &Subscription) -> Result<QueryOutcome> {
+        self.check_schema(query)?;
+        let query_point = dominance_point(query)?;
+        let query_id = query.id();
+        let (hit, stats) = self
+            .forward
+            .query_where(&query_point, |&id| id != query_id)?;
+        let outcome = match hit {
+            Some(id) => {
+                // The dominance hit is geometrically exact (quantized grid),
+                // so no re-verification is needed; debug builds double check.
+                debug_assert!(
+                    self.subscriptions
+                        .get(&id)
+                        .map(|s| s.covers(query))
+                        .unwrap_or(false),
+                    "dominance hit {id} does not cover the query"
+                );
+                QueryOutcome::found(id, stats)
+            }
+            None => QueryOutcome::empty(stats),
+        };
+        self.stats.record_query(&outcome);
+        Ok(outcome)
+    }
+
+    fn find_covered_by(&mut self, query: &Subscription) -> Result<Vec<SubId>> {
+        self.check_schema(query)?;
+        self.covered_by_exact(query)
+    }
+
+    fn len(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    fn contains(&self, id: SubId) -> bool {
+        self.subscriptions.contains_key(&id)
+    }
+
+    fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        match (self.curve, self.config.mode.is_exhaustive()) {
+            (CurveKind::Z, true) => "sfc-z-exhaustive",
+            (CurveKind::Z, false) => "sfc-z-approximate",
+            (CurveKind::Hilbert, true) => "sfc-hilbert-exhaustive",
+            (CurveKind::Hilbert, false) => "sfc-hilbert-approximate",
+            (CurveKind::Gray, true) => "sfc-gray-exhaustive",
+            (CurveKind::Gray, false) => "sfc-gray-approximate",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScanIndex;
+    use acd_subscription::SubscriptionBuilder;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("a", 0.0, 100.0)
+            .attribute("b", 0.0, 100.0)
+            .bits_per_attribute(5)
+            .build()
+            .unwrap()
+    }
+
+    fn sub(schema: &Schema, id: SubId, a: (f64, f64), b: (f64, f64)) -> Subscription {
+        SubscriptionBuilder::new(schema)
+            .range("a", a.0, a.1)
+            .range("b", b.0, b.1)
+            .build(id)
+            .unwrap()
+    }
+
+    /// Deterministic pseudo-random subscription generator for tests.
+    fn random_subs(schema: &Schema, n: u64, seed: u64) -> Vec<Subscription> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 10_000) as f64 / 100.0
+        };
+        (0..n)
+            .map(|id| {
+                let (a1, a2) = (next(), next());
+                let (b1, b2) = (next(), next());
+                sub(
+                    schema,
+                    id + 1,
+                    (a1.min(a2), a1.max(a2)),
+                    (b1.min(b2), b1.max(b2)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exhaustive_index_agrees_with_linear_scan() {
+        let s = schema();
+        let subs = random_subs(&s, 80, 7);
+        for curve in CurveKind::all() {
+            let mut sfc =
+                SfcCoveringIndex::with_curve(&s, ApproxConfig::exhaustive(), curve).unwrap();
+            let mut lin = LinearScanIndex::new(&s);
+            for sub in &subs {
+                // Query before inserting (the router's workflow).
+                let sfc_out = sfc.find_covering(sub).unwrap();
+                let lin_out = lin.find_covering(sub).unwrap();
+                assert_eq!(
+                    sfc_out.is_covered(),
+                    lin_out.is_covered(),
+                    "{curve:?} disagrees with linear scan on sub {}",
+                    sub.id()
+                );
+                if let Some(id) = sfc_out.covering {
+                    assert!(sfc.get(id).unwrap().covers(sub));
+                }
+                sfc.insert(sub).unwrap();
+                lin.insert(sub).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_index_has_no_false_positives_and_reasonable_recall() {
+        let s = schema();
+        let subs = random_subs(&s, 250, 99);
+        let mut approx =
+            SfcCoveringIndex::approximate(&s, ApproxConfig::with_epsilon(0.05).unwrap()).unwrap();
+        let mut exact = LinearScanIndex::new(&s);
+        let mut truly_covered = 0u32;
+        let mut detected = 0u32;
+        for sub in &subs {
+            let a = approx.find_covering(sub).unwrap();
+            let e = exact.find_covering(sub).unwrap();
+            if let Some(id) = a.covering {
+                assert!(
+                    approx.get(id).unwrap().covers(sub),
+                    "approximate index returned a non-covering subscription"
+                );
+            }
+            if e.is_covered() {
+                truly_covered += 1;
+                if a.is_covered() {
+                    detected += 1;
+                }
+            } else {
+                assert!(!a.is_covered(), "found covering where none exists");
+            }
+            approx.insert(sub).unwrap();
+            exact.insert(sub).unwrap();
+        }
+        assert!(truly_covered > 10, "workload should contain covering pairs");
+        let recall = detected as f64 / truly_covered as f64;
+        assert!(
+            recall > 0.6,
+            "recall {recall} unexpectedly low ({detected}/{truly_covered})"
+        );
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let s = schema();
+        let mut idx = SfcCoveringIndex::exhaustive(&s).unwrap();
+        let wide = sub(&s, 1, (0.0, 100.0), (0.0, 100.0));
+        let narrow = sub(&s, 2, (40.0, 60.0), (40.0, 60.0));
+        idx.insert(&wide).unwrap();
+        assert!(idx.contains(1));
+        assert_eq!(idx.find_covering(&narrow).unwrap().covering, Some(1));
+        idx.remove(1).unwrap();
+        assert!(!idx.contains(1));
+        assert!(!idx.find_covering(&narrow).unwrap().is_covered());
+        assert!(matches!(
+            idx.remove(1),
+            Err(CoveringError::UnknownSubscription { id: 1 })
+        ));
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_and_mismatched_inserts_are_rejected() {
+        let s = schema();
+        let mut idx = SfcCoveringIndex::exhaustive(&s).unwrap();
+        let a = sub(&s, 1, (0.0, 10.0), (0.0, 10.0));
+        idx.insert(&a).unwrap();
+        assert!(matches!(
+            idx.insert(&a),
+            Err(CoveringError::DuplicateSubscription { id: 1 })
+        ));
+        let other = Schema::builder().attribute("x", 0.0, 1.0).build().unwrap();
+        let foreign = SubscriptionBuilder::new(&other).build(5).unwrap();
+        assert!(matches!(
+            idx.insert(&foreign),
+            Err(CoveringError::SchemaMismatch)
+        ));
+        assert!(matches!(
+            idx.find_covering(&foreign),
+            Err(CoveringError::SchemaMismatch)
+        ));
+    }
+
+    #[test]
+    fn query_never_reports_itself_even_when_stored() {
+        let s = schema();
+        let mut idx = SfcCoveringIndex::exhaustive(&s).unwrap();
+        let a = sub(&s, 1, (0.0, 50.0), (0.0, 50.0));
+        idx.insert(&a).unwrap();
+        // Re-query with the same id: the stored copy must be ignored.
+        assert!(!idx.find_covering(&a).unwrap().is_covered());
+        // But another identical subscription with a different id is covered.
+        let twin = a.with_id(2);
+        assert_eq!(idx.find_covering(&twin).unwrap().covering, Some(1));
+    }
+
+    #[test]
+    fn find_covered_by_matches_linear_scan() {
+        let s = schema();
+        let subs = random_subs(&s, 90, 3);
+        let mut sfc = SfcCoveringIndex::exhaustive(&s).unwrap();
+        let mut lin = LinearScanIndex::new(&s);
+        for sub in &subs {
+            sfc.insert(sub).unwrap();
+            lin.insert(sub).unwrap();
+        }
+        for query in subs.iter().step_by(7) {
+            let mut a = sfc.find_covered_by(query).unwrap();
+            let mut b = lin.find_covered_by(query).unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "covered-by mismatch for {}", query.id());
+        }
+    }
+
+    #[test]
+    fn reconfiguring_epsilon_changes_cost_not_correctness() {
+        let s = schema();
+        let subs = random_subs(&s, 120, 17);
+        let mut idx = SfcCoveringIndex::exhaustive(&s).unwrap();
+        for sub in &subs {
+            idx.insert(sub).unwrap();
+        }
+        let probe = sub(&s, 9999, (45.0, 55.0), (45.0, 55.0));
+        let exhaustive_out = idx.find_covering(&probe).unwrap();
+        idx.set_config(ApproxConfig::with_epsilon(0.3).unwrap());
+        let approx_out = idx.find_covering(&probe).unwrap();
+        if approx_out.is_covered() {
+            // Any hit must be genuine.
+            assert!(idx.get(approx_out.covering.unwrap()).unwrap().covers(&probe));
+        }
+        // The approximate query never does more work than the exhaustive one
+        // on the same state.
+        assert!(approx_out.stats.runs_probed <= exhaustive_out.stats.runs_probed.max(1));
+    }
+
+    #[test]
+    fn names_and_accessors() {
+        let s = schema();
+        let idx = SfcCoveringIndex::exhaustive(&s).unwrap();
+        assert_eq!(idx.name(), "sfc-z-exhaustive");
+        assert_eq!(idx.curve(), CurveKind::Z);
+        assert_eq!(idx.schema(), &s);
+        let idx = SfcCoveringIndex::with_curve(
+            &s,
+            ApproxConfig::with_epsilon(0.1).unwrap(),
+            CurveKind::Hilbert,
+        )
+        .unwrap();
+        assert_eq!(idx.name(), "sfc-hilbert-approximate");
+        assert_eq!(idx.config().epsilon(), 0.1);
+    }
+}

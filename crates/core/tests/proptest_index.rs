@@ -1,0 +1,156 @@
+//! Property-based tests of the covering indexes: the SFC indexes must agree
+//! with the brute-force geometric definition of covering.
+
+use proptest::prelude::*;
+
+use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, SfcCoveringIndex};
+use acd_sfc::CurveKind;
+use acd_subscription::{RangePredicate, Schema, Subscription};
+
+fn schema(bits: u32) -> Schema {
+    Schema::builder()
+        .attribute("x", 0.0, 100.0)
+        .attribute("y", 0.0, 100.0)
+        .bits_per_attribute(bits)
+        .build()
+        .unwrap()
+}
+
+fn build_sub(schema: &Schema, id: u64, bounds: &[(f64, f64)]) -> Subscription {
+    let predicates: Vec<RangePredicate> = schema
+        .attributes()
+        .iter()
+        .zip(bounds)
+        .map(|(a, &(lo, hi))| RangePredicate::between(a.name(), lo, hi).unwrap())
+        .collect();
+    Subscription::from_predicates(schema, id, &predicates).unwrap()
+}
+
+fn bounds_strategy(n: usize) -> impl Strategy<Value = Vec<Vec<(f64, f64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2).prop_map(|pairs| {
+            pairs
+                .into_iter()
+                .map(|(a, b)| (a.min(b) * 100.0, a.max(b) * 100.0))
+                .collect::<Vec<(f64, f64)>>()
+        }),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exhaustive SFC index agrees with the linear scan on every curve,
+    /// for arbitrary populations and query orders, including interleaved
+    /// removals.
+    #[test]
+    fn exhaustive_index_agrees_with_linear(
+        population in bounds_strategy(40),
+        removals in prop::collection::vec(0usize..40, 0..10),
+    ) {
+        let schema = schema(6);
+        for kind in CurveKind::all() {
+            let mut sfc = SfcCoveringIndex::with_curve(
+                &schema,
+                ApproxConfig::exhaustive(),
+                kind,
+            )
+            .unwrap();
+            let mut linear = LinearScanIndex::new(&schema);
+            let subs: Vec<Subscription> = population
+                .iter()
+                .enumerate()
+                .map(|(i, b)| build_sub(&schema, i as u64 + 1, b))
+                .collect();
+            for s in &subs {
+                // Query-before-insert, like a router.
+                let a = sfc.find_covering(s).unwrap();
+                let b = linear.find_covering(s).unwrap();
+                prop_assert_eq!(a.is_covered(), b.is_covered(), "curve {}", kind.name());
+                sfc.insert(s).unwrap();
+                linear.insert(s).unwrap();
+            }
+            // Remove a few and re-check agreement.
+            for &r in &removals {
+                let id = r as u64 + 1;
+                if sfc.contains(id) {
+                    sfc.remove(id).unwrap();
+                    linear.remove(id).unwrap();
+                }
+            }
+            for s in subs.iter().take(10) {
+                let probe = s.with_id(10_000 + s.id());
+                let a = sfc.find_covering(&probe).unwrap();
+                let b = linear.find_covering(&probe).unwrap();
+                prop_assert_eq!(a.is_covered(), b.is_covered());
+            }
+        }
+    }
+
+    /// The approximate index never returns false positives, and whenever it
+    /// answers "not covered" it has searched at least the promised volume
+    /// fraction (or fallen back to the exact scan).
+    #[test]
+    fn approximate_index_is_sound(
+        population in bounds_strategy(60),
+        queries in bounds_strategy(15),
+        eps_percent in 1u32..=40,
+    ) {
+        let eps = eps_percent as f64 / 100.0;
+        let schema = schema(7);
+        let mut index =
+            SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(eps).unwrap())
+                .unwrap();
+        let mut linear = LinearScanIndex::new(&schema);
+        for (i, b) in population.iter().enumerate() {
+            let s = build_sub(&schema, i as u64 + 1, b);
+            index.insert(&s).unwrap();
+            linear.insert(&s).unwrap();
+        }
+        for (i, b) in queries.iter().enumerate() {
+            let q = build_sub(&schema, 10_000 + i as u64, b);
+            let outcome = index.find_covering(&q).unwrap();
+            let truth = linear.find_covering(&q).unwrap();
+            if let Some(id) = outcome.covering {
+                prop_assert!(index.get(id).unwrap().covers(&q), "false positive");
+                prop_assert!(truth.is_covered());
+            } else {
+                prop_assert!(
+                    outcome.stats.volume_fraction_searched >= 1.0 - eps - 1e-9
+                        || outcome.stats.fell_back_to_scan,
+                    "searched only {} of the region",
+                    outcome.stats.volume_fraction_searched
+                );
+            }
+        }
+    }
+
+    /// The reverse (covered-by) query matches the brute-force answer.
+    #[test]
+    fn covered_by_matches_brute_force(
+        population in bounds_strategy(30),
+        query in bounds_strategy(1),
+    ) {
+        let schema = schema(6);
+        let mut sfc = SfcCoveringIndex::exhaustive(&schema).unwrap();
+        let subs: Vec<Subscription> = population
+            .iter()
+            .enumerate()
+            .map(|(i, b)| build_sub(&schema, i as u64 + 1, b))
+            .collect();
+        for s in &subs {
+            sfc.insert(s).unwrap();
+        }
+        let q = build_sub(&schema, 9_999, &query[0]);
+        let mut got = sfc.find_covered_by(&q).unwrap();
+        got.sort_unstable();
+        let mut expected: Vec<u64> = subs
+            .iter()
+            .filter(|s| q.covers(s))
+            .map(|s| s.id())
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}

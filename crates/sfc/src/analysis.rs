@@ -1,0 +1,202 @@
+//! Analytic calculators for the paper's complexity bounds.
+//!
+//! These functions evaluate the closed-form expressions proved in the paper
+//! so that the experiment harness can plot measured costs against the
+//! theoretical predictions:
+//!
+//! * [`approx_query_upper_bound`] — Theorem 3.1's upper bound on the number
+//!   of runs accessed by an ε-approximate point-dominance query,
+//!   `log2(2d/ε) · (2^α · (2d/ε − 1))^{d−1}`.
+//! * [`exhaustive_query_lower_bound`] — Theorem 4.1's lower bound on the
+//!   number of runs accessed by an exhaustive query on the Z curve,
+//!   `(2^{α−1} · ℓ_d)^{d−1}` for the adversarial rectangle family.
+//! * [`lemma_3_2_volume_fraction`] — the guaranteed volume fraction
+//!   `1 − 2d/2^m` covered by the truncated rectangle `R^m(ℓ)`.
+//! * [`worst_case_lengths`] — the adversarial length vector of Section 4,
+//!   used by the lower-bound experiment (E4).
+
+use crate::bits;
+use crate::rect::ExtremalRect;
+use crate::universe::Universe;
+use crate::Result;
+
+/// Theorem 3.1: upper bound on the number of runs accessed by an
+/// ε-approximate point-dominance query in `dims` dimensions on a query
+/// rectangle of aspect ratio `alpha` (in bits).
+///
+/// The bound is `m · (2^α (2^m − 1))^{d−1}` with `m = ceil(log2(2d/ε))`.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not in `(0, 1)` or `dims == 0`.
+pub fn approx_query_upper_bound(dims: usize, alpha: u32, epsilon: f64) -> f64 {
+    let m = bits::truncation_bits_for_epsilon(dims, epsilon) as f64;
+    let d = dims as f64;
+    let per_level = 2f64.powi(alpha as i32) * (2f64.powf(m) - 1.0);
+    m * per_level.powf(d - 1.0)
+}
+
+/// Theorem 4.1: lower bound on the number of runs accessed by an exhaustive
+/// point-dominance query on the Z curve, for the adversarial extremal
+/// rectangle whose shortest side is `shortest_side` (the paper's `ℓ_d`) and
+/// whose aspect ratio is `alpha`.
+///
+/// The bound is `(2^{α−1} · ℓ_d)^{d−1}` — it grows with the region size,
+/// unlike the approximate bound.
+pub fn exhaustive_query_lower_bound(dims: usize, alpha: u32, shortest_side: u64) -> f64 {
+    let d = dims as f64;
+    (2f64.powi(alpha as i32 - 1) * shortest_side as f64).powf(d - 1.0)
+}
+
+/// Lemma 3.2: the guaranteed fraction of the query volume covered by the
+/// truncated rectangle `R^m(ℓ)`, namely `1 − 2d/2^m` (never negative).
+pub fn lemma_3_2_volume_fraction(dims: usize, m: u32) -> f64 {
+    (1.0 - 2.0 * dims as f64 / 2f64.powi(m as i32)).max(0.0)
+}
+
+/// The adversarial extremal rectangle family of Section 4 (used to prove
+/// Theorem 4.1): the shortest side (along the last dimension) has length
+/// `2^γ − 1` and every other side has bit length `γ + α`, with all bits set.
+///
+/// # Errors
+///
+/// Returns an error if the requested rectangle does not fit in `universe`
+/// (requires `γ + α ≤ k` and `γ ≥ 1`).
+pub fn worst_case_lengths(universe: &Universe, gamma: u32, alpha: u32) -> Result<Vec<u64>> {
+    let k = universe.bits_per_dim();
+    if gamma == 0 || gamma + alpha > k {
+        return Err(crate::SfcError::InvalidSideLength {
+            dim: universe.dims() - 1,
+            length: 1u64.checked_shl(gamma).unwrap_or(u64::MAX),
+            bound: universe.side(),
+        });
+    }
+    let d = universe.dims();
+    let long = (1u64 << (gamma + alpha)) - 1; // bit length γ + α, all ones
+    let short = (1u64 << gamma) - 1; // bit length γ, all ones
+    let mut lengths = vec![long; d];
+    lengths[d - 1] = short;
+    Ok(lengths)
+}
+
+/// The adversarial extremal rectangle of Section 4 as an [`ExtremalRect`].
+///
+/// # Errors
+///
+/// See [`worst_case_lengths`].
+pub fn worst_case_rect(universe: &Universe, gamma: u32, alpha: u32) -> Result<ExtremalRect> {
+    let lengths = worst_case_lengths(universe, gamma, alpha)?;
+    ExtremalRect::new(universe.clone(), lengths)
+}
+
+/// The exact number of cells in the sub-rectangle `R0` used in the proof of
+/// Theorem 4.1: `(2^{b(ℓ_1)−1})^{d−1}` where `b(ℓ_1) = γ + α` — every one of
+/// these cells is a separate run on the Z curve (Lemma 4.1), so this is a
+/// concrete, achievable lower bound on `runs(R(ℓ))`.
+pub fn worst_case_r0_runs(dims: usize, gamma: u32, alpha: u32) -> f64 {
+    2f64.powi((gamma + alpha) as i32 - 1).powi(dims as i32 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extremal::ExtremalCubes;
+
+    #[test]
+    fn upper_bound_is_independent_of_region_size() {
+        // The bound depends only on d, alpha and epsilon.
+        let b1 = approx_query_upper_bound(4, 0, 0.05);
+        let b2 = approx_query_upper_bound(4, 0, 0.05);
+        assert_eq!(b1, b2);
+        assert!(b1 > 0.0);
+    }
+
+    #[test]
+    fn upper_bound_grows_as_epsilon_shrinks() {
+        let d = 4;
+        let loose = approx_query_upper_bound(d, 0, 0.3);
+        let tight = approx_query_upper_bound(d, 0, 0.01);
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn upper_bound_grows_with_aspect_ratio_and_dimension() {
+        assert!(approx_query_upper_bound(4, 3, 0.1) > approx_query_upper_bound(4, 0, 0.1));
+        assert!(approx_query_upper_bound(6, 0, 0.1) > approx_query_upper_bound(4, 0, 0.1));
+    }
+
+    #[test]
+    fn lower_bound_grows_with_region_size() {
+        let small = exhaustive_query_lower_bound(4, 0, 16);
+        let large = exhaustive_query_lower_bound(4, 0, 256);
+        assert!(large > small);
+        assert!((large / small - (256f64 / 16f64).powi(3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lemma_3_2_fraction_matches_direct_computation() {
+        assert!((lemma_3_2_volume_fraction(4, 4) - (1.0 - 8.0 / 16.0)).abs() < 1e-12);
+        assert_eq!(lemma_3_2_volume_fraction(8, 1), 0.0, "clamped at zero");
+        // With m chosen per Lemma 3.2 the fraction is at least 1 - eps.
+        for &(d, eps) in &[(2usize, 0.1f64), (4, 0.05), (6, 0.01)] {
+            let m = bits::truncation_bits_for_epsilon(d, eps);
+            assert!(lemma_3_2_volume_fraction(d, m) >= 1.0 - eps - 1e-12);
+        }
+    }
+
+    #[test]
+    fn worst_case_rect_has_requested_aspect_ratio() {
+        let u = Universe::new(4, 12).unwrap();
+        for alpha in 0..4u32 {
+            for gamma in 1..6u32 {
+                let rect = worst_case_rect(&u, gamma, alpha).unwrap();
+                assert_eq!(rect.aspect_ratio(), alpha, "gamma={gamma} alpha={alpha}");
+                assert_eq!(
+                    rect.lengths()[u.dims() - 1],
+                    (1 << gamma) - 1,
+                    "shortest side"
+                );
+            }
+        }
+        assert!(worst_case_rect(&u, 0, 1).is_err());
+        assert!(worst_case_rect(&u, 10, 4).is_err());
+    }
+
+    #[test]
+    fn theorem_3_1_bound_dominates_measured_cubes() {
+        // The measured number of cubes needed to reach a (1-eps) volume
+        // fraction never exceeds the Theorem 3.1 bound (the bound is on
+        // runs <= cubes of the truncated rectangle).
+        let u = Universe::new(3, 12).unwrap();
+        for &eps in &[0.3, 0.1, 0.05] {
+            let m = bits::truncation_bits_for_epsilon(3, eps);
+            for lengths in [vec![4095u64, 4095, 4095], vec![3000, 2500, 2047], vec![513, 700, 999]] {
+                let rect = ExtremalRect::new(u.clone(), lengths).unwrap();
+                let truncated = rect.truncate(m);
+                let measured = ExtremalCubes::new(&truncated)
+                    .count_cubes()
+                    .map(|c| c as f64)
+                    .unwrap_or(f64::INFINITY);
+                let bound = approx_query_upper_bound(3, rect.aspect_ratio(), eps);
+                assert!(
+                    measured <= bound,
+                    "measured {measured} exceeds bound {bound} for eps {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_4_1_r0_runs_are_achievable() {
+        // For the adversarial rectangle, the number of unit cells in R0 is a
+        // valid lower bound on the total number of cubes of the full greedy
+        // decomposition (each cell of R0 is its own run).
+        let u = Universe::new(3, 10).unwrap();
+        let gamma = 3;
+        let alpha = 1;
+        let rect = worst_case_rect(&u, gamma, alpha).unwrap();
+        let total_cubes = ExtremalCubes::new(&rect).count_cubes().unwrap() as f64;
+        let r0 = worst_case_r0_runs(3, gamma, alpha);
+        assert!(total_cubes >= r0, "cubes {total_cubes} >= r0 {r0}");
+    }
+}

@@ -1,0 +1,199 @@
+//! A literal transcription of the paper's Appendix A (Algorithms 1–3).
+//!
+//! The paper's implementation sketch enumerates the standard cubes of `D_i`
+//! (the level-`i` cubes of the greedy decomposition of an extremal rectangle)
+//! by choosing, per dimension, one set bit of the side length — the chosen
+//! bit names the "slab" of offsets the cube lies in — and then filling in the
+//! free coordinate bits per Equation 1. The module exists for fidelity and
+//! cross-validation: [`crate::extremal::ExtremalCubes`] produces the same
+//! cubes through a box-based enumeration that is lazier and is what the index
+//! uses at run time; the tests confirm the two agree exactly.
+
+use crate::bits;
+use crate::cube::StandardCube;
+use crate::rect::ExtremalRect;
+
+/// Enumerates the standard cubes of `D_i` — the cubes of side `2^i` in the
+/// greedy decomposition of `rect` — following Algorithms 1–3 of the paper.
+///
+/// The enumeration is eager; for the huge levels of large query regions
+/// prefer [`crate::extremal::ExtremalCubes`], which enumerates lazily.
+pub fn cubes_at_level(rect: &ExtremalRect, i: u32) -> Vec<StandardCube> {
+    let lengths = rect.lengths();
+    let d = lengths.len();
+    let mut out = Vec::new();
+    // Algorithm 1: one pass per dimension s whose length has bit i set; that
+    // dimension's slab is pinned to size exactly 2^i.
+    for s in 0..d {
+        if bits::bit_of(lengths[s], i) != 1 {
+            continue;
+        }
+        let mut selection = vec![0u32; d];
+        enum_rectangles(rect, i, s, 0, &mut selection, &mut out);
+    }
+    out
+}
+
+/// Algorithm 3 (`EnumRectangles`): choose, for every dimension `t`, the set
+/// bit of `ℓ_t` that names the slab the rectangle occupies. Dimensions before
+/// `s` must choose a bit strictly above `i` (so each cube is enumerated
+/// exactly once: `s` is the *first* dimension pinned at `i`), dimension `s`
+/// chooses exactly `i`, and dimensions after `s` choose any bit `≥ i`.
+fn enum_rectangles(
+    rect: &ExtremalRect,
+    i: u32,
+    s: usize,
+    t: usize,
+    selection: &mut Vec<u32>,
+    out: &mut Vec<StandardCube>,
+) {
+    let lengths = rect.lengths();
+    let d = lengths.len();
+    if t == d {
+        comp_keys(rect, i, selection, out);
+        return;
+    }
+    if t == s {
+        selection[t] = i;
+        enum_rectangles(rect, i, s, t + 1, selection, out);
+        return;
+    }
+    let min_bit = if t < s { i + 1 } else { i };
+    let b = bits::bit_length(lengths[t]);
+    let mut j = b;
+    while j > min_bit {
+        j -= 1;
+        if bits::bit_of(lengths[t], j) == 1 {
+            selection[t] = j;
+            enum_rectangles(rect, i, s, t + 1, selection, out);
+        }
+    }
+}
+
+/// Algorithm 2 (`CompKeys`) together with Equation 1: given the per-dimension
+/// slab selection, produce every standard cube of the rectangle by filling in
+/// the free coordinate bits.
+///
+/// Equation 1, adapted to a top-anchored extremal rectangle in an unsigned
+/// universe: writing the cube's lower-corner coordinate along dimension `x`
+/// bit by bit (positions `k−1 … 0`),
+///
+/// * positions above the selected bit `P_x` carry the *complement* of the
+///   corresponding bits of `ℓ_x`;
+/// * position `P_x` carries the bit of `ℓ_x` itself (which is 1);
+/// * positions in `[i, P_x)` are free — each assignment yields one cube;
+/// * positions below `i` are zero (they address cells inside the cube).
+fn comp_keys(rect: &ExtremalRect, i: u32, selection: &[u32], out: &mut Vec<StandardCube>) {
+    let universe = rect.universe();
+    let lengths = rect.lengths();
+    let d = lengths.len();
+    let k = universe.bits_per_dim();
+
+    // Fixed part of each coordinate plus the list of free bit positions.
+    let mut fixed = vec![0u64; d];
+    let mut free_bits: Vec<(usize, u32)> = Vec::new();
+    for x in 0..d {
+        let p = selection[x];
+        for y in (i..k).rev() {
+            let bit = if y > p {
+                1 - bits::bit_of(lengths[x], y)
+            } else if y == p {
+                bits::bit_of(lengths[x], y)
+            } else {
+                free_bits.push((x, y));
+                0
+            };
+            fixed[x] |= bit << y;
+        }
+    }
+
+    let combinations: u64 = 1u64 << free_bits.len();
+    for mask in 0..combinations {
+        let mut corner = fixed.clone();
+        for (bit_index, &(x, y)) in free_bits.iter().enumerate() {
+            if (mask >> bit_index) & 1 == 1 {
+                corner[x] |= 1 << y;
+            }
+        }
+        out.push(
+            StandardCube::new(universe, corner, i)
+                .expect("appendix A enumeration produces aligned cubes"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extremal::ExtremalCubes;
+    use crate::universe::Universe;
+    use std::collections::BTreeSet;
+
+    fn corners(cubes: &[StandardCube]) -> BTreeSet<Vec<u64>> {
+        cubes.iter().map(|c| c.corner().to_vec()).collect()
+    }
+
+    #[test]
+    fn agrees_with_the_level_decomposition_on_small_rectangles() {
+        let universe = Universe::new(2, 5).unwrap();
+        for lengths in [
+            vec![13u64, 21],
+            vec![7, 32],
+            vec![1, 1],
+            vec![31, 29],
+            vec![16, 8],
+        ] {
+            let rect = ExtremalRect::new(universe.clone(), lengths.clone()).unwrap();
+            let reference = ExtremalCubes::new(&rect);
+            for level in reference.levels() {
+                let i = level.side_exp();
+                let expected: Vec<StandardCube> = level.iter().collect();
+                let got = cubes_at_level(&rect, i);
+                assert_eq!(
+                    corners(&got),
+                    corners(&expected),
+                    "lengths {lengths:?} level {i}"
+                );
+                assert_eq!(got.len() as u128, level.count().unwrap());
+            }
+            // Levels with no set bit produce no cubes.
+            for i in 0..5u32 {
+                if !crate::bits::any_bit_set(rect.lengths(), i) {
+                    assert!(cubes_at_level(&rect, i).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_in_three_dimensions() {
+        let universe = Universe::new(3, 4).unwrap();
+        for lengths in [vec![5u64, 9, 3], vec![15, 15, 15], vec![2, 4, 8], vec![11, 1, 6]] {
+            let rect = ExtremalRect::new(universe.clone(), lengths.clone()).unwrap();
+            let reference = ExtremalCubes::new(&rect);
+            for level in reference.levels() {
+                let got = cubes_at_level(&rect, level.side_exp());
+                let expected: Vec<StandardCube> = level.iter().collect();
+                assert_eq!(
+                    corners(&got),
+                    corners(&expected),
+                    "lengths {lengths:?} level {}",
+                    level.side_exp()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_enumerated_cube_lies_inside_the_rectangle() {
+        let universe = Universe::new(2, 6).unwrap();
+        let rect = ExtremalRect::new(universe, vec![45, 37]).unwrap();
+        let outer = rect.to_rect();
+        for i in 0..6u32 {
+            for cube in cubes_at_level(&rect, i) {
+                assert!(outer.contains_rect(&cube.to_rect()), "level {i} cube {cube}");
+                assert_eq!(cube.side_exp(), i);
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The SFC array: a one-dimensional ordered index of points keyed by their
+//! position on a space filling curve.
+//!
+//! The paper's only data structure is "the SFC array, which sorts the points
+//! according to their orders on the Z curve", maintained by "a dynamic
+//! ordered data structure such as a balanced binary tree". [`SfcArray`] is
+//! exactly that: a `BTreeMap` from [`Key`] to the values stored at that cell,
+//! supporting insertions, deletions and — crucially — *range probes*: "is
+//! there any point whose key falls inside this run?", answered with two tree
+//! descents.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::curve::SpaceFillingCurve;
+use crate::key::{Key, KeyRange};
+use crate::universe::Point;
+use crate::Result;
+
+/// One stored entry: the original point plus the caller's value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SfcEntry<V> {
+    /// The point that was indexed.
+    pub point: Point,
+    /// The caller-supplied value (e.g. a subscription identifier).
+    pub value: V,
+}
+
+/// An ordered index of points sorted by their space-filling-curve keys.
+///
+/// Multiple values may be stored at the same cell (several subscriptions can
+/// map to the same 2β-dimensional point); they are kept in insertion order.
+///
+/// # Example
+///
+/// ```
+/// use acd_sfc::{SfcArray, Universe, Point, ZCurve};
+/// # fn main() -> Result<(), acd_sfc::SfcError> {
+/// let universe = Universe::new(2, 4)?;
+/// let mut array = SfcArray::new(ZCurve::new(universe));
+/// array.insert(Point::new(vec![3, 7])?, "sub-1")?;
+/// array.insert(Point::new(vec![3, 7])?, "sub-2")?;
+/// assert_eq!(array.len(), 2);
+/// assert_eq!(array.values_at(&Point::new(vec![3, 7])?)?.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SfcArray<V, C = crate::zorder::ZCurve> {
+    curve: C,
+    entries: BTreeMap<Key, Vec<SfcEntry<V>>>,
+    len: usize,
+}
+
+impl<V, C: SpaceFillingCurve> fmt::Debug for SfcArray<V, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SfcArray")
+            .field("curve", &self.curve.kind())
+            .field("cells", &self.entries.len())
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<V, C: SpaceFillingCurve> SfcArray<V, C> {
+    /// Creates an empty array ordered by `curve`.
+    pub fn new(curve: C) -> Self {
+        SfcArray {
+            curve,
+            entries: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// The curve that orders this array.
+    pub fn curve(&self) -> &C {
+        &self.curve
+    }
+
+    /// Number of stored entries (counting duplicates at the same cell).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct cells that hold at least one entry.
+    pub fn occupied_cells(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts `value` at `point`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the point is outside the curve's universe.
+    pub fn insert(&mut self, point: Point, value: V) -> Result<()> {
+        let key = self.curve.key_of_point(&point)?;
+        self.entries
+            .entry(key)
+            .or_default()
+            .push(SfcEntry { point, value });
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Removes the first entry at `point` for which `pred` returns true and
+    /// returns its value, or `None` if no entry matched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the point is outside the curve's universe.
+    pub fn remove_if<F>(&mut self, point: &Point, mut pred: F) -> Result<Option<V>>
+    where
+        F: FnMut(&V) -> bool,
+    {
+        let key = self.curve.key_of_point(point)?;
+        let mut removed = None;
+        let mut now_empty = false;
+        if let Some(bucket) = self.entries.get_mut(&key) {
+            if let Some(pos) = bucket.iter().position(|e| pred(&e.value)) {
+                removed = Some(bucket.remove(pos).value);
+                self.len -= 1;
+                now_empty = bucket.is_empty();
+            }
+        }
+        if now_empty {
+            self.entries.remove(&key);
+        }
+        Ok(removed)
+    }
+
+    /// All values stored at exactly `point`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the point is outside the curve's universe.
+    pub fn values_at(&self, point: &Point) -> Result<Vec<&V>> {
+        let key = self.curve.key_of_point(point)?;
+        Ok(self
+            .entries
+            .get(&key)
+            .map(|bucket| bucket.iter().map(|e| &e.value).collect())
+            .unwrap_or_default())
+    }
+
+    /// Returns the first entry whose key falls in `range`, if any. This is
+    /// the "probe a run" primitive of the paper's query algorithm: it costs
+    /// one ordered-map range lookup regardless of how large the run is.
+    pub fn first_in_range(&self, range: &KeyRange) -> Option<&SfcEntry<V>> {
+        self.entries
+            .range(range.lo().clone()..=range.hi().clone())
+            .next()
+            .and_then(|(_, bucket)| bucket.first())
+    }
+
+    /// Returns the first entry in `range` whose value satisfies `pred`.
+    /// Entries are visited in key order.
+    pub fn first_in_range_where<F>(&self, range: &KeyRange, mut pred: F) -> Option<&SfcEntry<V>>
+    where
+        F: FnMut(&SfcEntry<V>) -> bool,
+    {
+        self.entries
+            .range(range.lo().clone()..=range.hi().clone())
+            .flat_map(|(_, bucket)| bucket.iter())
+            .find(|e| pred(e))
+    }
+
+    /// Whether any entry's key falls inside `range`.
+    pub fn any_in_range(&self, range: &KeyRange) -> bool {
+        self.first_in_range(range).is_some()
+    }
+
+    /// Number of entries whose keys fall inside `range`.
+    pub fn count_in_range(&self, range: &KeyRange) -> usize {
+        self.entries
+            .range(range.lo().clone()..=range.hi().clone())
+            .map(|(_, bucket)| bucket.len())
+            .sum()
+    }
+
+    /// Iterates over all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &SfcEntry<V>> {
+        self.entries.values().flat_map(|bucket| bucket.iter())
+    }
+
+    /// Iterates over the entries whose keys fall inside `range`, in key
+    /// order.
+    pub fn iter_range<'a>(
+        &'a self,
+        range: &KeyRange,
+    ) -> impl Iterator<Item = &'a SfcEntry<V>> + 'a {
+        self.entries
+            .range(range.lo().clone()..=range.hi().clone())
+            .flat_map(|(_, bucket)| bucket.iter())
+    }
+
+    /// Removes every entry, keeping the curve.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+    use crate::zorder::ZCurve;
+
+    fn array() -> SfcArray<u32> {
+        SfcArray::new(ZCurve::new(Universe::new(2, 4).unwrap()))
+    }
+
+    fn p(x: u64, y: u64) -> Point {
+        Point::new(vec![x, y]).unwrap()
+    }
+
+    #[test]
+    fn insert_len_and_values_at() {
+        let mut a = array();
+        assert!(a.is_empty());
+        a.insert(p(1, 2), 10).unwrap();
+        a.insert(p(1, 2), 11).unwrap();
+        a.insert(p(9, 9), 12).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.occupied_cells(), 2);
+        assert_eq!(a.values_at(&p(1, 2)).unwrap(), vec![&10, &11]);
+        assert!(a.values_at(&p(0, 0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_rejects_points_outside_universe() {
+        let mut a = array();
+        assert!(a.insert(p(16, 0), 1).is_err());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn remove_if_removes_only_matching_values() {
+        let mut a = array();
+        a.insert(p(4, 4), 1).unwrap();
+        a.insert(p(4, 4), 2).unwrap();
+        assert_eq!(a.remove_if(&p(4, 4), |v| *v == 2).unwrap(), Some(2));
+        assert_eq!(a.remove_if(&p(4, 4), |v| *v == 2).unwrap(), None);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.remove_if(&p(4, 4), |_| true).unwrap(), Some(1));
+        assert_eq!(a.occupied_cells(), 0);
+        assert_eq!(a.remove_if(&p(4, 4), |_| true).unwrap(), None);
+    }
+
+    #[test]
+    fn range_probes_find_points_in_key_order() {
+        let u = Universe::new(2, 4).unwrap();
+        let z = ZCurve::new(u.clone());
+        let mut a = array();
+        a.insert(p(0, 0), 1).unwrap();
+        a.insert(p(15, 15), 2).unwrap();
+        a.insert(p(8, 8), 3).unwrap();
+
+        let full = KeyRange::new(Key::zero(8), Key::max_value(8)).unwrap();
+        assert_eq!(a.count_in_range(&full), 3);
+        assert_eq!(a.first_in_range(&full).unwrap().value, 1);
+
+        // A range that contains only the upper-right quadrant.
+        let cube = crate::cube::StandardCube::new(&u, vec![8, 8], 3).unwrap();
+        let quad = z.cube_key_range(&cube).unwrap();
+        assert_eq!(a.count_in_range(&quad), 2);
+        assert_eq!(a.first_in_range(&quad).unwrap().value, 3);
+        let ordered: Vec<u32> = a.iter_range(&quad).map(|e| e.value).collect();
+        assert_eq!(ordered, vec![3, 2]);
+        assert!(a.any_in_range(&quad));
+    }
+
+    #[test]
+    fn first_in_range_where_filters_values() {
+        let mut a = array();
+        a.insert(p(1, 1), 7).unwrap();
+        a.insert(p(2, 2), 8).unwrap();
+        let full = KeyRange::new(Key::zero(8), Key::max_value(8)).unwrap();
+        let found = a.first_in_range_where(&full, |e| e.value % 2 == 0).unwrap();
+        assert_eq!(found.value, 8);
+        assert!(a.first_in_range_where(&full, |e| e.value > 100).is_none());
+    }
+
+    #[test]
+    fn iter_visits_entries_in_key_order() {
+        let mut a = array();
+        a.insert(p(15, 0), 1).unwrap();
+        a.insert(p(0, 0), 2).unwrap();
+        a.insert(p(0, 15), 3).unwrap();
+        let curve = ZCurve::new(Universe::new(2, 4).unwrap());
+        let keys: Vec<u128> = a
+            .iter()
+            .map(|e| curve.key_of_point(&e.point).unwrap().to_u128().unwrap())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut a = array();
+        a.insert(p(3, 3), 9).unwrap();
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.occupied_cells(), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Bit-level helpers used throughout the paper's analysis and algorithms.
+//!
+//! The paper works with three operators on positive integers:
+//!
+//! * `b(x)` — the number of bits in the binary representation of `x`
+//!   (e.g. `b(9) = 4`);
+//! * `t(x, m)` — keep only the `m` most significant bits of `x`, zeroing the
+//!   rest (used to truncate the query rectangle, Lemma 3.2);
+//! * `S_i(x)` — keep only the bits of `x` whose index (from the least
+//!   significant, 0-based) is at least `i` (used to characterize the greedy
+//!   decomposition, Lemma 3.4).
+//!
+//! The same operators applied element-wise to length vectors are provided as
+//! `*_vec` variants.
+
+/// Number of bits in the binary representation of `x`; `b(0) = 0`.
+///
+/// # Example
+///
+/// ```
+/// use acd_sfc::bits::bit_length;
+/// assert_eq!(bit_length(9), 4);
+/// assert_eq!(bit_length(1), 1);
+/// assert_eq!(bit_length(0), 0);
+/// ```
+pub fn bit_length(x: u64) -> u32 {
+    64 - x.leading_zeros()
+}
+
+/// The paper's `t(x, m)`: retain the `m` most significant bits of `x` and set
+/// the rest to zero. If `m >= b(x)` the value is returned unchanged; `m = 0`
+/// yields zero.
+///
+/// # Example
+///
+/// ```
+/// use acd_sfc::bits::truncate_to_msb;
+/// // 0b110101 truncated to its 3 most significant bits is 0b110000.
+/// assert_eq!(truncate_to_msb(0b110101, 3), 0b110000);
+/// assert_eq!(truncate_to_msb(0b110101, 10), 0b110101);
+/// assert_eq!(truncate_to_msb(0b110101, 0), 0);
+/// ```
+pub fn truncate_to_msb(x: u64, m: u32) -> u64 {
+    let b = bit_length(x);
+    if m >= b {
+        return x;
+    }
+    let drop = b - m;
+    (x >> drop) << drop
+}
+
+/// The paper's `S_i(x)`: keep the bits of `x` at positions `>= i` (0-based
+/// from the least significant bit), zeroing positions below `i`.
+///
+/// # Example
+///
+/// ```
+/// use acd_sfc::bits::keep_bits_from;
+/// assert_eq!(keep_bits_from(0b101101, 0), 0b101101);
+/// assert_eq!(keep_bits_from(0b101101, 2), 0b101100);
+/// assert_eq!(keep_bits_from(0b101101, 4), 0b100000);
+/// assert_eq!(keep_bits_from(0b101101, 6), 0);
+/// ```
+pub fn keep_bits_from(x: u64, i: u32) -> u64 {
+    if i >= 64 {
+        return 0;
+    }
+    (x >> i) << i
+}
+
+/// Bit `j` (0-based from the least significant) of `x`, as 0 or 1.
+///
+/// # Example
+///
+/// ```
+/// use acd_sfc::bits::bit_of;
+/// assert_eq!(bit_of(0b1010, 1), 1);
+/// assert_eq!(bit_of(0b1010, 0), 0);
+/// ```
+pub fn bit_of(x: u64, j: u32) -> u64 {
+    if j >= 64 {
+        0
+    } else {
+        (x >> j) & 1
+    }
+}
+
+/// Applies [`truncate_to_msb`] to every element of a vector; the paper's
+/// `t(ℓ, m)` for a length vector `ℓ`.
+pub fn truncate_to_msb_vec(lengths: &[u64], m: u32) -> Vec<u64> {
+    lengths.iter().map(|&l| truncate_to_msb(l, m)).collect()
+}
+
+/// Applies [`keep_bits_from`] to every element of a vector; the paper's
+/// `S_i(ℓ)` for a length vector `ℓ`.
+pub fn keep_bits_from_vec(lengths: &[u64], i: u32) -> Vec<u64> {
+    lengths.iter().map(|&l| keep_bits_from(l, i)).collect()
+}
+
+/// The paper's indicator `O_i`: 1 if any element of `lengths` has bit `i`
+/// set, 0 otherwise (Lemma 3.4).
+pub fn any_bit_set(lengths: &[u64], i: u32) -> bool {
+    lengths.iter().any(|&l| bit_of(l, i) == 1)
+}
+
+/// The aspect ratio `α = b(ℓ_max) − b(ℓ_min)` of a vector of side lengths, in
+/// bits, per the paper's definition (Section 1.1).
+///
+/// # Panics
+///
+/// Panics if `lengths` is empty or contains a zero.
+pub fn aspect_ratio(lengths: &[u64]) -> u32 {
+    assert!(!lengths.is_empty(), "aspect ratio of an empty vector");
+    let mut min_b = u32::MAX;
+    let mut max_b = 0u32;
+    for &l in lengths {
+        assert!(l > 0, "aspect ratio requires positive side lengths");
+        let b = bit_length(l);
+        min_b = min_b.min(b);
+        max_b = max_b.max(b);
+    }
+    max_b - min_b
+}
+
+/// Chooses the truncation parameter `m` for a desired coverage `1 − ε`
+/// following Lemma 3.2: `m = ceil(log2(2d / ε))` guarantees that the
+/// truncated rectangle covers at least a `1 − ε` fraction of the volume.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not in the open interval `(0, 1)` or `dims == 0`.
+pub fn truncation_bits_for_epsilon(dims: usize, epsilon: f64) -> u32 {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon must be in (0, 1), got {epsilon}"
+    );
+    assert!(dims > 0, "dims must be positive");
+    let m = (2.0 * dims as f64 / epsilon).log2().ceil();
+    m.max(1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_length_matches_paper_examples() {
+        assert_eq!(bit_length(9), 4);
+        assert_eq!(bit_length(8), 4);
+        assert_eq!(bit_length(7), 3);
+        assert_eq!(bit_length(1), 1);
+        assert_eq!(bit_length(0), 0);
+        assert_eq!(bit_length(u64::MAX), 64);
+    }
+
+    #[test]
+    fn truncate_keeps_msb_prefix() {
+        assert_eq!(truncate_to_msb(0b1111, 2), 0b1100);
+        assert_eq!(truncate_to_msb(257, 1), 256);
+        assert_eq!(truncate_to_msb(257, 9), 257);
+        assert_eq!(truncate_to_msb(0, 5), 0);
+    }
+
+    #[test]
+    fn truncate_never_increases_and_preserves_bit_length() {
+        for x in 1u64..2000 {
+            for m in 1..12 {
+                let t = truncate_to_msb(x, m);
+                assert!(t <= x);
+                assert_eq!(bit_length(t), bit_length(x));
+                // At most a factor-of-two loss once m >= 1:
+                assert!(t >= x / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn keep_bits_from_is_monotone_in_i() {
+        for x in 0u64..500 {
+            let mut prev = x;
+            for i in 0..12 {
+                let s = keep_bits_from(x, i);
+                assert!(s <= prev);
+                assert_eq!(s % (1 << i), 0, "S_i must be divisible by 2^i");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn s_i_relation_to_bits() {
+        // S_i(x) - S_{i+1}(x) == bit_i(x) * 2^i
+        for x in 0u64..300 {
+            for i in 0..10 {
+                assert_eq!(
+                    keep_bits_from(x, i) - keep_bits_from(x, i + 1),
+                    bit_of(x, i) << i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vector_variants() {
+        let l = vec![0b1011u64, 0b110, 0b1];
+        assert_eq!(truncate_to_msb_vec(&l, 2), vec![0b1000, 0b110, 0b1]);
+        assert_eq!(keep_bits_from_vec(&l, 1), vec![0b1010, 0b110, 0]);
+        assert!(any_bit_set(&l, 0));
+        assert!(any_bit_set(&l, 3));
+        assert!(!any_bit_set(&l, 4));
+    }
+
+    #[test]
+    fn aspect_ratio_definition() {
+        assert_eq!(aspect_ratio(&[8, 8, 8]), 0);
+        assert_eq!(aspect_ratio(&[15, 8]), 0, "same bit length => alpha 0");
+        assert_eq!(aspect_ratio(&[16, 8]), 1);
+        assert_eq!(aspect_ratio(&[1, 1024]), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn aspect_ratio_rejects_zero_lengths() {
+        aspect_ratio(&[0, 4]);
+    }
+
+    #[test]
+    fn truncation_bits_match_lemma() {
+        // m >= log2(2d/eps)
+        for &(d, eps) in &[(2usize, 0.1f64), (4, 0.05), (8, 0.01), (6, 0.3)] {
+            let m = truncation_bits_for_epsilon(d, eps);
+            assert!((m as f64) >= (2.0 * d as f64 / eps).log2() - 1e-9);
+            // And not wastefully large:
+            assert!((m as f64) < (2.0 * d as f64 / eps).log2() + 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncation_bits_reject_bad_epsilon() {
+        truncation_bits_for_epsilon(4, 1.5);
+    }
+}

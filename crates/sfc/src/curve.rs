@@ -1,0 +1,150 @@
+//! The [`SpaceFillingCurve`] trait shared by the Z-order, Hilbert and
+//! Gray-code curves.
+//!
+//! All supported curves recursively bisect the universe, which gives them the
+//! crucial property the paper relies on (Fact 2.1): every standard cube is a
+//! single contiguous run of keys, and that run is exactly the set of keys that
+//! share the cube's `d·ℓ`-bit prefix. The trait therefore provides a generic
+//! [`cube_key_range`](SpaceFillingCurve::cube_key_range) built on top of each
+//! curve's point encoder.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cube::StandardCube;
+use crate::key::{Key, KeyRange};
+use crate::universe::{Point, Universe};
+use crate::Result;
+
+/// A space filling curve over a fixed [`Universe`].
+///
+/// Implementations must be *recursive* curves: the key of a cell inside a
+/// standard cube at level `ℓ` must share its most significant `d·ℓ` bits with
+/// every other cell of that cube. The Z-order, Hilbert and Gray-code curves
+/// all have this property.
+pub trait SpaceFillingCurve: fmt::Debug + Send + Sync {
+    /// The universe this curve is defined over.
+    fn universe(&self) -> &Universe;
+
+    /// Which member of the curve family this is.
+    fn kind(&self) -> CurveKind;
+
+    /// Encodes a cell into its `d·k`-bit key.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the point does not belong to the universe.
+    fn key_of_point(&self, point: &Point) -> Result<Key>;
+
+    /// Decodes a key back into the cell it names.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the key has the wrong bit width for the universe.
+    fn point_of_key(&self, key: &Key) -> Result<Point>;
+
+    /// The contiguous key range occupied by a standard cube (Fact 2.1).
+    ///
+    /// The default implementation encodes the cube's lower corner and derives
+    /// the range from the shared `d·level` bit prefix; this is correct for
+    /// every recursive curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cube does not belong to the universe.
+    fn cube_key_range(&self, cube: &StandardCube) -> Result<KeyRange> {
+        let low_bits = cube.side_exp() * self.universe().dims() as u32;
+        let corner_key = self.key_of_point(&cube.corner_point())?;
+        let lo = corner_key.with_low_bits_cleared(low_bits);
+        let hi = corner_key.with_low_bits_set(low_bits);
+        KeyRange::new(lo, hi)
+    }
+
+    /// Human readable name of the curve.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+}
+
+/// Identifies one of the supported curve families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CurveKind {
+    /// The Z-order (Morton) curve: bit interleaving.
+    Z,
+    /// The Hilbert curve.
+    Hilbert,
+    /// The Gray-code curve.
+    Gray,
+}
+
+impl CurveKind {
+    /// Human readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CurveKind::Z => "z-order",
+            CurveKind::Hilbert => "hilbert",
+            CurveKind::Gray => "gray-code",
+        }
+    }
+
+    /// All supported curve kinds.
+    pub fn all() -> [CurveKind; 3] {
+        [CurveKind::Z, CurveKind::Hilbert, CurveKind::Gray]
+    }
+
+    /// Constructs a boxed curve of this kind over `universe`.
+    pub fn build(self, universe: Universe) -> Box<dyn SpaceFillingCurve> {
+        match self {
+            CurveKind::Z => Box::new(crate::zorder::ZCurve::new(universe)),
+            CurveKind::Hilbert => Box::new(crate::hilbert::HilbertCurve::new(universe)),
+            CurveKind::Gray => Box::new(crate::gray::GrayCurve::new(universe)),
+        }
+    }
+}
+
+impl fmt::Display for CurveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for CurveKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "z" | "z-order" | "morton" | "zorder" => Ok(CurveKind::Z),
+            "hilbert" => Ok(CurveKind::Hilbert),
+            "gray" | "gray-code" | "graycode" => Ok(CurveKind::Gray),
+            other => Err(format!("unknown curve kind: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_kind_parsing_and_display() {
+        assert_eq!("z".parse::<CurveKind>().unwrap(), CurveKind::Z);
+        assert_eq!("Morton".parse::<CurveKind>().unwrap(), CurveKind::Z);
+        assert_eq!("hilbert".parse::<CurveKind>().unwrap(), CurveKind::Hilbert);
+        assert_eq!("gray".parse::<CurveKind>().unwrap(), CurveKind::Gray);
+        assert!("peano".parse::<CurveKind>().is_err());
+        assert_eq!(CurveKind::Hilbert.to_string(), "hilbert");
+        assert_eq!(CurveKind::all().len(), 3);
+    }
+
+    #[test]
+    fn build_produces_matching_kind() {
+        let u = Universe::new(2, 4).unwrap();
+        for kind in CurveKind::all() {
+            let curve = kind.build(u.clone());
+            assert_eq!(curve.kind(), kind);
+            assert_eq!(curve.universe(), &u);
+            assert_eq!(curve.name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The Gray-code space filling curve.
+//!
+//! Faloutsos proposed ordering multi-attribute data by treating the
+//! bit-interleaved coordinates as a reflected Gray code: the position of a
+//! cell on the curve is the rank of its interleaved bit string in Gray-code
+//! order. Converting between the two is a prefix-XOR, which is
+//! prefix-preserving, so the Gray-code curve is also a recursive curve and
+//! standard cubes remain single runs (Fact 2.1).
+
+use crate::curve::{CurveKind, SpaceFillingCurve};
+use crate::key::Key;
+use crate::universe::{Point, Universe};
+use crate::zorder::ZCurve;
+use crate::Result;
+
+/// The Gray-code space filling curve over a fixed universe.
+///
+/// # Example
+///
+/// ```
+/// use acd_sfc::{Universe, Point, GrayCurve, ZCurve, SpaceFillingCurve};
+/// # fn main() -> Result<(), acd_sfc::SfcError> {
+/// let u = Universe::new(2, 2)?;
+/// let gray = GrayCurve::new(u.clone());
+/// let z = ZCurve::new(u);
+/// let p = Point::new(vec![1, 2])?;
+/// // The Gray-code rank generally differs from the Morton rank...
+/// let gk = gray.key_of_point(&p)?;
+/// let zk = z.key_of_point(&p)?;
+/// assert_ne!(gk, zk);
+/// // ...but both decode back to the same cell.
+/// assert_eq!(gray.point_of_key(&gk)?, z.point_of_key(&zk)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayCurve {
+    universe: Universe,
+}
+
+impl GrayCurve {
+    /// Creates a Gray-code curve over `universe`.
+    pub fn new(universe: Universe) -> Self {
+        GrayCurve { universe }
+    }
+
+    /// Gray-code decode (rank of a Gray codeword): `b_i = g_i ⊕ b_{i+1}`,
+    /// scanning from the most significant bit.
+    fn gray_rank(key: &Key) -> Key {
+        let bits = key.bits();
+        let mut out = Key::zero(bits);
+        let mut acc = false;
+        for i in (0..bits).rev() {
+            acc ^= key.bit(i);
+            out.set_bit(i, acc);
+        }
+        out
+    }
+
+    /// Gray-code encode (codeword of a rank): `g = b ⊕ (b >> 1)`.
+    fn gray_codeword(rank: &Key) -> Key {
+        let bits = rank.bits();
+        let mut out = Key::zero(bits);
+        for i in 0..bits {
+            let hi = if i + 1 < bits { rank.bit(i + 1) } else { false };
+            out.set_bit(i, rank.bit(i) ^ hi);
+        }
+        out
+    }
+}
+
+impl SpaceFillingCurve for GrayCurve {
+    fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    fn kind(&self) -> CurveKind {
+        CurveKind::Gray
+    }
+
+    fn key_of_point(&self, point: &Point) -> Result<Key> {
+        self.universe.validate_point(point)?;
+        let interleaved = ZCurve::interleave(&self.universe, point.coords());
+        Ok(Self::gray_rank(&interleaved))
+    }
+
+    fn point_of_key(&self, key: &Key) -> Result<Point> {
+        key.expect_bits(self.universe.key_bits())?;
+        let interleaved = Self::gray_codeword(key);
+        Ok(Point::from_vec(ZCurve::deinterleave(
+            &self.universe,
+            &interleaved,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::StandardCube;
+
+    fn curve(d: usize, k: u32) -> GrayCurve {
+        GrayCurve::new(Universe::new(d, k).unwrap())
+    }
+
+    fn all_points(d: usize, k: u32) -> Vec<Point> {
+        let side = 1u64 << k;
+        let total = side.pow(d as u32);
+        (0..total)
+            .map(|idx| {
+                let mut coords = vec![0u64; d];
+                let mut rem = idx;
+                for coord in coords.iter_mut() {
+                    *coord = rem % side;
+                    rem /= side;
+                }
+                Point::new(coords).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gray_rank_and_codeword_are_inverses() {
+        for v in 0u128..256 {
+            let key = Key::from_u128(v, 8);
+            let rank = GrayCurve::gray_rank(&key);
+            assert_eq!(GrayCurve::gray_codeword(&rank), key);
+        }
+    }
+
+    #[test]
+    fn gray_rank_matches_scalar_formula() {
+        // For small widths, compare against the classic u64 formulation.
+        fn scalar_rank(mut g: u64) -> u64 {
+            let mut mask = g >> 1;
+            while mask != 0 {
+                g ^= mask;
+                mask >>= 1;
+            }
+            g
+        }
+        for v in 0u64..512 {
+            let key = Key::from_u128(v as u128, 10);
+            assert_eq!(
+                GrayCurve::gray_rank(&key).to_u128(),
+                Some(scalar_rank(v) as u128)
+            );
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_and_bijection() {
+        for (d, k) in [(2usize, 3u32), (3, 2)] {
+            let c = curve(d, k);
+            let mut seen = std::collections::BTreeSet::new();
+            for p in all_points(d, k) {
+                let key = c.key_of_point(&p).unwrap();
+                assert_eq!(c.point_of_key(&key).unwrap(), p);
+                seen.insert(key.to_u128().unwrap());
+            }
+            let side = 1u64 << k;
+            assert_eq!(seen.len() as u64, side.pow(d as u32));
+        }
+    }
+
+    #[test]
+    fn consecutive_keys_differ_in_one_coordinate_bit() {
+        // The Gray-code curve's locality property: consecutive ranks have
+        // codewords differing in exactly one bit, i.e. consecutive cells
+        // differ in exactly one coordinate, by a power of two.
+        let c = curve(2, 3);
+        let total = 64u128;
+        let mut prev = c.point_of_key(&Key::from_u128(0, 6)).unwrap();
+        for i in 1..total {
+            let p = c.point_of_key(&Key::from_u128(i, 6)).unwrap();
+            let differing: Vec<usize> = (0..2)
+                .filter(|&d| p.coord(d) != prev.coord(d))
+                .collect();
+            assert_eq!(differing.len(), 1, "rank {i}");
+            let d = differing[0];
+            let diff = p.coord(d).abs_diff(prev.coord(d));
+            assert!(diff.is_power_of_two());
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn standard_cubes_are_single_runs() {
+        let u = Universe::new(2, 3).unwrap();
+        let c = GrayCurve::new(u.clone());
+        for exp in 0..=3u32 {
+            let side = 1u64 << exp;
+            let mut x = 0;
+            while x < 8 {
+                let mut y = 0;
+                while y < 8 {
+                    let cube = StandardCube::new(&u, vec![x, y], exp).unwrap();
+                    let mut keys: Vec<u128> = all_points(2, 3)
+                        .into_iter()
+                        .filter(|p| cube.contains_coords(p.coords()))
+                        .map(|p| c.key_of_point(&p).unwrap().to_u128().unwrap())
+                        .collect();
+                    keys.sort_unstable();
+                    assert_eq!(
+                        keys.last().unwrap() - keys.first().unwrap() + 1,
+                        keys.len() as u128
+                    );
+                    let range = c.cube_key_range(&cube).unwrap();
+                    assert_eq!(range.lo().to_u128(), Some(*keys.first().unwrap()));
+                    assert_eq!(range.hi().to_u128(), Some(*keys.last().unwrap()));
+                    y += side;
+                }
+                x += side;
+            }
+        }
+    }
+
+    #[test]
+    fn multi_word_keys_round_trip() {
+        let u = Universe::new(18, 8).unwrap(); // 144-bit keys
+        let c = GrayCurve::new(u);
+        let p = Point::new((0..18).map(|i| (i * 29 + 11) % 256).collect()).unwrap();
+        let key = c.key_of_point(&p).unwrap();
+        assert_eq!(c.point_of_key(&key).unwrap(), p);
+    }
+}

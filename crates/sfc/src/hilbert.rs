@@ -1,0 +1,286 @@
+//! The Hilbert space filling curve in arbitrary dimension.
+//!
+//! The implementation follows the classic "transpose" formulation
+//! (Skilling-style bit manipulation): coordinates are first converted into a
+//! transposed Hilbert representation with the same number of bits, and the
+//! final key is the bit interleaving of the transposed coordinates. The
+//! inverse applies the steps in reverse. Like the Z curve, the Hilbert curve
+//! recursively bisects the universe, so standard cubes are contiguous key
+//! ranges (Fact 2.1) and the generic
+//! [`cube_key_range`](crate::SpaceFillingCurve::cube_key_range) applies.
+
+use crate::curve::{CurveKind, SpaceFillingCurve};
+use crate::key::Key;
+use crate::universe::{Point, Universe};
+use crate::zorder::ZCurve;
+use crate::Result;
+
+/// The Hilbert space filling curve over a fixed universe.
+///
+/// # Example
+///
+/// ```
+/// use acd_sfc::{Universe, Point, HilbertCurve, SpaceFillingCurve};
+/// # fn main() -> Result<(), acd_sfc::SfcError> {
+/// let curve = HilbertCurve::new(Universe::new(2, 2)?);
+/// // The 4x4 Hilbert curve starts at (0,0) and ends at (3,0).
+/// let first = curve.point_of_key(&acd_sfc::Key::from_u128(0, 4))?;
+/// let last = curve.point_of_key(&acd_sfc::Key::from_u128(15, 4))?;
+/// assert_eq!(first.coords(), &[0, 0]);
+/// assert_eq!(last.coords(), &[3, 0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HilbertCurve {
+    universe: Universe,
+}
+
+impl HilbertCurve {
+    /// Creates a Hilbert curve over `universe`.
+    pub fn new(universe: Universe) -> Self {
+        HilbertCurve { universe }
+    }
+
+    /// Converts axis coordinates into the transposed Hilbert representation.
+    fn axes_to_transpose(coords: &mut [u64], bits: u32) {
+        let n = coords.len();
+        if bits == 0 || n == 0 {
+            return;
+        }
+        let m = 1u64 << (bits - 1);
+
+        // Inverse undo excess work.
+        let mut q = m;
+        while q > 1 {
+            let p = q - 1;
+            for i in 0..n {
+                if coords[i] & q != 0 {
+                    coords[0] ^= p;
+                } else {
+                    let t = (coords[0] ^ coords[i]) & p;
+                    coords[0] ^= t;
+                    coords[i] ^= t;
+                }
+            }
+            q >>= 1;
+        }
+
+        // Gray encode.
+        for i in 1..n {
+            coords[i] ^= coords[i - 1];
+        }
+        let mut t = 0u64;
+        let mut q = m;
+        while q > 1 {
+            if coords[n - 1] & q != 0 {
+                t ^= q - 1;
+            }
+            q >>= 1;
+        }
+        for c in coords.iter_mut() {
+            *c ^= t;
+        }
+    }
+
+    /// Converts the transposed Hilbert representation back into axis
+    /// coordinates.
+    fn transpose_to_axes(coords: &mut [u64], bits: u32) {
+        let n = coords.len();
+        if bits == 0 || n == 0 {
+            return;
+        }
+        let top = 1u64 << (bits - 1);
+
+        // Gray decode by H ^ (H/2).
+        let t = coords[n - 1] >> 1;
+        for i in (1..n).rev() {
+            coords[i] ^= coords[i - 1];
+        }
+        coords[0] ^= t;
+
+        // Undo excess work.
+        let mut q = 2u64;
+        while q <= top {
+            let p = q - 1;
+            for i in (0..n).rev() {
+                if coords[i] & q != 0 {
+                    coords[0] ^= p;
+                } else {
+                    let t = (coords[0] ^ coords[i]) & p;
+                    coords[0] ^= t;
+                    coords[i] ^= t;
+                }
+            }
+            q <<= 1;
+        }
+    }
+}
+
+impl SpaceFillingCurve for HilbertCurve {
+    fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    fn kind(&self) -> CurveKind {
+        CurveKind::Hilbert
+    }
+
+    fn key_of_point(&self, point: &Point) -> Result<Key> {
+        self.universe.validate_point(point)?;
+        let mut coords = point.coords().to_vec();
+        Self::axes_to_transpose(&mut coords, self.universe.bits_per_dim());
+        Ok(ZCurve::interleave(&self.universe, &coords))
+    }
+
+    fn point_of_key(&self, key: &Key) -> Result<Point> {
+        key.expect_bits(self.universe.key_bits())?;
+        let mut coords = ZCurve::deinterleave(&self.universe, key);
+        Self::transpose_to_axes(&mut coords, self.universe.bits_per_dim());
+        Ok(Point::from_vec(coords))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::StandardCube;
+    use crate::SpaceFillingCurve;
+
+    fn curve(d: usize, k: u32) -> HilbertCurve {
+        HilbertCurve::new(Universe::new(d, k).unwrap())
+    }
+
+    fn all_points(d: usize, k: u32) -> Vec<Point> {
+        let side = 1u64 << k;
+        let total = side.pow(d as u32);
+        (0..total)
+            .map(|idx| {
+                let mut coords = vec![0u64; d];
+                let mut rem = idx;
+                for coord in coords.iter_mut() {
+                    *coord = rem % side;
+                    rem /= side;
+                }
+                Point::new(coords).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_by_two_order_is_the_u_shape() {
+        let c = curve(2, 1);
+        let order: Vec<Vec<u64>> = (0..4u128)
+            .map(|i| {
+                c.point_of_key(&Key::from_u128(i, 2))
+                    .unwrap()
+                    .coords()
+                    .to_vec()
+            })
+            .collect();
+        // The first-order 2D Hilbert curve is a U: (0,0) (0,1) (1,1) (1,0).
+        assert_eq!(order, vec![vec![0, 0], vec![0, 1], vec![1, 1], vec![1, 0]]);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_and_bijection() {
+        for (d, k) in [(2usize, 3u32), (3, 2), (4, 2)] {
+            let c = curve(d, k);
+            let mut seen = std::collections::BTreeSet::new();
+            for p in all_points(d, k) {
+                let key = c.key_of_point(&p).unwrap();
+                assert_eq!(c.point_of_key(&key).unwrap(), p, "round trip for {p}");
+                seen.insert(format!("{key:b}"));
+            }
+            let side = 1u64 << k;
+            assert_eq!(seen.len() as u64, side.pow(d as u32));
+        }
+    }
+
+    #[test]
+    fn consecutive_keys_are_adjacent_cells() {
+        // The defining locality property of the Hilbert curve: consecutive
+        // keys differ in exactly one coordinate by exactly one.
+        for (d, k) in [(2usize, 4u32), (3, 3)] {
+            let c = curve(d, k);
+            let total: u128 = 1u128 << (d as u32 * k);
+            let mut prev = c
+                .point_of_key(&Key::from_u128(0, d as u32 * k))
+                .unwrap();
+            for i in 1..total {
+                let p = c
+                    .point_of_key(&Key::from_u128(i, d as u32 * k))
+                    .unwrap();
+                let dist: u64 = p
+                    .coords()
+                    .iter()
+                    .zip(prev.coords())
+                    .map(|(&a, &b)| a.abs_diff(b))
+                    .sum();
+                assert_eq!(dist, 1, "keys {i} and {} are not adjacent", i - 1);
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn standard_cubes_are_single_runs() {
+        // Fact 2.1 for the Hilbert curve: the keys of the cells of any
+        // standard cube form a contiguous range.
+        let u = Universe::new(2, 3).unwrap();
+        let c = HilbertCurve::new(u.clone());
+        for exp in 0..=3u32 {
+            let side = 1u64 << exp;
+            let mut x = 0;
+            while x < 8 {
+                let mut y = 0;
+                while y < 8 {
+                    let cube = StandardCube::new(&u, vec![x, y], exp).unwrap();
+                    let mut keys: Vec<u128> = vec![];
+                    for p in all_points(2, 3) {
+                        if cube.contains_coords(p.coords()) {
+                            keys.push(c.key_of_point(&p).unwrap().to_u128().unwrap());
+                        }
+                    }
+                    keys.sort_unstable();
+                    assert_eq!(
+                        keys.last().unwrap() - keys.first().unwrap() + 1,
+                        keys.len() as u128,
+                        "cube {cube} is not contiguous"
+                    );
+                    // And the generic cube_key_range matches.
+                    let range = c.cube_key_range(&cube).unwrap();
+                    assert_eq!(range.lo().to_u128(), Some(*keys.first().unwrap()));
+                    assert_eq!(range.hi().to_u128(), Some(*keys.last().unwrap()));
+                    y += side;
+                }
+                x += side;
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_universe_points() {
+        let c = curve(2, 2);
+        assert!(c.key_of_point(&Point::new(vec![4, 0]).unwrap()).is_err());
+        assert!(c.point_of_key(&Key::zero(5)).is_err());
+    }
+
+    #[test]
+    fn high_dimensional_round_trip() {
+        let u = Universe::new(12, 6).unwrap(); // 72-bit keys
+        let c = HilbertCurve::new(u);
+        let p = Point::new((0..12).map(|i| (i * 7 + 3) % 64).collect()).unwrap();
+        let key = c.key_of_point(&p).unwrap();
+        assert_eq!(c.point_of_key(&key).unwrap(), p);
+    }
+
+    #[test]
+    fn single_bit_universe_round_trips() {
+        let c = curve(3, 1);
+        for p in all_points(3, 1) {
+            let key = c.key_of_point(&p).unwrap();
+            assert_eq!(c.point_of_key(&key).unwrap(), p);
+        }
+    }
+}

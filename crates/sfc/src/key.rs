@@ -1,0 +1,531 @@
+//! Arbitrary-precision SFC keys and key ranges.
+//!
+//! A key for a `d`-dimensional universe with `k` bits per dimension has
+//! exactly `d·k` bits. For realistic subscription workloads (`d = 2β` with
+//! β up to 8–16 attributes, `k` up to 32 bits) this exceeds 128 bits, so keys
+//! are stored as big-endian sequences of `u64` words with an explicit bit
+//! length. Keys compare lexicographically, which for equal bit lengths is the
+//! numeric order the space filling curve induces on cells.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SfcError;
+use crate::Result;
+
+/// An SFC key: an unsigned integer of a fixed bit width (`d·k` bits),
+/// ordered numerically.
+///
+/// # Example
+///
+/// ```
+/// use acd_sfc::Key;
+///
+/// let a = Key::from_u128(5, 8);
+/// let b = Key::from_u128(9, 8);
+/// assert!(a < b);
+/// assert_eq!(a.bits(), 8);
+/// assert_eq!(a.to_u128(), Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Key {
+    /// Total number of significant bits. The value occupies the low
+    /// `bits` bits of `words` interpreted as a big-endian number.
+    bits: u32,
+    /// Big-endian words: `words[0]` holds the most significant bits.
+    /// Invariant: `words.len() == ceil(bits / 64)` and any unused high bits
+    /// of `words[0]` are zero.
+    words: Vec<u64>,
+}
+
+impl Key {
+    /// Number of 64-bit words needed for `bits` bits.
+    fn words_for(bits: u32) -> usize {
+        ((bits as usize) + 63) / 64
+    }
+
+    /// Number of unused (always-zero) high bits in the first word.
+    fn slack(bits: u32) -> u32 {
+        (Self::words_for(bits) as u32) * 64 - bits
+    }
+
+    /// The all-zero key of the given width.
+    pub fn zero(bits: u32) -> Self {
+        Key {
+            bits,
+            words: vec![0; Self::words_for(bits).max(1)],
+        }
+    }
+
+    /// The all-ones key (maximum value) of the given width.
+    pub fn max_value(bits: u32) -> Self {
+        let mut key = Key::zero(bits);
+        for w in key.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        key.mask_slack();
+        key
+    }
+
+    /// Builds a key of width `bits` from a `u128` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `bits` bits.
+    pub fn from_u128(value: u128, bits: u32) -> Self {
+        assert!(
+            bits >= 128 || value < (1u128 << bits.min(127)) << (bits.min(128).saturating_sub(127)),
+            "value {value} does not fit in {bits} bits"
+        );
+        let mut key = Key::zero(bits);
+        let n = key.words.len();
+        if n >= 1 {
+            key.words[n - 1] = value as u64;
+        }
+        if n >= 2 {
+            key.words[n - 2] = (value >> 64) as u64;
+        }
+        key.mask_slack();
+        key
+    }
+
+    /// Returns the value as a `u128` if it fits, `None` otherwise.
+    pub fn to_u128(&self) -> Option<u128> {
+        let n = self.words.len();
+        if n > 2 && self.words[..n - 2].iter().any(|&w| w != 0) {
+            return None;
+        }
+        let lo = self.words[n - 1] as u128;
+        let hi = if n >= 2 { self.words[n - 2] as u128 } else { 0 };
+        Some((hi << 64) | lo)
+    }
+
+    /// Width of the key in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Zeroes out the unused high bits of the first word.
+    fn mask_slack(&mut self) {
+        let slack = Self::slack(self.bits);
+        if slack > 0 && slack < 64 {
+            self.words[0] &= u64::MAX >> slack;
+        } else if slack >= 64 {
+            // Can only happen for bits == 0 with one allocated word.
+            self.words[0] = 0;
+        }
+    }
+
+    /// Gets bit `index`, where index 0 is the least significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.bits()`.
+    pub fn bit(&self, index: u32) -> bool {
+        assert!(index < self.bits, "bit index {index} out of range");
+        let pos = self.bits - 1 - index + Self::slack(self.bits);
+        let word = (pos / 64) as usize;
+        let offset = 63 - (pos % 64);
+        (self.words[word] >> offset) & 1 == 1
+    }
+
+    /// Sets bit `index` (LSB = 0) to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.bits()`.
+    pub fn set_bit(&mut self, index: u32, value: bool) {
+        assert!(index < self.bits, "bit index {index} out of range");
+        let pos = self.bits - 1 - index + Self::slack(self.bits);
+        let word = (pos / 64) as usize;
+        let offset = 63 - (pos % 64);
+        if value {
+            self.words[word] |= 1u64 << offset;
+        } else {
+            self.words[word] &= !(1u64 << offset);
+        }
+    }
+
+    /// Returns a copy with the low `low_bits` bits cleared.
+    ///
+    /// Used to form the first key of a standard cube from the key of any cell
+    /// inside it: the cube at level `ℓ` shares the top `d·ℓ` bits.
+    pub fn with_low_bits_cleared(&self, low_bits: u32) -> Key {
+        let mut out = self.clone();
+        for i in 0..low_bits.min(self.bits) {
+            out.set_bit(i, false);
+        }
+        out
+    }
+
+    /// Returns a copy with the low `low_bits` bits set to one.
+    pub fn with_low_bits_set(&self, low_bits: u32) -> Key {
+        let mut out = self.clone();
+        for i in 0..low_bits.min(self.bits) {
+            out.set_bit(i, true);
+        }
+        out
+    }
+
+    /// The key immediately after this one, or `None` if this is the maximum.
+    pub fn successor(&self) -> Option<Key> {
+        let mut out = self.clone();
+        for w in out.words.iter_mut().rev() {
+            let (new, overflow) = w.overflowing_add(1);
+            *w = new;
+            if !overflow {
+                // Check the carry did not escape past the significant bits.
+                let mut check = out.clone();
+                check.mask_slack();
+                if check == out {
+                    return Some(out);
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    /// The key immediately before this one, or `None` if this is zero.
+    pub fn predecessor(&self) -> Option<Key> {
+        if self.is_zero() {
+            return None;
+        }
+        let mut out = self.clone();
+        for w in out.words.iter_mut().rev() {
+            let (new, borrow) = w.overflowing_sub(1);
+            *w = new;
+            if !borrow {
+                break;
+            }
+        }
+        out.mask_slack();
+        Some(out)
+    }
+
+    /// Whether the key is all zeros.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Validates that the key has the expected number of bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SfcError::KeyLengthMismatch`] on a mismatch.
+    pub fn expect_bits(&self, expected: u32) -> Result<()> {
+        if self.bits != expected {
+            return Err(SfcError::KeyLengthMismatch {
+                expected,
+                actual: self.bits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Lexicographic (numeric) comparison of the underlying words, ignoring
+    /// bit-width differences. Keys of different widths should not normally be
+    /// compared; in debug builds this asserts equal widths.
+    fn cmp_words(&self, other: &Self) -> Ordering {
+        debug_assert_eq!(
+            self.bits, other.bits,
+            "comparing keys of different bit widths"
+        );
+        self.words.cmp(&other.words)
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_words(other)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Hexadecimal, most significant word first, without leading zeros
+        // beyond the first digit.
+        let mut started = false;
+        for (i, w) in self.words.iter().enumerate() {
+            if !started {
+                if *w == 0 && i + 1 != self.words.len() {
+                    continue;
+                }
+                write!(f, "{w:x}")?;
+                started = true;
+            } else {
+                write!(f, "{w:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::LowerHex for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Binary for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.bits).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+/// An inclusive range of keys `[lo, hi]`, used to describe the segment of the
+/// SFC array occupied by a standard cube or a run.
+///
+/// # Example
+///
+/// ```
+/// use acd_sfc::{Key, KeyRange};
+///
+/// let r = KeyRange::new(Key::from_u128(4, 8), Key::from_u128(7, 8)).unwrap();
+/// assert!(r.contains(&Key::from_u128(5, 8)));
+/// assert!(!r.contains(&Key::from_u128(8, 8)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeyRange {
+    lo: Key,
+    hi: Key,
+}
+
+impl KeyRange {
+    /// Creates the inclusive range `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SfcError::Empty`] if `lo > hi` and
+    /// [`SfcError::KeyLengthMismatch`] if the bit widths differ.
+    pub fn new(lo: Key, hi: Key) -> Result<Self> {
+        hi.expect_bits(lo.bits())?;
+        if lo > hi {
+            return Err(SfcError::Empty);
+        }
+        Ok(KeyRange { lo, hi })
+    }
+
+    /// Lower (inclusive) endpoint.
+    pub fn lo(&self) -> &Key {
+        &self.lo
+    }
+
+    /// Upper (inclusive) endpoint.
+    pub fn hi(&self) -> &Key {
+        &self.hi
+    }
+
+    /// Whether `key` lies in the range.
+    pub fn contains(&self, key: &Key) -> bool {
+        *key >= self.lo && *key <= self.hi
+    }
+
+    /// Whether this range ends immediately before `next` begins, so that the
+    /// two can be merged into a single run.
+    pub fn is_adjacent_to(&self, next: &KeyRange) -> bool {
+        match self.hi.successor() {
+            Some(succ) => succ == next.lo,
+            None => false,
+        }
+    }
+
+    /// Whether this range overlaps `other`.
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Merges this range with an adjacent or overlapping range.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the ranges are neither adjacent nor
+    /// overlapping.
+    pub fn merge(&self, other: &KeyRange) -> KeyRange {
+        debug_assert!(self.overlaps(other) || self.is_adjacent_to(other) || other.is_adjacent_to(self));
+        KeyRange {
+            lo: self.lo.clone().min(other.lo.clone()),
+            hi: self.hi.clone().max(other.hi.clone()),
+        }
+    }
+
+    /// Number of keys in the range if it fits in a `u128`.
+    pub fn len(&self) -> Option<u128> {
+        let lo = self.lo.to_u128()?;
+        let hi = self.hi.to_u128()?;
+        hi.checked_sub(lo)?.checked_add(1)
+    }
+
+    /// A key range is never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_and_to_u128_round_trip() {
+        for bits in [1u32, 7, 8, 63, 64, 65, 127, 128, 130, 192] {
+            let vals: Vec<u128> = vec![0, 1, 2, 5, 100, (1u128 << (bits.min(127))) - 1];
+            for v in vals {
+                if bits < 128 && v >= (1u128 << bits) {
+                    continue;
+                }
+                let k = Key::from_u128(v, bits);
+                assert_eq!(k.to_u128(), Some(v), "bits={bits} v={v}");
+                assert_eq!(k.bits(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_matches_numeric_order() {
+        let mut keys: Vec<Key> = [0u128, 1, 5, 17, 255, 256, 1_000_000]
+            .iter()
+            .map(|&v| Key::from_u128(v, 96))
+            .collect();
+        let sorted = keys.clone();
+        keys.reverse();
+        keys.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn bit_get_and_set_round_trip() {
+        let mut k = Key::zero(130);
+        k.set_bit(0, true);
+        k.set_bit(64, true);
+        k.set_bit(129, true);
+        assert!(k.bit(0));
+        assert!(k.bit(64));
+        assert!(k.bit(129));
+        assert!(!k.bit(1));
+        assert!(!k.bit(128));
+        k.set_bit(64, false);
+        assert!(!k.bit(64));
+    }
+
+    #[test]
+    fn bit_positions_match_numeric_value() {
+        let k = Key::from_u128(0b1011, 8);
+        assert!(k.bit(0));
+        assert!(k.bit(1));
+        assert!(!k.bit(2));
+        assert!(k.bit(3));
+        assert!(!k.bit(7));
+    }
+
+    #[test]
+    fn low_bits_cleared_and_set() {
+        let k = Key::from_u128(0b1101_1011, 8);
+        assert_eq!(k.with_low_bits_cleared(4).to_u128(), Some(0b1101_0000));
+        assert_eq!(k.with_low_bits_set(4).to_u128(), Some(0b1101_1111));
+    }
+
+    #[test]
+    fn successor_and_predecessor() {
+        let k = Key::from_u128(41, 16);
+        assert_eq!(k.successor().unwrap().to_u128(), Some(42));
+        assert_eq!(k.predecessor().unwrap().to_u128(), Some(40));
+
+        let max = Key::max_value(16);
+        assert_eq!(max.to_u128(), Some(65535));
+        assert!(max.successor().is_none());
+        assert!(Key::zero(16).predecessor().is_none());
+    }
+
+    #[test]
+    fn successor_carries_across_words() {
+        let k = Key::from_u128(u64::MAX as u128, 80);
+        let s = k.successor().unwrap();
+        assert_eq!(s.to_u128(), Some(1u128 << 64));
+    }
+
+    #[test]
+    fn max_value_masks_slack_bits() {
+        let max = Key::max_value(70);
+        // The top word must only have 6 significant bits set.
+        assert_eq!(max.to_u128(), Some((1u128 << 70) - 1));
+        assert!(max.successor().is_none());
+    }
+
+    #[test]
+    fn expect_bits_detects_mismatch() {
+        let k = Key::zero(12);
+        assert!(k.expect_bits(12).is_ok());
+        assert!(matches!(
+            k.expect_bits(16),
+            Err(SfcError::KeyLengthMismatch { expected: 16, actual: 12 })
+        ));
+    }
+
+    #[test]
+    fn display_formats() {
+        let k = Key::from_u128(0xdead_beef, 64);
+        assert_eq!(format!("{k}"), "deadbeef");
+        assert_eq!(format!("{k:x}"), "deadbeef");
+        let b = Key::from_u128(0b101, 4);
+        assert_eq!(format!("{b:b}"), "0101");
+    }
+
+    #[test]
+    fn key_range_construction_and_queries() {
+        let lo = Key::from_u128(10, 32);
+        let hi = Key::from_u128(20, 32);
+        let r = KeyRange::new(lo.clone(), hi.clone()).unwrap();
+        assert_eq!(r.len(), Some(11));
+        assert!(r.contains(&Key::from_u128(10, 32)));
+        assert!(r.contains(&Key::from_u128(20, 32)));
+        assert!(!r.contains(&Key::from_u128(21, 32)));
+        assert!(KeyRange::new(hi, lo).is_err());
+    }
+
+    #[test]
+    fn key_range_adjacency_and_merge() {
+        let a = KeyRange::new(Key::from_u128(0, 16), Key::from_u128(3, 16)).unwrap();
+        let b = KeyRange::new(Key::from_u128(4, 16), Key::from_u128(7, 16)).unwrap();
+        let c = KeyRange::new(Key::from_u128(9, 16), Key::from_u128(12, 16)).unwrap();
+        assert!(a.is_adjacent_to(&b));
+        assert!(!b.is_adjacent_to(&a));
+        assert!(!b.is_adjacent_to(&c));
+        let merged = a.merge(&b);
+        assert_eq!(merged.len(), Some(8));
+        assert!(a.overlaps(&merged));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn adjacency_at_word_boundary() {
+        let a = KeyRange::new(
+            Key::from_u128(0, 80),
+            Key::from_u128(u64::MAX as u128, 80),
+        )
+        .unwrap();
+        let b = KeyRange::new(
+            Key::from_u128(1u128 << 64, 80),
+            Key::from_u128((1u128 << 64) + 10, 80),
+        )
+        .unwrap();
+        assert!(a.is_adjacent_to(&b));
+    }
+}

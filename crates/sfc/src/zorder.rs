@@ -1,0 +1,232 @@
+//! The Z-order (Morton) curve.
+//!
+//! The key of a cell is obtained by interleaving the bits of its coordinates,
+//! most significant bit first, cycling through the dimensions: the top bit of
+//! the key is the top bit of dimension 0, followed by the top bit of
+//! dimension 1, and so on. This matches the paper's example (Section 5):
+//! the cell with coordinates `(3, 5) = (011, 101)` has key `011011 = 27`
+//! when interleaving starts with the first dimension's most significant bit —
+//! i.e. the key bits are `x1[2] x2[2] x1[1] x2[1] x1[0] x2[0]` read as
+//! `0·1 1·0 1·1`.
+
+use crate::curve::{CurveKind, SpaceFillingCurve};
+use crate::key::Key;
+use crate::universe::{Point, Universe};
+use crate::Result;
+
+/// The Z-order (Morton) space filling curve over a fixed universe.
+///
+/// # Example
+///
+/// ```
+/// use acd_sfc::{Universe, Point, ZCurve, SpaceFillingCurve};
+/// # fn main() -> Result<(), acd_sfc::SfcError> {
+/// let curve = ZCurve::new(Universe::new(2, 3)?);
+/// let key = curve.key_of_point(&Point::new(vec![3, 5])?)?;
+/// assert_eq!(key.to_u128(), Some(27)); // the paper's worked example
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZCurve {
+    universe: Universe,
+}
+
+impl ZCurve {
+    /// Creates a Z-order curve over `universe`.
+    pub fn new(universe: Universe) -> Self {
+        ZCurve { universe }
+    }
+
+    /// Interleaves the coordinate bits of `coords` into a key.
+    ///
+    /// Bit layout: for bit position `b` from most significant (`k−1`) down to
+    /// 0, and for each dimension `0..d` in order, the next key bit is bit `b`
+    /// of that dimension's coordinate.
+    pub(crate) fn interleave(universe: &Universe, coords: &[u64]) -> Key {
+        let d = universe.dims();
+        let k = universe.bits_per_dim();
+        let mut key = Key::zero(universe.key_bits());
+        // Key bit index counted from the most significant side.
+        for level in 0..k {
+            let coord_bit = k - 1 - level;
+            for (dim, &c) in coords.iter().enumerate() {
+                if (c >> coord_bit) & 1 == 1 {
+                    // Position from the MSB: level*d + dim; convert to
+                    // LSB-based index for Key::set_bit.
+                    let from_msb = level * d as u32 + dim as u32;
+                    let index = universe.key_bits() - 1 - from_msb;
+                    key.set_bit(index, true);
+                }
+            }
+        }
+        key
+    }
+
+    /// Reverses [`interleave`](Self::interleave).
+    pub(crate) fn deinterleave(universe: &Universe, key: &Key) -> Vec<u64> {
+        let d = universe.dims();
+        let k = universe.bits_per_dim();
+        let mut coords = vec![0u64; d];
+        for level in 0..k {
+            let coord_bit = k - 1 - level;
+            for (dim, coord) in coords.iter_mut().enumerate() {
+                let from_msb = level * d as u32 + dim as u32;
+                let index = universe.key_bits() - 1 - from_msb;
+                if key.bit(index) {
+                    *coord |= 1 << coord_bit;
+                }
+            }
+        }
+        coords
+    }
+}
+
+impl SpaceFillingCurve for ZCurve {
+    fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    fn kind(&self) -> CurveKind {
+        CurveKind::Z
+    }
+
+    fn key_of_point(&self, point: &Point) -> Result<Key> {
+        self.universe.validate_point(point)?;
+        Ok(Self::interleave(&self.universe, point.coords()))
+    }
+
+    fn point_of_key(&self, key: &Key) -> Result<Point> {
+        key.expect_bits(self.universe.key_bits())?;
+        Ok(Point::from_vec(Self::deinterleave(&self.universe, key)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::StandardCube;
+
+    fn curve(d: usize, k: u32) -> ZCurve {
+        ZCurve::new(Universe::new(d, k).unwrap())
+    }
+
+    #[test]
+    fn paper_example_3_5_gives_27() {
+        let c = curve(2, 3);
+        let key = c.key_of_point(&Point::new(vec![3, 5]).unwrap()).unwrap();
+        assert_eq!(key.to_u128(), Some(27));
+    }
+
+    #[test]
+    fn two_dim_keys_follow_z_pattern() {
+        // In a 2x2 universe, the Z curve visits (0,0), (0,1), (1,0), (1,1)
+        // in the order 0, 1, 2, 3 with dimension-0 bits ahead of dimension-1
+        // bits.
+        let c = curve(2, 1);
+        let key = |x: u64, y: u64| {
+            c.key_of_point(&Point::new(vec![x, y]).unwrap())
+                .unwrap()
+                .to_u128()
+                .unwrap()
+        };
+        assert_eq!(key(0, 0), 0);
+        assert_eq!(key(0, 1), 1);
+        assert_eq!(key(1, 0), 2);
+        assert_eq!(key(1, 1), 3);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_exhaustive_small() {
+        for (d, k) in [(1usize, 4u32), (2, 3), (3, 2)] {
+            let c = curve(d, k);
+            let side = 1u64 << k;
+            let total = side.pow(d as u32);
+            let mut seen = std::collections::BTreeSet::new();
+            for idx in 0..total {
+                // Enumerate all points of the universe.
+                let mut coords = vec![0u64; d];
+                let mut rem = idx;
+                for coord in coords.iter_mut() {
+                    *coord = rem % side;
+                    rem /= side;
+                }
+                let p = Point::new(coords).unwrap();
+                let key = c.key_of_point(&p).unwrap();
+                assert_eq!(c.point_of_key(&key).unwrap(), p);
+                seen.insert(key.to_u128().unwrap());
+            }
+            assert_eq!(seen.len() as u64, total, "keys must be a bijection");
+        }
+    }
+
+    #[test]
+    fn keys_reject_wrong_inputs() {
+        let c = curve(2, 4);
+        assert!(c.key_of_point(&Point::new(vec![16, 0]).unwrap()).is_err());
+        assert!(c.key_of_point(&Point::new(vec![1]).unwrap()).is_err());
+        let wrong_width = Key::zero(9);
+        assert!(c.point_of_key(&wrong_width).is_err());
+    }
+
+    #[test]
+    fn cube_key_range_covers_exactly_the_cube() {
+        let u = Universe::new(2, 3).unwrap();
+        let c = ZCurve::new(u.clone());
+        let cube = StandardCube::new(&u, vec![4, 2], 1).unwrap();
+        let range = c.cube_key_range(&cube).unwrap();
+        assert_eq!(range.len(), Some(4));
+        // Every cell inside the cube maps into the range; every cell outside
+        // does not.
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let p = Point::new(vec![x, y]).unwrap();
+                let key = c.key_of_point(&p).unwrap();
+                assert_eq!(
+                    range.contains(&key),
+                    cube.contains_coords(&[x, y]),
+                    "({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn whole_universe_cube_is_the_full_key_range() {
+        let u = Universe::new(3, 2).unwrap();
+        let c = ZCurve::new(u.clone());
+        let cube = StandardCube::whole_universe(&u);
+        let range = c.cube_key_range(&cube).unwrap();
+        assert_eq!(range.lo().to_u128(), Some(0));
+        assert_eq!(range.hi().to_u128(), Some(63));
+    }
+
+    #[test]
+    fn high_dimensional_keys_round_trip() {
+        // 20 dimensions x 8 bits = 160-bit keys: exercise the multi-word path.
+        let u = Universe::new(20, 8).unwrap();
+        let c = ZCurve::new(u.clone());
+        let p = Point::new((0..20).map(|i| (i * 13 + 7) % 256).collect()).unwrap();
+        let key = c.key_of_point(&p).unwrap();
+        assert_eq!(key.bits(), 160);
+        assert_eq!(c.point_of_key(&key).unwrap(), p);
+    }
+
+    #[test]
+    fn locality_of_first_dimension_is_most_significant() {
+        // Points that differ in the most significant bit of dimension 0 are
+        // far apart in key space.
+        let c = curve(2, 4);
+        let a = c
+            .key_of_point(&Point::new(vec![0, 0]).unwrap())
+            .unwrap()
+            .to_u128()
+            .unwrap();
+        let b = c
+            .key_of_point(&Point::new(vec![8, 0]).unwrap())
+            .unwrap()
+            .to_u128()
+            .unwrap();
+        assert_eq!(b - a, 128);
+    }
+}

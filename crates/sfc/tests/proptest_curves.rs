@@ -1,0 +1,183 @@
+//! Property-based tests of the space-filling-curve substrate.
+
+use proptest::prelude::*;
+
+use acd_sfc::bits;
+use acd_sfc::decompose::{count_cubes, decompose_rect};
+use acd_sfc::runs::runs_of_cubes;
+use acd_sfc::{
+    CurveKind, ExtremalCubes, ExtremalRect, Point, Rect, SpaceFillingCurve, Universe,
+};
+
+/// Strategy: a universe shape (dims, bits) small enough for exhaustive
+/// cross-checks.
+fn universe_shape() -> impl Strategy<Value = (usize, u32)> {
+    (1usize..=4, 1u32..=5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encoding then decoding any in-universe point is the identity, for all
+    /// three curves, including multi-word key sizes.
+    #[test]
+    fn encode_decode_round_trip(
+        (dims, bits) in universe_shape(),
+        seed in any::<u64>(),
+    ) {
+        let universe = Universe::new(dims, bits).unwrap();
+        let side = universe.side();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for kind in CurveKind::all() {
+            let curve = kind.build(universe.clone());
+            for _ in 0..16 {
+                let p = Point::new((0..dims).map(|_| next() % side).collect()).unwrap();
+                let key = curve.key_of_point(&p).unwrap();
+                prop_assert_eq!(curve.point_of_key(&key).unwrap(), p);
+            }
+        }
+    }
+
+    /// The greedy decomposition of a rectangle exactly tiles it (volumes add
+    /// up, cubes stay inside) and never needs fewer runs than Lemma 3.1
+    /// allows.
+    #[test]
+    fn decomposition_tiles_and_runs_bounded(
+        (dims, bits) in (2usize..=3, 2u32..=4),
+        seed in any::<u64>(),
+    ) {
+        let universe = Universe::new(dims, bits).unwrap();
+        let side = universe.side();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % side
+        };
+        let (mut lo, mut hi) = (Vec::new(), Vec::new());
+        for _ in 0..dims {
+            let a = next();
+            let b = next();
+            lo.push(a.min(b));
+            hi.push(a.max(b));
+        }
+        let rect = Rect::new(lo, hi).unwrap();
+        let cubes = decompose_rect(&universe, &rect).unwrap();
+        let total: u128 = cubes.iter().map(|c| c.volume().unwrap()).sum();
+        prop_assert_eq!(total, rect.volume().unwrap());
+        for c in &cubes {
+            prop_assert!(rect.contains_rect(&c.to_rect()));
+        }
+        prop_assert_eq!(cubes.len() as u64, count_cubes(&universe, &rect).unwrap());
+        for kind in CurveKind::all() {
+            let curve = kind.build(universe.clone());
+            let runs = runs_of_cubes(curve.as_ref(), &cubes).unwrap();
+            prop_assert!(runs.len() <= cubes.len(), "lemma 3.1 violated");
+            let merged: usize = runs.iter().map(|r| r.cubes()).sum();
+            prop_assert_eq!(merged, cubes.len());
+        }
+    }
+
+    /// The specialized extremal decomposition agrees with the generic one on
+    /// the count of cubes per level.
+    #[test]
+    fn extremal_decomposition_matches_generic(
+        (dims, bits) in (1usize..=3, 1u32..=5),
+        seed in any::<u64>(),
+    ) {
+        let universe = Universe::new(dims, bits).unwrap();
+        let side = universe.side();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            1 + state % side
+        };
+        let lengths: Vec<u64> = (0..dims).map(|_| next()).collect();
+        let rect = ExtremalRect::new(universe.clone(), lengths).unwrap();
+        let specialized = ExtremalCubes::new(&rect);
+        let generic = decompose_rect(&universe, &rect.to_rect()).unwrap();
+        prop_assert_eq!(
+            specialized.count_cubes().unwrap(),
+            generic.len() as u128
+        );
+        // And the lazily enumerated cubes tile the same volume.
+        let enumerated: u128 = specialized.iter().map(|c| c.volume().unwrap()).sum();
+        prop_assert_eq!(enumerated, rect.volume().unwrap());
+    }
+
+    /// Lemma 3.2: truncating side lengths to m = ceil(log2(2d/eps)) bits keeps
+    /// at least a (1 - eps) fraction of the volume.
+    #[test]
+    fn truncation_volume_guarantee(
+        dims in 1usize..=8,
+        eps_percent in 1u32..=50,
+        seed in any::<u64>(),
+    ) {
+        let eps = eps_percent as f64 / 100.0;
+        let bits = 16u32;
+        let universe = Universe::new(dims, bits).unwrap();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            1 + state % (1u64 << bits)
+        };
+        let lengths: Vec<u64> = (0..dims).map(|_| next()).collect();
+        let rect = ExtremalRect::new(universe, lengths).unwrap();
+        let m = bits::truncation_bits_for_epsilon(dims, eps);
+        let truncated = rect.truncate(m);
+        let fraction = rect.volume_fraction_of(&truncated);
+        prop_assert!(fraction >= 1.0 - eps - 1e-9, "fraction {} < 1 - {}", fraction, eps);
+        prop_assert!(fraction <= 1.0 + 1e-9);
+    }
+
+    /// Fact 2.1: the key range of any standard cube contains exactly the keys
+    /// of the cube's cells.
+    #[test]
+    fn cube_key_ranges_are_exact(
+        bits in 1u32..=3,
+        seed in any::<u64>(),
+    ) {
+        let dims = 2usize;
+        let universe = Universe::new(dims, bits).unwrap();
+        let side = universe.side();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let exp = (next() % (bits as u64 + 1)) as u32;
+        let cube_side = 1u64 << exp;
+        let corner: Vec<u64> = (0..dims)
+            .map(|_| (next() % (side / cube_side)) * cube_side)
+            .collect();
+        let cube = acd_sfc::StandardCube::new(&universe, corner, exp).unwrap();
+        for kind in CurveKind::all() {
+            let curve = kind.build(universe.clone());
+            let range = curve.cube_key_range(&cube).unwrap();
+            for x in 0..side {
+                for y in 0..side {
+                    let p = Point::new(vec![x, y]).unwrap();
+                    let key = curve.key_of_point(&p).unwrap();
+                    prop_assert_eq!(
+                        range.contains(&key),
+                        cube.contains_coords(&[x, y]),
+                        "curve {} cell ({}, {})", kind.name(), x, y
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Fluent construction of subscriptions.
+
+use crate::predicate::RangePredicate;
+use crate::schema::Schema;
+use crate::subscription::{SubId, Subscription};
+use crate::Result;
+
+/// A fluent builder for [`Subscription`]s.
+///
+/// Each call adds one per-attribute constraint; attributes that are never
+/// mentioned default to their full domain. The builder is non-consuming so it
+/// can be reused to stamp out several similar subscriptions.
+///
+/// # Example
+///
+/// ```
+/// use acd_subscription::{Schema, SubscriptionBuilder};
+/// # fn main() -> Result<(), acd_subscription::SubscriptionError> {
+/// let schema = Schema::builder()
+///     .attribute("symbol_rank", 0.0, 5000.0)
+///     .attribute("price", 0.0, 1000.0)
+///     .build()?;
+/// let sub = SubscriptionBuilder::new(&schema)
+///     .at_least("symbol_rank", 100.0)
+///     .at_most("price", 95.0)
+///     .build(42)?;
+/// assert_eq!(sub.id(), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubscriptionBuilder {
+    schema: Schema,
+    predicates: Vec<Result<RangePredicate>>,
+}
+
+impl SubscriptionBuilder {
+    /// Starts building a subscription against `schema`.
+    pub fn new(schema: &Schema) -> Self {
+        SubscriptionBuilder {
+            schema: schema.clone(),
+            predicates: Vec::new(),
+        }
+    }
+
+    /// Adds the constraint `low ≤ attribute ≤ high`.
+    pub fn range(mut self, attribute: &str, low: f64, high: f64) -> Self {
+        self.predicates
+            .push(RangePredicate::between(attribute, low, high));
+        self
+    }
+
+    /// Adds the constraint `attribute ≥ low`.
+    pub fn at_least(mut self, attribute: &str, low: f64) -> Self {
+        self.predicates
+            .push(RangePredicate::at_least(&self.schema, attribute, low));
+        self
+    }
+
+    /// Adds the constraint `attribute ≤ high`.
+    pub fn at_most(mut self, attribute: &str, high: f64) -> Self {
+        self.predicates
+            .push(RangePredicate::at_most(&self.schema, attribute, high));
+        self
+    }
+
+    /// Adds the constraint `attribute = value`.
+    pub fn equals(mut self, attribute: &str, value: f64) -> Self {
+        self.predicates
+            .push(RangePredicate::equals(attribute, value));
+        self
+    }
+
+    /// Builds the subscription with the given identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error recorded while adding predicates, or any error
+    /// from [`Subscription::from_predicates`].
+    pub fn build(&self, id: SubId) -> Result<Subscription> {
+        let mut predicates = Vec::with_capacity(self.predicates.len());
+        for p in &self.predicates {
+            predicates.push(p.clone()?);
+        }
+        Subscription::from_predicates(&self.schema, id, &predicates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SubscriptionError;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("volume", 0.0, 1000.0)
+            .attribute("price", 0.0, 100.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fluent_construction() {
+        let s = schema();
+        let sub = SubscriptionBuilder::new(&s)
+            .at_least("volume", 500.0)
+            .at_most("price", 95.0)
+            .build(1)
+            .unwrap();
+        assert_eq!(sub.raw_bounds()[0], (500.0, 1000.0));
+        assert_eq!(sub.raw_bounds()[1], (0.0, 95.0));
+    }
+
+    #[test]
+    fn builder_is_reusable() {
+        let s = schema();
+        let builder = SubscriptionBuilder::new(&s).range("volume", 10.0, 20.0);
+        let a = builder.build(1).unwrap();
+        let b = builder.build(2).unwrap();
+        assert_eq!(a.grid_bounds(), b.grid_bounds());
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn errors_are_deferred_until_build() {
+        let s = schema();
+        let result = SubscriptionBuilder::new(&s)
+            .range("volume", 30.0, 10.0) // empty range
+            .build(1);
+        assert!(matches!(result, Err(SubscriptionError::EmptyRange { .. })));
+        let result = SubscriptionBuilder::new(&s)
+            .at_least("pressure", 1.0) // unknown attribute
+            .build(1);
+        assert!(matches!(
+            result,
+            Err(SubscriptionError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn equals_produces_degenerate_ranges() {
+        let s = schema();
+        let sub = SubscriptionBuilder::new(&s)
+            .equals("price", 42.0)
+            .build(3)
+            .unwrap();
+        let (lo, hi) = sub.grid_bounds()[1];
+        assert_eq!(lo, hi);
+    }
+}

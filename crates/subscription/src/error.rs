@@ -1,0 +1,146 @@
+use std::error::Error;
+use std::fmt;
+
+use acd_sfc::SfcError;
+
+/// Error type for the subscription data model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SubscriptionError {
+    /// A schema was declared with no attributes or too many attributes.
+    InvalidSchema {
+        /// Human readable reason.
+        reason: String,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute {
+        /// The offending name.
+        name: String,
+    },
+    /// The same attribute was constrained twice in one subscription.
+    DuplicateAttribute {
+        /// The offending name.
+        name: String,
+    },
+    /// A predicate has `low > high`.
+    EmptyRange {
+        /// Attribute the predicate constrains.
+        attribute: String,
+        /// Lower bound supplied.
+        low: f64,
+        /// Upper bound supplied.
+        high: f64,
+    },
+    /// A value lies outside the attribute's declared domain.
+    ValueOutOfDomain {
+        /// Attribute the value belongs to.
+        attribute: String,
+        /// The offending value.
+        value: f64,
+        /// Declared domain minimum.
+        min: f64,
+        /// Declared domain maximum.
+        max: f64,
+    },
+    /// An event supplied the wrong number of values.
+    ArityMismatch {
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// Two subscriptions or a subscription and an event belong to different
+    /// schemas.
+    SchemaMismatch,
+    /// An error bubbled up from the space-filling-curve substrate.
+    Sfc(SfcError),
+}
+
+impl fmt::Display for SubscriptionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubscriptionError::InvalidSchema { reason } => {
+                write!(f, "invalid schema: {reason}")
+            }
+            SubscriptionError::UnknownAttribute { name } => {
+                write!(f, "unknown attribute `{name}`")
+            }
+            SubscriptionError::DuplicateAttribute { name } => {
+                write!(f, "attribute `{name}` constrained more than once")
+            }
+            SubscriptionError::EmptyRange {
+                attribute,
+                low,
+                high,
+            } => write!(
+                f,
+                "empty range [{low}, {high}] for attribute `{attribute}`"
+            ),
+            SubscriptionError::ValueOutOfDomain {
+                attribute,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "value {value} for attribute `{attribute}` is outside its domain [{min}, {max}]"
+            ),
+            SubscriptionError::ArityMismatch { expected, actual } => write!(
+                f,
+                "event has {actual} values but the schema declares {expected} attributes"
+            ),
+            SubscriptionError::SchemaMismatch => {
+                write!(f, "operands belong to different schemas")
+            }
+            SubscriptionError::Sfc(e) => write!(f, "space filling curve error: {e}"),
+        }
+    }
+}
+
+impl Error for SubscriptionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SubscriptionError::Sfc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SfcError> for SubscriptionError {
+    fn from(e: SfcError) -> Self {
+        SubscriptionError::Sfc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_offending_names() {
+        let e = SubscriptionError::UnknownAttribute {
+            name: "prices".into(),
+        };
+        assert!(e.to_string().contains("prices"));
+        let e = SubscriptionError::EmptyRange {
+            attribute: "volume".into(),
+            low: 5.0,
+            high: 1.0,
+        };
+        assert!(e.to_string().contains("volume"));
+    }
+
+    #[test]
+    fn sfc_errors_convert_and_expose_source() {
+        let inner = SfcError::Empty;
+        let e: SubscriptionError = inner.clone().into();
+        assert!(matches!(e, SubscriptionError::Sfc(_)));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: Send + Sync + 'static>() {}
+        assert_traits::<SubscriptionError>();
+    }
+}

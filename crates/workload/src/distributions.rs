@@ -1,0 +1,143 @@
+//! Small, self-contained random distributions used by the generators.
+//!
+//! Only the distributions the experiments actually need are implemented
+//! (uniform, bounded Zipf, rounded Gaussian), keeping the dependency
+//! footprint to the `rand` crate alone.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A bounded Zipf sampler over `{0, 1, …, n−1}` with exponent `s`:
+/// `P(i) ∝ 1 / (i + 1)^s`.
+///
+/// Sampling uses the classic rejection-inversion-free approach of
+/// precomputing the cumulative distribution, which is perfectly adequate for
+/// the domain sizes the workloads use (a few thousand buckets).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` buckets with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one bucket");
+        assert!(s > 0.0, "zipf exponent must be positive");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in cumulative.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draws a bucket index in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf values are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Draws from a Gaussian with the given mean and standard deviation using the
+/// Box–Muller transform.
+pub fn sample_gaussian(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Draws a Gaussian sample and clamps it into `[lo, hi]`.
+pub fn sample_clamped_gaussian(rng: &mut StdRng, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+    sample_gaussian(rng, mean, std_dev).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zipf_prefers_low_buckets() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng(1);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50] * 5);
+        assert_eq!(z.buckets(), 100);
+    }
+
+    #[test]
+    fn zipf_with_tiny_exponent_is_nearly_uniform() {
+        let z = Zipf::new(10, 0.01);
+        let mut r = rng(2);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.3, "min {min} max {max}");
+    }
+
+    #[test]
+    fn zipf_samples_are_in_range() {
+        let z = Zipf::new(7, 2.0);
+        let mut r = rng(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut r) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_rejects_zero_buckets() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn gaussian_has_roughly_correct_moments() {
+        let mut r = rng(4);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_gaussian(&mut r, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "variance {var}");
+    }
+
+    #[test]
+    fn clamped_gaussian_respects_bounds() {
+        let mut r = rng(5);
+        for _ in 0..1000 {
+            let v = sample_clamped_gaussian(&mut r, 0.0, 100.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+use acd_subscription::SubscriptionError;
+
+/// Error type for workload generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The workload configuration is internally inconsistent.
+    InvalidConfig {
+        /// Human readable reason.
+        reason: String,
+    },
+    /// An error bubbled up from the subscription data model.
+    Subscription(SubscriptionError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig { reason } => {
+                write!(f, "invalid workload configuration: {reason}")
+            }
+            WorkloadError::Subscription(e) => write!(f, "subscription error: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Subscription(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SubscriptionError> for WorkloadError {
+    fn from(e: SubscriptionError) -> Self {
+        WorkloadError::Subscription(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = WorkloadError::InvalidConfig {
+            reason: "zero attributes".into(),
+        };
+        assert!(e.to_string().contains("zero attributes"));
+        assert!(Error::source(&e).is_none());
+        let e: WorkloadError = SubscriptionError::SchemaMismatch.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,171 @@
+//! The event (published message) generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use acd_subscription::{Event, Schema};
+
+use crate::config::{CenterDistribution, WorkloadConfig};
+use crate::distributions::{sample_clamped_gaussian, Zipf};
+use crate::subscriptions::build_schema;
+use crate::Result;
+
+/// A reproducible stream of synthetic events following the same center
+/// distribution as the subscription workload, so that skewed subscription
+/// populations see correspondingly skewed traffic.
+#[derive(Debug)]
+pub struct EventWorkload {
+    config: WorkloadConfig,
+    schema: Schema,
+    rng: StdRng,
+    zipf: Option<Zipf>,
+    cluster_centers: Vec<Vec<f64>>,
+}
+
+impl EventWorkload {
+    /// Creates a generator for `config`. The RNG stream is independent of
+    /// the subscription generator's (the seed is offset), so subscriptions
+    /// and events can be drawn in any interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn new(config: &WorkloadConfig) -> Result<Self> {
+        config.validate()?;
+        let schema = build_schema(config)?;
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9e3779b97f4a7c15));
+        let zipf = match config.center_distribution {
+            CenterDistribution::Zipf { exponent } => Some(Zipf::new(4096, exponent)),
+            _ => None,
+        };
+        let cluster_centers = match config.center_distribution {
+            CenterDistribution::Clustered { clusters, .. } => (0..clusters)
+                .map(|_| {
+                    (0..config.attributes)
+                        .map(|_| rng.gen_range(0.0..WorkloadConfig::DOMAIN_MAX))
+                        .collect()
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(EventWorkload {
+            config: config.clone(),
+            schema,
+            rng,
+            zipf,
+            cluster_centers,
+        })
+    }
+
+    /// Creates a generator that shares `schema` (e.g. the one the
+    /// subscription workload built) instead of rebuilding it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn with_schema(config: &WorkloadConfig, schema: &Schema) -> Result<Self> {
+        let mut w = Self::new(config)?;
+        w.schema = schema.clone();
+        Ok(w)
+    }
+
+    /// The schema the generated events are built against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn sample_value(&mut self, attr: usize) -> f64 {
+        let max = WorkloadConfig::DOMAIN_MAX;
+        match self.config.center_distribution {
+            CenterDistribution::Uniform => self.rng.gen_range(0.0..max),
+            CenterDistribution::Zipf { .. } => {
+                let z = self.zipf.as_ref().expect("zipf sampler exists");
+                let bucket = z.sample(&mut self.rng);
+                let bucket_width = max / z.buckets() as f64;
+                bucket as f64 * bucket_width + self.rng.gen_range(0.0..bucket_width)
+            }
+            CenterDistribution::Clustered { spread, .. } => {
+                let c = self.rng.gen_range(0..self.cluster_centers.len());
+                let mean = self.cluster_centers[c][attr];
+                sample_clamped_gaussian(&mut self.rng, mean, spread * max, 0.0, max)
+            }
+        }
+    }
+
+    /// Draws the next event.
+    pub fn next_event(&mut self) -> Event {
+        let values: Vec<f64> = (0..self.config.attributes)
+            .map(|attr| self.sample_value(attr))
+            .collect();
+        Event::new(&self.schema, values).expect("generated events are valid")
+    }
+
+    /// Draws a batch of `n` events.
+    pub fn take(&mut self, n: usize) -> Vec<Event> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CenterDistribution;
+    use crate::subscriptions::SubscriptionWorkload;
+
+    fn config() -> WorkloadConfig {
+        WorkloadConfig::builder()
+            .attributes(2)
+            .bits_per_attribute(8)
+            .seed(77)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn events_are_reproducible_and_in_domain() {
+        let c = config();
+        let a = EventWorkload::new(&c).unwrap().take(100);
+        let b = EventWorkload::new(&c).unwrap().take(100);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.values(), y.values());
+            for &v in x.values() {
+                assert!((0.0..=WorkloadConfig::DOMAIN_MAX).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn events_share_the_subscription_schema() {
+        let c = config();
+        let subs = SubscriptionWorkload::new(&c).unwrap();
+        let mut events = EventWorkload::with_schema(&c, subs.schema()).unwrap();
+        let e = events.next_event();
+        assert_eq!(e.schema(), subs.schema());
+    }
+
+    #[test]
+    fn clustered_events_concentrate_near_cluster_centers() {
+        let c = WorkloadConfig::builder()
+            .attributes(2)
+            .center_distribution(CenterDistribution::Clustered {
+                clusters: 1,
+                spread: 0.01,
+            })
+            .seed(123)
+            .build()
+            .unwrap();
+        let mut w = EventWorkload::new(&c).unwrap();
+        let events = w.take(300);
+        // With a single tight cluster, the spread of values should be small.
+        let xs: Vec<f64> = events.iter().map(|e| e.value(0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let spread = xs
+            .iter()
+            .map(|x| (x - mean).abs())
+            .fold(0.0f64, |a, b| a.max(b));
+        assert!(
+            spread < WorkloadConfig::DOMAIN_MAX * 0.1,
+            "events should cluster tightly, spread {spread}"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Named application scenarios used by the examples and the broker
+//! experiments.
+//!
+//! Each scenario bundles a realistic schema with a workload configuration
+//! whose distributions mimic the application the paper's introduction
+//! motivates (financial tickers, wide-area sensor monitoring).
+
+use serde::{Deserialize, Serialize};
+
+use acd_subscription::Schema;
+
+use crate::config::{CenterDistribution, WidthModel, WorkloadConfig};
+use crate::Result;
+
+/// A named application scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// A stock-ticker feed: subscriptions constrain symbol rank, traded
+    /// volume and price; interest is heavily skewed toward a few hot
+    /// symbols.
+    StockTicker,
+    /// A wide-area sensor network: subscriptions constrain temperature,
+    /// humidity and battery level; interest clusters around a few geographic
+    /// hot spots.
+    SensorNetwork,
+    /// A synthetic uniform workload with moderate selectivity, useful as a
+    /// neutral baseline.
+    UniformBaseline,
+}
+
+impl Scenario {
+    /// All built-in scenarios.
+    pub fn all() -> [Scenario; 3] {
+        [
+            Scenario::StockTicker,
+            Scenario::SensorNetwork,
+            Scenario::UniformBaseline,
+        ]
+    }
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::StockTicker => "stock-ticker",
+            Scenario::SensorNetwork => "sensor-network",
+            Scenario::UniformBaseline => "uniform",
+        }
+    }
+
+    /// The application-flavoured schema of this scenario.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in scenarios; the `Result` mirrors the
+    /// schema builder's signature.
+    pub fn schema(self) -> Result<Schema> {
+        let schema = match self {
+            Scenario::StockTicker => Schema::builder()
+                .attribute("symbol_rank", 0.0, 5000.0)
+                .attribute("volume", 0.0, 1_000_000.0)
+                .attribute("price", 0.0, 10_000.0)
+                .bits_per_attribute(10)
+                .build()?,
+            Scenario::SensorNetwork => Schema::builder()
+                .attribute("temperature", -40.0, 60.0)
+                .attribute("humidity", 0.0, 100.0)
+                .attribute("battery", 0.0, 100.0)
+                .bits_per_attribute(10)
+                .build()?,
+            Scenario::UniformBaseline => Schema::builder()
+                .attribute("attr0", 0.0, WorkloadConfig::DOMAIN_MAX)
+                .attribute("attr1", 0.0, WorkloadConfig::DOMAIN_MAX)
+                .attribute("attr2", 0.0, WorkloadConfig::DOMAIN_MAX)
+                .bits_per_attribute(10)
+                .build()?,
+        };
+        Ok(schema)
+    }
+
+    /// The workload configuration of this scenario (3 attributes, 10 bits).
+    ///
+    /// The generated subscriptions use the generic `attr0..attr2` schema of
+    /// the workload crate; the scenario-specific [`Scenario::schema`] is
+    /// intended for the hand-written examples. Both have the same shape
+    /// (3 × 10 bits), so measured costs are directly comparable.
+    pub fn workload_config(self, seed: u64) -> WorkloadConfig {
+        let builder = WorkloadConfig::builder()
+            .attributes(3)
+            .bits_per_attribute(10)
+            .seed(seed);
+        let builder = match self {
+            Scenario::StockTicker => builder
+                .center_distribution(CenterDistribution::Zipf { exponent: 1.1 })
+                .width_model(WidthModel::UniformFraction {
+                    min: 0.02,
+                    max: 0.3,
+                }),
+            Scenario::SensorNetwork => builder
+                .center_distribution(CenterDistribution::Clustered {
+                    clusters: 8,
+                    spread: 0.05,
+                })
+                .width_model(WidthModel::UniformFraction {
+                    min: 0.05,
+                    max: 0.25,
+                }),
+            Scenario::UniformBaseline => builder
+                .center_distribution(CenterDistribution::Uniform)
+                .width_model(WidthModel::UniformFraction {
+                    min: 0.05,
+                    max: 0.5,
+                }),
+        };
+        builder.build().expect("built-in scenarios are valid")
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscriptions::SubscriptionWorkload;
+
+    #[test]
+    fn all_scenarios_produce_valid_schemas_and_configs() {
+        for s in Scenario::all() {
+            let schema = s.schema().unwrap();
+            assert_eq!(schema.arity(), 3);
+            let config = s.workload_config(1);
+            assert!(config.validate().is_ok());
+            let mut w = SubscriptionWorkload::new(&config).unwrap();
+            assert_eq!(w.take(10).len(), 10);
+            assert!(!s.label().is_empty());
+            assert_eq!(s.to_string(), s.label());
+        }
+    }
+
+    #[test]
+    fn stock_ticker_is_skewed_sensor_network_is_clustered() {
+        assert!(matches!(
+            Scenario::StockTicker.workload_config(1).center_distribution,
+            CenterDistribution::Zipf { .. }
+        ));
+        assert!(matches!(
+            Scenario::SensorNetwork
+                .workload_config(1)
+                .center_distribution,
+            CenterDistribution::Clustered { .. }
+        ));
+        assert!(matches!(
+            Scenario::UniformBaseline
+                .workload_config(1)
+                .center_distribution,
+            CenterDistribution::Uniform
+        ));
+    }
+}

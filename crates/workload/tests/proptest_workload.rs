@@ -1,0 +1,119 @@
+//! Property-based tests of the workload generators: every generated
+//! subscription and event is valid for its schema, generation is a pure
+//! function of the seed, and the width models hit their targets.
+
+use proptest::prelude::*;
+
+use acd_workload::{
+    CenterDistribution, EventWorkload, SubscriptionWorkload, WidthModel, WorkloadConfig,
+};
+
+fn distribution_strategy() -> impl Strategy<Value = CenterDistribution> {
+    prop_oneof![
+        Just(CenterDistribution::Uniform),
+        (0.5f64..2.5).prop_map(|exponent| CenterDistribution::Zipf { exponent }),
+        (1usize..10, 0.01f64..0.3).prop_map(|(clusters, spread)| {
+            CenterDistribution::Clustered { clusters, spread }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated subscription has non-empty, in-domain bounds on every
+    /// attribute and a strictly positive selectivity.
+    #[test]
+    fn generated_subscriptions_are_valid(
+        attributes in 1usize..=5,
+        bits in 4u32..=12,
+        distribution in distribution_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let config = WorkloadConfig::builder()
+            .attributes(attributes)
+            .bits_per_attribute(bits)
+            .center_distribution(distribution)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut workload = SubscriptionWorkload::new(&config).unwrap();
+        for s in workload.take(50) {
+            prop_assert_eq!(s.raw_bounds().len(), attributes);
+            for &(lo, hi) in s.raw_bounds() {
+                prop_assert!(lo <= hi);
+                prop_assert!(lo >= 0.0 && hi <= WorkloadConfig::DOMAIN_MAX);
+            }
+            prop_assert!(s.selectivity() > 0.0 && s.selectivity() <= 1.0);
+        }
+    }
+
+    /// Generation is deterministic in the seed: equal seeds give equal
+    /// populations, different seeds eventually diverge.
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed(
+        seed in any::<u64>(),
+        distribution in distribution_strategy(),
+    ) {
+        let build = |s: u64| {
+            WorkloadConfig::builder()
+                .attributes(3)
+                .center_distribution(distribution)
+                .seed(s)
+                .build()
+                .unwrap()
+        };
+        let a: Vec<_> = SubscriptionWorkload::new(&build(seed)).unwrap().take(20);
+        let b: Vec<_> = SubscriptionWorkload::new(&build(seed)).unwrap().take(20);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.grid_bounds(), y.grid_bounds());
+        }
+        let events_a = EventWorkload::new(&build(seed)).unwrap().take(20);
+        let events_b = EventWorkload::new(&build(seed)).unwrap().take(20);
+        for (x, y) in events_a.iter().zip(&events_b) {
+            prop_assert_eq!(x.values(), y.values());
+        }
+    }
+
+    /// Events generated for a workload always validate against the workload's
+    /// schema and quantize onto its grid.
+    #[test]
+    fn generated_events_are_valid(
+        attributes in 1usize..=4,
+        distribution in distribution_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let config = WorkloadConfig::builder()
+            .attributes(attributes)
+            .center_distribution(distribution)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut events = EventWorkload::new(&config).unwrap();
+        for e in events.take(50) {
+            prop_assert_eq!(e.values().len(), attributes);
+            let p = e.grid_point().unwrap();
+            prop_assert_eq!(p.dims(), attributes);
+        }
+    }
+
+    /// The equal-sides width model produces subscriptions whose aspect ratio
+    /// stays small (0 or 1 after boundary clipping).
+    #[test]
+    fn equal_sides_width_model_controls_aspect_ratio(
+        seed in any::<u64>(),
+        fraction in 0.05f64..0.45,
+    ) {
+        let config = WorkloadConfig::builder()
+            .attributes(3)
+            .bits_per_attribute(10)
+            .width_model(WidthModel::EqualSides { min: fraction, max: fraction })
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut workload = SubscriptionWorkload::new(&config).unwrap();
+        for s in workload.take(30) {
+            prop_assert!(s.aspect_ratio() <= 1, "aspect ratio {}", s.aspect_ratio());
+        }
+    }
+}

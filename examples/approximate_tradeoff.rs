@@ -1,0 +1,72 @@
+//! Sweeps the approximation parameter ε on a fixed router state and prints
+//! the cost/recall trade-off — the knob the paper introduces.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example approximate_tradeoff
+//! ```
+
+use acd::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_existing = 8_000;
+    let n_arrivals = 400;
+
+    let config = WorkloadConfig::builder()
+        .attributes(2)
+        .bits_per_attribute(12)
+        .seed(9)
+        .build()?;
+    let mut workload = SubscriptionWorkload::new(&config)?;
+    let schema = workload.schema().clone();
+    let existing = workload.take(n_existing);
+    let arrivals = workload.take(n_arrivals);
+
+    // Ground truth with the exact linear scan.
+    let mut exact = LinearScanIndex::new(&schema);
+    for s in &existing {
+        exact.insert(s)?;
+    }
+    let truth: Vec<bool> = arrivals
+        .iter()
+        .map(|a| exact.find_covering(a).unwrap().is_covered())
+        .collect();
+    let truly_covered = truth.iter().filter(|&&c| c).count().max(1);
+
+    println!(
+        "{} existing subscriptions, {} arrivals, {} of them covered",
+        n_existing,
+        n_arrivals,
+        truth.iter().filter(|&&c| c).count()
+    );
+    println!(
+        "{:>8} {:>16} {:>14} {:>18}",
+        "epsilon", "mean runs/query", "recall", "volume searched"
+    );
+
+    for eps in [0.5, 0.3, 0.1, 0.05, 0.01, 0.001] {
+        let mut index =
+            SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(eps)?)?;
+        for s in &existing {
+            index.insert(s)?;
+        }
+        let mut detected = 0usize;
+        for (arrival, &covered) in arrivals.iter().zip(&truth) {
+            if index.find_covering(arrival)?.is_covered() {
+                assert!(covered);
+                detected += 1;
+            }
+        }
+        let stats = index.stats();
+        println!(
+            "{:>8} {:>16.1} {:>13.1}% {:>17.1}%",
+            eps,
+            stats.mean_runs_per_query(),
+            100.0 * detected as f64 / truly_covered as f64,
+            100.0 * stats.total_volume_fraction / stats.queries as f64
+        );
+    }
+    println!("\nsmaller epsilon searches more volume (more runs) and recovers more covering pairs");
+    Ok(())
+}

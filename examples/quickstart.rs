@@ -1,0 +1,86 @@
+//! Quickstart: build a covering index, insert subscriptions, and see which
+//! arriving subscriptions would not need to be propagated.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use acd::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small stock-feed schema: messages carry a traded volume and a price.
+    let schema = Schema::builder()
+        .attribute("volume", 0.0, 10_000.0)
+        .attribute("price", 0.0, 500.0)
+        .bits_per_attribute(10)
+        .build()?;
+
+    // The router keeps an approximate covering index: every query searches at
+    // least 95% (by volume) of the region where covering subscriptions live.
+    let mut index = SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(0.05)?)?;
+
+    // Existing subscriptions at the router.
+    let existing = vec![
+        SubscriptionBuilder::new(&schema)
+            .at_least("volume", 500.0)
+            .at_most("price", 95.0)
+            .build(1)?,
+        SubscriptionBuilder::new(&schema)
+            .range("volume", 0.0, 2_000.0)
+            .range("price", 100.0, 300.0)
+            .build(2)?,
+    ];
+    for s in &existing {
+        index.insert(s)?;
+        println!("registered  {s}");
+    }
+
+    // New subscriptions arrive; covered ones need not be forwarded upstream.
+    let arrivals = vec![
+        SubscriptionBuilder::new(&schema)
+            .range("volume", 1_000.0, 2_000.0)
+            .range("price", 50.0, 90.0)
+            .build(10)?,
+        SubscriptionBuilder::new(&schema)
+            .range("volume", 3_000.0, 4_000.0)
+            .range("price", 200.0, 400.0)
+            .build(11)?,
+        SubscriptionBuilder::new(&schema)
+            .range("volume", 500.0, 1_500.0)
+            .range("price", 120.0, 250.0)
+            .build(12)?,
+    ];
+
+    for arrival in &arrivals {
+        let outcome = index.find_covering(arrival)?;
+        match outcome.covering {
+            Some(id) => println!(
+                "covered     {arrival}\n            -> already covered by subscription {id} \
+                 ({} runs probed, {:.1}% of the region searched)",
+                outcome.stats.runs_probed,
+                100.0 * outcome.stats.volume_fraction_searched
+            ),
+            None => {
+                println!(
+                    "forwarding  {arrival}\n            -> no covering subscription found \
+                     ({} runs probed, {:.1}% of the region searched)",
+                    outcome.stats.runs_probed,
+                    100.0 * outcome.stats.volume_fraction_searched
+                );
+                index.insert(arrival)?;
+            }
+        }
+    }
+
+    // Matching still works as usual.
+    let event = Event::new(&schema, vec![1_000.0, 88.0])?;
+    let matching: Vec<u64> = existing
+        .iter()
+        .filter(|s| s.matches(&event))
+        .map(|s| s.id())
+        .collect();
+    println!("event {event} matches subscriptions {matching:?}");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Visualizes how the Z-order and Hilbert curves decompose 2-D query regions
+//! into standard cubes and runs — an ASCII rendition of the paper's Figures 1
+//! and 2.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example sfc_explorer
+//! ```
+
+use acd::sfc::{
+    decompose::decompose_rect, runs::runs_of_cubes, CurveKind, Rect, SpaceFillingCurve, Universe,
+};
+
+/// Renders a small universe, labelling each cell with the index of the run
+/// (within the region's decomposition) that contains it.
+fn render(curve: &dyn SpaceFillingCurve, universe: &Universe, rect: &Rect) -> String {
+    let cubes = decompose_rect(universe, rect).expect("region fits the universe");
+    let runs = runs_of_cubes(curve, &cubes).expect("cubes belong to the universe");
+    let side = universe.side();
+    let mut grid = vec![vec!['.'; side as usize]; side as usize];
+    for x in 0..side {
+        for y in 0..side {
+            if !rect.contains_coords(&[x, y]) {
+                continue;
+            }
+            let key = curve
+                .key_of_point(&acd::sfc::Point::new(vec![x, y]).unwrap())
+                .unwrap();
+            let run_index = runs
+                .iter()
+                .position(|r| r.range().contains(&key))
+                .expect("every cell of the region lies in some run");
+            grid[y as usize][x as usize] =
+                char::from_digit((run_index % 36) as u32, 36).unwrap_or('#');
+        }
+    }
+    let mut out = String::new();
+    for row in grid.iter().rev() {
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{}: {} cubes merged into {} runs\n",
+        curve.name(),
+        cubes.len(),
+        runs.len()
+    ));
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let universe = Universe::new(2, 4)?; // a 16x16 toy universe
+    let regions = [
+        ("6x3 rectangle straddling the midline", Rect::new(vec![5, 6], vec![10, 8])?),
+        ("aligned 8x8 extremal square", Rect::new(vec![8, 8], vec![15, 15])?),
+        ("misaligned 9x9 extremal square", Rect::new(vec![7, 7], vec![15, 15])?),
+    ];
+
+    for (label, rect) in &regions {
+        println!("=== {label} ===");
+        for kind in [CurveKind::Z, CurveKind::Hilbert] {
+            let curve = kind.build(universe.clone());
+            println!("{}", render(curve.as_ref(), &universe, rect));
+        }
+    }
+    println!("cells are labelled by the run that contains them ('.' = outside the region)");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! A single stock-ticker router under a skewed (Zipf) subscription
+//! population: compares the covering detection cost and recall of the
+//! approximate SFC index against the exact linear scan.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example stock_ticker
+//! ```
+
+use std::time::Instant;
+
+use acd::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_existing = 10_000;
+    let n_arrivals = 500;
+
+    // The stock-ticker scenario: interest is heavily skewed toward a few hot
+    // symbols (Zipf-distributed centers over symbol rank, volume and price).
+    let config = Scenario::StockTicker.workload_config(42);
+    let mut workload = SubscriptionWorkload::new(&config)?;
+    let schema = workload.schema().clone();
+    let existing = workload.take(n_existing);
+    let arrivals = workload.take(n_arrivals);
+
+    // Exact baseline: scan every stored subscription.
+    let mut linear = LinearScanIndex::new(&schema);
+    // The paper's index: 0.05-approximate dominance search on the Z curve.
+    let mut approx = SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(0.05)?)?;
+
+    for s in &existing {
+        linear.insert(s)?;
+        approx.insert(s)?;
+    }
+
+    let start = Instant::now();
+    let truth: Vec<bool> = arrivals
+        .iter()
+        .map(|a| linear.find_covering(a).unwrap().is_covered())
+        .collect();
+    let linear_time = start.elapsed();
+
+    let start = Instant::now();
+    let mut detected = 0usize;
+    let mut missed = 0usize;
+    for (arrival, &covered) in arrivals.iter().zip(&truth) {
+        let outcome = approx.find_covering(arrival)?;
+        if outcome.is_covered() {
+            assert!(covered, "the approximate index never reports false positives");
+            detected += 1;
+        } else if covered {
+            missed += 1;
+        }
+    }
+    let approx_time = start.elapsed();
+
+    let truly_covered = truth.iter().filter(|&&c| c).count();
+    println!("stock-ticker router, {n_existing} existing subscriptions, {n_arrivals} arrivals");
+    println!(
+        "  truly covered arrivals      : {truly_covered} ({:.1}%)",
+        100.0 * truly_covered as f64 / n_arrivals as f64
+    );
+    println!(
+        "  linear scan                 : {:>8.1} ms total, {:.1} us/query",
+        linear_time.as_secs_f64() * 1e3,
+        linear_time.as_micros() as f64 / n_arrivals as f64
+    );
+    println!(
+        "  sfc approximate (eps = 0.05): {:>8.1} ms total, {:.1} us/query",
+        approx_time.as_secs_f64() * 1e3,
+        approx_time.as_micros() as f64 / n_arrivals as f64
+    );
+    println!(
+        "  detected / missed           : {detected} / {missed} (recall {:.1}%)",
+        if truly_covered == 0 {
+            100.0
+        } else {
+            100.0 * detected as f64 / truly_covered as f64
+        }
+    );
+    println!(
+        "  mean runs probed per query  : {:.1}",
+        approx.stats().mean_runs_per_query()
+    );
+    Ok(())
+}

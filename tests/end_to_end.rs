@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: workload generation → covering indexes →
+//! broker overlay, exercised through the facade crate's public API.
+
+use acd::prelude::*;
+use acd_workload::EventWorkload;
+
+#[test]
+fn generated_workload_through_all_indexes() {
+    // Generate a reproducible population, index it three ways, and check the
+    // answers are mutually consistent.
+    let config = WorkloadConfig::builder()
+        .attributes(2)
+        .bits_per_attribute(9)
+        .seed(1234)
+        .build()
+        .unwrap();
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let population = workload.take(500);
+    let queries = workload.take(80);
+
+    let mut linear = LinearScanIndex::new(&schema);
+    let mut exhaustive = SfcCoveringIndex::exhaustive(&schema).unwrap();
+    let mut approximate =
+        SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(0.05).unwrap()).unwrap();
+    for s in &population {
+        linear.insert(s).unwrap();
+        exhaustive.insert(s).unwrap();
+        approximate.insert(s).unwrap();
+    }
+    let mut truly_covered = 0;
+    let mut approx_detected = 0;
+    for q in &queries {
+        let truth = linear.find_covering(q).unwrap();
+        let exact = exhaustive.find_covering(q).unwrap();
+        let approx = approximate.find_covering(q).unwrap();
+        assert_eq!(truth.is_covered(), exact.is_covered());
+        if let Some(id) = exact.covering {
+            assert!(exhaustive.get(id).unwrap().covers(q));
+        }
+        if approx.is_covered() {
+            assert!(truth.is_covered(), "approximate index false positive");
+            approx_detected += 1;
+        }
+        if truth.is_covered() {
+            truly_covered += 1;
+        }
+    }
+    assert!(truly_covered > 0, "workload must contain covering pairs");
+    assert!(
+        approx_detected as f64 >= truly_covered as f64 * 0.6,
+        "approximate index detected only {approx_detected} of {truly_covered}"
+    );
+}
+
+#[test]
+fn broker_overlay_with_scenario_workloads_is_safe_and_saves_traffic() {
+    for scenario in Scenario::all() {
+        let config = scenario.workload_config(99);
+        let mut sub_workload = SubscriptionWorkload::new(&config).unwrap();
+        let schema = sub_workload.schema().clone();
+        let subscriptions = sub_workload.take(300);
+        let mut event_workload = EventWorkload::with_schema(&config, &schema).unwrap();
+        let events = event_workload.take(40);
+        let topology = Topology::balanced_tree(2, 3).unwrap();
+
+        let mut run = |policy: CoveringPolicy| {
+            let mut net = BrokerNetwork::new(topology.clone(), &schema, policy).unwrap();
+            for (i, s) in subscriptions.iter().enumerate() {
+                net.subscribe(i % topology.brokers(), i as u64, s).unwrap();
+            }
+            let mut deliveries = Vec::new();
+            for (i, e) in events.iter().enumerate() {
+                deliveries.push(net.publish((i * 3) % topology.brokers(), e).unwrap());
+            }
+            (deliveries, net.metrics())
+        };
+
+        let (flood_deliveries, flood) = run(CoveringPolicy::None);
+        let (approx_deliveries, approx) = run(CoveringPolicy::Approximate { epsilon: 0.05 });
+        assert_eq!(
+            flood_deliveries, approx_deliveries,
+            "scenario {scenario}: covering changed deliveries"
+        );
+        assert!(
+            approx.subscription_messages <= flood.subscription_messages,
+            "scenario {scenario}: covering increased subscription traffic"
+        );
+        assert!(approx.routing_table_entries <= flood.routing_table_entries);
+    }
+}
+
+#[test]
+fn removal_keeps_indexes_consistent_end_to_end() {
+    let schema = Schema::builder()
+        .attribute("x", 0.0, 100.0)
+        .attribute("y", 0.0, 100.0)
+        .bits_per_attribute(8)
+        .build()
+        .unwrap();
+    let mut index = SfcCoveringIndex::exhaustive(&schema).unwrap();
+    let wide = SubscriptionBuilder::new(&schema)
+        .range("x", 0.0, 100.0)
+        .range("y", 0.0, 100.0)
+        .build(1)
+        .unwrap();
+    let mid = SubscriptionBuilder::new(&schema)
+        .range("x", 10.0, 90.0)
+        .range("y", 10.0, 90.0)
+        .build(2)
+        .unwrap();
+    let narrow = SubscriptionBuilder::new(&schema)
+        .range("x", 40.0, 60.0)
+        .range("y", 40.0, 60.0)
+        .build(3)
+        .unwrap();
+    index.insert(&wide).unwrap();
+    index.insert(&mid).unwrap();
+
+    // Covered by both; removing the wide one must still find the mid one,
+    // removing both must find nothing.
+    assert!(index.find_covering(&narrow).unwrap().is_covered());
+    index.remove(1).unwrap();
+    let outcome = index.find_covering(&narrow).unwrap();
+    assert_eq!(outcome.covering, Some(2));
+    index.remove(2).unwrap();
+    assert!(!index.find_covering(&narrow).unwrap().is_covered());
+
+    // Reverse queries stay consistent too.
+    index.insert(&narrow).unwrap();
+    let covered = index.find_covered_by(&wide).unwrap();
+    assert_eq!(covered, vec![3]);
+}
+
+#[test]
+fn curves_are_interchangeable_for_correctness() {
+    let config = WorkloadConfig::builder()
+        .attributes(2)
+        .bits_per_attribute(8)
+        .seed(555)
+        .build()
+        .unwrap();
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let population = workload.take(200);
+    let queries = workload.take(40);
+
+    let mut indexes: Vec<SfcCoveringIndex> = CurveKind::all()
+        .into_iter()
+        .map(|kind| {
+            SfcCoveringIndex::with_curve(&schema, ApproxConfig::exhaustive(), kind).unwrap()
+        })
+        .collect();
+    for s in &population {
+        for idx in indexes.iter_mut() {
+            idx.insert(s).unwrap();
+        }
+    }
+    for q in &queries {
+        let answers: Vec<bool> = indexes
+            .iter_mut()
+            .map(|idx| idx.find_covering(q).unwrap().is_covered())
+            .collect();
+        assert!(
+            answers.windows(2).all(|w| w[0] == w[1]),
+            "curves disagree on query {}",
+            q.id()
+        );
+    }
+}
