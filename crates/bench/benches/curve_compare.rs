@@ -26,12 +26,9 @@ fn bench_curves(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
     for curve in CurveKind::all() {
-        let mut index = SfcCoveringIndex::with_curve(
-            &schema,
-            ApproxConfig::with_epsilon(0.05).unwrap(),
-            curve,
-        )
-        .unwrap();
+        let mut index =
+            SfcCoveringIndex::with_curve(&schema, ApproxConfig::with_epsilon(0.05).unwrap(), curve)
+                .unwrap();
         for s in &population {
             index.insert(s).unwrap();
         }

@@ -9,9 +9,7 @@
 //! ([MJFS01]) the paper cites for treating the curves interchangeably in the
 //! analysis.
 
-use acd_sfc::{
-    runs::count_runs_of_rect, CurveKind, Rect, Universe,
-};
+use acd_sfc::{runs::count_runs_of_rect, CurveKind, Rect, Universe};
 
 use crate::table::Table;
 
@@ -26,10 +24,22 @@ pub fn run() -> Vec<Table> {
     // A family of rectangles straddling bisection boundaries (the regime
     // where curves differ), including the Figure-1-style wide/flat shapes.
     let regions: Vec<(&str, Rect)> = vec![
-        ("4x2 straddling the midline", Rect::new(vec![30, 0], vec![33, 1]).unwrap()),
-        ("2x4 straddling the midline", Rect::new(vec![0, 30], vec![1, 33]).unwrap()),
-        ("8x8 aligned", Rect::new(vec![32, 32], vec![39, 39]).unwrap()),
-        ("9x9 misaligned", Rect::new(vec![31, 31], vec![39, 39]).unwrap()),
+        (
+            "4x2 straddling the midline",
+            Rect::new(vec![30, 0], vec![33, 1]).unwrap(),
+        ),
+        (
+            "2x4 straddling the midline",
+            Rect::new(vec![0, 30], vec![1, 33]).unwrap(),
+        ),
+        (
+            "8x8 aligned",
+            Rect::new(vec![32, 32], vec![39, 39]).unwrap(),
+        ),
+        (
+            "9x9 misaligned",
+            Rect::new(vec![31, 31], vec![39, 39]).unwrap(),
+        ),
         ("16x4 flat", Rect::new(vec![16, 30], vec![31, 33]).unwrap()),
         ("full row", Rect::new(vec![0, 31], vec![63, 32]).unwrap()),
     ];

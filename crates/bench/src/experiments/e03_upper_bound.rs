@@ -154,7 +154,10 @@ mod tests {
                 exact_rows += 1;
             }
         }
-        assert!(exact_rows >= 6, "most sweep points must be measured exactly");
+        assert!(
+            exact_rows >= 6,
+            "most sweep points must be measured exactly"
+        );
     }
 
     #[test]

@@ -37,11 +37,7 @@ pub fn run() -> Vec<Table> {
             let rect = analysis::worst_case_rect(&universe, gamma, alpha).unwrap();
             let cubes = decompose_rect(&universe, &rect.to_rect()).unwrap();
             let runs = runs_of_cubes(&curve, &cubes).unwrap();
-            let bound = analysis::exhaustive_query_lower_bound(
-                d,
-                alpha,
-                rect.lengths()[d - 1],
-            );
+            let bound = analysis::exhaustive_query_lower_bound(d, alpha, rect.lengths()[d - 1]);
             table.add_row(vec![
                 alpha.to_string(),
                 gamma.to_string(),

@@ -108,10 +108,8 @@ mod tests {
         assert!(rows.len() >= 3);
         let first = &rows[0];
         let last = &rows[rows.len() - 1];
-        let n_ratio: f64 =
-            last[0].parse::<f64>().unwrap() / first[0].parse::<f64>().unwrap();
-        let linear_ratio: f64 =
-            last[1].parse::<f64>().unwrap() / first[1].parse::<f64>().unwrap();
+        let n_ratio: f64 = last[0].parse::<f64>().unwrap() / first[0].parse::<f64>().unwrap();
+        let linear_ratio: f64 = last[1].parse::<f64>().unwrap() / first[1].parse::<f64>().unwrap();
         let approx_ratio: f64 =
             last[5].parse::<f64>().unwrap() / first[5].parse::<f64>().unwrap().max(1e-9);
         // The linear baseline's comparisons grow roughly with n...

@@ -44,12 +44,9 @@ pub fn run(scale: RunScale) -> Vec<Table> {
 
     let mut detections = Vec::new();
     for kind in CurveKind::all() {
-        let mut index = SfcCoveringIndex::with_curve(
-            &schema,
-            ApproxConfig::with_epsilon(0.05).unwrap(),
-            kind,
-        )
-        .unwrap();
+        let mut index =
+            SfcCoveringIndex::with_curve(&schema, ApproxConfig::with_epsilon(0.05).unwrap(), kind)
+                .unwrap();
         for s in &population {
             index.insert(s).unwrap();
         }

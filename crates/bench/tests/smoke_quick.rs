@@ -1,0 +1,37 @@
+//! Workspace-level smoke test: the whole experiment suite runs at
+//! `RunScale::quick()` and every experiment yields at least one non-empty,
+//! renderable table.
+
+use acd_bench::experiments::{self, catalog};
+use acd_bench::RunScale;
+
+#[test]
+fn every_experiment_produces_tables_at_quick_scale() {
+    let scale = RunScale::quick();
+    for info in catalog() {
+        let tables = experiments::run(info.id, scale);
+        assert!(
+            !tables.is_empty(),
+            "experiment {} produced no tables",
+            info.id
+        );
+        for table in &tables {
+            assert!(
+                table.row_count() > 0,
+                "experiment {} produced an empty table `{}`",
+                info.id,
+                table.title()
+            );
+            assert!(
+                table.column_count() > 0,
+                "experiment {} produced a table `{}` with no columns",
+                info.id,
+                table.title()
+            );
+            let rendered = table.render();
+            assert!(rendered.contains(table.title()));
+            let csv = table.to_csv();
+            assert_eq!(csv.lines().count(), table.row_count() + 1);
+        }
+    }
+}

@@ -125,7 +125,10 @@ impl Broker {
         match slot {
             None => {
                 // No covering detection: always forward.
-                *self.sent_counts.get_mut(&neighbor).expect("interface exists") += 1;
+                *self
+                    .sent_counts
+                    .get_mut(&neighbor)
+                    .expect("interface exists") += 1;
                 Ok(ForwardDecision {
                     forward: true,
                     covering_query: false,
@@ -144,7 +147,10 @@ impl Broker {
                     }
                 } else {
                     index.insert(subscription)?;
-                    *self.sent_counts.get_mut(&neighbor).expect("interface exists") += 1;
+                    *self
+                        .sent_counts
+                        .get_mut(&neighbor)
+                        .expect("interface exists") += 1;
                     ForwardDecision {
                         forward: true,
                         covering_query: true,

@@ -36,7 +36,10 @@ impl fmt::Display for BrokerError {
         match self {
             BrokerError::InvalidTopology { reason } => write!(f, "invalid topology: {reason}"),
             BrokerError::UnknownBroker { id, brokers } => {
-                write!(f, "broker {id} does not exist (network has {brokers} brokers)")
+                write!(
+                    f,
+                    "broker {id} does not exist (network has {brokers} brokers)"
+                )
             }
             BrokerError::DuplicateSubscription { id } => {
                 write!(f, "subscription {id} is already registered in the network")

@@ -259,8 +259,7 @@ mod tests {
 
         let (flood, flood_deliveries) = run(CoveringPolicy::None);
         let (exact, exact_deliveries) = run(CoveringPolicy::ExactSfc);
-        let (approx, approx_deliveries) =
-            run(CoveringPolicy::Approximate { epsilon: 0.05 });
+        let (approx, approx_deliveries) = run(CoveringPolicy::Approximate { epsilon: 0.05 });
 
         // Covering must never change deliveries.
         assert_eq!(flood_deliveries, exact_deliveries);

@@ -22,7 +22,8 @@ fn run_policy(
 
     let mut net = BrokerNetwork::new(topology.clone(), &schema, policy).unwrap();
     for (i, s) in subscriptions.iter().enumerate() {
-        net.subscribe((i * 3) % topology.brokers(), i as u64, s).unwrap();
+        net.subscribe((i * 3) % topology.brokers(), i as u64, s)
+            .unwrap();
     }
     let mut deliveries = Vec::new();
     for (i, e) in published.iter().enumerate() {
@@ -33,7 +34,7 @@ fn run_policy(
 
 #[test]
 fn all_policies_deliver_identically_on_all_topologies() {
-    let topologies = vec![
+    let topologies = [
         Topology::line(6).unwrap(),
         Topology::star(8).unwrap(),
         Topology::balanced_tree(2, 3).unwrap(),

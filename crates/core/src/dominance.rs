@@ -200,10 +200,7 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
         let mut pending_fraction = 0.0f64;
 
         // Helper closure to probe one run.
-        let probe = |range: &KeyRange,
-                         stats: &mut QueryStats,
-                         accept: &mut F|
-         -> Option<V> {
+        let probe = |range: &KeyRange, stats: &mut QueryStats, accept: &mut F| -> Option<V> {
             stats.runs_probed += 1;
             let mut found = None;
             let mut inspected = 0usize;
@@ -429,7 +426,9 @@ mod tests {
         let u = universe(4, 5);
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % 32
         };
         let mut idx = PointDominanceIndex::new(

@@ -39,7 +39,10 @@ impl fmt::Display for CoveringError {
                 write!(f, "epsilon {epsilon} is outside the open interval (0, 1)")
             }
             CoveringError::SchemaMismatch => {
-                write!(f, "subscription belongs to a different schema than the index")
+                write!(
+                    f,
+                    "subscription belongs to a different schema than the index"
+                )
             }
             CoveringError::UnknownSubscription { id } => {
                 write!(f, "subscription {id} is not in the index")

@@ -77,7 +77,7 @@ pub use stats::{IndexStats, QueryOutcome, QueryStats};
 
 // Re-exported so downstream crates (broker, bench) can name subscription
 // types through a single dependency if they wish.
-pub use acd_subscription::{Subscription, SubId};
+pub use acd_subscription::{SubId, Subscription};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T, E = CoveringError> = std::result::Result<T, E>;

@@ -84,7 +84,10 @@ mod tests {
     fn build_index_matches_policy() {
         let s = schema();
         assert!(CoveringPolicy::None.build_index(&s).unwrap().is_none());
-        let lin = CoveringPolicy::ExactLinear.build_index(&s).unwrap().unwrap();
+        let lin = CoveringPolicy::ExactLinear
+            .build_index(&s)
+            .unwrap()
+            .unwrap();
         assert_eq!(lin.name(), "linear-scan");
         let sfc = CoveringPolicy::ExactSfc.build_index(&s).unwrap().unwrap();
         assert_eq!(sfc.name(), "sfc-z-exhaustive");

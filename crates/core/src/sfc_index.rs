@@ -503,7 +503,10 @@ mod tests {
         let approx_out = idx.find_covering(&probe).unwrap();
         if approx_out.is_covered() {
             // Any hit must be genuine.
-            assert!(idx.get(approx_out.covering.unwrap()).unwrap().covers(&probe));
+            assert!(idx
+                .get(approx_out.covering.unwrap())
+                .unwrap()
+                .covers(&probe));
         }
         // The approximate query never does more work than the exhaustive one
         // on the same state.

@@ -170,7 +170,11 @@ mod tests {
         let u = Universe::new(3, 12).unwrap();
         for &eps in &[0.3, 0.1, 0.05] {
             let m = bits::truncation_bits_for_epsilon(3, eps);
-            for lengths in [vec![4095u64, 4095, 4095], vec![3000, 2500, 2047], vec![513, 700, 999]] {
+            for lengths in [
+                vec![4095u64, 4095, 4095],
+                vec![3000, 2500, 2047],
+                vec![513, 700, 999],
+            ] {
                 let rect = ExtremalRect::new(u.clone(), lengths).unwrap();
                 let truncated = rect.truncate(m);
                 let measured = ExtremalCubes::new(&truncated)

@@ -24,8 +24,8 @@ pub fn cubes_at_level(rect: &ExtremalRect, i: u32) -> Vec<StandardCube> {
     let mut out = Vec::new();
     // Algorithm 1: one pass per dimension s whose length has bit i set; that
     // dimension's slab is pinned to size exactly 2^i.
-    for s in 0..d {
-        if bits::bit_of(lengths[s], i) != 1 {
+    for (s, &length) in lengths.iter().enumerate() {
+        if bits::bit_of(length, i) != 1 {
             continue;
         }
         let mut selection = vec![0u32; d];
@@ -168,7 +168,12 @@ mod tests {
     #[test]
     fn agrees_in_three_dimensions() {
         let universe = Universe::new(3, 4).unwrap();
-        for lengths in [vec![5u64, 9, 3], vec![15, 15, 15], vec![2, 4, 8], vec![11, 1, 6]] {
+        for lengths in [
+            vec![5u64, 9, 3],
+            vec![15, 15, 15],
+            vec![2, 4, 8],
+            vec![11, 1, 6],
+        ] {
             let rect = ExtremalRect::new(universe.clone(), lengths.clone()).unwrap();
             let reference = ExtremalCubes::new(&rect);
             for level in reference.levels() {
@@ -191,7 +196,10 @@ mod tests {
         let outer = rect.to_rect();
         for i in 0..6u32 {
             for cube in cubes_at_level(&rect, i) {
-                assert!(outer.contains_rect(&cube.to_rect()), "level {i} cube {cube}");
+                assert!(
+                    outer.contains_rect(&cube.to_rect()),
+                    "level {i} cube {cube}"
+                );
                 assert_eq!(cube.side_exp(), i);
             }
         }

@@ -64,9 +64,7 @@ impl StandardCube {
         if side_exp > universe.bits_per_dim() {
             return Err(SfcError::InvalidSideLength {
                 dim: 0,
-                length: 1u64
-                    .checked_shl(side_exp)
-                    .unwrap_or(u64::MAX),
+                length: 1u64.checked_shl(side_exp).unwrap_or(u64::MAX),
                 bound: universe.side(),
             });
         }

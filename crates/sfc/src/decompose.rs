@@ -54,16 +54,11 @@ pub fn decompose_rect(universe: &Universe, rect: &Rect) -> Result<Vec<StandardCu
     rect.validate_in(universe)?;
     let mut out = Vec::new();
     let root = StandardCube::whole_universe(universe);
-    decompose_into(universe, rect, &root, &mut out);
+    decompose_into(rect, &root, &mut out);
     Ok(out)
 }
 
-fn decompose_into(
-    universe: &Universe,
-    rect: &Rect,
-    cube: &StandardCube,
-    out: &mut Vec<StandardCube>,
-) {
+fn decompose_into(rect: &Rect, cube: &StandardCube, out: &mut Vec<StandardCube>) {
     let cube_rect = cube.to_rect();
     if !rect.overlaps(&cube_rect) {
         return;
@@ -78,7 +73,7 @@ fn decompose_into(
         .children()
         .expect("partially overlapping cube has side > 1");
     for child in children {
-        decompose_into(universe, rect, &child, out);
+        decompose_into(rect, &child, out);
     }
 }
 
@@ -139,10 +134,7 @@ mod tests {
         }
         for (i, a) in cubes.iter().enumerate() {
             for b in cubes.iter().skip(i + 1) {
-                assert!(
-                    !a.to_rect().overlaps(&b.to_rect()),
-                    "{a} and {b} overlap"
-                );
+                assert!(!a.to_rect().overlaps(&b.to_rect()), "{a} and {b} overlap");
             }
         }
         // Spot-check membership for small universes.
@@ -233,11 +225,7 @@ mod tests {
         for _ in 0..40 {
             let (a, b) = (next() % 32, next() % 32);
             let (c, d) = (next() % 32, next() % 32);
-            let rect = Rect::new(
-                vec![a.min(b), c.min(d)],
-                vec![a.max(b), c.max(d)],
-            )
-            .unwrap();
+            let rect = Rect::new(vec![a.min(b), c.min(d)], vec![a.max(b), c.max(d)]).unwrap();
             let cubes = decompose_rect(&u, &rect).unwrap();
             assert_exact_tiling(&u, &rect, &cubes);
             assert_eq!(count_cubes(&u, &rect).unwrap(), cubes.len() as u64);

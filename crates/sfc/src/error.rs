@@ -127,13 +127,7 @@ mod tests {
 
     #[test]
     fn errors_compare_equal_structurally() {
-        assert_eq!(
-            SfcError::Empty,
-            SfcError::Empty,
-        );
-        assert_ne!(
-            SfcError::Empty,
-            SfcError::EmptyRectangle { dim: 0 },
-        );
+        assert_eq!(SfcError::Empty, SfcError::Empty,);
+        assert_ne!(SfcError::Empty, SfcError::EmptyRectangle { dim: 0 },);
     }
 }

@@ -173,9 +173,7 @@ mod tests {
         let mut prev = c.point_of_key(&Key::from_u128(0, 6)).unwrap();
         for i in 1..total {
             let p = c.point_of_key(&Key::from_u128(i, 6)).unwrap();
-            let differing: Vec<usize> = (0..2)
-                .filter(|&d| p.coord(d) != prev.coord(d))
-                .collect();
+            let differing: Vec<usize> = (0..2).filter(|&d| p.coord(d) != prev.coord(d)).collect();
             assert_eq!(differing.len(), 1, "rank {i}");
             let d = differing[0];
             let diff = p.coord(d).abs_diff(prev.coord(d));

@@ -204,13 +204,9 @@ mod tests {
         for (d, k) in [(2usize, 4u32), (3, 3)] {
             let c = curve(d, k);
             let total: u128 = 1u128 << (d as u32 * k);
-            let mut prev = c
-                .point_of_key(&Key::from_u128(0, d as u32 * k))
-                .unwrap();
+            let mut prev = c.point_of_key(&Key::from_u128(0, d as u32 * k)).unwrap();
             for i in 1..total {
-                let p = c
-                    .point_of_key(&Key::from_u128(i, d as u32 * k))
-                    .unwrap();
+                let p = c.point_of_key(&Key::from_u128(i, d as u32 * k)).unwrap();
                 let dist: u64 = p
                     .coords()
                     .iter()

@@ -43,7 +43,7 @@ pub struct Key {
 impl Key {
     /// Number of 64-bit words needed for `bits` bits.
     fn words_for(bits: u32) -> usize {
-        ((bits as usize) + 63) / 64
+        (bits as usize).div_ceil(64)
     }
 
     /// Number of unused (always-zero) high bits in the first word.
@@ -353,7 +353,9 @@ impl KeyRange {
     /// Panics in debug builds if the ranges are neither adjacent nor
     /// overlapping.
     pub fn merge(&self, other: &KeyRange) -> KeyRange {
-        debug_assert!(self.overlaps(other) || self.is_adjacent_to(other) || other.is_adjacent_to(self));
+        debug_assert!(
+            self.overlaps(other) || self.is_adjacent_to(other) || other.is_adjacent_to(self)
+        );
         KeyRange {
             lo: self.lo.clone().min(other.lo.clone()),
             hi: self.hi.clone().max(other.hi.clone()),
@@ -475,7 +477,10 @@ mod tests {
         assert!(k.expect_bits(12).is_ok());
         assert!(matches!(
             k.expect_bits(16),
-            Err(SfcError::KeyLengthMismatch { expected: 16, actual: 12 })
+            Err(SfcError::KeyLengthMismatch {
+                expected: 16,
+                actual: 12
+            })
         ));
     }
 
@@ -516,11 +521,7 @@ mod tests {
 
     #[test]
     fn adjacency_at_word_boundary() {
-        let a = KeyRange::new(
-            Key::from_u128(0, 80),
-            Key::from_u128(u64::MAX as u128, 80),
-        )
-        .unwrap();
+        let a = KeyRange::new(Key::from_u128(0, 80), Key::from_u128(u64::MAX as u128, 80)).unwrap();
         let b = KeyRange::new(
             Key::from_u128(1u128 << 64, 80),
             Key::from_u128((1u128 << 64) + 10, 80),

@@ -322,7 +322,7 @@ impl ExtremalRect {
     /// becomes zero (i.e. the rectangle would be empty).
     pub fn keep_bits_from(&self, i: u32) -> Option<ExtremalRect> {
         let lengths = bits::keep_bits_from_vec(&self.lengths, i);
-        if lengths.iter().any(|&l| l == 0) {
+        if lengths.contains(&0) {
             return None;
         }
         Some(ExtremalRect {
@@ -432,7 +432,10 @@ mod tests {
         let u = universe(2, 8);
         let e = ExtremalRect::new(u.clone(), vec![256, 3]).unwrap();
         assert_eq!(e.volume(), Some(768));
-        assert_eq!(e.to_rect(), Rect::new(vec![0, 253], vec![255, 255]).unwrap());
+        assert_eq!(
+            e.to_rect(),
+            Rect::new(vec![0, 253], vec![255, 255]).unwrap()
+        );
         assert_eq!(e.aspect_ratio(), 9 - 2);
         assert_eq!(e.to_string(), "R(256, 3)");
     }
@@ -466,10 +469,7 @@ mod tests {
             let m = e.truncation_bits(eps).unwrap();
             let t = e.truncate(m);
             let frac = e.volume_fraction_of(&t);
-            assert!(
-                frac >= 1.0 - eps - 1e-12,
-                "eps={eps} m={m} frac={frac}"
-            );
+            assert!(frac >= 1.0 - eps - 1e-12, "eps={eps} m={m} frac={frac}");
             assert!(frac <= 1.0 + 1e-12);
         }
     }

@@ -41,10 +41,7 @@ impl Run {
 /// # Errors
 ///
 /// Returns an error if any cube does not belong to the curve's universe.
-pub fn runs_of_cubes(
-    curve: &dyn SpaceFillingCurve,
-    cubes: &[StandardCube],
-) -> Result<Vec<Run>> {
+pub fn runs_of_cubes(curve: &dyn SpaceFillingCurve, cubes: &[StandardCube]) -> Result<Vec<Run>> {
     let mut ranges = Vec::with_capacity(cubes.len());
     for cube in cubes {
         ranges.push(curve.cube_key_range(cube)?);
@@ -179,7 +176,7 @@ mod tests {
             for exp in 0..=3u32 {
                 let side = 1u64 << exp;
                 let cube = StandardCube::new(&u, vec![8 - side, 0, 8 - side], exp).unwrap();
-                let runs = runs_of_cubes(curve.as_ref(), &[cube.clone()]).unwrap();
+                let runs = runs_of_cubes(curve.as_ref(), std::slice::from_ref(&cube)).unwrap();
                 assert_eq!(runs.len(), 1, "{} cube {cube}", curve.name());
                 assert_eq!(runs[0].range().len(), Some(cube.volume().unwrap()));
             }

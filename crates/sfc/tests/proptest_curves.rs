@@ -5,9 +5,7 @@ use proptest::prelude::*;
 use acd_sfc::bits;
 use acd_sfc::decompose::{count_cubes, decompose_rect};
 use acd_sfc::runs::runs_of_cubes;
-use acd_sfc::{
-    CurveKind, ExtremalCubes, ExtremalRect, Point, Rect, SpaceFillingCurve, Universe,
-};
+use acd_sfc::{CurveKind, ExtremalCubes, ExtremalRect, Point, Rect, Universe};
 
 /// Strategy: a universe shape (dims, bits) small enough for exhaustive
 /// cross-checks.

@@ -72,10 +72,7 @@ impl fmt::Display for SubscriptionError {
                 attribute,
                 low,
                 high,
-            } => write!(
-                f,
-                "empty range [{low}, {high}] for attribute `{attribute}`"
-            ),
+            } => write!(f, "empty range [{low}, {high}] for attribute `{attribute}`"),
             SubscriptionError::ValueOutOfDomain {
                 attribute,
                 value,

@@ -300,10 +300,7 @@ mod tests {
     fn builder_rejects_bad_schemas() {
         assert!(Schema::builder().build().is_err(), "no attributes");
         assert!(
-            Schema::builder()
-                .attribute("a", 1.0, 1.0)
-                .build()
-                .is_err(),
+            Schema::builder().attribute("a", 1.0, 1.0).build().is_err(),
             "degenerate domain"
         );
         assert!(
@@ -380,10 +377,7 @@ mod tests {
             let cell = s.quantize(0, v).unwrap();
             let back = s.dequantize(0, cell).unwrap();
             let cell_width = 1000.0 / 256.0;
-            assert!(
-                (back - v).abs() <= cell_width + 1e-9,
-                "v={v} back={back}"
-            );
+            assert!((back - v).abs() <= cell_width + 1e-9, "v={v} back={back}");
         }
     }
 

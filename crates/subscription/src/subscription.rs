@@ -99,10 +99,7 @@ impl Subscription {
 
     /// A copy of this subscription with a different identifier.
     pub fn with_id(&self, id: SubId) -> Subscription {
-        Subscription {
-            id,
-            ..self.clone()
-        }
+        Subscription { id, ..self.clone() }
     }
 
     /// The subscription as a rectangle on the quantization grid.

@@ -130,11 +130,7 @@ mod tests {
                 for lo_b in [0.0, 0.3] {
                     for hi_b in [0.6, 1.0] {
                         id += 1;
-                        subs.push(sub(
-                            &s,
-                            id,
-                            &[(lo_a, hi_a), (lo_b, hi_b), (0.1, 0.9)],
-                        ));
+                        subs.push(sub(&s, id, &[(lo_a, hi_a), (lo_b, hi_b), (0.1, 0.9)]));
                     }
                 }
             }
@@ -172,6 +168,10 @@ mod tests {
         let full = sub(&s, 1, &[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]);
         let p = dominance_point(&full).unwrap();
         let u = dominance_universe(&s).unwrap();
-        assert_eq!(p, u.top_corner(), "the universal subscription maps to the top corner");
+        assert_eq!(
+            p,
+            u.top_corner(),
+            "the universal subscription maps to the top corner"
+        );
     }
 }

@@ -97,7 +97,7 @@ mod tests {
     fn zipf_with_tiny_exponent_is_nearly_uniform() {
         let z = Zipf::new(10, 0.01);
         let mut r = rng(2);
-        let mut counts = vec![0u32; 10];
+        let mut counts = [0u32; 10];
         for _ in 0..50_000 {
             counts[z.sample(&mut r)] += 1;
         }

@@ -125,9 +125,9 @@ impl SubscriptionWorkload {
         let d = self.config.attributes;
         let widths = self.sample_widths();
         let mut predicates = Vec::with_capacity(d);
-        for attr in 0..d {
+        for (attr, &width) in widths.iter().enumerate() {
             let center = self.sample_center(attr);
-            let half = widths[attr] / 2.0;
+            let half = width / 2.0;
             let lo = (center - half).max(0.0);
             let hi = (center + half).min(max);
             predicates.push(

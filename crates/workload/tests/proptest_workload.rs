@@ -12,9 +12,8 @@ fn distribution_strategy() -> impl Strategy<Value = CenterDistribution> {
     prop_oneof![
         Just(CenterDistribution::Uniform),
         (0.5f64..2.5).prop_map(|exponent| CenterDistribution::Zipf { exponent }),
-        (1usize..10, 0.01f64..0.3).prop_map(|(clusters, spread)| {
-            CenterDistribution::Clustered { clusters, spread }
-        }),
+        (1usize..10, 0.01f64..0.3)
+            .prop_map(|(clusters, spread)| { CenterDistribution::Clustered { clusters, spread } }),
     ]
 }
 

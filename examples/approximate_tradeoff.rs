@@ -46,8 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for eps in [0.5, 0.3, 0.1, 0.05, 0.01, 0.001] {
-        let mut index =
-            SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(eps)?)?;
+        let mut index = SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(eps)?)?;
         for s in &existing {
             index.insert(s)?;
         }

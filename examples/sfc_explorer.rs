@@ -52,9 +52,18 @@ fn render(curve: &dyn SpaceFillingCurve, universe: &Universe, rect: &Rect) -> St
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let universe = Universe::new(2, 4)?; // a 16x16 toy universe
     let regions = [
-        ("6x3 rectangle straddling the midline", Rect::new(vec![5, 6], vec![10, 8])?),
-        ("aligned 8x8 extremal square", Rect::new(vec![8, 8], vec![15, 15])?),
-        ("misaligned 9x9 extremal square", Rect::new(vec![7, 7], vec![15, 15])?),
+        (
+            "6x3 rectangle straddling the midline",
+            Rect::new(vec![5, 6], vec![10, 8])?,
+        ),
+        (
+            "aligned 8x8 extremal square",
+            Rect::new(vec![8, 8], vec![15, 15])?,
+        ),
+        (
+            "misaligned 9x9 extremal square",
+            Rect::new(vec![7, 7], vec![15, 15])?,
+        ),
     ];
 
     for (label, rect) in &regions {

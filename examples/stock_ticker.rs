@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (arrival, &covered) in arrivals.iter().zip(&truth) {
         let outcome = approx.find_covering(arrival)?;
         if outcome.is_covered() {
-            assert!(covered, "the approximate index never reports false positives");
+            assert!(
+                covered,
+                "the approximate index never reports false positives"
+            );
             detected += 1;
         } else if covered {
             missed += 1;

@@ -72,9 +72,7 @@ pub mod prelude {
         ApproxConfig, CoveringIndex, CoveringPolicy, LinearScanIndex, SfcCoveringIndex,
     };
     pub use acd_sfc::{CurveKind, Universe};
-    pub use acd_subscription::{
-        Event, RangePredicate, Schema, Subscription, SubscriptionBuilder,
-    };
+    pub use acd_subscription::{Event, RangePredicate, Schema, Subscription, SubscriptionBuilder};
     pub use acd_workload::{Scenario, SubscriptionWorkload, WorkloadConfig};
 }
 

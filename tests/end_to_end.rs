@@ -64,7 +64,7 @@ fn broker_overlay_with_scenario_workloads_is_safe_and_saves_traffic() {
         let events = event_workload.take(40);
         let topology = Topology::balanced_tree(2, 3).unwrap();
 
-        let mut run = |policy: CoveringPolicy| {
+        let run = |policy: CoveringPolicy| {
             let mut net = BrokerNetwork::new(topology.clone(), &schema, policy).unwrap();
             for (i, s) in subscriptions.iter().enumerate() {
                 net.subscribe(i % topology.brokers(), i as u64, s).unwrap();

@@ -1,0 +1,316 @@
+//! Offline stand-in for the `serde_derive` proc macros.
+//!
+//! Generates impls of the in-tree `serde` crate's [`Serialize`] /
+//! [`Deserialize`] traits (which speak the concrete `serde::Value` data
+//! model rather than serde's visitor architecture). Supported shapes are
+//! exactly what this workspace derives on: non-generic named-field structs
+//! and non-generic enums whose variants are unit or named-field. Unit
+//! variants serialize as their name string and data variants as externally
+//! tagged single-entry maps, matching serde's default representation.
+//!
+//! The input is parsed directly from the `proc_macro` token stream (no
+//! `syn`/`quote`, which are unavailable offline); unsupported shapes produce
+//! a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: just its name (types are irrelevant to generation).
+type Fields = Vec<String>;
+
+enum Shape {
+    /// A named-field struct.
+    Struct(Fields),
+    /// An enum: each variant is a name plus `None` (unit) or named fields.
+    Enum(Vec<(String, Option<Fields>)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Splits a token slice at top-level commas, treating `<...>` angle-bracket
+/// nesting as one level (angle brackets are not `proc_macro` groups).
+fn split_on_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Removes leading attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(...)`) from a token slice.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#` then the bracketed attribute body.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+/// Parses `{ field: Type, .. }` group contents into field names.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Fields, String> {
+    let mut fields = Vec::new();
+    for piece in split_on_commas(tokens) {
+        let piece = skip_attrs_and_vis(&piece);
+        if piece.is_empty() {
+            continue;
+        }
+        match &piece[0] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => return Err(format!("unsupported field starting with `{other}`")),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = skip_attrs_and_vis(&tokens);
+    let mut it = tokens.iter();
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let id = id.to_string();
+                if id == "struct" || id == "enum" {
+                    break id;
+                }
+            }
+            Some(_) => {}
+            None => return Err("expected `struct` or `enum`".to_string()),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".to_string()),
+    };
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "derive on generic type `{name}` is not supported by the vendored serde_derive"
+            ))
+        }
+        _ => {
+            return Err(format!(
+                "derive on `{name}` requires a braced body (tuple/unit shapes unsupported)"
+            ))
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    if kind == "struct" {
+        return Ok(Parsed {
+            name,
+            shape: Shape::Struct(parse_named_fields(&body)?),
+        });
+    }
+    let mut variants = Vec::new();
+    for piece in split_on_commas(&body) {
+        let piece = skip_attrs_and_vis(&piece);
+        if piece.is_empty() {
+            continue;
+        }
+        let vname = match &piece[0] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("unsupported variant starting with `{other}`")),
+        };
+        let fields = match piece.get(1) {
+            None => None,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Some(parse_named_fields(&body)?)
+            }
+            Some(_) => {
+                return Err(format!(
+                    "variant `{name}::{vname}` is not unit or named-field; unsupported"
+                ))
+            }
+        };
+        variants.push((vname, fields));
+    }
+    Ok(Parsed {
+        name,
+        shape: Shape::Enum(variants),
+    })
+}
+
+/// Derives the in-tree `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Map(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    None => format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                    ),
+                    Some(fields) => {
+                        let binders = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binders} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vname:?}), \
+                             ::serde::Value::Map(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the in-tree `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::get_field(_entries, {f:?}))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let _entries = v.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected map for struct {name}\"))?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_none())
+                .map(|(vname, _)| {
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, fields)| fields.as_ref().map(|f| (vname, f)))
+                .map(|(vname, fields)| {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::get_field(_fields, {f:?}))?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{vname:?} => {{ let _fields = _inner.as_map().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected map for variant {name}::{vname}\"))?; \
+                         ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                        inits.join(", ")
+                    )
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(tag) = v.as_str() {{ \
+                   return match tag {{ {unit} \
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                       \"unknown unit variant of {name}\")) }}; }} \
+                 let entries = v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                   \"expected string or map for enum {name}\"))?; \
+                 if entries.len() != 1 {{ \
+                   return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected single-entry map for enum {name}\")); }} \
+                 let _inner = &entries[0].1; \
+                 match entries[0].0.as_str() {{ {data} \
+                   _ => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"unknown variant of {name}\")) }}",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+    .parse()
+    .unwrap()
+}
