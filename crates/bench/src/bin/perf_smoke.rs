@@ -1,0 +1,132 @@
+//! CI perf-smoke gate: measures quick-scale covering-query cost, writes a
+//! JSON report and (optionally) fails when the exact-SFC policy exceeds the
+//! checked-in budget.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_smoke [--n N] [--queries Q] [--out FILE] [--assert-budget FILE] [--no-eager]
+//! ```
+//!
+//! * `--n` / `--queries` — workload size (defaults: 10000 subscriptions,
+//!   200 query subscriptions, the e08 quick-scale point);
+//! * `--out FILE` — where to write the JSON report (default `BENCH_ci.json`);
+//! * `--assert-budget FILE` — compare against a [`acd_bench::ci::PerfBudget`]
+//!   JSON file and exit non-zero on any violation;
+//! * `--no-eager` — skip the slow PR-1 eager-engine reference measurement.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use acd_bench::ci::{self, PerfBudget};
+
+struct Args {
+    n: usize,
+    queries: usize,
+    out: PathBuf,
+    assert_budget: Option<PathBuf>,
+    include_eager: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: 10_000,
+        queries: 200,
+        out: PathBuf::from("BENCH_ci.json"),
+        assert_budget: None,
+        include_eager: true,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--n" => args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--queries" => {
+                args.queries = value("--queries")?
+                    .parse()
+                    .map_err(|e| format!("--queries: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--assert-budget" => {
+                args.assert_budget = Some(PathBuf::from(value("--assert-budget")?))
+            }
+            "--no-eager" => args.include_eager = false,
+            "--help" | "-h" => {
+                println!(
+                    "usage: perf_smoke [--n N] [--queries Q] [--out FILE] \
+                     [--assert-budget FILE] [--no-eager]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "perf-smoke: n = {}, {} queries (eager reference: {})",
+        args.n, args.queries, args.include_eager
+    );
+    let report = ci::run(args.n, args.queries, args.include_eager);
+    for p in &report.policies {
+        println!(
+            "{:28} runs/query {:>10.2}  probes/query {:>10.2}  skips/query {:>10.2}  \
+             comparisons/query {:>10.2}  latency {:>9.1} us",
+            p.name,
+            p.mean_runs_probed,
+            p.mean_probes,
+            p.mean_runs_skipped,
+            p.mean_comparisons,
+            p.mean_latency_us,
+        );
+    }
+
+    let json = match serde_json::to_string(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: serializing report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("error: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("perf-smoke: report written to {}", args.out.display());
+
+    if let Some(budget_path) = &args.assert_budget {
+        let budget: PerfBudget = match std::fs::read_to_string(budget_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: reading budget {}: {e}", budget_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match ci::check_budget(&report, &budget) {
+            Ok(()) => eprintln!("perf-smoke: within budget {}", budget_path.display()),
+            Err(violations) => {
+                for v in &violations {
+                    eprintln!("perf-smoke: BUDGET VIOLATION: {v}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

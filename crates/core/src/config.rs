@@ -39,6 +39,36 @@ impl QueryMode {
 /// a single query may enumerate before switching to the exact point scan.
 pub const DEFAULT_WORK_CAP: usize = 8_192;
 
+/// Which algorithm a dominance query runs over the SFC array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryEngine {
+    /// The paper's Section 5 algorithm: enumerate the greedy decomposition
+    /// cube by cube (largest volume first), merge adjacent key ranges into
+    /// runs on the fly and probe every run. The cost is governed by
+    /// `runs(T)` no matter how sparsely the array is populated, which makes
+    /// it the right engine for reproducing the paper's cost bounds — and a
+    /// poor one for serving queries against realistic, sparse populations.
+    EagerRuns,
+    /// The populated-key sweep: gallop through the *stored* keys in key
+    /// order, probe a run only when a stored key falls inside it, and
+    /// whenever a stored key lands in a gap ask the seekable decomposition
+    /// stream for the next run at-or-after it. Exact for both query modes
+    /// (it effectively searches the whole region), with per-query work
+    /// bounded by the number of populated-key/run alternations instead of
+    /// `runs(T)`. The default engine.
+    SkipPopulated,
+}
+
+impl QueryEngine {
+    /// Short label used in index names and experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryEngine::EagerRuns => "eager",
+            QueryEngine::SkipPopulated => "skip",
+        }
+    }
+}
+
 /// Full configuration of an SFC covering index's query behaviour.
 ///
 /// Besides the [`QueryMode`], the configuration carries two guards:
@@ -56,6 +86,14 @@ pub const DEFAULT_WORK_CAP: usize = 8_192;
 ///   reports how much volume it managed to search. Unlike `work_cap` this may
 ///   produce additional misses; it is disabled by default and exists for
 ///   latency-critical deployments.
+///
+/// The [`QueryEngine`] selects the algorithm itself: the default
+/// [`QueryEngine::SkipPopulated`] sweep probes only runs that can contain a
+/// stored key, while [`QueryEngine::EagerRuns`] reproduces the paper's
+/// decomposition-driven probing (and is what the ε/work-cap cost analysis
+/// describes). Under the skip engine the `work_cap` bounds the sweep's
+/// iterations (each one gallop plus at most one region seek) instead of
+/// cubes, with the same exact-scan fallback.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ApproxConfig {
     /// The query mode (exhaustive or ε-approximate).
@@ -63,23 +101,28 @@ pub struct ApproxConfig {
     /// If set, a query gives up (reporting how much volume it searched) after
     /// probing this many runs.
     pub max_runs: Option<usize>,
-    /// Maximum number of cubes to enumerate before falling back to the exact
+    /// Maximum number of cubes to enumerate (eager engine) or sweep
+    /// iterations to run (skip engine) before falling back to the exact
     /// point scan; `None` disables the fallback.
     pub work_cap: Option<usize>,
+    /// The query algorithm to run.
+    pub engine: QueryEngine,
 }
 
 impl ApproxConfig {
-    /// An exhaustive configuration (ε = 0, default work cap, no run cap).
+    /// An exhaustive configuration (ε = 0, default work cap, no run cap,
+    /// populated-key skip engine).
     pub fn exhaustive() -> Self {
         ApproxConfig {
             mode: QueryMode::Exhaustive,
             max_runs: None,
             work_cap: Some(DEFAULT_WORK_CAP),
+            engine: QueryEngine::SkipPopulated,
         }
     }
 
-    /// An ε-approximate configuration with the default work cap and no run
-    /// cap.
+    /// An ε-approximate configuration with the default work cap, no run
+    /// cap and the populated-key skip engine.
     ///
     /// # Errors
     ///
@@ -93,6 +136,7 @@ impl ApproxConfig {
             mode: QueryMode::Approximate { epsilon },
             max_runs: None,
             work_cap: Some(DEFAULT_WORK_CAP),
+            engine: QueryEngine::SkipPopulated,
         })
     }
 
@@ -106,6 +150,12 @@ impl ApproxConfig {
     /// disable the exact-scan fallback entirely.
     pub fn work_cap(mut self, cap: Option<usize>) -> Self {
         self.work_cap = cap;
+        self
+    }
+
+    /// Returns a copy running the given query engine.
+    pub fn engine(mut self, engine: QueryEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -153,6 +203,7 @@ mod tests {
         assert_eq!(d.epsilon(), 0.05);
         assert_eq!(d.max_runs, None);
         assert_eq!(d.work_cap, Some(DEFAULT_WORK_CAP));
+        assert_eq!(d.engine, QueryEngine::SkipPopulated);
     }
 
     #[test]
@@ -162,5 +213,13 @@ mod tests {
         assert_eq!(c.work_cap, Some(64));
         let unbounded = ApproxConfig::exhaustive().work_cap(None);
         assert_eq!(unbounded.work_cap, None);
+    }
+
+    #[test]
+    fn engine_selection_is_preserved_and_labelled() {
+        let eager = ApproxConfig::exhaustive().engine(QueryEngine::EagerRuns);
+        assert_eq!(eager.engine, QueryEngine::EagerRuns);
+        assert_eq!(eager.engine.label(), "eager");
+        assert_eq!(QueryEngine::SkipPopulated.label(), "skip");
     }
 }

@@ -16,14 +16,30 @@
 //!    once the probed cubes cover at least a `1 − ε` fraction of the region's
 //!    volume; an exhaustive query keeps going until the whole region has been
 //!    searched.
+//!
+//! That eager algorithm ([`QueryEngine::EagerRuns`]) pays for every run in
+//! the decomposition whether or not a stored point can possibly fall inside
+//! it. The default engine ([`QueryEngine::SkipPopulated`]) instead runs a
+//! *two-cursor sweep*: one cursor gallops through the sorted SFC array
+//! (smallest stored key at-or-after the current position, one ordered-map
+//! descent), the other is a seekable stream over the region's runs in key
+//! order ([`acd_sfc::RunStream`]). A run is probed only when a stored key
+//! falls inside it; when a stored key lands in a gap between runs, the
+//! stream is asked for the next run at-or-after that key and every run in
+//! between is skipped without being enumerated. Both cursors only move
+//! forward, so a query issues at most `O(min(runs(T), populated cells))`
+//! probes — sub-linear in practice — while returning the *exact* answer for
+//! both exhaustive and ε-approximate modes (a completed sweep has searched
+//! the entire region).
 
 use std::fmt;
 
 use acd_sfc::{
-    ExtremalCubes, ExtremalRect, Key, KeyRange, Point, SfcArray, SpaceFillingCurve, Universe,
+    ExtremalCubes, ExtremalRect, Key, KeyRange, Point, RunStream, SfcArray, SpaceFillingCurve,
+    Universe,
 };
 
-use crate::config::{ApproxConfig, QueryMode};
+use crate::config::{ApproxConfig, QueryEngine, QueryMode};
 use crate::stats::QueryStats;
 use crate::Result;
 
@@ -169,7 +185,7 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
         &self,
         query: &Point,
         config: &ApproxConfig,
-        mut accept: F,
+        accept: F,
     ) -> Result<(Option<V>, QueryStats)>
     where
         F: FnMut(&V) -> bool,
@@ -183,13 +199,40 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
             return Ok((None, stats));
         }
 
+        match config.engine {
+            QueryEngine::EagerRuns => self.query_eager(query, &region, config, accept, stats),
+            QueryEngine::SkipPopulated => self.query_skip(query, &region, config, accept, stats),
+        }
+    }
+
+    /// The effective per-query work budget: the configured cap, additionally
+    /// scaled down with the population — enumerating (or seeking) thousands
+    /// of times to rule out a handful of points is never worthwhile when the
+    /// exact scan costs O(n).
+    fn effective_work_budget(&self, cap: usize) -> usize {
+        cap.min(64 + 16 * self.array.len())
+    }
+
+    /// The paper's eager algorithm: enumerate the decomposition largest cube
+    /// first, merge adjacent ranges into runs and probe every run.
+    fn query_eager<F>(
+        &self,
+        query: &Point,
+        region: &ExtremalRect,
+        config: &ApproxConfig,
+        mut accept: F,
+        mut stats: QueryStats,
+    ) -> Result<(Option<V>, QueryStats)>
+    where
+        F: FnMut(&V) -> bool,
+    {
         let target_fraction = match config.mode {
             QueryMode::Exhaustive => 1.0,
             QueryMode::Approximate { epsilon } => 1.0 - epsilon,
         };
 
         let total_ln_volume = region.ln_volume();
-        let decomposition = ExtremalCubes::new(&region);
+        let decomposition = ExtremalCubes::new(region);
         let curve = self.array.curve();
 
         // Enumerate cubes largest-first, merging adjacent key ranges into
@@ -202,6 +245,7 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
         // Helper closure to probe one run.
         let probe = |range: &KeyRange, stats: &mut QueryStats, accept: &mut F| -> Option<V> {
             stats.runs_probed += 1;
+            stats.probes += 1;
             let mut found = None;
             let mut inspected = 0usize;
             if let Some(entry) = self.array.first_in_range_where(range, |e| {
@@ -225,13 +269,9 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
             }
             // When the decomposition is finer than the point population could
             // possibly justify, abandon it and scan the points exactly
-            // instead (see `ApproxConfig::work_cap`). The effective budget
-            // also scales with the number of stored points: enumerating
-            // thousands of cubes to rule out a handful of points is never
-            // worthwhile.
+            // instead (see `ApproxConfig::work_cap`).
             if let Some(cap) = config.work_cap {
-                let effective = cap.min(64 + 16 * self.array.len());
-                if stats.cubes_enumerated >= effective {
+                if stats.cubes_enumerated >= self.effective_work_budget(cap) {
                     exceeded_work_cap = true;
                     break;
                 }
@@ -282,23 +322,161 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
         }
 
         if exceeded_work_cap {
-            // Exact fallback: scan every stored point and test dominance
-            // directly. This searches the whole region (and beyond), so it is
-            // valid for both exhaustive and approximate modes; it bounds the
-            // query's total work by O(work_cap + n).
-            stats.fell_back_to_scan = true;
-            for entry in self.array.iter() {
-                stats.candidates_inspected += 1;
-                if entry.point.dominates(query) && accept(&entry.value) {
-                    stats.volume_fraction_searched = 1.0;
-                    return Ok((Some(entry.value.clone()), stats));
-                }
-            }
-            stats.volume_fraction_searched = 1.0;
-            return Ok((None, stats));
+            return self.scan_fallback(query, &mut accept, stats);
         }
 
         stats.volume_fraction_searched = searched_fraction;
+        Ok((None, stats))
+    }
+
+    /// The populated-key sweep: gallop through the stored keys in key order,
+    /// probe a cell only when it lies inside the query region, and whenever
+    /// a stored key lands in a gap ask the curve for the next region key
+    /// at-or-after it — via the arithmetic fast seek when the curve has one
+    /// ([`SpaceFillingCurve::region_seeker`], the Z curve's BIGMIN), or via
+    /// the seekable lazily-merging [`RunStream`] otherwise.
+    fn query_skip<F>(
+        &self,
+        query: &Point,
+        region: &ExtremalRect,
+        config: &ApproxConfig,
+        mut accept: F,
+        mut stats: QueryStats,
+    ) -> Result<(Option<V>, QueryStats)>
+    where
+        F: FnMut(&V) -> bool,
+    {
+        let curve = self.array.curve();
+        let rect = region.to_rect();
+        // Per-region seek state is built once per query: the arithmetic fast
+        // seeker when the curve has one, and otherwise (Hilbert, Gray, or
+        // >128-bit keys) a decomposition stream, materialized lazily.
+        let seeker = curve.region_seeker(&rect);
+        let mut stream: Option<RunStream<'_, C>> = None;
+        // Each sweep iteration does one gallop plus at most one region seek;
+        // the work cap bounds those iterations — past it the exact point
+        // scan is cheaper than more sweeping.
+        let mut iterations = 0usize;
+        let iteration_cap = config.work_cap.map(|cap| self.effective_work_budget(cap));
+
+        // The sweep cursor: smallest key not yet accounted for. `None` means
+        // the key space is exhausted; every exit of the loop has provably
+        // swept the entire region.
+        let mut cursor = Some(Key::zero(self.universe.key_bits()));
+        let outcome = loop {
+            let Some(cur) = cursor else {
+                // The cursor ran off the end of the key space.
+                break None;
+            };
+            // Gallop: smallest stored key at-or-after the cursor (one
+            // ordered-map descent, which also yields the cell's entries).
+            stats.probes += 1;
+            let Some((key, bucket)) = self.array.first_key_at_or_after(&cur) else {
+                // No stored key remains, so no run ahead can contain one:
+                // the rest of the region is provably empty.
+                break None;
+            };
+            let key = key.clone();
+
+            // Re-anchor the region at the populated key: smallest region key
+            // at-or-after it (equal to `key` iff the cell is in the region).
+            iterations += 1;
+            if let Some(cap) = iteration_cap {
+                if iterations > cap {
+                    stats.cubes_enumerated = stream.as_ref().map_or(0, |s| s.cubes_pulled());
+                    return self.scan_fallback(query, &mut accept, stats);
+                }
+            }
+            let next_region_key = match &seeker {
+                Some(seeker) => seeker.seek(&key),
+                None => {
+                    if stream.is_none() {
+                        stream = Some(RunStream::new(curve, rect.clone())?);
+                    }
+                    let runs = stream.as_mut().expect("stream just initialized");
+                    runs.seek(&key);
+                    // Only the next run's *start* is needed (gap jumps land
+                    // on it; membership is `start <= key`), so the run is
+                    // not merged to its end — one cube pull per iteration.
+                    runs.peek_start()
+                        .map(|lo| if lo <= &key { key.clone() } else { lo.clone() })
+                }
+            };
+
+            match next_region_key {
+                None => {
+                    // The region has no cell at-or-after the smallest
+                    // remaining stored key: everything before it was already
+                    // swept.
+                    break None;
+                }
+                Some(region_key) if region_key == key => {
+                    // The populated cell lies inside the region, so every
+                    // entry stored there dominates the query: report the
+                    // first acceptable one.
+                    if let Some(cap) = config.max_runs {
+                        if stats.runs_probed >= cap {
+                            stats.hit_run_cap = true;
+                            stats.cubes_enumerated =
+                                stream.as_ref().map_or(0, |s| s.cubes_pulled());
+                            return Ok((None, stats));
+                        }
+                    }
+                    stats.runs_probed += 1;
+                    let mut found = None;
+                    for entry in bucket {
+                        stats.candidates_inspected += 1;
+                        if accept(&entry.value) {
+                            found = Some(entry.value.clone());
+                            break;
+                        }
+                    }
+                    if found.is_some() {
+                        break found;
+                    }
+                    // Every entry at this cell was rejected: move past it.
+                    cursor = key.successor();
+                }
+                Some(region_key) => {
+                    // Gap: no region cell lies in [key, region_key), so every
+                    // run in between is skipped without a probe. Jump the
+                    // cursor to the region's next key and gallop again.
+                    stats.runs_skipped += 1;
+                    cursor = Some(region_key);
+                }
+            }
+        };
+
+        stats.cubes_enumerated = stream.as_ref().map_or(0, |s| s.cubes_pulled());
+        if outcome.is_none() {
+            // A completed sweep has searched the entire region.
+            stats.volume_fraction_searched = 1.0;
+        }
+        Ok((outcome, stats))
+    }
+
+    /// Exact fallback: scan every stored point and test dominance directly.
+    /// This searches the whole region (and beyond), so it is valid for both
+    /// exhaustive and approximate modes; it bounds the query's total work by
+    /// `O(work_cap + n)`.
+    fn scan_fallback<F>(
+        &self,
+        query: &Point,
+        accept: &mut F,
+        mut stats: QueryStats,
+    ) -> Result<(Option<V>, QueryStats)>
+    where
+        F: FnMut(&V) -> bool,
+    {
+        stats.fell_back_to_scan = true;
+        for entry in self.array.iter() {
+            stats.candidates_inspected += 1;
+            if entry.point.dominates(query) && accept(&entry.value) {
+                stats.volume_fraction_searched = 1.0;
+                return Ok((Some(entry.value.clone()), stats));
+            }
+        }
+        stats.volume_fraction_searched = 1.0;
         Ok((None, stats))
     }
 
@@ -463,17 +641,24 @@ mod tests {
     fn approximate_query_is_cheaper_than_exhaustive_on_misses() {
         // Construct a worst-case-ish query: the region is slightly
         // misaligned, so the exhaustive search needs many runs while the
-        // approximate one stops after the large cubes.
+        // approximate one stops after the large cubes. This is an
+        // eager-engine phenomenon — the skip engine would probe nothing on
+        // either query — so the eager engine is pinned explicitly.
         let u = universe(2, 10);
         // Disable the work-cap fallback so the exhaustive query really pays
         // the full decomposition cost the paper analyses.
         let mut idx_exh = PointDominanceIndex::new(
             ZCurve::new(u.clone()),
-            ApproxConfig::exhaustive().work_cap(None),
+            ApproxConfig::exhaustive()
+                .work_cap(None)
+                .engine(QueryEngine::EagerRuns),
         );
         let mut idx_apx = PointDominanceIndex::new(
             ZCurve::new(u.clone()),
-            ApproxConfig::with_epsilon(0.01).unwrap().work_cap(None),
+            ApproxConfig::with_epsilon(0.01)
+                .unwrap()
+                .work_cap(None)
+                .engine(QueryEngine::EagerRuns),
         );
         // One point that does NOT dominate the query, to force a full search.
         idx_exh.insert(p(&[0, 0]), 1u64).unwrap();
@@ -494,8 +679,11 @@ mod tests {
     #[test]
     fn work_cap_falls_back_to_an_exact_scan() {
         // A tiny work cap forces the fallback; answers must stay exact.
+        // Pinned to the eager engine, whose cap counts enumerated cubes.
         let u = universe(4, 8);
-        let config = ApproxConfig::exhaustive().work_cap(Some(4));
+        let config = ApproxConfig::exhaustive()
+            .work_cap(Some(4))
+            .engine(QueryEngine::EagerRuns);
         let mut idx = PointDominanceIndex::new(ZCurve::new(u.clone()), config);
         let mut state = 7u64;
         let mut next = move || {
@@ -528,7 +716,10 @@ mod tests {
         let u = universe(2, 10);
         let mut idx = PointDominanceIndex::new(
             ZCurve::new(u),
-            ApproxConfig::exhaustive().max_runs(5).work_cap(None),
+            ApproxConfig::exhaustive()
+                .max_runs(5)
+                .work_cap(None)
+                .engine(QueryEngine::EagerRuns),
         );
         idx.insert(p(&[0, 0]), 1u64).unwrap();
         let q = p(&[1023 - 256, 1023 - 256]);
@@ -537,6 +728,146 @@ mod tests {
         assert!(stats.hit_run_cap);
         assert!(stats.runs_probed <= 6);
         assert!(stats.volume_fraction_searched < 1.0);
+    }
+
+    #[test]
+    fn run_cap_also_bounds_the_skip_sweep() {
+        // Stored points along the misaligned strip of a 17x17 top-corner
+        // region fall into many distinct unit-cell runs; with an accept
+        // filter that rejects everything, the sweep must probe one run per
+        // populated cell until the run cap stops it with the flag set.
+        let u = universe(2, 6);
+        let mut idx = PointDominanceIndex::new(
+            ZCurve::new(u),
+            ApproxConfig::exhaustive().max_runs(3).work_cap(None),
+        );
+        for i in 0..17u64 {
+            idx.insert(p(&[47, 47 + i]), i).unwrap();
+        }
+        let (hit, stats) = idx
+            .query_dominating_where(&p(&[47, 47]), |_| false)
+            .unwrap();
+        assert_eq!(hit, None);
+        assert!(stats.hit_run_cap, "{stats:?}");
+        assert!(stats.runs_probed <= 3);
+    }
+
+    #[test]
+    fn skip_engine_agrees_with_eager_on_all_curves() {
+        // The two engines must return identical answers on random
+        // populations, and the sweep must never probe more runs than the
+        // eager enumeration (work caps disabled so the eager engine really
+        // pays the decomposition).
+        let u = universe(3, 5);
+        let mut state = 0xc0ffeeu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let points: Vec<Point> = (0..70)
+            .map(|_| p(&[next() % 32, next() % 32, next() % 32]))
+            .collect();
+        let queries: Vec<Point> = (0..50)
+            .map(|_| p(&[next() % 32, next() % 32, next() % 32]))
+            .collect();
+        let skip_cfg = ApproxConfig::exhaustive().work_cap(None);
+        let eager_cfg = ApproxConfig::exhaustive()
+            .work_cap(None)
+            .engine(QueryEngine::EagerRuns);
+        for kind in acd_sfc::CurveKind::all() {
+            macro_rules! check {
+                ($curve:expr) => {{
+                    let mut idx = PointDominanceIndex::new($curve, skip_cfg);
+                    for (i, point) in points.iter().enumerate() {
+                        idx.insert(point.clone(), i as u64).unwrap();
+                    }
+                    for q in &queries {
+                        let (skip, skip_stats) =
+                            idx.query_dominating_with(q, &skip_cfg, |_| true).unwrap();
+                        let (eager, eager_stats) =
+                            idx.query_dominating_with(q, &eager_cfg, |_| true).unwrap();
+                        assert_eq!(
+                            skip.is_some(),
+                            eager.is_some(),
+                            "{kind:?} engines disagree for {q}"
+                        );
+                        assert!(
+                            skip_stats.runs_probed <= eager_stats.runs_probed.max(1),
+                            "{kind:?}: skip probed {} vs eager {} for {q}",
+                            skip_stats.runs_probed,
+                            eager_stats.runs_probed
+                        );
+                        if skip.is_none() {
+                            // A completed sweep has searched the whole region.
+                            assert_eq!(skip_stats.volume_fraction_searched, 1.0);
+                            assert_eq!(skip_stats.runs_probed, 0, "misses probe nothing");
+                        }
+                    }
+                }};
+            }
+            match kind {
+                acd_sfc::CurveKind::Z => check!(ZCurve::new(u.clone())),
+                acd_sfc::CurveKind::Hilbert => check!(HilbertCurve::new(u.clone())),
+                acd_sfc::CurveKind::Gray => check!(GrayCurve::new(u.clone())),
+            }
+        }
+    }
+
+    #[test]
+    fn skip_engine_probes_nothing_on_misses_and_skips_gaps() {
+        // One stored point far outside the query region: the sweep crosses
+        // at most a couple of gaps and issues no run probe at all, where the
+        // eager engine would probe hundreds of runs (the Figure 2 region).
+        let u = universe(2, 10);
+        let mut idx = PointDominanceIndex::new(
+            ZCurve::new(u.clone()),
+            ApproxConfig::exhaustive().work_cap(None),
+        );
+        idx.insert(p(&[0, 0]), 1u64).unwrap();
+        let q = p(&[1023 - 256, 1023 - 256]); // 257x257 extremal region
+        let (hit, stats) = idx.query_dominating(&q).unwrap();
+        assert_eq!(hit, None);
+        assert_eq!(stats.runs_probed, 0);
+        assert!(stats.probes <= 4, "{stats:?}");
+        assert!(stats.runs_skipped <= 2);
+        assert_eq!(stats.volume_fraction_searched, 1.0);
+        // The eager engine pays full price on the identical query.
+        let eager = ApproxConfig::exhaustive()
+            .work_cap(None)
+            .engine(QueryEngine::EagerRuns);
+        let (_, eager_stats) = idx.query_dominating_with(&q, &eager, |_| true).unwrap();
+        assert!(eager_stats.runs_probed > 100);
+        assert!(stats.probes * 25 < eager_stats.runs_probed);
+    }
+
+    #[test]
+    fn skip_engine_work_cap_falls_back_to_an_exact_scan() {
+        // With a work budget of zero, the very first sweep iteration exceeds
+        // the cap and the query must fall back to the exact scan — and stay
+        // exact.
+        let u = universe(3, 6);
+        let config = ApproxConfig::exhaustive().work_cap(Some(0));
+        let mut idx = PointDominanceIndex::new(ZCurve::new(u.clone()), config);
+        let mut state = 11u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % 64
+        };
+        for i in 0..50u64 {
+            idx.insert(p(&[next(), next(), next()]), i).unwrap();
+        }
+        for _ in 0..30 {
+            let q = p(&[next(), next(), next()]);
+            let brute = !idx.all_dominating(&q).unwrap().is_empty();
+            let (hit, stats) = idx.query_dominating(&q).unwrap();
+            assert_eq!(hit.is_some(), brute, "fallback must stay exact for {q}");
+            assert!(stats.fell_back_to_scan);
+            assert_eq!(stats.volume_fraction_searched, 1.0);
+        }
     }
 
     #[test]

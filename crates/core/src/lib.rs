@@ -66,7 +66,7 @@ pub mod policy;
 pub mod sfc_index;
 pub mod stats;
 
-pub use config::{ApproxConfig, QueryMode};
+pub use config::{ApproxConfig, QueryEngine, QueryMode};
 pub use dominance::PointDominanceIndex;
 pub use error::CoveringError;
 pub use index::CoveringIndex;

@@ -239,14 +239,25 @@ impl CoveringIndex for SfcCoveringIndex {
     }
 
     fn remove(&mut self, id: SubId) -> Result<()> {
+        // Removal must leave the three structures (subscription map, forward
+        // and mirrored dominance indexes) consistent even if a step fails:
+        // compute both points up front (before mutating anything), and if
+        // the mirrored removal fails after the forward one succeeded,
+        // re-insert the forward entry before reporting the error.
         let subscription = self
             .subscriptions
-            .remove(&id)
+            .get(&id)
             .ok_or(CoveringError::UnknownSubscription { id })?;
-        let forward_point = dominance_point(&subscription)?;
-        let mirrored_point = mirrored_dominance_point(&subscription)?;
-        self.forward.remove(&forward_point, id)?;
-        self.mirrored.remove(&mirrored_point, id)?;
+        let forward_point = dominance_point(subscription)?;
+        let mirrored_point = mirrored_dominance_point(subscription)?;
+        let removed_forward = self.forward.remove(&forward_point, id)?;
+        if let Err(e) = self.mirrored.remove(&mirrored_point, id) {
+            if removed_forward.is_some() {
+                self.forward.insert(forward_point, id)?;
+            }
+            return Err(e);
+        }
+        self.subscriptions.remove(&id);
         self.stats.removes += 1;
         Ok(())
     }
@@ -295,13 +306,20 @@ impl CoveringIndex for SfcCoveringIndex {
     }
 
     fn name(&self) -> &'static str {
-        match (self.curve, self.config.mode.is_exhaustive()) {
-            (CurveKind::Z, true) => "sfc-z-exhaustive",
-            (CurveKind::Z, false) => "sfc-z-approximate",
-            (CurveKind::Hilbert, true) => "sfc-hilbert-exhaustive",
-            (CurveKind::Hilbert, false) => "sfc-hilbert-approximate",
-            (CurveKind::Gray, true) => "sfc-gray-exhaustive",
-            (CurveKind::Gray, false) => "sfc-gray-approximate",
+        let eager = matches!(self.config.engine, crate::config::QueryEngine::EagerRuns);
+        match (self.curve, self.config.mode.is_exhaustive(), eager) {
+            (CurveKind::Z, true, false) => "sfc-z-exhaustive",
+            (CurveKind::Z, false, false) => "sfc-z-approximate",
+            (CurveKind::Hilbert, true, false) => "sfc-hilbert-exhaustive",
+            (CurveKind::Hilbert, false, false) => "sfc-hilbert-approximate",
+            (CurveKind::Gray, true, false) => "sfc-gray-exhaustive",
+            (CurveKind::Gray, false, false) => "sfc-gray-approximate",
+            (CurveKind::Z, true, true) => "sfc-z-exhaustive-eager",
+            (CurveKind::Z, false, true) => "sfc-z-approximate-eager",
+            (CurveKind::Hilbert, true, true) => "sfc-hilbert-exhaustive-eager",
+            (CurveKind::Hilbert, false, true) => "sfc-hilbert-approximate-eager",
+            (CurveKind::Gray, true, true) => "sfc-gray-exhaustive-eager",
+            (CurveKind::Gray, false, true) => "sfc-gray-approximate-eager",
         }
     }
 }
@@ -433,6 +451,37 @@ mod tests {
             Err(CoveringError::UnknownSubscription { id: 1 })
         ));
         assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn failed_removal_leaves_all_structures_intact() {
+        let s = schema();
+        let mut idx = SfcCoveringIndex::exhaustive(&s).unwrap();
+        let wide = sub(&s, 1, (0.0, 100.0), (0.0, 100.0));
+        let narrow = sub(&s, 2, (40.0, 60.0), (40.0, 60.0));
+        idx.insert(&wide).unwrap();
+
+        // Removing an unknown id must not disturb anything.
+        assert!(matches!(
+            idx.remove(77),
+            Err(CoveringError::UnknownSubscription { id: 77 })
+        ));
+        assert_eq!(idx.len(), 1);
+        assert!(idx.contains(1));
+        // Forward index still answers...
+        assert_eq!(idx.find_covering(&narrow).unwrap().covering, Some(1));
+        // ...and so does the mirrored one.
+        assert_eq!(idx.find_covered_by(&wide).unwrap(), Vec::<SubId>::new());
+        idx.insert(&narrow).unwrap();
+        assert_eq!(idx.find_covered_by(&wide).unwrap(), vec![2]);
+
+        // A successful removal clears the subscription from both dominance
+        // directions and the subscription map atomically.
+        idx.remove(2).unwrap();
+        assert!(!idx.contains(2));
+        assert!(idx.find_covered_by(&wide).unwrap().is_empty());
+        assert_eq!(idx.find_covering(&narrow).unwrap().covering, Some(1));
+        assert_eq!(idx.stats().removes, 1);
     }
 
     #[test]

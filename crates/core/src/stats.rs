@@ -13,14 +13,30 @@ use acd_subscription::SubId;
 /// Cost counters of a single covering (point-dominance) query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct QueryStats {
-    /// Standard cubes enumerated from the greedy decomposition.
+    /// Standard cubes enumerated from the greedy decomposition (under the
+    /// skip engine: cubes actually pulled from the decomposition stream).
     pub cubes_enumerated: usize,
     /// Runs (contiguous key ranges) probed in the SFC array.
     pub runs_probed: usize,
+    /// Ordered-map descents issued against the SFC array: every run probe of
+    /// the eager engine, and every galloping populated-key lookup of the
+    /// skip engine (whose cell probes ride along with the gallop for free).
+    /// Equals `runs_probed` for the eager engine.
+    pub probes: usize,
+    /// Gap-crossing seeks of the skip engine: stretches of the decomposition
+    /// (each one or more whole runs) skipped because no stored key could
+    /// fall inside them. Always 0 for the eager engine.
+    pub runs_skipped: usize,
     /// Candidate points inspected (entries that fell inside a probed run).
     pub candidates_inspected: usize,
     /// Fraction of the query region's volume covered by the probed cubes,
     /// in `[0, 1]`.
+    ///
+    /// Meaningful per-probe under the eager engine (whose ε guarantee it
+    /// tracks). Under the skip engine it is 1.0 on a completed sweep (misses
+    /// are exact: the whole region was provably searched) and 0.0 otherwise
+    /// — a hit stops at the first dominating cell, and a run-cap abort gives
+    /// no volume guarantee at all.
     pub volume_fraction_searched: f64,
     /// Whether the query stopped early because it hit the configured run cap.
     pub hit_run_cap: bool,
@@ -37,6 +53,8 @@ impl QueryStats {
     pub fn absorb(&mut self, other: &QueryStats) {
         self.cubes_enumerated += other.cubes_enumerated;
         self.runs_probed += other.runs_probed;
+        self.probes += other.probes;
+        self.runs_skipped += other.runs_skipped;
         self.candidates_inspected += other.candidates_inspected;
         self.subscriptions_compared += other.subscriptions_compared;
         self.volume_fraction_searched = self
@@ -92,6 +110,10 @@ pub struct IndexStats {
     pub queries_covered: u64,
     /// Total runs probed across all queries.
     pub total_runs_probed: u64,
+    /// Total ordered-map probes (gallops plus run probes) across all queries.
+    pub total_probes: u64,
+    /// Total gap-crossing skips across all queries.
+    pub total_runs_skipped: u64,
     /// Total cubes enumerated across all queries.
     pub total_cubes_enumerated: u64,
     /// Total candidates inspected across all queries.
@@ -113,6 +135,8 @@ impl IndexStats {
             self.queries_covered += 1;
         }
         self.total_runs_probed += outcome.stats.runs_probed as u64;
+        self.total_probes += outcome.stats.probes as u64;
+        self.total_runs_skipped += outcome.stats.runs_skipped as u64;
         self.total_cubes_enumerated += outcome.stats.cubes_enumerated as u64;
         self.total_candidates_inspected += outcome.stats.candidates_inspected as u64;
         self.total_subscriptions_compared += outcome.stats.subscriptions_compared as u64;
@@ -128,6 +152,24 @@ impl IndexStats {
             0.0
         } else {
             self.total_runs_probed as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean number of ordered-map probes per query.
+    pub fn mean_probes_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_probes as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean number of gap-crossing skips per query.
+    pub fn mean_skips_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_runs_skipped as f64 / self.queries as f64
         }
     }
 
@@ -172,6 +214,8 @@ mod tests {
         let mut a = QueryStats {
             cubes_enumerated: 2,
             runs_probed: 2,
+            probes: 3,
+            runs_skipped: 1,
             candidates_inspected: 1,
             volume_fraction_searched: 0.5,
             hit_run_cap: false,
@@ -181,6 +225,8 @@ mod tests {
         let b = QueryStats {
             cubes_enumerated: 3,
             runs_probed: 4,
+            probes: 5,
+            runs_skipped: 2,
             candidates_inspected: 2,
             volume_fraction_searched: 0.9,
             hit_run_cap: true,
@@ -190,6 +236,8 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.cubes_enumerated, 5);
         assert_eq!(a.runs_probed, 6);
+        assert_eq!(a.probes, 8);
+        assert_eq!(a.runs_skipped, 3);
         assert_eq!(a.candidates_inspected, 3);
         assert_eq!(a.subscriptions_compared, 5);
         assert_eq!(a.volume_fraction_searched, 0.9);
@@ -205,12 +253,16 @@ mod tests {
             1,
             QueryStats {
                 runs_probed: 4,
+                probes: 5,
+                runs_skipped: 3,
                 volume_fraction_searched: 1.0,
                 ..QueryStats::default()
             },
         ));
         stats.record_query(&QueryOutcome::empty(QueryStats {
             runs_probed: 8,
+            probes: 9,
+            runs_skipped: 1,
             volume_fraction_searched: 0.95,
             subscriptions_compared: 10,
             ..QueryStats::default()
@@ -218,6 +270,8 @@ mod tests {
         assert_eq!(stats.queries, 2);
         assert_eq!(stats.queries_covered, 1);
         assert_eq!(stats.mean_runs_per_query(), 6.0);
+        assert_eq!(stats.mean_probes_per_query(), 7.0);
+        assert_eq!(stats.mean_skips_per_query(), 2.0);
         assert_eq!(stats.mean_comparisons_per_query(), 5.0);
         assert_eq!(stats.covered_fraction(), 0.5);
         assert!((stats.total_volume_fraction - 1.95).abs() < 1e-12);

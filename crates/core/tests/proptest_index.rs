@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, SfcCoveringIndex};
+use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, QueryEngine, SfcCoveringIndex};
 use acd_sfc::CurveKind;
 use acd_subscription::{RangePredicate, Schema, Subscription};
 
@@ -124,6 +124,66 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The populated-key skip engine returns exactly the same covering
+    /// verdict as the eager engine and the linear scan on arbitrary
+    /// populations and schemas, while never probing more runs than the eager
+    /// engine pays (work caps disabled so the eager engine really pays the
+    /// full decomposition, never the scan fallback).
+    #[test]
+    fn skip_engine_matches_eager_and_linear_with_fewer_probes(
+        population in bounds_strategy(35),
+        bits in 4u32..=7,
+    ) {
+        let schema = schema(bits);
+        let skip_cfg = ApproxConfig::exhaustive().work_cap(None);
+        let eager_cfg = ApproxConfig::exhaustive()
+            .work_cap(None)
+            .engine(QueryEngine::EagerRuns);
+        let mut skip = SfcCoveringIndex::new(&schema, skip_cfg).unwrap();
+        let mut eager = SfcCoveringIndex::new(&schema, eager_cfg).unwrap();
+        let mut linear = LinearScanIndex::new(&schema);
+        for (i, b) in population.iter().enumerate() {
+            let s = build_sub(&schema, i as u64 + 1, b);
+            // Query-before-insert, like a router.
+            let skip_out = skip.find_covering(&s).unwrap();
+            let eager_out = eager.find_covering(&s).unwrap();
+            let linear_out = linear.find_covering(&s).unwrap();
+            prop_assert_eq!(
+                skip_out.is_covered(),
+                linear_out.is_covered(),
+                "skip engine disagrees with linear scan on sub {}",
+                s.id()
+            );
+            prop_assert_eq!(
+                skip_out.is_covered(),
+                eager_out.is_covered(),
+                "engines disagree on sub {}",
+                s.id()
+            );
+            prop_assert!(
+                skip_out.stats.runs_probed <= eager_out.stats.runs_probed.max(1),
+                "skip probed {} runs vs eager {} on sub {}",
+                skip_out.stats.runs_probed,
+                eager_out.stats.runs_probed,
+                s.id()
+            );
+            // A completed sweep answers exactly: misses probe no run at all
+            // and report the whole region as searched.
+            if !skip_out.is_covered() {
+                prop_assert_eq!(skip_out.stats.runs_probed, 0);
+                prop_assert!(skip_out.stats.volume_fraction_searched >= 1.0 - 1e-12);
+            }
+            skip.insert(&s).unwrap();
+            eager.insert(&s).unwrap();
+            linear.insert(&s).unwrap();
+        }
+        // Aggregate win: across the whole arrival sequence the sweep never
+        // does more run probes than the eager engine.
+        prop_assert!(
+            skip.stats().total_runs_probed <= eager.stats().total_runs_probed.max(1)
+        );
     }
 
     /// The reverse (covered-by) query matches the brute-force answer.

@@ -146,6 +146,19 @@ impl<V, C: SpaceFillingCurve> SfcArray<V, C> {
             .unwrap_or_default())
     }
 
+    /// Returns the smallest populated key at-or-after `key` together with
+    /// the entries stored at that cell, if any — one ordered-map descent.
+    /// This is the "galloping" primitive of the populated-key query sweep:
+    /// the query advances from stored key to stored key instead of
+    /// enumerating every run of the decomposition, and gets the cell's
+    /// candidate entries for free.
+    pub fn first_key_at_or_after(&self, key: &Key) -> Option<(&Key, &[SfcEntry<V>])> {
+        self.entries
+            .range::<Key, _>((std::ops::Bound::Included(key), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(k, bucket)| (k, bucket.as_slice()))
+    }
+
     /// Returns the first entry whose key falls in `range`, if any. This is
     /// the "probe a run" primitive of the paper's query algorithm: it costs
     /// one ordered-map range lookup regardless of how large the run is.
@@ -272,6 +285,22 @@ mod tests {
         let ordered: Vec<u32> = a.iter_range(&quad).map(|e| e.value).collect();
         assert_eq!(ordered, vec![3, 2]);
         assert!(a.any_in_range(&quad));
+    }
+
+    #[test]
+    fn first_key_at_or_after_gallops_over_gaps() {
+        let u = Universe::new(2, 4).unwrap();
+        let z = ZCurve::new(u);
+        let mut a = array();
+        a.insert(p(1, 2), 1).unwrap();
+        a.insert(p(9, 9), 2).unwrap();
+        let k1 = z.key_of_point(&p(1, 2)).unwrap();
+        let k2 = z.key_of_point(&p(9, 9)).unwrap();
+        let at = |key: &Key| a.first_key_at_or_after(key).map(|(k, b)| (k, b.len()));
+        assert_eq!(at(&Key::zero(8)), Some((&k1, 1)));
+        assert_eq!(at(&k1), Some((&k1, 1)));
+        assert_eq!(at(&k1.successor().unwrap()), Some((&k2, 1)));
+        assert_eq!(at(&k2.successor().unwrap()), None);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cube::StandardCube;
 use crate::key::{Key, KeyRange};
+use crate::rect::Rect;
 use crate::universe::{Point, Universe};
 use crate::Result;
 
@@ -61,10 +62,73 @@ pub trait SpaceFillingCurve: fmt::Debug + Send + Sync {
         KeyRange::new(lo, hi)
     }
 
+    /// The `2^d` children of a standard cube together with their key ranges,
+    /// sorted by increasing key order (the order the curve visits them).
+    ///
+    /// This is the primitive that lets a region decomposition be *re-anchored*
+    /// at an arbitrary key: descending from the universe cube and always
+    /// picking the first child whose range ends at-or-after the target key
+    /// reaches the decomposition's next cube without enumerating anything
+    /// before it (see [`crate::decompose::CubeStream::seek`]).
+    ///
+    /// The default implementation encodes each child's corner
+    /// ([`key_of_point`](Self::key_of_point)) and sorts; curves with a known
+    /// child visiting order (the Z curve) override it with a direct
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube is a single cell (no children) or does not belong
+    /// to this curve's universe.
+    fn children_in_key_order(&self, cube: &StandardCube) -> Vec<(StandardCube, KeyRange)> {
+        let children = cube
+            .children()
+            .expect("children_in_key_order called on a single-cell cube");
+        let mut out: Vec<(StandardCube, KeyRange)> = children
+            .into_iter()
+            .map(|child| {
+                let range = self
+                    .cube_key_range(&child)
+                    .expect("child of an in-universe cube is in the universe");
+                (child, range)
+            })
+            .collect();
+        out.sort_by(|a, b| a.1.lo().cmp(b.1.lo()));
+        out
+    }
+
+    /// Curve-specific accelerated region seeking: returns a reusable
+    /// [`RegionSeeker`] for `rect`, or `None` when this curve (or this
+    /// universe size) has no arithmetic fast path — callers then fall back
+    /// to the seekable [`CubeStream`](crate::decompose::CubeStream) /
+    /// [`RunStream`](crate::runs::RunStream) walk of the decomposition.
+    ///
+    /// The Z curve overrides this with the classic BIGMIN bit-walk
+    /// (O(`d·k`) integer operations per seek, with the rectangle's corner
+    /// codes and dimension masks precomputed once here) whenever the key
+    /// width fits 128 bits; it is the engine behind the populated-key query
+    /// sweep's gap jumps.
+    fn region_seeker(&self, rect: &Rect) -> Option<Box<dyn RegionSeeker>> {
+        let _ = rect;
+        None
+    }
+
     /// Human readable name of the curve.
     fn name(&self) -> &'static str {
         self.kind().name()
     }
+}
+
+/// A reusable handle answering "what is the smallest key at-or-after `key`
+/// whose cell lies inside the rectangle this seeker was built for?" —
+/// created once per query region via
+/// [`SpaceFillingCurve::region_seeker`] so that any per-region
+/// precomputation is paid once, not per seek.
+pub trait RegionSeeker: fmt::Debug {
+    /// The smallest in-region key at-or-after `key`, or `None` if no such
+    /// key exists. The result equals `key` exactly when `key`'s own cell
+    /// lies inside the region.
+    fn seek(&self, key: &Key) -> Option<Key>;
 }
 
 /// Identifies one of the supported curve families.
@@ -145,6 +209,40 @@ mod tests {
             assert_eq!(curve.kind(), kind);
             assert_eq!(curve.universe(), &u);
             assert_eq!(curve.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn children_in_key_order_partition_the_parent_range_on_every_curve() {
+        let u = Universe::new(3, 3).unwrap();
+        for kind in CurveKind::all() {
+            let curve = kind.build(u.clone());
+            for (corner, exp) in [
+                (vec![0, 0, 0], 3u32),
+                (vec![4, 0, 4], 2),
+                (vec![2, 6, 0], 1),
+            ] {
+                let cube = StandardCube::new(&u, corner, exp).unwrap();
+                let parent = curve.cube_key_range(&cube).unwrap();
+                let children = curve.children_in_key_order(&cube);
+                assert_eq!(children.len(), 8, "{kind:?}");
+                // Ranges are sorted, contiguous and exactly tile the parent.
+                assert_eq!(children[0].1.lo(), parent.lo());
+                assert_eq!(children.last().unwrap().1.hi(), parent.hi());
+                for w in children.windows(2) {
+                    assert!(
+                        w[0].1.is_adjacent_to(&w[1].1),
+                        "{kind:?}: {} then {}",
+                        w[0].1,
+                        w[1].1
+                    );
+                }
+                // Each pair (cube, range) is consistent.
+                for (child, range) in &children {
+                    assert_eq!(&curve.cube_key_range(child).unwrap(), range);
+                    assert!(cube.contains_cube(child));
+                }
+            }
         }
     }
 }

@@ -9,8 +9,10 @@
 //! i.e. the key bits are `x1[2] x2[2] x1[1] x2[1] x1[0] x2[0]` read as
 //! `0·1 1·0 1·1`.
 
-use crate::curve::{CurveKind, SpaceFillingCurve};
-use crate::key::Key;
+use crate::cube::StandardCube;
+use crate::curve::{CurveKind, RegionSeeker, SpaceFillingCurve};
+use crate::key::{Key, KeyRange};
+use crate::rect::Rect;
 use crate::universe::{Point, Universe};
 use crate::Result;
 
@@ -63,6 +65,25 @@ impl ZCurve {
         key
     }
 
+    /// Interleaves coordinates directly into a `u128` (no allocation). Only
+    /// valid when the universe's key width fits 128 bits.
+    fn interleave_u128(&self, coords: &[u64]) -> u128 {
+        let d = self.universe.dims();
+        let k = self.universe.bits_per_dim();
+        let total = self.universe.key_bits();
+        let mut out = 0u128;
+        for level in 0..k {
+            let coord_bit = k - 1 - level;
+            for (dim, &c) in coords.iter().enumerate() {
+                if (c >> coord_bit) & 1 == 1 {
+                    let from_msb = level * d as u32 + dim as u32;
+                    out |= 1u128 << (total - 1 - from_msb);
+                }
+            }
+        }
+        out
+    }
+
     /// Reverses [`interleave`](Self::interleave).
     pub(crate) fn deinterleave(universe: &Universe, key: &Key) -> Vec<u64> {
         let d = universe.dims();
@@ -99,6 +120,135 @@ impl SpaceFillingCurve for ZCurve {
     fn point_of_key(&self, key: &Key) -> Result<Point> {
         key.expect_bits(self.universe.key_bits())?;
         Ok(Point::from_vec(Self::deinterleave(&self.universe, key)))
+    }
+
+    /// On the Z curve the along-curve order of a cube's children is the
+    /// numeric order of their offset masks with dimension 0 most significant,
+    /// so the children can be produced directly: the `p`-th child in key
+    /// order shifts dimension `j` by half the side iff bit `d−1−j` of `p` is
+    /// set, and its key range is the `p`-th equal slice of the parent's
+    /// range. One corner encoding replaces the `2^d` encodings (plus a sort)
+    /// of the generic implementation.
+    fn children_in_key_order(&self, cube: &StandardCube) -> Vec<(StandardCube, KeyRange)> {
+        assert!(
+            cube.side_exp() > 0,
+            "children_in_key_order called on a single-cell cube"
+        );
+        let d = self.universe.dims();
+        let parent = self
+            .cube_key_range(cube)
+            .expect("cube belongs to the curve's universe");
+        let child_exp = cube.side_exp() - 1;
+        let child_low_bits = child_exp * d as u32;
+        let half = 1u64 << child_exp;
+        let mut out = Vec::with_capacity(1 << d);
+        for p in 0u64..(1u64 << d) {
+            let mut lo = parent.lo().clone();
+            let mut corner = cube.corner().to_vec();
+            for (dim, c) in corner.iter_mut().enumerate() {
+                if (p >> (d - 1 - dim)) & 1 == 1 {
+                    *c += half;
+                    lo.set_bit(child_low_bits + (d - 1 - dim) as u32, true);
+                }
+            }
+            let hi = lo.with_low_bits_set(child_low_bits);
+            let child = StandardCube::new(&self.universe, corner, child_exp)
+                .expect("child of an in-universe cube is in the universe");
+            let range = KeyRange::new(lo, hi).expect("child range is non-empty");
+            out.push((child, range));
+        }
+        out
+    }
+
+    /// Builds the reusable BIGMIN seeker for `rect`: corner Z codes and
+    /// per-dimension bit masks are precomputed here, once per query region,
+    /// so each [`RegionSeeker::seek`] is a pure O(`d·k`) bit-walk with no
+    /// allocation beyond the returned key. Returns `None` (generic stream
+    /// fallback) when the key width exceeds 128 bits.
+    fn region_seeker(&self, rect: &Rect) -> Option<Box<dyn RegionSeeker>> {
+        let total = self.universe.key_bits();
+        if total > 128 || rect.dims() != self.universe.dims() {
+            return None;
+        }
+        let d = self.universe.dims() as u32;
+        // Per-dimension bit masks of the interleaved layout (dimension 0
+        // owns the most significant bit of each level).
+        let mut dim_masks = vec![0u128; d as usize];
+        for bit in 0..total {
+            let dim = ((total - 1 - bit) % d) as usize;
+            dim_masks[dim] |= 1u128 << bit;
+        }
+        Some(Box::new(ZRegionSeeker {
+            // Z codes of the rectangle's corners. Interleaving preserves
+            // componentwise dominance, so these bound every in-rect key.
+            zmin: self.interleave_u128(rect.lo()),
+            zmax: self.interleave_u128(rect.hi()),
+            dim_masks,
+            total,
+            dims: d,
+        }))
+    }
+}
+
+/// The Z curve's precomputed BIGMIN state for one query rectangle.
+#[derive(Debug)]
+struct ZRegionSeeker {
+    zmin: u128,
+    zmax: u128,
+    dim_masks: Vec<u128>,
+    total: u32,
+    dims: u32,
+}
+
+impl RegionSeeker for ZRegionSeeker {
+    /// The classic BIGMIN bit-walk (Tropf–Herzog, generalized to `d`
+    /// dimensions): the smallest Z key at-or-after `key` whose cell lies in
+    /// the rectangle, in O(`d·k`) integer operations on a `u128`, without
+    /// touching the decomposition at all.
+    fn seek(&self, key: &Key) -> Option<Key> {
+        let total = self.total;
+        debug_assert_eq!(key.bits(), total);
+        let k = key.to_u128()?;
+        // Walk from the most significant bit, keeping zmin/zmax the Z codes
+        // of the smallest/largest in-rect cells of the still-active subtree.
+        let mut zmin = self.zmin;
+        let mut zmax = self.zmax;
+        let mut bigmin: Option<u128> = None;
+        for j in (0..total).rev() {
+            let bit_k = (k >> j) & 1;
+            let bit_min = (zmin >> j) & 1;
+            let bit_max = (zmax >> j) & 1;
+            let dim = ((total - 1 - j) % self.dims) as usize;
+            // Bits of the same dimension strictly below position j.
+            let low_mask = self.dim_masks[dim] & ((1u128 << j) - 1);
+            match (bit_k, bit_min, bit_max) {
+                (0, 0, 0) | (1, 1, 1) => {}
+                (0, 0, 1) => {
+                    // The box spans both halves of this dimension while the
+                    // key stays in the lower one: remember the smallest
+                    // upper-half candidate, then continue in the lower half.
+                    bigmin = Some((zmin & !low_mask) | (1u128 << j));
+                    zmax = (zmax | low_mask) & !(1u128 << j);
+                }
+                (0, 1, 1) => {
+                    // The whole remaining box lies above the key.
+                    return Some(Key::from_u128(zmin, total));
+                }
+                (1, 0, 0) => {
+                    // The whole remaining box lies below the key; the saved
+                    // candidate (if any) is the answer.
+                    return bigmin.map(|v| Key::from_u128(v, total));
+                }
+                (1, 0, 1) => {
+                    // Key is in the upper half: restrict the box to it.
+                    zmin = (zmin & !low_mask) | (1u128 << j);
+                }
+                _ => unreachable!("zmin > zmax is impossible for a valid rectangle"),
+            }
+        }
+        // Every bit of the key stayed within the per-dimension bounds: the
+        // key's own cell lies inside the rectangle.
+        Some(key.clone())
     }
 }
 
@@ -210,6 +360,131 @@ mod tests {
         let key = c.key_of_point(&p).unwrap();
         assert_eq!(key.bits(), 160);
         assert_eq!(c.point_of_key(&key).unwrap(), p);
+    }
+
+    #[test]
+    fn children_in_key_order_matches_the_generic_construction() {
+        // The direct Morton construction must agree with the generic
+        // encode-and-sort path for cubes of every size and position.
+        for (d, k) in [(2usize, 4u32), (3, 3), (4, 2)] {
+            let u = Universe::new(d, k).unwrap();
+            let c = ZCurve::new(u.clone());
+            let mut state = 0x5eedu64;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for exp in 1..=k {
+                for _ in 0..8 {
+                    let side = 1u64 << exp;
+                    let corner: Vec<u64> = (0..d)
+                        .map(|_| (next() % (1u64 << (k - exp))) * side)
+                        .collect();
+                    let cube = StandardCube::new(&u, corner, exp).unwrap();
+                    let fast = c.children_in_key_order(&cube);
+                    let mut generic: Vec<(StandardCube, KeyRange)> = cube
+                        .children()
+                        .unwrap()
+                        .into_iter()
+                        .map(|child| {
+                            let range = c.cube_key_range(&child).unwrap();
+                            (child, range)
+                        })
+                        .collect();
+                    generic.sort_by(|a, b| a.1.lo().cmp(b.1.lo()));
+                    assert_eq!(fast, generic, "d={d} k={k} cube {cube}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seek_in_rect_matches_brute_force_exhaustively() {
+        // Small universes: compare the BIGMIN bit-walk against a brute-force
+        // scan over every (rect, key) pair.
+        for (d, k) in [(2usize, 3u32), (3, 2)] {
+            let u = Universe::new(d, k).unwrap();
+            let c = ZCurve::new(u.clone());
+            let side = 1u64 << k;
+            let total_cells = side.pow(d as u32);
+            let total_bits = u.key_bits();
+            let mut state = 0x9e3779b97f4a7c15u64;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..25 {
+                let mut lo = Vec::with_capacity(d);
+                let mut hi = Vec::with_capacity(d);
+                for _ in 0..d {
+                    let (a, b) = (next() % side, next() % side);
+                    lo.push(a.min(b));
+                    hi.push(a.max(b));
+                }
+                let rect = Rect::new(lo, hi).unwrap();
+                // Brute force: sorted list of in-rect keys.
+                let mut in_rect: Vec<u128> = Vec::new();
+                for idx in 0..total_cells {
+                    let mut coords = vec![0u64; d];
+                    let mut rem = idx;
+                    for coord in coords.iter_mut() {
+                        *coord = rem % side;
+                        rem /= side;
+                    }
+                    if rect.contains_coords(&coords) {
+                        let key = c.key_of_point(&Point::new(coords).unwrap()).unwrap();
+                        in_rect.push(key.to_u128().unwrap());
+                    }
+                }
+                in_rect.sort_unstable();
+                let seeker = c
+                    .region_seeker(&rect)
+                    .expect("u128-sized universe supports the fast path");
+                for key_val in 0..(1u128 << total_bits) {
+                    let key = Key::from_u128(key_val, total_bits);
+                    let got = seeker.seek(&key).map(|k| k.to_u128().unwrap());
+                    let expected = in_rect.iter().copied().find(|&v| v >= key_val);
+                    assert_eq!(got, expected, "d={d} k={k} rect {rect} key {key_val}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seek_in_rect_agrees_with_the_cube_stream() {
+        // Larger universe spot-check: the arithmetic fast path and the
+        // generic decomposition stream must land on the same key.
+        use crate::decompose::CubeStream;
+        let u = Universe::new(3, 5).unwrap();
+        let c = ZCurve::new(u.clone());
+        let rect = Rect::new(vec![3, 9, 17], vec![25, 30, 28]).unwrap();
+        let total_bits = u.key_bits();
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let seeker = c.region_seeker(&rect).expect("fast path supported");
+        for _ in 0..200 {
+            let key = Key::from_u128((next() as u128) % (1u128 << total_bits), total_bits);
+            let fast = seeker.seek(&key).map(|k| k.to_u128().unwrap());
+            let mut stream = CubeStream::new(&c, rect.clone()).unwrap();
+            stream.seek(&key);
+            let generic = stream.next_cube().map(|(_, range)| {
+                if range.lo() >= &key {
+                    range.lo().to_u128().unwrap()
+                } else {
+                    key.to_u128().unwrap()
+                }
+            });
+            assert_eq!(fast, generic, "key {key}");
+        }
     }
 
     #[test]

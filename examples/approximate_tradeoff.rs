@@ -46,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for eps in [0.5, 0.3, 0.1, 0.05, 0.01, 0.001] {
-        let mut index = SfcCoveringIndex::approximate(&schema, ApproxConfig::with_epsilon(eps)?)?;
+        // The ε trade-off is a property of the paper's eager probe-every-run
+        // algorithm, so this sweep pins it explicitly — the default
+        // populated-key skip engine is exact at every ε and would print six
+        // identical rows.
+        let cfg = ApproxConfig::with_epsilon(eps)?.engine(QueryEngine::EagerRuns);
+        let mut index = SfcCoveringIndex::approximate(&schema, cfg)?;
         for s in &existing {
             index.insert(s)?;
         }
