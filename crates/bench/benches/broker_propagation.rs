@@ -1,5 +1,7 @@
 //! Criterion bench for E7: subscription-propagation throughput of the broker
-//! overlay under the different covering policies.
+//! overlay under the different covering policies, plus event-delivery
+//! fan-out (which exercises the allocation-free
+//! `matching_local_clients_iter` path).
 
 use std::time::Duration;
 
@@ -7,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use acd_broker::{BrokerNetwork, Topology};
 use acd_covering::CoveringPolicy;
-use acd_workload::{Scenario, SubscriptionWorkload};
+use acd_workload::{EventWorkload, Scenario, SubscriptionWorkload};
 
 fn bench_propagation(c: &mut Criterion) {
     let config = Scenario::StockTicker.workload_config(11);
@@ -43,5 +45,39 @@ fn bench_propagation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_propagation);
+/// Event fan-out: a populated overlay delivering a stream of events. The
+/// per-event cost is dominated by local matching
+/// (`matching_local_clients_iter`) and per-neighbor interest checks.
+fn bench_delivery(c: &mut Criterion) {
+    let config = Scenario::StockTicker.workload_config(13);
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let subscriptions = workload.take(500);
+    let events = EventWorkload::with_schema(&config, &schema)
+        .unwrap()
+        .take(200);
+    let topology = Topology::balanced_tree(2, 3).unwrap(); // 15 brokers
+
+    let mut net = BrokerNetwork::new(topology, &schema, CoveringPolicy::ExactSfc).unwrap();
+    for (i, s) in subscriptions.iter().enumerate() {
+        let at = (i * 7) % net.topology().brokers();
+        net.subscribe(at, i as u64, s).unwrap();
+    }
+
+    let mut group = c.benchmark_group("broker_delivery");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("publish-200-events", |b| {
+        b.iter(|| {
+            let mut delivered = 0usize;
+            for (i, e) in events.iter().enumerate() {
+                delivered += net.publish(i % 15, e).unwrap().len();
+            }
+            std::hint::black_box(delivered)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation, bench_delivery);
 criterion_main!(benches);

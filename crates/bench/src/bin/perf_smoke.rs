@@ -84,15 +84,22 @@ fn main() -> ExitCode {
     for p in &report.policies {
         println!(
             "{:28} runs/query {:>10.2}  probes/query {:>10.2}  skips/query {:>10.2}  \
-             comparisons/query {:>10.2}  latency {:>9.1} us",
+             comparisons/query {:>10.2}  latency {:>9.1} us  build {:>8.1} ms \
+             ({:>9.0} inserts/s)",
             p.name,
             p.mean_runs_probed,
             p.mean_probes,
             p.mean_runs_skipped,
             p.mean_comparisons,
             p.mean_latency_us,
+            p.build_time_ms,
+            p.insert_throughput_per_sec,
         );
     }
+    println!(
+        "bulk build (sfc-z-exhaustive): {:.1} ms — {:.2}x faster than incremental inserts",
+        report.bulk_build_ms, report.bulk_build_speedup
+    );
 
     let json = match serde_json::to_string(&report) {
         Ok(j) => j,

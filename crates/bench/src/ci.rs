@@ -3,11 +3,14 @@
 //!
 //! The `perf_smoke` binary runs [`run`], writes the [`PerfSmokeReport`] to
 //! `BENCH_ci.json` (uploaded as a CI artifact) and, when invoked with
-//! `--assert-budget <file>`, fails the build if the exact-SFC policy's mean
-//! `runs_probed` or `probes` per query exceeds the [`PerfBudget`] committed
-//! in `perf/budget.json`. This is the regression gate that keeps the
-//! populated-key skip sweep from silently degrading back toward the eager
-//! engine's per-query cost.
+//! `--assert-budget <file>`, fails the build if the exact-SFC policy
+//! exceeds any bound of the [`PerfBudget`] committed in `perf/budget.json`:
+//! mean `runs_probed` or `probes` per query (the algorithmic gate that keeps
+//! the populated-key skip sweep from degrading back toward the eager
+//! engine's cost), mean query latency and insert throughput (the
+//! representation gate that keeps the flat inline-key layout from degrading
+//! back toward per-entry heap allocation), and the bulk-build speedup over
+//! `n` incremental inserts.
 
 use std::time::Instant;
 
@@ -32,6 +35,10 @@ pub struct PolicyCost {
     pub mean_latency_us: f64,
     /// Total wall-clock time for the whole query batch, in milliseconds.
     pub total_time_ms: f64,
+    /// Wall-clock time to insert the whole population, in milliseconds.
+    pub build_time_ms: f64,
+    /// Population inserts per second.
+    pub insert_throughput_per_sec: f64,
     /// Number of queries that found a covering subscription.
     pub covered_found: u64,
 }
@@ -49,6 +56,12 @@ pub struct PerfSmokeReport {
     pub bits_per_attribute: u32,
     /// One entry per measured policy.
     pub policies: Vec<PolicyCost>,
+    /// Wall-clock time of `SfcCoveringIndex::build_from` over the same
+    /// population (exact-Z configuration), in milliseconds.
+    pub bulk_build_ms: f64,
+    /// How many times faster the bulk build is than the exact-SFC policy's
+    /// incremental population loop.
+    pub bulk_build_speedup: f64,
 }
 
 impl PerfSmokeReport {
@@ -72,6 +85,16 @@ pub struct PerfBudget {
     /// Upper bound on mean ordered-map probes per query for the exact-SFC
     /// policy.
     pub max_mean_probes_exact_sfc: f64,
+    /// Upper bound on mean query latency (µs) for the exact-SFC policy.
+    /// Wall-clock dependent, so set with generous headroom for slow CI
+    /// machines; it exists to catch order-of-magnitude representation
+    /// regressions, not noise.
+    pub max_mean_query_latency_us_exact_sfc: f64,
+    /// Lower bound on population insert throughput (inserts/second) for the
+    /// exact-SFC policy. Same headroom caveat as the latency bound.
+    pub min_insert_throughput_exact_sfc: f64,
+    /// Lower bound on the bulk-build speedup over incremental inserts.
+    pub min_bulk_build_speedup: f64,
 }
 
 /// Populates `index`, times the query batch, and extracts the cost counters.
@@ -82,9 +105,11 @@ pub(crate) fn measure_policy(
     population: &[acd_subscription::Subscription],
     queries: &[acd_subscription::Subscription],
 ) -> PolicyCost {
+    let build_start = Instant::now();
     for s in population {
         index.insert(s).expect("insert population");
     }
+    let build_elapsed = build_start.elapsed();
     let start = Instant::now();
     let mut covered_found = 0u64;
     for q in queries {
@@ -100,8 +125,10 @@ pub(crate) fn measure_policy(
         mean_probes: stats.mean_probes_per_query(),
         mean_runs_skipped: stats.mean_skips_per_query(),
         mean_comparisons: stats.mean_comparisons_per_query(),
-        mean_latency_us: elapsed.as_micros() as f64 / queries.len() as f64,
+        mean_latency_us: elapsed.as_secs_f64() * 1e6 / queries.len() as f64,
         total_time_ms: elapsed.as_secs_f64() * 1e3,
+        build_time_ms: build_elapsed.as_secs_f64() * 1e3,
+        insert_throughput_per_sec: population.len() as f64 / build_elapsed.as_secs_f64().max(1e-9),
         covered_found,
     }
 }
@@ -145,16 +172,37 @@ pub fn run(subscriptions: usize, queries: usize, include_eager: bool) -> PerfSmo
         ));
     }
 
-    let policies = indexes
+    let policies: Vec<PolicyCost> = indexes
         .iter_mut()
         .map(|index| measure_policy(index.as_mut(), &population, &query_subs))
         .collect();
+
+    // Bulk build: the same exact-Z index built in one sorted pass.
+    let bulk_start = Instant::now();
+    let bulk = SfcCoveringIndex::build_from(
+        &schema,
+        ApproxConfig::exhaustive(),
+        acd_sfc::CurveKind::Z,
+        &population,
+    )
+    .expect("bulk build");
+    let bulk_build_ms = bulk_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(bulk.len(), population.len());
+    let incremental_ms = policies
+        .iter()
+        .find(|p| p.name == "sfc-z-exhaustive")
+        .map(|p| p.build_time_ms)
+        .unwrap_or(0.0);
+    let bulk_build_speedup = incremental_ms / bulk_build_ms.max(1e-9);
+
     PerfSmokeReport {
         subscriptions,
         queries,
         attributes,
         bits_per_attribute,
         policies,
+        bulk_build_ms,
+        bulk_build_speedup,
     }
 }
 
@@ -182,7 +230,25 @@ pub fn check_budget(report: &PerfSmokeReport, budget: &PerfBudget) -> Result<(),
                     cost.mean_probes, budget.max_mean_probes_exact_sfc
                 ));
             }
+            if cost.mean_latency_us > budget.max_mean_query_latency_us_exact_sfc {
+                violations.push(format!(
+                    "exact-SFC mean query latency {:.1} us exceeds budget {:.1} us",
+                    cost.mean_latency_us, budget.max_mean_query_latency_us_exact_sfc
+                ));
+            }
+            if cost.insert_throughput_per_sec < budget.min_insert_throughput_exact_sfc {
+                violations.push(format!(
+                    "exact-SFC insert throughput {:.0}/s below budget {:.0}/s",
+                    cost.insert_throughput_per_sec, budget.min_insert_throughput_exact_sfc
+                ));
+            }
         }
+    }
+    if report.bulk_build_speedup < budget.min_bulk_build_speedup {
+        violations.push(format!(
+            "bulk-build speedup {:.2}x below budget {:.2}x",
+            report.bulk_build_speedup, budget.min_bulk_build_speedup
+        ));
     }
     if violations.is_empty() {
         Ok(())
@@ -211,24 +277,41 @@ mod tests {
         let budget = PerfBudget {
             max_mean_runs_probed_exact_sfc: 64.0,
             max_mean_probes_exact_sfc: 256.0,
+            max_mean_query_latency_us_exact_sfc: 1e6,
+            min_insert_throughput_exact_sfc: 0.0,
+            min_bulk_build_speedup: 0.0,
         };
         check_budget(&report, &budget).unwrap();
-        // A zero budget must trip the gate.
+        // An impossible budget must trip every gate.
         let impossible = PerfBudget {
             max_mean_runs_probed_exact_sfc: 0.0,
             max_mean_probes_exact_sfc: 0.0,
+            max_mean_query_latency_us_exact_sfc: 0.0,
+            min_insert_throughput_exact_sfc: f64::INFINITY,
+            min_bulk_build_speedup: f64::INFINITY,
         };
         let violations = check_budget(&report, &impossible).unwrap_err();
-        assert!(!violations.is_empty());
+        assert!(violations.len() >= 5);
+        // The bulk-build measurement must be populated and sane; the actual
+        // speedup bound is enforced by the release perf gate (wall-clock
+        // ratios in a debug unit test on a shared runner would be flaky).
+        assert!(report.bulk_build_ms > 0.0);
+        assert!(report.bulk_build_speedup.is_finite() && report.bulk_build_speedup > 0.0);
     }
 
     #[test]
     fn budget_file_format_parses() {
         let budget: PerfBudget = serde_json::from_str(
-            r#"{"max_mean_runs_probed_exact_sfc": 48.0, "max_mean_probes_exact_sfc": 192.0}"#,
+            r#"{"max_mean_runs_probed_exact_sfc": 48.0, "max_mean_probes_exact_sfc": 192.0,
+                "max_mean_query_latency_us_exact_sfc": 100.0,
+                "min_insert_throughput_exact_sfc": 50000.0,
+                "min_bulk_build_speedup": 2.0}"#,
         )
         .unwrap();
         assert_eq!(budget.max_mean_runs_probed_exact_sfc, 48.0);
         assert_eq!(budget.max_mean_probes_exact_sfc, 192.0);
+        assert_eq!(budget.max_mean_query_latency_us_exact_sfc, 100.0);
+        assert_eq!(budget.min_insert_throughput_exact_sfc, 50000.0);
+        assert_eq!(budget.min_bulk_build_speedup, 2.0);
     }
 }

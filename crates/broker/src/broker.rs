@@ -164,13 +164,26 @@ impl Broker {
     }
 
     /// Local clients whose subscriptions match `event`, one entry per
-    /// matching subscription.
-    pub fn matching_local_clients(&self, event: &Event) -> Vec<(ClientId, SubId)> {
+    /// matching subscription, as a borrowing iterator — the allocation-free
+    /// form used on the event delivery hot path (a broker fanning out
+    /// thousands of events per second would otherwise build a fresh `Vec`
+    /// per event).
+    pub fn matching_local_clients_iter<'a>(
+        &'a self,
+        event: &'a Event,
+    ) -> impl Iterator<Item = (ClientId, SubId)> + 'a {
         self.local
             .iter()
-            .filter(|(_, s)| s.matches(event))
+            .filter(move |(_, s)| s.matches(event))
             .map(|(c, s)| (*c, s.id()))
-            .collect()
+    }
+
+    /// Local clients whose subscriptions match `event`, collected into a
+    /// vector. Prefer
+    /// [`matching_local_clients_iter`](Self::matching_local_clients_iter)
+    /// on hot paths.
+    pub fn matching_local_clients(&self, event: &Event) -> Vec<(ClientId, SubId)> {
+        self.matching_local_clients_iter(event).collect()
     }
 
     /// Whether any subscription received from `neighbor` matches `event`

@@ -161,7 +161,7 @@ impl BrokerNetwork {
             std::collections::VecDeque::new();
         queue.push_back((at, None));
         while let Some((broker_id, from)) = queue.pop_front() {
-            for (client, _) in self.brokers[broker_id].matching_local_clients(event) {
+            for (client, _) in self.brokers[broker_id].matching_local_clients_iter(event) {
                 deliveries.push((broker_id, client));
             }
             let neighbors: Vec<BrokerId> = self.topology.neighbors(broker_id).to_vec();

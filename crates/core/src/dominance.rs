@@ -99,9 +99,63 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
         }
     }
 
+    /// Bulk-builds an index from a batch of `(point, value)` pairs: the
+    /// batch is keyed and sorted once ([`SfcArray::from_sorted`]) instead of
+    /// paying `n` incremental ordered inserts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any point lies outside the curve's universe.
+    pub fn build_from(curve: C, config: ApproxConfig, entries: Vec<(Point, V)>) -> Result<Self> {
+        let universe = curve.universe().clone();
+        Ok(PointDominanceIndex {
+            array: SfcArray::from_sorted(curve, entries)?,
+            universe,
+            config,
+        })
+    }
+
     /// The universe the indexed points live in.
     pub fn universe(&self) -> &Universe {
         &self.universe
+    }
+
+    /// Z-curve bulk construction of a *pair* of indexes — one over
+    /// `entries`, one over their mirrored points — sharing a single keying
+    /// pass and sort (on the Z curve the mirrored key is the bitwise
+    /// complement of the forward key, so the mirrored array is the forward
+    /// order reversed; see [`SfcArray::from_sorted_mirrored`]). This is the
+    /// fast path for covering indexes, which maintain both dominance
+    /// directions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any point lies outside the curve's universe.
+    pub fn build_from_with_mirror(
+        curve: acd_sfc::ZCurve,
+        config: ApproxConfig,
+        entries: Vec<(Point, V)>,
+    ) -> Result<(
+        PointDominanceIndex<V, acd_sfc::ZCurve>,
+        PointDominanceIndex<V, acd_sfc::ZCurve>,
+    )>
+    where
+        C: Sized,
+    {
+        let universe = curve.universe().clone();
+        let (fwd, mir) = SfcArray::from_sorted_mirrored(curve, entries)?;
+        Ok((
+            PointDominanceIndex {
+                array: fwd,
+                universe: universe.clone(),
+                config,
+            },
+            PointDominanceIndex {
+                array: mir,
+                universe,
+                config,
+            },
+        ))
     }
 
     /// The query configuration.
@@ -350,9 +404,11 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
         let rect = region.to_rect();
         // Per-region seek state is built once per query: the arithmetic fast
         // seeker when the curve has one, and otherwise (Hilbert, Gray, or
-        // >128-bit keys) a decomposition stream, materialized lazily.
+        // >128-bit keys) a decomposition stream over the borrowed rectangle,
+        // materialized lazily.
         let seeker = curve.region_seeker(&rect);
         let mut stream: Option<RunStream<'_, C>> = None;
+        let mut gallop = self.array.sweep_cursor();
         // Each sweep iteration does one gallop plus at most one region seek;
         // the work cap bounds those iterations — past it the exact point
         // scan is cheaper than more sweeping.
@@ -368,15 +424,16 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
                 // The cursor ran off the end of the key space.
                 break None;
             };
-            // Gallop: smallest stored key at-or-after the cursor (one
-            // ordered-map descent, which also yields the cell's entries).
+            // Gallop: smallest stored key at-or-after the cursor. The
+            // forward-only cursor gallops from its previous position over
+            // the packed key array, and the key and its bucket are borrowed
+            // straight from the array — nothing is cloned per step.
             stats.probes += 1;
-            let Some((key, bucket)) = self.array.first_key_at_or_after(&cur) else {
+            let Some((key, bucket)) = gallop.next_at_or_after(&cur) else {
                 // No stored key remains, so no run ahead can contain one:
                 // the rest of the region is provably empty.
                 break None;
             };
-            let key = key.clone();
 
             // Re-anchor the region at the populated key: smallest region key
             // at-or-after it (equal to `key` iff the cell is in the region).
@@ -388,18 +445,18 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
                 }
             }
             let next_region_key = match &seeker {
-                Some(seeker) => seeker.seek(&key),
+                Some(seeker) => seeker.seek(key),
                 None => {
                     if stream.is_none() {
-                        stream = Some(RunStream::new(curve, rect.clone())?);
+                        stream = Some(RunStream::new(curve, &rect)?);
                     }
                     let runs = stream.as_mut().expect("stream just initialized");
-                    runs.seek(&key);
+                    runs.seek(key);
                     // Only the next run's *start* is needed (gap jumps land
                     // on it; membership is `start <= key`), so the run is
                     // not merged to its end — one cube pull per iteration.
                     runs.peek_start()
-                        .map(|lo| if lo <= &key { key.clone() } else { lo.clone() })
+                        .map(|lo| if lo <= key { key.clone() } else { lo.clone() })
                 }
             };
 
@@ -410,7 +467,7 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
                     // swept.
                     break None;
                 }
-                Some(region_key) if region_key == key => {
+                Some(region_key) if &region_key == key => {
                     // The populated cell lies inside the region, so every
                     // entry stored there dominates the query: report the
                     // first acceptable one.
@@ -490,11 +547,7 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
     pub fn all_dominating(&self, query: &Point) -> Result<Vec<V>> {
         self.universe.validate_point(query)?;
         let mut out = Vec::new();
-        let full = KeyRange::new(
-            Key::zero(self.universe.key_bits()),
-            Key::max_value(self.universe.key_bits()),
-        )?;
-        for entry in self.array.iter_range(&full) {
+        for entry in self.array.iter() {
             if entry.point.dominates(query) {
                 out.push(entry.value.clone());
             }

@@ -54,6 +54,33 @@ impl Engine {
         }
     }
 
+    /// Bulk-builds an engine from a batch of dominance points (one sort
+    /// instead of `n` ordered inserts).
+    fn build_from(
+        kind: CurveKind,
+        universe: Universe,
+        config: ApproxConfig,
+        entries: Vec<(Point, SubId)>,
+    ) -> Result<Self> {
+        Ok(match kind {
+            CurveKind::Z => Engine::Z(PointDominanceIndex::build_from(
+                ZCurve::new(universe),
+                config,
+                entries,
+            )?),
+            CurveKind::Hilbert => Engine::Hilbert(PointDominanceIndex::build_from(
+                HilbertCurve::new(universe),
+                config,
+                entries,
+            )?),
+            CurveKind::Gray => Engine::Gray(PointDominanceIndex::build_from(
+                GrayCurve::new(universe),
+                config,
+                entries,
+            )?),
+        })
+    }
+
     fn insert(&mut self, point: Point, id: SubId) -> Result<()> {
         match self {
             Engine::Z(i) => i.insert(point, id),
@@ -172,6 +199,76 @@ impl SfcCoveringIndex {
             mirrored: Engine::new(curve, universe, config),
             subscriptions: HashMap::new(),
             stats: IndexStats::default(),
+        })
+    }
+
+    /// Bulk-builds an index over a known subscription set: both dominance
+    /// directions are keyed and sorted once ([`acd_sfc::SfcArray::from_sorted`]
+    /// under the hood) instead of paying `2n` incremental ordered inserts —
+    /// several times faster when the subscription set is available up front
+    /// (workload replay, routing-table snapshots, benchmark setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any subscription disagrees with `schema`, if two
+    /// subscriptions share an identifier, or if the dominance universe
+    /// cannot be constructed.
+    pub fn build_from<'a, I>(
+        schema: &Schema,
+        config: ApproxConfig,
+        curve: CurveKind,
+        subscriptions: I,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = &'a Subscription>,
+    {
+        let universe = dominance_universe(schema)?;
+        let mut stored = HashMap::new();
+        let mut forward = Vec::new();
+        for sub in subscriptions {
+            if sub.schema() != schema {
+                return Err(CoveringError::SchemaMismatch);
+            }
+            forward.push((dominance_point(sub)?, sub.id()));
+            if stored.insert(sub.id(), sub.clone()).is_some() {
+                return Err(CoveringError::DuplicateSubscription { id: sub.id() });
+            }
+        }
+        let (forward_engine, mirrored_engine) = match curve {
+            // Z fast path: one keying pass and one sort build both
+            // dominance directions (the mirrored Z key is the complement of
+            // the forward key).
+            CurveKind::Z => {
+                let (fwd, mir) = PointDominanceIndex::<SubId, ZCurve>::build_from_with_mirror(
+                    ZCurve::new(universe),
+                    config,
+                    forward,
+                )?;
+                (Engine::Z(fwd), Engine::Z(mir))
+            }
+            _ => {
+                let mirrored: Vec<(Point, SubId)> = stored
+                    .values()
+                    .map(|sub| Ok((mirrored_dominance_point(sub)?, sub.id())))
+                    .collect::<Result<_>>()?;
+                (
+                    Engine::build_from(curve, universe.clone(), config, forward)?,
+                    Engine::build_from(curve, universe, config, mirrored)?,
+                )
+            }
+        };
+        let stats = IndexStats {
+            inserts: stored.len() as u64,
+            ..IndexStats::default()
+        };
+        Ok(SfcCoveringIndex {
+            schema: schema.clone(),
+            config,
+            curve,
+            forward: forward_engine,
+            mirrored: mirrored_engine,
+            subscriptions: stored,
+            stats,
         })
     }
 
@@ -432,6 +529,62 @@ mod tests {
             recall > 0.6,
             "recall {recall} unexpectedly low ({detected}/{truly_covered})"
         );
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental_inserts_on_all_curves() {
+        // `build_from` (including the Z mirrored-pair fast path) must be
+        // indistinguishable from inserting one by one: same covering
+        // answers, same covered-by sets, removals still work.
+        let s = schema();
+        let subs = random_subs(&s, 120, 41);
+        let queries = random_subs(&s, 40, 43);
+        for curve in CurveKind::all() {
+            let mut bulk =
+                SfcCoveringIndex::build_from(&s, ApproxConfig::exhaustive(), curve, &subs).unwrap();
+            let mut incremental =
+                SfcCoveringIndex::with_curve(&s, ApproxConfig::exhaustive(), curve).unwrap();
+            for sub in &subs {
+                incremental.insert(sub).unwrap();
+            }
+            assert_eq!(bulk.len(), incremental.len());
+            assert_eq!(bulk.stats().inserts, subs.len() as u64);
+            for q in &queries {
+                assert_eq!(
+                    bulk.find_covering(q).unwrap().is_covered(),
+                    incremental.find_covering(q).unwrap().is_covered(),
+                    "{curve:?} bulk/incremental disagree on {}",
+                    q.id()
+                );
+                let mut a = bulk.find_covered_by(q).unwrap();
+                let mut b = incremental.find_covered_by(q).unwrap();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{curve:?} covered-by disagrees on {}", q.id());
+            }
+            // Removal from a bulk-built index works on both directions.
+            let victim = subs[7].id();
+            bulk.remove(victim).unwrap();
+            assert!(!bulk.contains(victim));
+            assert_eq!(bulk.len(), subs.len() - 1);
+        }
+        // Duplicate ids and schema mismatches are rejected.
+        let twice = vec![subs[0].clone(), subs[0].clone()];
+        assert!(matches!(
+            SfcCoveringIndex::build_from(&s, ApproxConfig::exhaustive(), CurveKind::Z, &twice),
+            Err(CoveringError::DuplicateSubscription { .. })
+        ));
+        let other = Schema::builder().attribute("x", 0.0, 1.0).build().unwrap();
+        let foreign = SubscriptionBuilder::new(&other).build(5).unwrap();
+        assert!(matches!(
+            SfcCoveringIndex::build_from(
+                &s,
+                ApproxConfig::exhaustive(),
+                CurveKind::Z,
+                std::iter::once(&foreign)
+            ),
+            Err(CoveringError::SchemaMismatch)
+        ));
     }
 
     #[test]

@@ -140,7 +140,7 @@ pub fn histogram_by_level(cubes: &[StandardCube]) -> Vec<(u32, u64)> {
 /// let u = Universe::new(2, 4)?;
 /// let curve = ZCurve::new(u.clone());
 /// let rect = Rect::new(vec![0, 0], vec![2, 1])?;
-/// let mut stream = CubeStream::new(&curve, rect)?;
+/// let mut stream = CubeStream::new(&curve, &rect)?;
 /// // Skip everything ending before key 6: the two unit cells at keys 8 and
 /// // 9 remain, the 2x2 cube at keys [0, 3] is never enumerated.
 /// stream.seek(&Key::from_u128(6, 8));
@@ -152,7 +152,7 @@ pub fn histogram_by_level(cubes: &[StandardCube]) -> Vec<(u32, u64)> {
 #[derive(Debug)]
 pub struct CubeStream<'a, C: SpaceFillingCurve + ?Sized> {
     curve: &'a C,
-    rect: Rect,
+    rect: &'a Rect,
     /// Pending subtrees in *reverse* key order (top of the stack holds the
     /// lowest keys). Invariant: the key ranges on the stack are disjoint and
     /// descending from bottom to top.
@@ -167,7 +167,7 @@ impl<'a, C: SpaceFillingCurve + ?Sized> CubeStream<'a, C> {
     ///
     /// Returns an error if the rectangle does not lie inside the curve's
     /// universe.
-    pub fn new(curve: &'a C, rect: Rect) -> Result<Self> {
+    pub fn new(curve: &'a C, rect: &'a Rect) -> Result<Self> {
         rect.validate_in(curve.universe())?;
         let root = StandardCube::whole_universe(curve.universe());
         let range = curve.cube_key_range(&root)?;
@@ -180,7 +180,7 @@ impl<'a, C: SpaceFillingCurve + ?Sized> CubeStream<'a, C> {
 
     /// The rectangle being decomposed.
     pub fn rect(&self) -> &Rect {
-        &self.rect
+        self.rect
     }
 
     /// The next cube of the decomposition (and its key range) in increasing
@@ -410,7 +410,7 @@ mod tests {
         assert!(decompose_rect(&u, &rect).is_err());
         assert!(count_cubes(&u, &rect).is_err());
         let curve = crate::zorder::ZCurve::new(u);
-        assert!(CubeStream::new(&curve, rect).is_err());
+        assert!(CubeStream::new(&curve, &rect).is_err());
     }
 
     #[test]
@@ -431,9 +431,7 @@ mod tests {
                 let (c, d) = (next() % 32, next() % 32);
                 let rect = Rect::new(vec![a.min(b), c.min(d)], vec![a.max(b), c.max(d)]).unwrap();
                 let streamed: Vec<(StandardCube, crate::key::KeyRange)> =
-                    CubeStream::new(curve.as_ref(), rect.clone())
-                        .unwrap()
-                        .collect();
+                    CubeStream::new(curve.as_ref(), &rect).unwrap().collect();
                 // Same cube set as the eager greedy partition...
                 let mut eager = decompose_rect(&u, &rect).unwrap();
                 let mut got: Vec<StandardCube> = streamed.iter().map(|(c, _)| c.clone()).collect();
@@ -457,8 +455,7 @@ mod tests {
         let u = universe(2, 6);
         let curve = crate::zorder::ZCurve::new(u.clone());
         let rect = Rect::new(vec![3, 5], vec![50, 41]).unwrap();
-        let all: Vec<(StandardCube, KeyRange)> =
-            CubeStream::new(&curve, rect.clone()).unwrap().collect();
+        let all: Vec<(StandardCube, KeyRange)> = CubeStream::new(&curve, &rect).unwrap().collect();
         assert!(all.len() > 10);
         // Seeking to any cube boundary (and past the end) must resume at the
         // first cube whose range ends at-or-after the key.
@@ -468,7 +465,7 @@ mod tests {
             .chain([Key::zero(12), Key::max_value(12)])
             .collect();
         for key in probes {
-            let mut stream = CubeStream::new(&curve, rect.clone()).unwrap();
+            let mut stream = CubeStream::new(&curve, &rect).unwrap();
             stream.seek(&key);
             let expected = all.iter().find(|(_, r)| r.hi() >= &key);
             assert_eq!(
@@ -486,9 +483,8 @@ mod tests {
         let u = universe(2, 6);
         let curve = crate::zorder::ZCurve::new(u.clone());
         let rect = Rect::new(vec![1, 1], vec![62, 59]).unwrap();
-        let all: Vec<(StandardCube, KeyRange)> =
-            CubeStream::new(&curve, rect.clone()).unwrap().collect();
-        let mut stream = CubeStream::new(&curve, rect).unwrap();
+        let all: Vec<(StandardCube, KeyRange)> = CubeStream::new(&curve, &rect).unwrap().collect();
+        let mut stream = CubeStream::new(&curve, &rect).unwrap();
         let mut visited = Vec::new();
         let mut i = 0usize;
         while let Some((cube, range)) = {

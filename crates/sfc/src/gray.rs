@@ -45,9 +45,20 @@ impl GrayCurve {
     }
 
     /// Gray-code decode (rank of a Gray codeword): `b_i = g_i ⊕ b_{i+1}`,
-    /// scanning from the most significant bit.
+    /// scanning from the most significant bit. Keys that fit 128 bits use
+    /// the logarithmic XOR-shift cascade on the inline value — no per-bit
+    /// walk, no allocation.
     fn gray_rank(key: &Key) -> Key {
         let bits = key.bits();
+        if bits <= 128 {
+            let mut v = key.to_u128().expect("≤128-bit keys always fit a u128");
+            let mut shift = 1u32;
+            while shift < 128 {
+                v ^= v >> shift;
+                shift <<= 1;
+            }
+            return Key::from_u128(v, bits);
+        }
         let mut out = Key::zero(bits);
         let mut acc = false;
         for i in (0..bits).rev() {
@@ -60,6 +71,10 @@ impl GrayCurve {
     /// Gray-code encode (codeword of a rank): `g = b ⊕ (b >> 1)`.
     fn gray_codeword(rank: &Key) -> Key {
         let bits = rank.bits();
+        if bits <= 128 {
+            let v = rank.to_u128().expect("≤128-bit keys always fit a u128");
+            return Key::from_u128(v ^ (v >> 1), bits);
+        }
         let mut out = Key::zero(bits);
         for i in 0..bits {
             let hi = if i + 1 < bits { rank.bit(i + 1) } else { false };

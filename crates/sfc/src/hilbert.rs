@@ -128,8 +128,18 @@ impl SpaceFillingCurve for HilbertCurve {
 
     fn key_of_point(&self, point: &Point) -> Result<Key> {
         self.universe.validate_point(point)?;
+        let d = self.universe.dims();
+        let k = self.universe.bits_per_dim();
+        if d <= crate::universe::POINT_INLINE_DIMS {
+            // Transpose in a stack buffer: no allocation for the common
+            // low-dimensional dominance shapes.
+            let mut buf = [0u64; crate::universe::POINT_INLINE_DIMS];
+            buf[..d].copy_from_slice(point.coords());
+            Self::axes_to_transpose(&mut buf[..d], k);
+            return Ok(ZCurve::interleave(&self.universe, &buf[..d]));
+        }
         let mut coords = point.coords().to_vec();
-        Self::axes_to_transpose(&mut coords, self.universe.bits_per_dim());
+        Self::axes_to_transpose(&mut coords, k);
         Ok(ZCurve::interleave(&self.universe, &coords))
     }
 

@@ -1,22 +1,46 @@
-//! Arbitrary-precision SFC keys and key ranges.
+//! SFC keys and key ranges with an allocation-free inline representation.
 //!
 //! A key for a `d`-dimensional universe with `k` bits per dimension has
-//! exactly `d·k` bits. For realistic subscription workloads (`d = 2β` with
-//! β up to 8–16 attributes, `k` up to 32 bits) this exceeds 128 bits, so keys
-//! are stored as big-endian sequences of `u64` words with an explicit bit
-//! length. Keys compare lexicographically, which for equal bit lengths is the
-//! numeric order the space filling curve induces on cells.
+//! exactly `d·k` bits. The common subscription shapes (`d = 2β` with β up to
+//! 4–8 attributes, `k` up to 16 bits) fit in 128 bits, so a [`Key`] stores
+//! such values *inline* in a `u128` — construction, comparison, increment and
+//! the BIGMIN bit-walk never touch the heap. Wider universes spill to a
+//! big-endian `Vec<u64>` word vector ([`Key`] is an enum over the two
+//! layouts); every operation is defined on both and the two representations
+//! are observationally identical (property-tested via
+//! [`Key::with_spilled_repr`]).
+//!
+//! Keys compare numerically, which for equal bit widths is the order the
+//! space filling curve induces on cells.
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::SfcError;
 use crate::Result;
 
+/// The storage of a key's value: inline for widths that fit a `u128`,
+/// spilled to big-endian words otherwise.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// The value of a key of width ≤ 128 bits. Invariant: bits above the
+    /// key's width are zero.
+    Inline(u128),
+    /// Big-endian words: `words[0]` holds the most significant bits.
+    /// Invariant: `words.len() == ceil(bits / 64)` and any unused high bits
+    /// of `words[0]` are zero.
+    Spill(Vec<u64>),
+}
+
 /// An SFC key: an unsigned integer of a fixed bit width (`d·k` bits),
 /// ordered numerically.
+///
+/// Keys of width ≤ 128 bits are stored inline (no heap allocation anywhere
+/// in their lifecycle); wider keys use a word vector. All operations treat
+/// the two layouts identically.
 ///
 /// # Example
 ///
@@ -29,15 +53,55 @@ use crate::Result;
 /// assert_eq!(a.bits(), 8);
 /// assert_eq!(a.to_u128(), Some(5));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Key {
-    /// Total number of significant bits. The value occupies the low
-    /// `bits` bits of `words` interpreted as a big-endian number.
+    /// Total number of significant bits.
     bits: u32,
-    /// Big-endian words: `words[0]` holds the most significant bits.
-    /// Invariant: `words.len() == ceil(bits / 64)` and any unused high bits
-    /// of `words[0]` are zero.
-    words: Vec<u64>,
+    repr: Repr,
+}
+
+/// Keys serialize as `{bits, words}` with big-endian words — identical for
+/// both in-memory layouts (so inline and spilled keys serialize the same,
+/// and the wire format matches the historical word-vector layout).
+impl Serialize for Key {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("bits".to_string(), serde::Value::U64(self.bits as u64)),
+            (
+                "words".to_string(),
+                serde::Value::Seq(
+                    (0..self.word_count())
+                        .map(|i| serde::Value::U64(self.word(i)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Key {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a key map"))?;
+        let bits = u32::from_value(serde::get_field(entries, "bits"))?;
+        let words = Vec::<u64>::from_value(serde::get_field(entries, "words"))?;
+        let mut key = Key {
+            bits,
+            repr: if bits <= 128 {
+                let n = words.len();
+                let lo = words.last().copied().unwrap_or(0) as u128;
+                let hi = if n >= 2 { words[n - 2] as u128 } else { 0 };
+                Repr::Inline((hi << 64) | lo)
+            } else {
+                let mut words = words;
+                words.resize(Key::words_for(bits), 0);
+                Repr::Spill(words)
+            },
+        };
+        key.mask_slack();
+        Ok(key)
+    }
 }
 
 impl Key {
@@ -46,24 +110,47 @@ impl Key {
         (bits as usize).div_ceil(64)
     }
 
-    /// Number of unused (always-zero) high bits in the first word.
+    /// Number of unused (always-zero) high bits in the first word of the
+    /// spilled layout.
     fn slack(bits: u32) -> u32 {
         (Self::words_for(bits) as u32) * 64 - bits
     }
 
+    /// A mask of the low `bits` bits of a `u128` (`bits ≤ 128`).
+    fn inline_mask(bits: u32) -> u128 {
+        debug_assert!(bits <= 128);
+        if bits >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << bits) - 1
+        }
+    }
+
     /// The all-zero key of the given width.
     pub fn zero(bits: u32) -> Self {
-        Key {
-            bits,
-            words: vec![0; Self::words_for(bits).max(1)],
+        if bits <= 128 {
+            Key {
+                bits,
+                repr: Repr::Inline(0),
+            }
+        } else {
+            Key {
+                bits,
+                repr: Repr::Spill(vec![0; Self::words_for(bits)]),
+            }
         }
     }
 
     /// The all-ones key (maximum value) of the given width.
     pub fn max_value(bits: u32) -> Self {
         let mut key = Key::zero(bits);
-        for w in key.words.iter_mut() {
-            *w = u64::MAX;
+        match &mut key.repr {
+            Repr::Inline(v) => *v = Self::inline_mask(bits),
+            Repr::Spill(words) => {
+                for w in words.iter_mut() {
+                    *w = u64::MAX;
+                }
+            }
         }
         key.mask_slack();
         key
@@ -73,33 +160,43 @@ impl Key {
     ///
     /// # Panics
     ///
-    /// Panics if `value` does not fit in `bits` bits.
+    /// Panics if `value` does not fit in `bits` bits, i.e. if any bit of
+    /// `value` at position `bits` or above is set.
     pub fn from_u128(value: u128, bits: u32) -> Self {
         assert!(
-            bits >= 128 || value < (1u128 << bits.min(127)) << (bits.min(128).saturating_sub(127)),
+            bits >= 128 || value >> bits == 0,
             "value {value} does not fit in {bits} bits"
         );
-        let mut key = Key::zero(bits);
-        let n = key.words.len();
-        if n >= 1 {
-            key.words[n - 1] = value as u64;
+        if bits <= 128 {
+            return Key {
+                bits,
+                repr: Repr::Inline(value),
+            };
         }
-        if n >= 2 {
-            key.words[n - 2] = (value >> 64) as u64;
+        let mut words = vec![0u64; Self::words_for(bits)];
+        let n = words.len();
+        words[n - 1] = value as u64;
+        words[n - 2] = (value >> 64) as u64;
+        Key {
+            bits,
+            repr: Repr::Spill(words),
         }
-        key.mask_slack();
-        key
     }
 
     /// Returns the value as a `u128` if it fits, `None` otherwise.
     pub fn to_u128(&self) -> Option<u128> {
-        let n = self.words.len();
-        if n > 2 && self.words[..n - 2].iter().any(|&w| w != 0) {
-            return None;
+        match &self.repr {
+            Repr::Inline(v) => Some(*v),
+            Repr::Spill(words) => {
+                let n = words.len();
+                if n > 2 && words[..n - 2].iter().any(|&w| w != 0) {
+                    return None;
+                }
+                let lo = words[n - 1] as u128;
+                let hi = if n >= 2 { words[n - 2] as u128 } else { 0 };
+                Some((hi << 64) | lo)
+            }
         }
-        let lo = self.words[n - 1] as u128;
-        let hi = if n >= 2 { self.words[n - 2] as u128 } else { 0 };
-        Some((hi << 64) | lo)
     }
 
     /// Width of the key in bits.
@@ -107,14 +204,59 @@ impl Key {
         self.bits
     }
 
-    /// Zeroes out the unused high bits of the first word.
+    /// Whether this key uses the inline (`u128`) layout. Exposed for the
+    /// representation-agreement property tests.
+    #[doc(hidden)]
+    pub fn repr_is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline(_))
+    }
+
+    /// Returns a copy of this key forced into the spilled (word-vector)
+    /// layout, regardless of width. Observationally identical to `self`;
+    /// exposed so property tests can check the two layouts agree on every
+    /// operation.
+    #[doc(hidden)]
+    pub fn with_spilled_repr(&self) -> Key {
+        Key {
+            bits: self.bits,
+            repr: Repr::Spill((0..self.word_count()).map(|i| self.word(i)).collect()),
+        }
+    }
+
+    /// Number of words in the (logical) big-endian word view.
+    fn word_count(&self) -> usize {
+        Self::words_for(self.bits).max(1)
+    }
+
+    /// The `i`-th word of the big-endian word view (index 0 is the most
+    /// significant word), independent of layout.
+    fn word(&self, i: usize) -> u64 {
+        match &self.repr {
+            Repr::Spill(words) => words[i],
+            Repr::Inline(v) => {
+                let shift = (self.word_count() - 1 - i) * 64;
+                if shift >= 128 {
+                    0
+                } else {
+                    (v >> shift) as u64
+                }
+            }
+        }
+    }
+
+    /// Zeroes out the unused high bits of the layout.
     fn mask_slack(&mut self) {
-        let slack = Self::slack(self.bits);
-        if slack > 0 && slack < 64 {
-            self.words[0] &= u64::MAX >> slack;
-        } else if slack >= 64 {
-            // Can only happen for bits == 0 with one allocated word.
-            self.words[0] = 0;
+        match &mut self.repr {
+            Repr::Inline(v) => *v &= Self::inline_mask(self.bits),
+            Repr::Spill(words) => {
+                let slack = Self::slack(self.bits);
+                if slack > 0 && slack < 64 {
+                    words[0] &= u64::MAX >> slack;
+                } else if slack >= 64 {
+                    // Can only happen for bits == 0 with one allocated word.
+                    words[0] = 0;
+                }
+            }
         }
     }
 
@@ -125,10 +267,15 @@ impl Key {
     /// Panics if `index >= self.bits()`.
     pub fn bit(&self, index: u32) -> bool {
         assert!(index < self.bits, "bit index {index} out of range");
-        let pos = self.bits - 1 - index + Self::slack(self.bits);
-        let word = (pos / 64) as usize;
-        let offset = 63 - (pos % 64);
-        (self.words[word] >> offset) & 1 == 1
+        match &self.repr {
+            Repr::Inline(v) => (v >> index) & 1 == 1,
+            Repr::Spill(words) => {
+                let pos = self.bits - 1 - index + Self::slack(self.bits);
+                let word = (pos / 64) as usize;
+                let offset = 63 - (pos % 64);
+                (words[word] >> offset) & 1 == 1
+            }
+        }
     }
 
     /// Sets bit `index` (LSB = 0) to `value`.
@@ -138,13 +285,24 @@ impl Key {
     /// Panics if `index >= self.bits()`.
     pub fn set_bit(&mut self, index: u32, value: bool) {
         assert!(index < self.bits, "bit index {index} out of range");
-        let pos = self.bits - 1 - index + Self::slack(self.bits);
-        let word = (pos / 64) as usize;
-        let offset = 63 - (pos % 64);
-        if value {
-            self.words[word] |= 1u64 << offset;
-        } else {
-            self.words[word] &= !(1u64 << offset);
+        match &mut self.repr {
+            Repr::Inline(v) => {
+                if value {
+                    *v |= 1u128 << index;
+                } else {
+                    *v &= !(1u128 << index);
+                }
+            }
+            Repr::Spill(words) => {
+                let pos = self.bits - 1 - index + Self::slack(self.bits);
+                let word = (pos / 64) as usize;
+                let offset = 63 - (pos % 64);
+                if value {
+                    words[word] |= 1u64 << offset;
+                } else {
+                    words[word] &= !(1u64 << offset);
+                }
+            }
         }
     }
 
@@ -153,39 +311,75 @@ impl Key {
     /// Used to form the first key of a standard cube from the key of any cell
     /// inside it: the cube at level `ℓ` shares the top `d·ℓ` bits.
     pub fn with_low_bits_cleared(&self, low_bits: u32) -> Key {
-        let mut out = self.clone();
-        for i in 0..low_bits.min(self.bits) {
-            out.set_bit(i, false);
+        let low = low_bits.min(self.bits);
+        match &self.repr {
+            Repr::Inline(v) => Key {
+                bits: self.bits,
+                repr: Repr::Inline(v & !Self::inline_mask(low)),
+            },
+            Repr::Spill(_) => {
+                let mut out = self.clone();
+                for i in 0..low {
+                    out.set_bit(i, false);
+                }
+                out
+            }
         }
-        out
     }
 
     /// Returns a copy with the low `low_bits` bits set to one.
     pub fn with_low_bits_set(&self, low_bits: u32) -> Key {
-        let mut out = self.clone();
-        for i in 0..low_bits.min(self.bits) {
-            out.set_bit(i, true);
+        let low = low_bits.min(self.bits);
+        match &self.repr {
+            Repr::Inline(v) => Key {
+                bits: self.bits,
+                repr: Repr::Inline(v | Self::inline_mask(low)),
+            },
+            Repr::Spill(_) => {
+                let mut out = self.clone();
+                for i in 0..low {
+                    out.set_bit(i, true);
+                }
+                out
+            }
         }
-        out
     }
 
     /// The key immediately after this one, or `None` if this is the maximum.
     pub fn successor(&self) -> Option<Key> {
-        let mut out = self.clone();
-        for w in out.words.iter_mut().rev() {
-            let (new, overflow) = w.overflowing_add(1);
-            *w = new;
-            if !overflow {
-                // Check the carry did not escape past the significant bits.
-                let mut check = out.clone();
-                check.mask_slack();
-                if check == out {
-                    return Some(out);
+        match &self.repr {
+            Repr::Inline(v) => {
+                if *v == Self::inline_mask(self.bits) {
+                    None
+                } else {
+                    Some(Key {
+                        bits: self.bits,
+                        repr: Repr::Inline(v + 1),
+                    })
                 }
-                return None;
+            }
+            Repr::Spill(_) => {
+                let mut out = self.clone();
+                let Repr::Spill(words) = &mut out.repr else {
+                    unreachable!()
+                };
+                for w in words.iter_mut().rev() {
+                    let (new, overflow) = w.overflowing_add(1);
+                    *w = new;
+                    if !overflow {
+                        // Check the carry did not escape past the
+                        // significant bits.
+                        let mut check = out.clone();
+                        check.mask_slack();
+                        if check == out {
+                            return Some(out);
+                        }
+                        return None;
+                    }
+                }
+                None
             }
         }
-        None
     }
 
     /// The key immediately before this one, or `None` if this is zero.
@@ -193,21 +387,35 @@ impl Key {
         if self.is_zero() {
             return None;
         }
-        let mut out = self.clone();
-        for w in out.words.iter_mut().rev() {
-            let (new, borrow) = w.overflowing_sub(1);
-            *w = new;
-            if !borrow {
-                break;
+        match &self.repr {
+            Repr::Inline(v) => Some(Key {
+                bits: self.bits,
+                repr: Repr::Inline(v - 1),
+            }),
+            Repr::Spill(_) => {
+                let mut out = self.clone();
+                let Repr::Spill(words) = &mut out.repr else {
+                    unreachable!()
+                };
+                for w in words.iter_mut().rev() {
+                    let (new, borrow) = w.overflowing_sub(1);
+                    *w = new;
+                    if !borrow {
+                        break;
+                    }
+                }
+                out.mask_slack();
+                Some(out)
             }
         }
-        out.mask_slack();
-        Some(out)
     }
 
     /// Whether the key is all zeros.
     pub fn is_zero(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        match &self.repr {
+            Repr::Inline(v) => *v == 0,
+            Repr::Spill(words) => words.iter().all(|&w| w == 0),
+        }
     }
 
     /// Validates that the key has the expected number of bits.
@@ -224,16 +432,36 @@ impl Key {
         }
         Ok(())
     }
+}
 
-    /// Lexicographic (numeric) comparison of the underlying words, ignoring
-    /// bit-width differences. Keys of different widths should not normally be
-    /// compared; in debug builds this asserts equal widths.
-    fn cmp_words(&self, other: &Self) -> Ordering {
-        debug_assert_eq!(
-            self.bits, other.bits,
-            "comparing keys of different bit widths"
-        );
-        self.words.cmp(&other.words)
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        // Width-sensitive (like the historical derived implementation, and
+        // consistent with `Hash`, which also covers `bits`): keys of
+        // different widths are simply unequal, with no debug assertion —
+        // only *ordering* across widths is a caller error.
+        if self.bits != other.bits {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => a == b,
+            (Repr::Spill(a), Repr::Spill(b)) => a == b,
+            // Mixed layouts only occur in representation-agreement tests.
+            _ => (0..self.word_count()).all(|i| self.word(i) == other.word(i)),
+        }
+    }
+}
+
+impl Eq for Key {}
+
+impl Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash the logical big-endian word view so the inline and spilled
+        // layouts of the same value hash identically.
+        self.bits.hash(state);
+        for i in 0..self.word_count() {
+            self.word(i).hash(state);
+        }
     }
 }
 
@@ -244,8 +472,25 @@ impl PartialOrd for Key {
 }
 
 impl Ord for Key {
+    /// Numeric comparison. Keys of different widths should not normally be
+    /// compared; in debug builds this asserts equal widths.
     fn cmp(&self, other: &Self) -> Ordering {
-        self.cmp_words(other)
+        debug_assert_eq!(
+            self.bits, other.bits,
+            "comparing keys of different bit widths"
+        );
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => a.cmp(b),
+            (Repr::Spill(a), Repr::Spill(b)) => a.cmp(b),
+            // Mixed layouts only occur in representation-agreement tests.
+            _ => (0..self.word_count().max(other.word_count()))
+                .map(|i| (self.word(i), other.word(i)))
+                .find_map(|(a, b)| match a.cmp(&b) {
+                    Ordering::Equal => None,
+                    unequal => Some(unequal),
+                })
+                .unwrap_or(Ordering::Equal),
+        }
     }
 }
 
@@ -253,10 +498,12 @@ impl fmt::Display for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Hexadecimal, most significant word first, without leading zeros
         // beyond the first digit.
+        let n = self.word_count();
         let mut started = false;
-        for (i, w) in self.words.iter().enumerate() {
+        for i in 0..n {
+            let w = self.word(i);
             if !started {
-                if *w == 0 && i + 1 != self.words.len() {
+                if w == 0 && i + 1 != n {
                     continue;
                 }
                 write!(f, "{w:x}")?;
@@ -396,7 +643,27 @@ mod tests {
                 let k = Key::from_u128(v, bits);
                 assert_eq!(k.to_u128(), Some(v), "bits={bits} v={v}");
                 assert_eq!(k.bits(), bits);
+                assert_eq!(k.repr_is_inline(), bits <= 128);
             }
+        }
+    }
+
+    #[test]
+    fn from_u128_width_check_accepts_exact_fits_and_rejects_overflow() {
+        // The widest values that fit.
+        assert_eq!(Key::from_u128(1, 1).to_u128(), Some(1));
+        assert_eq!(Key::from_u128(127, 7).to_u128(), Some(127));
+        assert_eq!(
+            Key::from_u128((1u128 << 127) - 1, 127).to_u128(),
+            Some((1u128 << 127) - 1)
+        );
+        assert_eq!(Key::from_u128(u128::MAX, 128).to_u128(), Some(u128::MAX));
+        // Any width ≥ 128 accepts any u128.
+        assert_eq!(Key::from_u128(u128::MAX, 129).to_u128(), Some(u128::MAX));
+        // One past the width must panic.
+        for (v, bits) in [(2u128, 1u32), (128, 7), (1u128 << 127, 127)] {
+            let res = std::panic::catch_unwind(|| Key::from_u128(v, bits));
+            assert!(res.is_err(), "value {v} must not fit in {bits} bits");
         }
     }
 
@@ -469,6 +736,82 @@ mod tests {
         // The top word must only have 6 significant bits set.
         assert_eq!(max.to_u128(), Some((1u128 << 70) - 1));
         assert!(max.successor().is_none());
+    }
+
+    #[test]
+    fn spilled_repr_agrees_with_inline_on_every_operation() {
+        for bits in [1u32, 8, 63, 64, 65, 127, 128] {
+            for v in [
+                0u128,
+                1,
+                41,
+                (1u128 << bits.min(127)) - 1,
+                (1u128 << (bits / 2).max(1)) - 1,
+            ] {
+                if bits < 128 && v >> bits != 0 {
+                    continue;
+                }
+                let inline = Key::from_u128(v, bits);
+                let spill = inline.with_spilled_repr();
+                assert!(inline.repr_is_inline());
+                assert!(!spill.repr_is_inline());
+                assert_eq!(inline, spill);
+                assert_eq!(inline.cmp(&spill), Ordering::Equal);
+                assert_eq!(spill.to_u128(), Some(v));
+                assert_eq!(inline.successor(), spill.successor());
+                assert_eq!(inline.predecessor(), spill.predecessor());
+                assert_eq!(
+                    inline.with_low_bits_cleared(bits / 2),
+                    spill.with_low_bits_cleared(bits / 2)
+                );
+                assert_eq!(
+                    inline.with_low_bits_set(bits / 2),
+                    spill.with_low_bits_set(bits / 2)
+                );
+                for i in 0..bits {
+                    assert_eq!(inline.bit(i), spill.bit(i));
+                }
+                assert_eq!(format!("{inline}"), format!("{spill}"));
+                assert_eq!(format!("{inline:b}"), format!("{spill:b}"));
+            }
+        }
+    }
+
+    #[test]
+    fn equality_is_width_sensitive_without_panicking() {
+        // Same numeric value, different widths: unequal (and no debug
+        // assertion fires — only ordering across widths is a caller error).
+        assert_ne!(Key::from_u128(5, 8), Key::from_u128(5, 16));
+        assert_ne!(Key::from_u128(5, 64), Key::from_u128(5, 200));
+        assert_eq!(Key::from_u128(5, 16), Key::from_u128(5, 16));
+    }
+
+    #[test]
+    fn mixed_repr_keys_collide_in_hash_maps() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Key::from_u128(99, 64));
+        assert!(!set.insert(Key::from_u128(99, 64).with_spilled_repr()));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trips_both_layouts_identically() {
+        for key in [
+            Key::from_u128(0xdead_beef, 64),
+            Key::from_u128(0xdead_beef, 64).with_spilled_repr(),
+            Key::max_value(200),
+        ] {
+            let value = key.to_value();
+            let back = Key::from_value(&value).unwrap();
+            assert_eq!(back, key);
+            assert_eq!(back.bits(), key.bits());
+            // The canonical decoded layout is inline whenever it fits.
+            assert_eq!(back.repr_is_inline(), key.bits() <= 128);
+        }
+        // Inline and spilled layouts of the same value serialize identically.
+        let k = Key::from_u128(7, 96);
+        assert_eq!(k.to_value(), k.with_spilled_repr().to_value());
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub mod runs;
 pub mod universe;
 pub mod zorder;
 
-pub use array::{SfcArray, SfcEntry};
+pub use array::{SfcArray, SfcEntry, SweepCursor};
 pub use cube::StandardCube;
 pub use curve::{CurveKind, RegionSeeker, SpaceFillingCurve};
 pub use decompose::CubeStream;

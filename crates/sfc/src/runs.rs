@@ -120,7 +120,7 @@ pub fn count_runs_of_rect(
 /// // The paper's 257x257 extremal square: 385 runs in total, but a stream
 /// // seeked near the end enumerates only the tail.
 /// let rect = Rect::new(vec![767, 767], vec![1023, 1023])?;
-/// let mut runs = RunStream::new(&curve, rect)?;
+/// let mut runs = RunStream::new(&curve, &rect)?;
 /// runs.seek(&Key::from_u128((1 << 20) - 10, 20));
 /// let last = runs.peek().cloned();
 /// assert!(runs.cubes_pulled() < 20);
@@ -147,7 +147,7 @@ impl<'a, C: SpaceFillingCurve + ?Sized> RunStream<'a, C> {
     ///
     /// Returns an error if the rectangle does not lie inside the curve's
     /// universe.
-    pub fn new(curve: &'a C, rect: Rect) -> Result<Self> {
+    pub fn new(curve: &'a C, rect: &'a Rect) -> Result<Self> {
         Ok(RunStream {
             cubes: CubeStream::new(curve, rect)?,
             current: None,
@@ -351,7 +351,7 @@ mod tests {
                 let rect = Rect::new(vec![a.min(b), c.min(d)], vec![a.max(b), c.max(d)]).unwrap();
                 let cubes = crate::decompose::decompose_rect(&u, &rect).unwrap();
                 let eager = runs_of_cubes(curve.as_ref(), &cubes).unwrap();
-                let mut stream = RunStream::new(curve.as_ref(), rect.clone()).unwrap();
+                let mut stream = RunStream::new(curve.as_ref(), &rect).unwrap();
                 let mut streamed = Vec::new();
                 while let Some(run) = stream.next_run() {
                     streamed.push(run);
@@ -374,7 +374,7 @@ mod tests {
             // Seek to the start of each run: peek_start must land on it with
             // at most one cube pulled past the seek point, and peek must
             // report a run ending exactly where the maximal run ends.
-            let mut stream = RunStream::new(&z, rect.clone()).unwrap();
+            let mut stream = RunStream::new(&z, &rect).unwrap();
             stream.seek(target.range().lo());
             let pulled_before = stream.cubes_pulled();
             assert_eq!(stream.peek_start(), Some(target.range().lo()));
@@ -385,7 +385,7 @@ mod tests {
             assert_eq!(stream.peek_start(), Some(got.range().lo()));
             // A fresh stream seeked just past the run lands on the next one.
             if let Some(after) = target.range().hi().successor() {
-                let mut stream = RunStream::new(&z, rect.clone()).unwrap();
+                let mut stream = RunStream::new(&z, &rect).unwrap();
                 stream.seek(&after);
                 let expected = eager.iter().find(|r| r.range().hi() >= &after);
                 match (stream.peek(), expected) {
@@ -400,7 +400,7 @@ mod tests {
         // Seeking straight to the last run's end reaches it without pulling
         // the whole decomposition; seeking past it exhausts the stream.
         let last_hi = eager.last().unwrap().range().hi().clone();
-        let mut stream = RunStream::new(&z, rect).unwrap();
+        let mut stream = RunStream::new(&z, &rect).unwrap();
         stream.seek(&last_hi);
         let last = stream.peek().cloned().unwrap();
         assert_eq!(last.range().hi(), &last_hi);
@@ -416,7 +416,7 @@ mod tests {
         let rect = Rect::new(vec![1, 1], vec![62, 61]).unwrap();
         let cubes = crate::decompose::decompose_rect(&u, &rect).unwrap();
         let eager = runs_of_cubes(&z, &cubes).unwrap();
-        let mut stream = RunStream::new(&z, rect).unwrap();
+        let mut stream = RunStream::new(&z, &rect).unwrap();
         // Visit every third run by seeking to its lo, consuming it, and
         // asserting we saw the right ends in order.
         let mut seen = Vec::new();

@@ -152,16 +152,13 @@ impl Universe {
 
     /// The point at the origin `(0, 0, …, 0)`.
     pub fn origin(&self) -> Point {
-        Point {
-            coords: Arc::new(vec![0; self.dims]),
-        }
+        Point::from_fn(self.dims, |_| 0)
     }
 
     /// The point at the far corner `(2^k − 1, …, 2^k − 1)`.
     pub fn top_corner(&self) -> Point {
-        Point {
-            coords: Arc::new(vec![self.max_coord(); self.dims]),
-        }
+        let max = self.max_coord();
+        Point::from_fn(self.dims, |_| max)
     }
 }
 
@@ -171,11 +168,30 @@ impl fmt::Display for Universe {
     }
 }
 
+/// The number of coordinates a [`Point`] stores inline (without heap
+/// allocation). Covers the common dominance shapes: up to 4 subscription
+/// attributes map to `d = 2β ≤ 8` dimensions.
+pub const POINT_INLINE_DIMS: usize = 8;
+
+/// The coordinate storage of a [`Point`]: a fixed inline buffer for the
+/// common low-dimensional case, an `Arc`-shared vector for wider points
+/// (which stay cheap to clone).
+#[derive(Debug, Clone)]
+enum Coords {
+    Inline {
+        len: u8,
+        buf: [u64; POINT_INLINE_DIMS],
+    },
+    Spill(Arc<Vec<u64>>),
+}
+
 /// A cell of the universe: a `d`-dimensional point with `u64` coordinates.
 ///
-/// Points are immutable and cheap to clone (the coordinate vector is shared
-/// behind an [`Arc`]). Construction validates nothing beyond non-emptiness;
-/// range validation against a particular universe is performed by
+/// Points are immutable and cheap to clone: up to [`POINT_INLINE_DIMS`]
+/// coordinates are stored inline (construction and cloning never allocate),
+/// wider points share their coordinate vector behind an [`Arc`].
+/// Construction validates nothing beyond non-emptiness; range validation
+/// against a particular universe is performed by
 /// [`Universe::validate_point`] or by the curve that encodes the point.
 ///
 /// # Example
@@ -189,9 +205,9 @@ impl fmt::Display for Universe {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
-    coords: Arc<Vec<u64>>,
+    coords: Coords,
 }
 
 impl Point {
@@ -204,23 +220,78 @@ impl Point {
         if coords.is_empty() {
             return Err(SfcError::Empty);
         }
-        Ok(Point {
-            coords: Arc::new(coords),
-        })
+        Ok(Self::from_vec(coords))
     }
 
     /// Creates a point without validating that the coordinate vector is
     /// non-empty. Intended for internal use where the invariant is known.
     pub(crate) fn from_vec(coords: Vec<u64>) -> Self {
         debug_assert!(!coords.is_empty());
-        Point {
-            coords: Arc::new(coords),
+        if coords.len() <= POINT_INLINE_DIMS {
+            Self::from_slice(&coords)
+        } else {
+            Point {
+                coords: Coords::Spill(Arc::new(coords)),
+            }
+        }
+    }
+
+    /// Creates a point by copying a coordinate slice — allocation-free when
+    /// the slice fits the inline buffer.
+    pub(crate) fn from_slice(coords: &[u64]) -> Self {
+        debug_assert!(!coords.is_empty());
+        if coords.len() <= POINT_INLINE_DIMS {
+            let mut buf = [0u64; POINT_INLINE_DIMS];
+            buf[..coords.len()].copy_from_slice(coords);
+            Point {
+                coords: Coords::Inline {
+                    len: coords.len() as u8,
+                    buf,
+                },
+            }
+        } else {
+            Point {
+                coords: Coords::Spill(Arc::new(coords.to_vec())),
+            }
+        }
+    }
+
+    /// Creates a point whose coordinate along dimension `i` is `f(i)` —
+    /// allocation-free when `dims` fits the inline buffer. The hot-path
+    /// constructor for derived points (dominance transforms, mirrors).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `dims` is zero.
+    pub fn build(dims: usize, f: impl FnMut(usize) -> u64) -> Self {
+        Self::from_fn(dims, f)
+    }
+
+    /// Creates a point whose coordinate along dimension `i` is `f(i)` —
+    /// allocation-free when `dims` fits the inline buffer.
+    pub(crate) fn from_fn(dims: usize, mut f: impl FnMut(usize) -> u64) -> Self {
+        debug_assert!(dims > 0);
+        if dims <= POINT_INLINE_DIMS {
+            let mut buf = [0u64; POINT_INLINE_DIMS];
+            for (i, c) in buf[..dims].iter_mut().enumerate() {
+                *c = f(i);
+            }
+            Point {
+                coords: Coords::Inline {
+                    len: dims as u8,
+                    buf,
+                },
+            }
+        } else {
+            Point {
+                coords: Coords::Spill(Arc::new((0..dims).map(f).collect())),
+            }
         }
     }
 
     /// Number of dimensions of this point.
     pub fn dims(&self) -> usize {
-        self.coords.len()
+        self.coords().len()
     }
 
     /// The coordinate along dimension `dim`.
@@ -229,12 +300,22 @@ impl Point {
     ///
     /// Panics if `dim >= self.dims()`.
     pub fn coord(&self, dim: usize) -> u64 {
-        self.coords[dim]
+        self.coords()[dim]
     }
 
     /// All coordinates as a slice.
     pub fn coords(&self) -> &[u64] {
-        &self.coords
+        match &self.coords {
+            Coords::Inline { len, buf } => &buf[..*len as usize],
+            Coords::Spill(v) => v,
+        }
+    }
+
+    /// Whether this point uses the inline (allocation-free) coordinate
+    /// buffer. Exposed for the representation property tests.
+    #[doc(hidden)]
+    pub fn repr_is_inline(&self) -> bool {
+        matches!(self.coords, Coords::Inline { .. })
     }
 
     /// Returns `true` if every coordinate of `self` is greater than or equal
@@ -249,9 +330,9 @@ impl Point {
     /// Panics in debug builds if the two points have different dimensions.
     pub fn dominates(&self, other: &Point) -> bool {
         debug_assert_eq!(self.dims(), other.dims());
-        self.coords
+        self.coords()
             .iter()
-            .zip(other.coords.iter())
+            .zip(other.coords().iter())
             .all(|(a, b)| a >= b)
     }
 
@@ -268,16 +349,74 @@ impl Point {
     pub fn mirrored(&self, universe: &Universe) -> Result<Point> {
         universe.validate_point(self)?;
         let max = universe.max_coord();
-        Ok(Point::from_vec(
-            self.coords.iter().map(|&c| max - c).collect(),
-        ))
+        let coords = self.coords();
+        Ok(Point::from_fn(coords.len(), |i| max - coords[i]))
+    }
+}
+
+impl PartialEq for Point {
+    fn eq(&self, other: &Self) -> bool {
+        self.coords() == other.coords()
+    }
+}
+
+impl Eq for Point {}
+
+impl std::hash::Hash for Point {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash the coordinate slice so both storage layouts of the same
+        // point hash identically (matches the derived `Vec<u64>` hashing).
+        self.coords().hash(state);
+    }
+}
+
+impl PartialOrd for Point {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Point {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.coords().cmp(other.coords())
+    }
+}
+
+/// Points serialize as `{coords: [...]}` regardless of storage layout
+/// (matching the historical shared-vector wire format).
+impl Serialize for Point {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![(
+            "coords".to_string(),
+            serde::Value::Seq(
+                self.coords()
+                    .iter()
+                    .map(|&c| serde::Value::U64(c))
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+impl Deserialize for Point {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a point map"))?;
+        let coords = Vec::<u64>::from_value(serde::get_field(entries, "coords"))?;
+        if coords.is_empty() {
+            return Err(serde::Error::custom(
+                "point must have at least one coordinate",
+            ));
+        }
+        Ok(Point::from_vec(coords))
     }
 }
 
 impl fmt::Display for Point {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, c) in self.coords.iter().enumerate() {
+        for (i, c) in self.coords().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -289,7 +428,10 @@ impl fmt::Display for Point {
 
 impl From<Point> for Vec<u64> {
     fn from(p: Point) -> Vec<u64> {
-        p.coords.as_ref().clone()
+        match p.coords {
+            Coords::Inline { len, buf } => buf[..len as usize].to_vec(),
+            Coords::Spill(v) => Arc::try_unwrap(v).unwrap_or_else(|arc| arc.as_ref().clone()),
+        }
     }
 }
 

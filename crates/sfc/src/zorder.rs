@@ -34,6 +34,28 @@ pub struct ZCurve {
     universe: Universe,
 }
 
+/// Lazily-built byte-spread tables, shared per dimension count:
+/// `spread_table(d)[v]` scatters the 8 bits of `v` to positions
+/// `0, d, 2d, …` (positions ≥ 128 are dropped — they can only correspond to
+/// coordinate bits that are always zero in a ≤128-bit universe).
+static SPREAD_TABLES: [std::sync::OnceLock<Box<[u128; 256]>>; crate::universe::MAX_DIMS + 1] =
+    [const { std::sync::OnceLock::new() }; crate::universe::MAX_DIMS + 1];
+
+fn spread_table(d: usize) -> &'static [u128; 256] {
+    SPREAD_TABLES[d].get_or_init(|| {
+        let mut table = Box::new([0u128; 256]);
+        for (v, out) in table.iter_mut().enumerate() {
+            for b in 0..8 {
+                let pos = b * d;
+                if (v >> b) & 1 == 1 && pos < 128 {
+                    *out |= 1u128 << pos;
+                }
+            }
+        }
+        table
+    })
+}
+
 impl ZCurve {
     /// Creates a Z-order curve over `universe`.
     pub fn new(universe: Universe) -> Self {
@@ -45,10 +67,18 @@ impl ZCurve {
     /// Bit layout: for bit position `b` from most significant (`k−1`) down to
     /// 0, and for each dimension `0..d` in order, the next key bit is bit `b`
     /// of that dimension's coordinate.
+    ///
+    /// Keys that fit 128 bits (the common subscription shapes) are built with
+    /// pure `u128` shifts — no allocation and no per-bit [`Key::set_bit`]
+    /// calls.
     pub(crate) fn interleave(universe: &Universe, coords: &[u64]) -> Key {
+        let total = universe.key_bits();
+        if total <= 128 {
+            return Key::from_u128(Self::interleave_u128(universe, coords), total);
+        }
         let d = universe.dims();
         let k = universe.bits_per_dim();
-        let mut key = Key::zero(universe.key_bits());
+        let mut key = Key::zero(total);
         // Key bit index counted from the most significant side.
         for level in 0..k {
             let coord_bit = k - 1 - level;
@@ -57,7 +87,7 @@ impl ZCurve {
                     // Position from the MSB: level*d + dim; convert to
                     // LSB-based index for Key::set_bit.
                     let from_msb = level * d as u32 + dim as u32;
-                    let index = universe.key_bits() - 1 - from_msb;
+                    let index = total - 1 - from_msb;
                     key.set_bit(index, true);
                 }
             }
@@ -67,38 +97,65 @@ impl ZCurve {
 
     /// Interleaves coordinates directly into a `u128` (no allocation). Only
     /// valid when the universe's key width fits 128 bits.
-    fn interleave_u128(&self, coords: &[u64]) -> u128 {
-        let d = self.universe.dims();
-        let k = self.universe.bits_per_dim();
-        let total = self.universe.key_bits();
+    ///
+    /// Bit `b` of dimension `dim` lands at key bit `b·d + (d−1−dim)`
+    /// (counting from the LSB), so each dimension is spread with stride `d`
+    /// — one shared 256-entry table lookup per coordinate byte instead of a
+    /// shift-or per bit.
+    fn interleave_u128(universe: &Universe, coords: &[u64]) -> u128 {
+        let d = universe.dims();
+        let table = spread_table(d);
         let mut out = 0u128;
-        for level in 0..k {
-            let coord_bit = k - 1 - level;
-            for (dim, &c) in coords.iter().enumerate() {
-                if (c >> coord_bit) & 1 == 1 {
-                    let from_msb = level * d as u32 + dim as u32;
-                    out |= 1u128 << (total - 1 - from_msb);
-                }
+        for (dim, &c) in coords.iter().enumerate() {
+            let mut acc = 0u128;
+            let mut c = c;
+            // Byte m of the coordinate starts at key bit 8·m·d.
+            let mut shift = 0usize;
+            while c != 0 && shift < 128 {
+                acc |= table[(c & 0xFF) as usize] << shift;
+                c >>= 8;
+                shift += 8 * d;
             }
+            out |= acc << (d - 1 - dim);
         }
         out
     }
 
-    /// Reverses [`interleave`](Self::interleave).
-    pub(crate) fn deinterleave(universe: &Universe, key: &Key) -> Vec<u64> {
+    /// Reverses [`interleave`](Self::interleave), writing the coordinates
+    /// into `coords` (whose length selects the number of dimensions).
+    pub(crate) fn deinterleave_into(universe: &Universe, key: &Key, coords: &mut [u64]) {
         let d = universe.dims();
         let k = universe.bits_per_dim();
-        let mut coords = vec![0u64; d];
+        let total = universe.key_bits();
+        debug_assert_eq!(coords.len(), d);
+        coords.fill(0);
+        if total <= 128 {
+            let v = key.to_u128().expect("≤128-bit keys always fit a u128");
+            for (dim, coord) in coords.iter_mut().enumerate() {
+                let mut pos = d as u32 - 1 - dim as u32;
+                for b in 0..k {
+                    *coord |= (((v >> pos) & 1) as u64) << b;
+                    pos += d as u32;
+                }
+            }
+            return;
+        }
         for level in 0..k {
             let coord_bit = k - 1 - level;
             for (dim, coord) in coords.iter_mut().enumerate() {
                 let from_msb = level * d as u32 + dim as u32;
-                let index = universe.key_bits() - 1 - from_msb;
+                let index = total - 1 - from_msb;
                 if key.bit(index) {
                     *coord |= 1 << coord_bit;
                 }
             }
         }
+    }
+
+    /// Reverses [`interleave`](Self::interleave).
+    pub(crate) fn deinterleave(universe: &Universe, key: &Key) -> Vec<u64> {
+        let mut coords = vec![0u64; universe.dims()];
+        Self::deinterleave_into(universe, key, &mut coords);
         coords
     }
 }
@@ -119,7 +176,14 @@ impl SpaceFillingCurve for ZCurve {
 
     fn point_of_key(&self, key: &Key) -> Result<Point> {
         key.expect_bits(self.universe.key_bits())?;
-        Ok(Point::from_vec(Self::deinterleave(&self.universe, key)))
+        let d = self.universe.dims();
+        if d <= crate::universe::POINT_INLINE_DIMS {
+            let mut buf = [0u64; crate::universe::POINT_INLINE_DIMS];
+            Self::deinterleave_into(&self.universe, key, &mut buf[..d]);
+            Ok(Point::from_slice(&buf[..d]))
+        } else {
+            Ok(Point::from_vec(Self::deinterleave(&self.universe, key)))
+        }
     }
 
     /// On the Z curve the along-curve order of a cube's children is the
@@ -172,85 +236,137 @@ impl SpaceFillingCurve for ZCurve {
         }
         let d = self.universe.dims() as u32;
         // Per-dimension bit masks of the interleaved layout (dimension 0
-        // owns the most significant bit of each level).
+        // owns the most significant bit of each level), then flattened into
+        // one mask per bit position: `low_masks[j]` keeps the bits of `j`'s
+        // own dimension strictly below `j`, so the walk is pure ALU work.
         let mut dim_masks = vec![0u128; d as usize];
         for bit in 0..total {
             let dim = ((total - 1 - bit) % d) as usize;
             dim_masks[dim] |= 1u128 << bit;
         }
-        Some(Box::new(ZRegionSeeker {
-            // Z codes of the rectangle's corners. Interleaving preserves
-            // componentwise dominance, so these bound every in-rect key.
-            zmin: self.interleave_u128(rect.lo()),
-            zmax: self.interleave_u128(rect.hi()),
-            dim_masks,
-            total,
-            dims: d,
-        }))
+        let low_masks: Vec<u128> = (0..total)
+            .map(|j| {
+                let dim = ((total - 1 - j) % d) as usize;
+                let below = if j == 0 { 0 } else { (1u128 << j) - 1 };
+                dim_masks[dim] & below
+            })
+            .collect();
+        // Z codes of the rectangle's corners. Interleaving preserves
+        // componentwise dominance, so these bound every in-rect key.
+        let zmin = Self::interleave_u128(&self.universe, rect.lo());
+        let zmax = Self::interleave_u128(&self.universe, rect.hi());
+        if total <= 64 {
+            Some(Box::new(ZRegionSeeker64 {
+                zmin: zmin as u64,
+                zmax: zmax as u64,
+                low_masks: low_masks.iter().map(|&m| m as u64).collect(),
+                total,
+            }))
+        } else {
+            Some(Box::new(ZRegionSeeker128 {
+                zmin,
+                zmax,
+                low_masks,
+                total,
+            }))
+        }
     }
 }
 
-/// The Z curve's precomputed BIGMIN state for one query rectangle.
-#[derive(Debug)]
-struct ZRegionSeeker {
-    zmin: u128,
-    zmax: u128,
-    dim_masks: Vec<u128>,
-    total: u32,
-    dims: u32,
-}
+/// The Z curve's precomputed BIGMIN state for one query rectangle,
+/// monomorphized per machine word: `u64` arithmetic when the key width fits
+/// one word (the common subscription shapes), `u128` otherwise.
+///
+/// The walk does not visit every bit: positions where the key and both
+/// corner codes agree are skipped wholesale by jumping straight to the next
+/// disagreeing bit with a `leading_zeros` count, so a seek costs a handful
+/// of iterations (bounded by the number of corner-code refinements, not by
+/// `d·k`).
+macro_rules! define_z_seeker {
+    ($name:ident, $int:ty) => {
+        #[derive(Debug)]
+        struct $name {
+            zmin: $int,
+            zmax: $int,
+            /// `low_masks[j]`: the bits of bit `j`'s dimension strictly
+            /// below position `j` — precomputed so the walk does no
+            /// dimension arithmetic (in particular no integer modulo) per
+            /// visited bit.
+            low_masks: Vec<$int>,
+            total: u32,
+        }
 
-impl RegionSeeker for ZRegionSeeker {
-    /// The classic BIGMIN bit-walk (Tropf–Herzog, generalized to `d`
-    /// dimensions): the smallest Z key at-or-after `key` whose cell lies in
-    /// the rectangle, in O(`d·k`) integer operations on a `u128`, without
-    /// touching the decomposition at all.
-    fn seek(&self, key: &Key) -> Option<Key> {
-        let total = self.total;
-        debug_assert_eq!(key.bits(), total);
-        let k = key.to_u128()?;
-        // Walk from the most significant bit, keeping zmin/zmax the Z codes
-        // of the smallest/largest in-rect cells of the still-active subtree.
-        let mut zmin = self.zmin;
-        let mut zmax = self.zmax;
-        let mut bigmin: Option<u128> = None;
-        for j in (0..total).rev() {
-            let bit_k = (k >> j) & 1;
-            let bit_min = (zmin >> j) & 1;
-            let bit_max = (zmax >> j) & 1;
-            let dim = ((total - 1 - j) % self.dims) as usize;
-            // Bits of the same dimension strictly below position j.
-            let low_mask = self.dim_masks[dim] & ((1u128 << j) - 1);
-            match (bit_k, bit_min, bit_max) {
-                (0, 0, 0) | (1, 1, 1) => {}
-                (0, 0, 1) => {
-                    // The box spans both halves of this dimension while the
-                    // key stays in the lower one: remember the smallest
-                    // upper-half candidate, then continue in the lower half.
-                    bigmin = Some((zmin & !low_mask) | (1u128 << j));
-                    zmax = (zmax | low_mask) & !(1u128 << j);
+        impl RegionSeeker for $name {
+            /// The classic BIGMIN bit-walk (Tropf–Herzog, generalized to `d`
+            /// dimensions): the smallest Z key at-or-after `key` whose cell
+            /// lies in the rectangle, without touching the decomposition at
+            /// all and without allocating (the returned key is inline).
+            fn seek(&self, key: &Key) -> Option<Key> {
+                let total = self.total;
+                debug_assert_eq!(key.bits(), total);
+                let k = key.to_u128()? as $int;
+                // zmin/zmax are the Z codes of the smallest/largest in-rect
+                // cells of the still-active subtree.
+                let mut zmin = self.zmin;
+                let mut zmax = self.zmax;
+                let mut bigmin: Option<$int> = None;
+                // Bit positions not yet decided (all positions below the
+                // last processed one).
+                let mut pending: $int = if total >= <$int>::BITS {
+                    <$int>::MAX
+                } else {
+                    ((1 as $int) << total) - 1
+                };
+                loop {
+                    // Bits where the key escapes [zmin, zmax]'s shared
+                    // pattern; positions where all three agree need no
+                    // decision and are skipped in one jump.
+                    let diff = ((k ^ zmin) | (k ^ zmax)) & pending;
+                    if diff == 0 {
+                        // Every remaining bit of the key stays within the
+                        // per-dimension bounds: the key's own cell lies
+                        // inside the rectangle.
+                        return Some(key.clone());
+                    }
+                    let j = <$int>::BITS - 1 - diff.leading_zeros();
+                    pending = if j == 0 { 0 } else { ((1 as $int) << j) - 1 };
+                    let bit_k = (k >> j) & 1;
+                    let bit_min = (zmin >> j) & 1;
+                    let bit_max = (zmax >> j) & 1;
+                    // Bits of the same dimension strictly below position j.
+                    let low_mask = self.low_masks[j as usize];
+                    match (bit_k, bit_min, bit_max) {
+                        (0, 0, 1) => {
+                            // The box spans both halves of this dimension
+                            // while the key stays in the lower one: remember
+                            // the smallest upper-half candidate, then
+                            // continue in the lower half.
+                            bigmin = Some((zmin & !low_mask) | ((1 as $int) << j));
+                            zmax = (zmax | low_mask) & !((1 as $int) << j);
+                        }
+                        (0, 1, 1) => {
+                            // The whole remaining box lies above the key.
+                            return Some(Key::from_u128(zmin as u128, total));
+                        }
+                        (1, 0, 0) => {
+                            // The whole remaining box lies below the key;
+                            // the saved candidate (if any) is the answer.
+                            return bigmin.map(|v| Key::from_u128(v as u128, total));
+                        }
+                        (1, 0, 1) => {
+                            // Key is in the upper half: restrict the box.
+                            zmin = (zmin & !low_mask) | ((1 as $int) << j);
+                        }
+                        _ => unreachable!("zmin > zmax is impossible for a valid rectangle"),
+                    }
                 }
-                (0, 1, 1) => {
-                    // The whole remaining box lies above the key.
-                    return Some(Key::from_u128(zmin, total));
-                }
-                (1, 0, 0) => {
-                    // The whole remaining box lies below the key; the saved
-                    // candidate (if any) is the answer.
-                    return bigmin.map(|v| Key::from_u128(v, total));
-                }
-                (1, 0, 1) => {
-                    // Key is in the upper half: restrict the box to it.
-                    zmin = (zmin & !low_mask) | (1u128 << j);
-                }
-                _ => unreachable!("zmin > zmax is impossible for a valid rectangle"),
             }
         }
-        // Every bit of the key stayed within the per-dimension bounds: the
-        // key's own cell lies inside the rectangle.
-        Some(key.clone())
-    }
+    };
 }
+
+define_z_seeker!(ZRegionSeeker64, u64);
+define_z_seeker!(ZRegionSeeker128, u128);
 
 #[cfg(test)]
 mod tests {
@@ -474,7 +590,7 @@ mod tests {
         for _ in 0..200 {
             let key = Key::from_u128((next() as u128) % (1u128 << total_bits), total_bits);
             let fast = seeker.seek(&key).map(|k| k.to_u128().unwrap());
-            let mut stream = CubeStream::new(&c, rect.clone()).unwrap();
+            let mut stream = CubeStream::new(&c, &rect).unwrap();
             stream.seek(&key);
             let generic = stream.next_cube().map(|(_, range)| {
                 if range.lo() >= &key {

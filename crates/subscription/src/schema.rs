@@ -74,10 +74,21 @@ impl AttributeDef {
 /// Schemas are immutable and cheaply cloneable ([`Arc`]-backed); equality is
 /// structural. Two subscriptions can only be compared (matched, covered,
 /// indexed) when they were built against equal schemas.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Schema {
     inner: Arc<SchemaInner>,
 }
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        // Clones share the same inner allocation, so the common "same
+        // schema object" case is a pointer compare, not a structural walk
+        // over attribute names — this runs once per covering query.
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner == other.inner
+    }
+}
+
+impl Eq for Schema {}
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct SchemaInner {

@@ -2,6 +2,7 @@
 //! axis-aligned rectangles in attribute space.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -28,11 +29,13 @@ pub struct Subscription {
     id: SubId,
     schema: Schema,
     /// Per-attribute quantized bounds `[lo, hi]` (inclusive), in attribute
-    /// declaration order.
-    grid_bounds: Vec<(u64, u64)>,
+    /// declaration order. `Arc`-shared so cloning a subscription (routing
+    /// tables, index snapshots, bulk builds) is a reference bump, not two
+    /// vector allocations.
+    grid_bounds: Arc<Vec<(u64, u64)>>,
     /// Per-attribute raw bounds `[low, high]` (inclusive), in attribute
     /// declaration order.
-    raw_bounds: Vec<(f64, f64)>,
+    raw_bounds: Arc<Vec<(f64, f64)>>,
 }
 
 impl Subscription {
@@ -72,8 +75,8 @@ impl Subscription {
         Ok(Subscription {
             id,
             schema: schema.clone(),
-            grid_bounds: grid,
-            raw_bounds: raw,
+            grid_bounds: Arc::new(grid),
+            raw_bounds: Arc::new(raw),
         })
     }
 

@@ -46,12 +46,18 @@ pub fn dominance_universe(schema: &Schema) -> Result<Universe> {
 pub fn dominance_point(subscription: &Subscription) -> Result<Point> {
     let k = subscription.schema().bits_per_attribute();
     let max = (1u64 << k) - 1;
-    let mut coords = Vec::with_capacity(subscription.grid_bounds().len() * 2);
-    for &(lo, hi) in subscription.grid_bounds() {
-        coords.push(max - lo);
-        coords.push(hi);
+    let bounds = subscription.grid_bounds();
+    if bounds.is_empty() {
+        return Err(acd_sfc::SfcError::Empty.into());
     }
-    Ok(Point::new(coords)?)
+    Ok(Point::build(bounds.len() * 2, |i| {
+        let (lo, hi) = bounds[i / 2];
+        if i % 2 == 0 {
+            max - lo
+        } else {
+            hi
+        }
+    }))
 }
 
 /// The mirrored dominance point: every coordinate of [`dominance_point`]
@@ -65,9 +71,25 @@ pub fn dominance_point(subscription: &Subscription) -> Result<Point> {
 ///
 /// Returns an error if the dominance universe cannot be constructed.
 pub fn mirrored_dominance_point(subscription: &Subscription) -> Result<Point> {
+    // Mirroring `max − lo` through the universe midpoint gives back `lo`
+    // (and `hi` gives `max − hi`), so the mirrored point is built directly
+    // from the grid bounds — one pass, no intermediate point. The universe
+    // is still constructed to preserve the documented error for schemas
+    // whose dominance universe is unrepresentable.
     let universe = dominance_universe(subscription.schema())?;
-    let p = dominance_point(subscription)?;
-    Ok(p.mirrored(&universe)?)
+    let max = universe.max_coord();
+    let bounds = subscription.grid_bounds();
+    if bounds.is_empty() {
+        return Err(acd_sfc::SfcError::Empty.into());
+    }
+    Ok(Point::build(bounds.len() * 2, |i| {
+        let (lo, hi) = bounds[i / 2];
+        if i % 2 == 0 {
+            lo
+        } else {
+            max - hi
+        }
+    }))
 }
 
 #[cfg(test)]

@@ -166,7 +166,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let mut bencher = Bencher {
-            measurement_time: self.measurement_time.min(self.criterion.max_measurement_time),
+            measurement_time: self
+                .measurement_time
+                .min(self.criterion.max_measurement_time),
             warm_up_time: self.warm_up_time.min(self.criterion.max_warm_up_time),
             elapsed: Duration::ZERO,
             iterations: 0,

@@ -188,10 +188,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     )
                 })
                 .collect();
-            format!(
-                "::serde::Value::Map(::std::vec![{}])",
-                entries.join(", ")
-            )
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
         }
         Shape::Enum(variants) => {
             let arms: Vec<String> = variants
