@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! perf_smoke [--n N] [--queries Q] [--out FILE] [--assert-budget FILE] [--no-eager]
+//!            [--churn-millis MS]
 //! ```
 //!
 //! * `--n` / `--queries` — workload size (defaults: 10000 subscriptions,
@@ -13,7 +14,10 @@
 //! * `--out FILE` — where to write the JSON report (default `BENCH_ci.json`);
 //! * `--assert-budget FILE` — compare against a [`acd_bench::ci::PerfBudget`]
 //!   JSON file and exit non-zero on any violation;
-//! * `--no-eager` — skip the slow PR-1 eager-engine reference measurement.
+//! * `--no-eager` — skip the slow PR-1 eager-engine reference measurement;
+//! * `--churn-millis MS` — wall-clock window of each sharded churn
+//!   measurement (default 300; 0 skips the churn phase, which then fails
+//!   the budget gate).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,6 +30,7 @@ struct Args {
     out: PathBuf,
     assert_budget: Option<PathBuf>,
     include_eager: bool,
+    churn_millis: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("BENCH_ci.json"),
         assert_budget: None,
         include_eager: true,
+        churn_millis: 300,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -54,10 +60,15 @@ fn parse_args() -> Result<Args, String> {
                 args.assert_budget = Some(PathBuf::from(value("--assert-budget")?))
             }
             "--no-eager" => args.include_eager = false,
+            "--churn-millis" => {
+                args.churn_millis = value("--churn-millis")?
+                    .parse()
+                    .map_err(|e| format!("--churn-millis: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: perf_smoke [--n N] [--queries Q] [--out FILE] \
-                     [--assert-budget FILE] [--no-eager]"
+                     [--assert-budget FILE] [--no-eager] [--churn-millis MS]"
                 );
                 std::process::exit(0);
             }
@@ -80,7 +91,7 @@ fn main() -> ExitCode {
         "perf-smoke: n = {}, {} queries (eager reference: {})",
         args.n, args.queries, args.include_eager
     );
-    let report = ci::run(args.n, args.queries, args.include_eager);
+    let report = ci::run(args.n, args.queries, args.include_eager, args.churn_millis);
     for p in &report.policies {
         println!(
             "{:28} runs/query {:>10.2}  probes/query {:>10.2}  skips/query {:>10.2}  \
@@ -100,6 +111,27 @@ fn main() -> ExitCode {
         "bulk build (sfc-z-exhaustive): {:.1} ms — {:.2}x faster than incremental inserts",
         report.bulk_build_ms, report.bulk_build_speedup
     );
+    for c in &report.churn {
+        println!(
+            "churn {} shard(s): {:>9.0} queries/s ({} readers), {:>9.0} updates/s",
+            c.shards,
+            c.query_throughput_per_sec,
+            report.churn_query_workers,
+            c.update_throughput_per_sec,
+        );
+    }
+    if !report.churn.is_empty() {
+        println!(
+            "sharded speedup (4 vs 1 shards): {:.2}x queries, {:.2}x updates",
+            report.sharded_query_speedup, report.sharded_update_speedup
+        );
+        if report.churn_query_workers < 2 {
+            eprintln!(
+                "perf-smoke: note: single reader thread (uniprocessor) — the \
+                 query-speedup budget gate is skipped"
+            );
+        }
+    }
 
     let json = match serde_json::to_string(&report) {
         Ok(j) => j,

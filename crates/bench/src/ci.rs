@@ -9,12 +9,20 @@
 //! the populated-key skip sweep from degrading back toward the eager
 //! engine's cost), mean query latency and insert throughput (the
 //! representation gate that keeps the flat inline-key layout from degrading
-//! back toward per-entry heap allocation), and the bulk-build speedup over
-//! `n` incremental inserts.
+//! back toward per-entry heap allocation), the bulk-build speedup over `n`
+//! incremental inserts, and the sharded churn gates: a floor on the 4-shard
+//! update throughput under a mixed subscribe/unsubscribe storm, and — on
+//! machines with at least two worker threads — a floor on the 4-shard vs
+//! 1-shard concurrent query-throughput ratio.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
-use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, QueryEngine, SfcCoveringIndex};
+use acd_covering::{
+    ApproxConfig, CoveringIndex, LinearScanIndex, QueryEngine, SfcCoveringIndex,
+    ShardedCoveringIndex,
+};
+use acd_sfc::CurveKind;
 use acd_workload::{SubscriptionWorkload, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +51,23 @@ pub struct PolicyCost {
     pub covered_found: u64,
 }
 
+/// Throughput of the sharded index under one churn configuration (a fixed
+/// shard count): reader threads issue covering queries while a writer storms
+/// paired subscribe/unsubscribe updates for a fixed wall-clock window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnCost {
+    /// Number of key-range shards.
+    pub shards: usize,
+    /// Total covering queries completed by the reader threads.
+    pub queries_run: u64,
+    /// Total updates (inserts plus removes) completed by the writer thread.
+    pub updates_run: u64,
+    /// Reader-side covering queries per second (all readers combined).
+    pub query_throughput_per_sec: f64,
+    /// Writer-side updates per second.
+    pub update_throughput_per_sec: f64,
+}
+
 /// The quick-scale perf report written to `BENCH_ci.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfSmokeReport {
@@ -62,6 +87,21 @@ pub struct PerfSmokeReport {
     /// How many times faster the bulk build is than the exact-SFC policy's
     /// incremental population loop.
     pub bulk_build_speedup: f64,
+    /// Sharded churn throughput at 1, 2 and 4 shards (empty when the churn
+    /// phase was skipped with `churn_millis == 0`).
+    pub churn: Vec<ChurnCost>,
+    /// Reader threads used by the churn phase. The query-speedup budget
+    /// gate only applies when this is at least 2 — on a single-core
+    /// machine concurrent readers cannot outrun the one-lock baseline.
+    pub churn_query_workers: usize,
+    /// Wall-clock window of each churn measurement, in milliseconds.
+    pub churn_millis: u64,
+    /// Query throughput at 4 shards over query throughput at 1 shard
+    /// (0 when the churn phase was skipped).
+    pub sharded_query_speedup: f64,
+    /// Update throughput at 4 shards over update throughput at 1 shard
+    /// (0 when the churn phase was skipped).
+    pub sharded_update_speedup: f64,
 }
 
 impl PerfSmokeReport {
@@ -95,6 +135,16 @@ pub struct PerfBudget {
     pub min_insert_throughput_exact_sfc: f64,
     /// Lower bound on the bulk-build speedup over incremental inserts.
     pub min_bulk_build_speedup: f64,
+    /// Lower bound on the churn update throughput (updates/second) of the
+    /// 4-shard configuration. Algorithmic at heart — smaller shards mean
+    /// smaller staging levels and cheaper merges — so it holds on a single
+    /// core; wall-clock dependent, so set with generous headroom.
+    pub min_churn_update_throughput: f64,
+    /// Lower bound on the 4-shard vs 1-shard churn query throughput ratio.
+    /// Only enforced when the report's churn phase ran with at least two
+    /// reader threads (the speedup comes from readers proceeding while the
+    /// writer holds another shard's lock).
+    pub min_sharded_query_speedup: f64,
 }
 
 /// Populates `index`, times the query batch, and extracts the cost counters.
@@ -133,14 +183,110 @@ pub(crate) fn measure_policy(
     }
 }
 
+/// Measures the sharded index under churn at one shard count: a bulk-built
+/// population of `subscriptions`, then `reader_threads` query threads racing
+/// a writer that alternates inserting a fresh subscription and removing one
+/// it inserted earlier (so the population stays near `subscriptions`), for
+/// `millis` of wall clock.
+pub fn run_churn(
+    subscriptions: usize,
+    shards: usize,
+    reader_threads: usize,
+    millis: u64,
+) -> ChurnCost {
+    let config = WorkloadConfig::builder()
+        .attributes(3)
+        .bits_per_attribute(10)
+        .seed(404)
+        .build()
+        .unwrap();
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let population = workload.take(subscriptions);
+    let query_subs = workload.take(200);
+
+    let index = ShardedCoveringIndex::build_from(
+        &schema,
+        ApproxConfig::exhaustive(),
+        CurveKind::Z,
+        shards,
+        &population,
+    )
+    .expect("churn index build");
+
+    let deadline = Instant::now() + Duration::from_millis(millis);
+    let stop = AtomicBool::new(false);
+    let mut query_counts: Vec<u64> = Vec::new();
+    let mut updates_run = 0u64;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            // Fresh subscriptions continue the generator's id sequence, so
+            // they never collide with the population or the queries.
+            let mut pending = std::collections::VecDeque::new();
+            let mut updates = 0u64;
+            while Instant::now() < deadline {
+                let sub = workload.next_subscription();
+                pending.push_back(sub.id());
+                index.insert(&sub).expect("churn insert");
+                updates += 1;
+                if pending.len() > 64 {
+                    let id = pending.pop_front().expect("non-empty");
+                    index.remove(id).expect("churn remove");
+                    updates += 1;
+                }
+            }
+            stop.store(true, Ordering::Release);
+            updates
+        });
+        let readers: Vec<_> = (0..reader_threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut count = 0u64;
+                    'outer: loop {
+                        for q in &query_subs {
+                            if stop.load(Ordering::Acquire) {
+                                break 'outer;
+                            }
+                            std::hint::black_box(index.find_covering_ref(q).expect("churn query"));
+                            count += 1;
+                        }
+                    }
+                    count
+                })
+            })
+            .collect();
+        updates_run = writer.join().expect("writer thread");
+        for reader in readers {
+            query_counts.push(reader.join().expect("reader thread"));
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let queries_run: u64 = query_counts.iter().sum();
+    ChurnCost {
+        shards,
+        queries_run,
+        updates_run,
+        query_throughput_per_sec: queries_run as f64 / elapsed,
+        update_throughput_per_sec: updates_run as f64 / elapsed,
+    }
+}
+
 /// Runs the perf-smoke measurement: the e08 workload shape (3 attributes,
 /// 10 bits) at the given population size, against the linear baseline, the
 /// exact-SFC index (skip engine), the PR-1 eager engine (kept as the
-/// before/after reference) and the ε = 0.05 approximate index.
+/// before/after reference) and the ε = 0.05 approximate index — plus the
+/// sharded churn phase at 1, 2 and 4 shards (`churn_millis` of wall clock
+/// each; 0 skips the phase).
 ///
 /// Set `include_eager` to `false` to skip the slow eager reference (used by
 /// the quick unit test).
-pub fn run(subscriptions: usize, queries: usize, include_eager: bool) -> PerfSmokeReport {
+pub fn run(
+    subscriptions: usize,
+    queries: usize,
+    include_eager: bool,
+    churn_millis: u64,
+) -> PerfSmokeReport {
     let attributes = 3usize;
     let bits_per_attribute = 10u32;
     let config = WorkloadConfig::builder()
@@ -195,6 +341,32 @@ pub fn run(subscriptions: usize, queries: usize, include_eager: bool) -> PerfSmo
         .unwrap_or(0.0);
     let bulk_build_speedup = incremental_ms / bulk_build_ms.max(1e-9);
 
+    // Churn phase: reader threads scale with the machine (writer takes one
+    // core), capped so the measurement shape stays comparable across hosts.
+    let churn_query_workers = std::thread::available_parallelism()
+        .map(|p| p.get().saturating_sub(1))
+        .unwrap_or(1)
+        .clamp(1, 4);
+    let churn: Vec<ChurnCost> = if churn_millis == 0 {
+        Vec::new()
+    } else {
+        [1usize, 2, 4]
+            .iter()
+            .map(|&shards| run_churn(subscriptions, shards, churn_query_workers, churn_millis))
+            .collect()
+    };
+    let ratio = |f: fn(&ChurnCost) -> f64| -> f64 {
+        let one = churn.iter().find(|c| c.shards == 1).map(f).unwrap_or(0.0);
+        let four = churn.iter().find(|c| c.shards == 4).map(f).unwrap_or(0.0);
+        if one > 0.0 {
+            four / one
+        } else {
+            0.0
+        }
+    };
+    let sharded_query_speedup = ratio(|c| c.query_throughput_per_sec);
+    let sharded_update_speedup = ratio(|c| c.update_throughput_per_sec);
+
     PerfSmokeReport {
         subscriptions,
         queries,
@@ -203,6 +375,11 @@ pub fn run(subscriptions: usize, queries: usize, include_eager: bool) -> PerfSmo
         policies,
         bulk_build_ms,
         bulk_build_speedup,
+        churn,
+        churn_query_workers,
+        churn_millis,
+        sharded_query_speedup,
+        sharded_update_speedup,
     }
 }
 
@@ -250,6 +427,28 @@ pub fn check_budget(report: &PerfSmokeReport, budget: &PerfBudget) -> Result<(),
             report.bulk_build_speedup, budget.min_bulk_build_speedup
         ));
     }
+    match report.churn.iter().find(|c| c.shards == 4) {
+        None => violations.push("report has no 4-shard churn measurement".to_string()),
+        Some(cost) => {
+            if cost.update_throughput_per_sec < budget.min_churn_update_throughput {
+                violations.push(format!(
+                    "4-shard churn update throughput {:.0}/s below budget {:.0}/s",
+                    cost.update_throughput_per_sec, budget.min_churn_update_throughput
+                ));
+            }
+            // The query-speedup gate needs genuinely concurrent readers; a
+            // single-core runner measures only scheduler noise, so the bound
+            // is skipped there (the update-throughput floor still applies).
+            if report.churn_query_workers >= 2
+                && report.sharded_query_speedup < budget.min_sharded_query_speedup
+            {
+                violations.push(format!(
+                    "sharded query speedup {:.2}x (4 vs 1 shards) below budget {:.2}x",
+                    report.sharded_query_speedup, budget.min_sharded_query_speedup
+                ));
+            }
+        }
+    }
     if violations.is_empty() {
         Ok(())
     } else {
@@ -263,7 +462,7 @@ mod tests {
 
     #[test]
     fn report_round_trips_through_json_and_respects_a_sane_budget() {
-        let report = run(600, 40, false);
+        let report = run(600, 40, false, 25);
         assert_eq!(report.policies.len(), 3);
         let text = serde_json::to_string(&report).unwrap();
         let back: PerfSmokeReport = serde_json::from_str(&text).unwrap();
@@ -280,23 +479,63 @@ mod tests {
             max_mean_query_latency_us_exact_sfc: 1e6,
             min_insert_throughput_exact_sfc: 0.0,
             min_bulk_build_speedup: 0.0,
+            min_churn_update_throughput: 0.0,
+            min_sharded_query_speedup: 0.0,
         };
         check_budget(&report, &budget).unwrap();
-        // An impossible budget must trip every gate.
+        // An impossible budget must trip every gate (the query-speedup gate
+        // only arms with at least two reader threads).
         let impossible = PerfBudget {
             max_mean_runs_probed_exact_sfc: 0.0,
             max_mean_probes_exact_sfc: 0.0,
             max_mean_query_latency_us_exact_sfc: 0.0,
             min_insert_throughput_exact_sfc: f64::INFINITY,
             min_bulk_build_speedup: f64::INFINITY,
+            min_churn_update_throughput: f64::INFINITY,
+            min_sharded_query_speedup: f64::INFINITY,
         };
         let violations = check_budget(&report, &impossible).unwrap_err();
-        assert!(violations.len() >= 5);
+        let expected = if report.churn_query_workers >= 2 {
+            7
+        } else {
+            6
+        };
+        assert_eq!(violations.len(), expected, "{violations:?}");
         // The bulk-build measurement must be populated and sane; the actual
         // speedup bound is enforced by the release perf gate (wall-clock
         // ratios in a debug unit test on a shared runner would be flaky).
         assert!(report.bulk_build_ms > 0.0);
         assert!(report.bulk_build_speedup.is_finite() && report.bulk_build_speedup > 0.0);
+        // The churn phase ran at 1, 2 and 4 shards and did real work.
+        assert_eq!(report.churn.len(), 3);
+        for cost in &report.churn {
+            assert!(cost.queries_run > 0, "{cost:?}");
+            assert!(cost.updates_run > 0, "{cost:?}");
+            assert!(cost.query_throughput_per_sec > 0.0);
+            assert!(cost.update_throughput_per_sec > 0.0);
+        }
+        assert!(report.sharded_query_speedup > 0.0);
+        assert!(report.sharded_update_speedup > 0.0);
+    }
+
+    #[test]
+    fn skipping_the_churn_phase_is_reported_as_a_budget_violation() {
+        let report = run(200, 10, false, 0);
+        assert!(report.churn.is_empty());
+        let budget = PerfBudget {
+            max_mean_runs_probed_exact_sfc: f64::INFINITY,
+            max_mean_probes_exact_sfc: f64::INFINITY,
+            max_mean_query_latency_us_exact_sfc: f64::INFINITY,
+            min_insert_throughput_exact_sfc: 0.0,
+            min_bulk_build_speedup: 0.0,
+            min_churn_update_throughput: 0.0,
+            min_sharded_query_speedup: 0.0,
+        };
+        let violations = check_budget(&report, &budget).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("churn")),
+            "{violations:?}"
+        );
     }
 
     #[test]
@@ -305,7 +544,9 @@ mod tests {
             r#"{"max_mean_runs_probed_exact_sfc": 48.0, "max_mean_probes_exact_sfc": 192.0,
                 "max_mean_query_latency_us_exact_sfc": 100.0,
                 "min_insert_throughput_exact_sfc": 50000.0,
-                "min_bulk_build_speedup": 2.0}"#,
+                "min_bulk_build_speedup": 2.0,
+                "min_churn_update_throughput": 5000.0,
+                "min_sharded_query_speedup": 1.5}"#,
         )
         .unwrap();
         assert_eq!(budget.max_mean_runs_probed_exact_sfc, 48.0);
@@ -313,5 +554,7 @@ mod tests {
         assert_eq!(budget.max_mean_query_latency_us_exact_sfc, 100.0);
         assert_eq!(budget.min_insert_throughput_exact_sfc, 50000.0);
         assert_eq!(budget.min_bulk_build_speedup, 2.0);
+        assert_eq!(budget.min_churn_update_throughput, 5000.0);
+        assert_eq!(budget.min_sharded_query_speedup, 1.5);
     }
 }

@@ -1,7 +1,7 @@
 //! A single broker: local clients, per-interface routing tables and
 //! per-interface covering suppression state.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use acd_covering::{CoveringIndex, CoveringPolicy};
 use acd_subscription::{Event, Schema, SubId, Subscription};
@@ -49,6 +49,14 @@ pub struct Broker {
     /// Number of subscriptions sent to each neighbor (equals the neighbor's
     /// routing-table entries for this link).
     sent_counts: HashMap<BrokerId, u64>,
+    /// Identifiers actually sent on each link — the authoritative record
+    /// unsubscription uses to know which links must retract.
+    sent_ids: HashMap<BrokerId, HashSet<SubId>>,
+    /// Subscriptions this broker wanted to send on each link but suppressed
+    /// because a covering subscription had already been sent. Kept (in
+    /// arrival order) so that removing the covering subscription can
+    /// re-advertise exactly the ones it was masking.
+    suppressed: HashMap<BrokerId, Vec<Subscription>>,
 }
 
 impl Broker {
@@ -75,6 +83,8 @@ impl Broker {
             received: neighbors.iter().map(|&n| (n, Vec::new())).collect(),
             sent,
             sent_counts,
+            sent_ids: neighbors.iter().map(|&n| (n, HashSet::new())).collect(),
+            suppressed: neighbors.iter().map(|&n| (n, Vec::new())).collect(),
         })
     }
 
@@ -122,23 +132,19 @@ impl Broker {
             .sent
             .get_mut(&neighbor)
             .expect("neighbor interfaces are created at construction");
-        match slot {
+        let decision = match slot {
             None => {
                 // No covering detection: always forward.
-                *self
-                    .sent_counts
-                    .get_mut(&neighbor)
-                    .expect("interface exists") += 1;
-                Ok(ForwardDecision {
+                ForwardDecision {
                     forward: true,
                     covering_query: false,
                     runs_probed: 0,
                     comparisons: 0,
-                })
+                }
             }
             Some(index) => {
                 let outcome = index.find_covering(subscription)?;
-                let decision = if outcome.is_covered() {
+                if outcome.is_covered() {
                     ForwardDecision {
                         forward: false,
                         covering_query: true,
@@ -147,20 +153,123 @@ impl Broker {
                     }
                 } else {
                     index.insert(subscription)?;
-                    *self
-                        .sent_counts
-                        .get_mut(&neighbor)
-                        .expect("interface exists") += 1;
                     ForwardDecision {
                         forward: true,
                         covering_query: true,
                         runs_probed: outcome.stats.runs_probed,
                         comparisons: outcome.stats.subscriptions_compared,
                     }
-                };
-                Ok(decision)
+                }
+            }
+        };
+        if decision.forward {
+            *self
+                .sent_counts
+                .get_mut(&neighbor)
+                .expect("interface exists") += 1;
+            self.sent_ids
+                .get_mut(&neighbor)
+                .expect("interface exists")
+                .insert(subscription.id());
+        } else {
+            self.suppressed
+                .get_mut(&neighbor)
+                .expect("interface exists")
+                .push(subscription.clone());
+        }
+        Ok(decision)
+    }
+
+    /// Whether `id` was actually sent on the link to `neighbor`.
+    pub fn was_sent(&self, neighbor: BrokerId, id: SubId) -> bool {
+        self.sent_ids
+            .get(&neighbor)
+            .is_some_and(|ids| ids.contains(&id))
+    }
+
+    /// Removes a local subscription by identifier, returning it (with its
+    /// owning client) if it was registered here.
+    pub fn remove_local(&mut self, id: SubId) -> Option<(ClientId, Subscription)> {
+        let pos = self.local.iter().position(|(_, s)| s.id() == id)?;
+        Some(self.local.remove(pos))
+    }
+
+    /// Removes a routing-table entry received from `neighbor`, returning
+    /// whether it was present.
+    pub fn remove_received(&mut self, from: BrokerId, id: SubId) -> bool {
+        match self.received.get_mut(&from) {
+            Some(subs) => match subs.iter().position(|s| s.id() == id) {
+                Some(pos) => {
+                    subs.remove(pos);
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Drops `id` from the suppressed list of the link to `neighbor` (used
+    /// when the unsubscribed subscription itself never made it onto the
+    /// link).
+    pub fn drop_suppressed(&mut self, neighbor: BrokerId, id: SubId) {
+        if let Some(list) = self.suppressed.get_mut(&neighbor) {
+            list.retain(|s| s.id() != id);
+        }
+    }
+
+    /// Retracts `removed` from the link to `neighbor`: deletes it from the
+    /// per-link covering index and sent set, then re-checks every suppressed
+    /// subscription the removed one was covering. Each candidate is re-run
+    /// through [`should_forward`](Self::should_forward) — it either goes out
+    /// now (appearing in the returned list with its decision) or is
+    /// re-suppressed by another still-sent cover.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the covering index rejects a removal or a
+    /// re-advertisement query.
+    pub fn retract_sent(
+        &mut self,
+        neighbor: BrokerId,
+        removed: &Subscription,
+    ) -> Result<Vec<(Subscription, ForwardDecision)>> {
+        let id = removed.id();
+        debug_assert!(self.was_sent(neighbor, id));
+        self.sent_ids
+            .get_mut(&neighbor)
+            .expect("interface exists")
+            .remove(&id);
+        if let Some(count) = self.sent_counts.get_mut(&neighbor) {
+            *count = count.saturating_sub(1);
+        }
+        if let Some(Some(index)) = self.sent.get_mut(&neighbor) {
+            if index.contains(id) {
+                index.remove(id)?;
             }
         }
+        // Pull out the suppressed subscriptions the removed one covers; the
+        // rest cannot have been masked by it and stay untouched.
+        let list = self
+            .suppressed
+            .get_mut(&neighbor)
+            .expect("interface exists");
+        let mut candidates = Vec::new();
+        let mut kept = Vec::with_capacity(list.len());
+        for sub in list.drain(..) {
+            if removed.covers(&sub) {
+                candidates.push(sub);
+            } else {
+                kept.push(sub);
+            }
+        }
+        *list = kept;
+        let mut decisions = Vec::with_capacity(candidates.len());
+        for candidate in candidates {
+            let decision = self.should_forward(neighbor, &candidate)?;
+            decisions.push((candidate, decision));
+        }
+        Ok(decisions)
     }
 
     /// Local clients whose subscriptions match `event`, one entry per

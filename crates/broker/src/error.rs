@@ -25,6 +25,12 @@ pub enum BrokerError {
         /// The offending identifier.
         id: u64,
     },
+    /// An unsubscribe referenced an identifier that is not registered at the
+    /// given broker.
+    UnknownSubscription {
+        /// The offending identifier.
+        id: u64,
+    },
     /// An error bubbled up from the covering index.
     Covering(CoveringError),
     /// An error bubbled up from the subscription data model.
@@ -43,6 +49,9 @@ impl fmt::Display for BrokerError {
             }
             BrokerError::DuplicateSubscription { id } => {
                 write!(f, "subscription {id} is already registered in the network")
+            }
+            BrokerError::UnknownSubscription { id } => {
+                write!(f, "subscription {id} is not registered at that broker")
             }
             BrokerError::Covering(e) => write!(f, "covering index error: {e}"),
             BrokerError::Subscription(e) => write!(f, "subscription error: {e}"),

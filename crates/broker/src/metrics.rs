@@ -18,6 +18,10 @@ pub struct NetworkMetrics {
     /// Subscription forwards suppressed because a covering subscription had
     /// already been sent on that link.
     pub subscriptions_suppressed: u64,
+    /// Subscriptions unregistered by clients.
+    pub unsubscriptions: u64,
+    /// Unsubscription (retraction) messages sent across overlay links.
+    pub unsubscription_messages: u64,
     /// Total routing-table entries across all brokers and interfaces.
     pub routing_table_entries: u64,
     /// Covering queries issued while propagating subscriptions.

@@ -116,12 +116,23 @@ impl BrokerNetwork {
         }
         self.metrics.subscriptions_registered += 1;
         self.brokers[at].add_local(client, subscription.clone());
+        self.propagate(at, None, subscription)
+    }
 
-        // Propagate away from the origin broker. The overlay is a tree, so a
-        // simple BFS carrying the "arrived from" interface suffices.
+    /// Propagates `subscription` away from `start` (which already holds it),
+    /// applying the covering policy on every link. The overlay is a tree, so
+    /// a simple BFS carrying the "arrived from" interface suffices. Shared
+    /// by [`subscribe`](Self::subscribe) and the re-advertisement step of
+    /// [`unsubscribe`](Self::unsubscribe).
+    fn propagate(
+        &mut self,
+        start: BrokerId,
+        arrived_from: Option<BrokerId>,
+        subscription: &Subscription,
+    ) -> Result<()> {
         let mut queue: std::collections::VecDeque<(BrokerId, Option<BrokerId>)> =
             std::collections::VecDeque::new();
-        queue.push_back((at, None));
+        queue.push_back((start, arrived_from));
         while let Some((broker_id, from)) = queue.pop_front() {
             let neighbors: Vec<BrokerId> = self.topology.neighbors(broker_id).to_vec();
             for neighbor in neighbors {
@@ -140,6 +151,71 @@ impl BrokerNetwork {
                     queue.push_back((neighbor, Some(broker_id)));
                 } else {
                     self.metrics.subscriptions_suppressed += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Unregisters subscription `id` (which must have been registered by a
+    /// client at broker `at`) and retracts it from the overlay: every link
+    /// it was sent on removes it from its covering state and routing table,
+    /// and any subscription it was masking (suppressed as covered) is
+    /// re-advertised so deliveries stay exactly as if the remaining
+    /// subscriptions had been registered alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the broker does not exist or the subscription is
+    /// not registered at it.
+    pub fn unsubscribe(&mut self, at: BrokerId, id: SubId) -> Result<()> {
+        self.topology.check_broker(at)?;
+        if !self.registered_ids.contains(&id) {
+            return Err(BrokerError::UnknownSubscription { id });
+        }
+        let Some((_client, subscription)) = self.brokers[at].remove_local(id) else {
+            // Registered somewhere, but not at this broker.
+            return Err(BrokerError::UnknownSubscription { id });
+        };
+        self.registered_ids.remove(&id);
+        self.metrics.unsubscriptions += 1;
+
+        // Walk the links the subscription was actually sent on (a subtree of
+        // the overlay). On each such link: retract it, re-advertise whatever
+        // it was masking, and continue into the neighbor.
+        let mut queue: std::collections::VecDeque<(BrokerId, Option<BrokerId>)> =
+            std::collections::VecDeque::new();
+        queue.push_back((at, None));
+        while let Some((broker_id, from)) = queue.pop_front() {
+            let neighbors: Vec<BrokerId> = self.topology.neighbors(broker_id).to_vec();
+            for neighbor in neighbors {
+                if Some(neighbor) == from {
+                    continue;
+                }
+                if self.brokers[broker_id].was_sent(neighbor, id) {
+                    let readvertised =
+                        self.brokers[broker_id].retract_sent(neighbor, &subscription)?;
+                    self.metrics.unsubscription_messages += 1;
+                    for (candidate, decision) in readvertised {
+                        if decision.covering_query {
+                            self.metrics.covering_queries += 1;
+                            self.metrics.covering_runs_probed += decision.runs_probed as u64;
+                            self.metrics.covering_comparisons += decision.comparisons as u64;
+                        }
+                        if decision.forward {
+                            self.metrics.subscription_messages += 1;
+                            self.brokers[neighbor].add_received(broker_id, candidate.clone());
+                            self.propagate(neighbor, Some(broker_id), &candidate)?;
+                        } else {
+                            self.metrics.subscriptions_suppressed += 1;
+                        }
+                    }
+                    self.brokers[neighbor].remove_received(broker_id, id);
+                    queue.push_back((neighbor, Some(broker_id)));
+                } else {
+                    // Never sent on this link: at most sitting in its
+                    // suppressed list.
+                    self.brokers[broker_id].drop_suppressed(neighbor, id);
                 }
             }
         }
@@ -310,6 +386,79 @@ mod tests {
         }
         assert_eq!(net.broker(2).unwrap().routing_table_entries(), 0);
         assert_eq!(net.broker(2).unwrap().local_subscriptions(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_reverts_routing_state_and_readvertises_masked_subs() {
+        let s = schema();
+        for policy in [
+            CoveringPolicy::None,
+            CoveringPolicy::ExactLinear,
+            CoveringPolicy::ExactSfc,
+            CoveringPolicy::ShardedSfc { shards: 3 },
+        ] {
+            let mut net = BrokerNetwork::new(Topology::line(3).unwrap(), &s, policy).unwrap();
+            let wide = sub(&s, 1, (0.0, 100.0), (0.0, 100.0));
+            let narrow = sub(&s, 2, (10.0, 30.0), (10.0, 30.0));
+            // The wide subscription masks the narrow one on every link.
+            net.subscribe(0, 10, &wide).unwrap();
+            net.subscribe(0, 11, &narrow).unwrap();
+
+            let hit_narrow = Event::new(&s, vec![20.0, 20.0]).unwrap();
+            assert_eq!(
+                net.publish(2, &hit_narrow).unwrap(),
+                vec![(0, 10), (0, 11)],
+                "policy {}",
+                policy.label()
+            );
+
+            // Removing the wide cover must keep the narrow one reachable
+            // from every broker (re-advertised where it was suppressed).
+            net.unsubscribe(0, 1).unwrap();
+            assert_eq!(
+                net.publish(2, &hit_narrow).unwrap(),
+                vec![(0, 11)],
+                "policy {}: narrow lost after unsubscribe",
+                policy.label()
+            );
+            let miss_narrow = Event::new(&s, vec![80.0, 80.0]).unwrap();
+            assert_eq!(net.publish(2, &miss_narrow).unwrap(), vec![]);
+
+            // Removing the narrow one too empties the overlay.
+            net.unsubscribe(0, 2).unwrap();
+            assert_eq!(net.publish(2, &hit_narrow).unwrap(), vec![]);
+            assert_eq!(net.metrics().routing_table_entries, 0);
+            assert_eq!(net.metrics().unsubscriptions, 2);
+
+            // Identifiers become reusable after unsubscription.
+            net.subscribe(1, 12, &narrow).unwrap();
+            assert_eq!(net.publish(2, &hit_narrow).unwrap(), vec![(1, 12)]);
+        }
+    }
+
+    #[test]
+    fn unsubscribe_rejects_unknown_ids_and_wrong_brokers() {
+        let s = schema();
+        let mut net =
+            BrokerNetwork::new(Topology::line(3).unwrap(), &s, CoveringPolicy::ExactSfc).unwrap();
+        let a = sub(&s, 1, (0.0, 10.0), (0.0, 10.0));
+        net.subscribe(0, 1, &a).unwrap();
+        assert!(matches!(
+            net.unsubscribe(0, 99),
+            Err(BrokerError::UnknownSubscription { id: 99 })
+        ));
+        // Registered, but at broker 0 — unsubscribing at broker 1 fails and
+        // leaves the registration intact.
+        assert!(matches!(
+            net.unsubscribe(1, 1),
+            Err(BrokerError::UnknownSubscription { id: 1 })
+        ));
+        assert!(net
+            .publish(2, &Event::new(&s, vec![5.0, 5.0]).unwrap())
+            .unwrap()
+            .contains(&(0, 1)));
+        assert!(net.unsubscribe(9, 1).is_err());
+        net.unsubscribe(0, 1).unwrap();
     }
 
     #[test]

@@ -13,6 +13,11 @@ pub enum CoveringError {
         /// The offending value.
         epsilon: f64,
     },
+    /// A sharded index was requested with an unusable shard count.
+    InvalidShardCount {
+        /// The offending shard count.
+        shards: usize,
+    },
     /// A subscription built against a different schema was passed to an
     /// index.
     SchemaMismatch,
@@ -37,6 +42,9 @@ impl fmt::Display for CoveringError {
         match self {
             CoveringError::InvalidEpsilon { epsilon } => {
                 write!(f, "epsilon {epsilon} is outside the open interval (0, 1)")
+            }
+            CoveringError::InvalidShardCount { shards } => {
+                write!(f, "shard count {shards} is outside 1..=64")
             }
             CoveringError::SchemaMismatch => {
                 write!(

@@ -12,6 +12,11 @@
 //!   with the greedy cube decomposition of Section 5.
 //! * [`SfcCoveringIndex`] wraps the engine with the Edelsbrunner–Overmars
 //!   transform so that callers speak in terms of [`Subscription`]s.
+//! * [`ShardedCoveringIndex`] partitions subscriptions across key-range
+//!   shards behind per-shard read/write locks, so heavy subscribe/
+//!   unsubscribe churn and concurrent covering queries scale past a single
+//!   lock (see the [`sharded`] module docs for why range sharding preserves
+//!   the skip engine's locality).
 //! * [`LinearScanIndex`] is the exhaustive baseline: a plain list scanned on
 //!   every query, always exact, O(n) per query.
 //! * [`CoveringIndex`] is the common trait, so brokers and experiments can
@@ -64,6 +69,7 @@ pub mod index;
 pub mod linear;
 pub mod policy;
 pub mod sfc_index;
+pub mod sharded;
 pub mod stats;
 
 pub use config::{ApproxConfig, QueryEngine, QueryMode};
@@ -73,6 +79,7 @@ pub use index::CoveringIndex;
 pub use linear::LinearScanIndex;
 pub use policy::CoveringPolicy;
 pub use sfc_index::SfcCoveringIndex;
+pub use sharded::ShardedCoveringIndex;
 pub use stats::{IndexStats, QueryOutcome, QueryStats};
 
 // Re-exported so downstream crates (broker, bench) can name subscription

@@ -8,6 +8,7 @@ use crate::config::ApproxConfig;
 use crate::index::CoveringIndex;
 use crate::linear::LinearScanIndex;
 use crate::sfc_index::SfcCoveringIndex;
+use crate::sharded::ShardedCoveringIndex;
 use crate::Result;
 
 /// The covering policy of a broker (or of one routing-table interface).
@@ -24,6 +25,15 @@ pub enum CoveringPolicy {
     ExactLinear,
     /// Detect covering exactly with an exhaustive SFC dominance query.
     ExactSfc,
+    /// Detect covering exactly with an exhaustive SFC dominance query over a
+    /// key-range sharded index ([`crate::ShardedCoveringIndex`]): the same
+    /// answers as [`CoveringPolicy::ExactSfc`], with per-shard locking so a
+    /// broker serving churn-heavy links can process concurrent queries and
+    /// updates.
+    ShardedSfc {
+        /// Number of key-range shards, in `1..=`[`crate::sharded::MAX_SHARDS`].
+        shards: usize,
+    },
     /// Detect covering approximately with an ε-approximate SFC query.
     Approximate {
         /// The approximation parameter ε in `(0, 1)`.
@@ -49,6 +59,12 @@ impl CoveringPolicy {
             CoveringPolicy::None => None,
             CoveringPolicy::ExactLinear => Some(Box::new(LinearScanIndex::new(schema))),
             CoveringPolicy::ExactSfc => Some(Box::new(SfcCoveringIndex::exhaustive(schema)?)),
+            CoveringPolicy::ShardedSfc { shards } => Some(Box::new(ShardedCoveringIndex::new(
+                schema,
+                ApproxConfig::exhaustive(),
+                acd_sfc::CurveKind::Z,
+                *shards,
+            )?)),
             CoveringPolicy::Approximate { epsilon } => Some(Box::new(
                 SfcCoveringIndex::approximate(schema, ApproxConfig::with_epsilon(*epsilon)?)?,
             )),
@@ -61,6 +77,7 @@ impl CoveringPolicy {
             CoveringPolicy::None => "none".to_string(),
             CoveringPolicy::ExactLinear => "exact-linear".to_string(),
             CoveringPolicy::ExactSfc => "exact-sfc".to_string(),
+            CoveringPolicy::ShardedSfc { shards } => format!("sharded-sfc(shards={shards})"),
             CoveringPolicy::Approximate { epsilon } => format!("approx(eps={epsilon})"),
         }
     }
@@ -91,6 +108,14 @@ mod tests {
         assert_eq!(lin.name(), "linear-scan");
         let sfc = CoveringPolicy::ExactSfc.build_index(&s).unwrap().unwrap();
         assert_eq!(sfc.name(), "sfc-z-exhaustive");
+        let sharded = CoveringPolicy::ShardedSfc { shards: 4 }
+            .build_index(&s)
+            .unwrap()
+            .unwrap();
+        assert_eq!(sharded.name(), "sharded-sfc-z-exhaustive");
+        assert!(CoveringPolicy::ShardedSfc { shards: 0 }
+            .build_index(&s)
+            .is_err());
         let approx = CoveringPolicy::Approximate { epsilon: 0.05 }
             .build_index(&s)
             .unwrap()
@@ -107,6 +132,7 @@ mod tests {
         for policy in [
             CoveringPolicy::ExactLinear,
             CoveringPolicy::ExactSfc,
+            CoveringPolicy::ShardedSfc { shards: 3 },
             CoveringPolicy::Approximate { epsilon: 0.1 },
         ] {
             let mut idx = policy.build_index(&s).unwrap().unwrap();
@@ -135,5 +161,10 @@ mod tests {
             "approx(eps=0.05)"
         );
         assert_eq!(CoveringPolicy::ExactLinear.label(), "exact-linear");
+        assert_eq!(
+            CoveringPolicy::ShardedSfc { shards: 4 }.label(),
+            "sharded-sfc(shards=4)"
+        );
+        assert!(CoveringPolicy::ShardedSfc { shards: 4 }.detects_covering());
     }
 }

@@ -315,6 +315,52 @@ impl SfcCoveringIndex {
         ids.retain(|&id| id != query.id());
         Ok(ids)
     }
+
+    /// Read-only covering query: the same answer as
+    /// [`CoveringIndex::find_covering`] without recording into the index's
+    /// accumulated [`IndexStats`]. This is the form concurrent callers use —
+    /// [`crate::ShardedCoveringIndex`] queries its shards through shared
+    /// references under read locks and aggregates statistics at its own
+    /// level.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query's schema does not match the index.
+    pub fn find_covering_ref(&self, query: &Subscription) -> Result<QueryOutcome> {
+        self.check_schema(query)?;
+        let query_point = dominance_point(query)?;
+        let query_id = query.id();
+        let (hit, stats) = self
+            .forward
+            .query_where(&query_point, |&id| id != query_id)?;
+        Ok(match hit {
+            Some(id) => {
+                // The dominance hit is geometrically exact (quantized grid),
+                // so no re-verification is needed; debug builds double check.
+                debug_assert!(
+                    self.subscriptions
+                        .get(&id)
+                        .map(|s| s.covers(query))
+                        .unwrap_or(false),
+                    "dominance hit {id} does not cover the query"
+                );
+                QueryOutcome::found(id, stats)
+            }
+            None => QueryOutcome::empty(stats),
+        })
+    }
+
+    /// Read-only reverse query: the same answer as
+    /// [`CoveringIndex::find_covered_by`] without touching accumulated
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query's schema does not match the index.
+    pub fn find_covered_by_ref(&self, query: &Subscription) -> Result<Vec<SubId>> {
+        self.check_schema(query)?;
+        self.covered_by_exact(query)
+    }
 }
 
 impl CoveringIndex for SfcCoveringIndex {
@@ -360,27 +406,7 @@ impl CoveringIndex for SfcCoveringIndex {
     }
 
     fn find_covering(&mut self, query: &Subscription) -> Result<QueryOutcome> {
-        self.check_schema(query)?;
-        let query_point = dominance_point(query)?;
-        let query_id = query.id();
-        let (hit, stats) = self
-            .forward
-            .query_where(&query_point, |&id| id != query_id)?;
-        let outcome = match hit {
-            Some(id) => {
-                // The dominance hit is geometrically exact (quantized grid),
-                // so no re-verification is needed; debug builds double check.
-                debug_assert!(
-                    self.subscriptions
-                        .get(&id)
-                        .map(|s| s.covers(query))
-                        .unwrap_or(false),
-                    "dominance hit {id} does not cover the query"
-                );
-                QueryOutcome::found(id, stats)
-            }
-            None => QueryOutcome::empty(stats),
-        };
+        let outcome = self.find_covering_ref(query)?;
         self.stats.record_query(&outcome);
         Ok(outcome)
     }

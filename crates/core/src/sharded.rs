@@ -1,0 +1,947 @@
+//! A sharded, concurrently readable covering index.
+//!
+//! [`ShardedCoveringIndex`] partitions subscriptions across N shards by
+//! *SFC key range*: shard `i` owns a contiguous slice of the dominance-space
+//! key line, and a subscription lives in the shard that contains its forward
+//! dominance key. Each shard is a complete [`SfcCoveringIndex`] behind its
+//! own [`RwLock`], so queries proceed concurrently with each other and with
+//! updates to *other* shards; only a write to the same shard excludes
+//! readers.
+//!
+//! # Why range sharding (and not hashing)
+//!
+//! A covering query is a dominance query: on the Z curve, every point that
+//! dominates the query point `q` has a key **at or after** `key(q)` (the
+//! interleave is monotone under component-wise dominance: if the keys first
+//! differ at an interleaved bit of dimension `j`, the dominating point's
+//! `j`-th coordinate would otherwise be smaller). The query region is thus a
+//! suffix of the key line, and with *range* shards the BIGMIN sweep touches
+//! only the shards that suffix overlaps — shards entirely below `key(q)` are
+//! pruned without taking their locks at all, and each visited shard runs its
+//! ordinary sub-linear skip sweep over its own slice. Hash sharding would
+//! scatter every dominance region across all shards, forcing a full fan-out
+//! per query and destroying exactly the locality the skip engine exploits.
+//! The reverse (covered-by) query prunes the opposite suffix: subscriptions
+//! a query covers have keys at or before `key(q)`.
+//!
+//! Shard boundaries are uniform slices of the key space by default;
+//! [`ShardedCoveringIndex::build_from`] instead picks boundaries from the
+//! population's key *quantiles* so bulk-built shards start balanced even
+//! under skewed (e.g. Zipf) workloads.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, RwLock};
+
+use acd_sfc::{CurveKind, Key, SpaceFillingCurve};
+use acd_subscription::{dominance_point, dominance_universe, Schema, SubId, Subscription};
+
+use crate::config::ApproxConfig;
+use crate::error::CoveringError;
+use crate::index::CoveringIndex;
+use crate::sfc_index::SfcCoveringIndex;
+use crate::stats::{IndexStats, QueryOutcome, QueryStats};
+use crate::Result;
+
+/// Maximum accepted shard count.
+pub const MAX_SHARDS: usize = 64;
+
+/// The top 64 bits of `key`, left-aligned: a monotone (order-preserving)
+/// projection of the key line onto `u64`, used for shard boundaries. Keys
+/// narrower than 64 bits are shifted up so the projection spans the full
+/// `u64` range; wider keys keep their 64 most significant bits (ties
+/// collapse, which only ever makes shard pruning more conservative).
+fn key_prefix(key: &Key) -> u64 {
+    let bits = key.bits();
+    if bits == 0 {
+        return 0;
+    }
+    if bits <= 64 {
+        let v = key.to_u128().expect("≤64-bit keys fit a u128") as u64;
+        if bits == 64 {
+            v
+        } else {
+            v << (64 - bits)
+        }
+    } else if bits <= 128 {
+        (key.to_u128().expect("≤128-bit keys fit a u128") >> (bits - 64)) as u64
+    } else {
+        let mut v = 0u64;
+        for i in 0..64 {
+            v = (v << 1) | u64::from(key.bit(bits - 1 - i));
+        }
+        v
+    }
+}
+
+/// A sharded covering index: key-range partitioned [`SfcCoveringIndex`]
+/// shards behind per-shard read/write locks, with shard pruning for
+/// dominance queries (see the [module docs](self)).
+///
+/// All operations take `&self`; interior locking makes the index safe to
+/// share across threads (`&ShardedCoveringIndex` is `Send + Sync`). It also
+/// implements [`CoveringIndex`], so a broker can use it wherever a
+/// single-threaded index fits.
+///
+/// # Example
+///
+/// ```
+/// use acd_covering::{ShardedCoveringIndex, ApproxConfig, CoveringIndex};
+/// use acd_sfc::CurveKind;
+/// use acd_subscription::{Schema, SubscriptionBuilder};
+///
+/// # fn main() -> Result<(), acd_covering::CoveringError> {
+/// let schema = Schema::builder()
+///     .attribute("x", 0.0, 100.0)
+///     .attribute("y", 0.0, 100.0)
+///     .bits_per_attribute(6)
+///     .build()?;
+/// let index =
+///     ShardedCoveringIndex::new(&schema, ApproxConfig::exhaustive(), CurveKind::Z, 4)?;
+/// let wide = SubscriptionBuilder::new(&schema)
+///     .range("x", 0.0, 100.0)
+///     .range("y", 0.0, 100.0)
+///     .build(1)?;
+/// let narrow = SubscriptionBuilder::new(&schema)
+///     .range("x", 40.0, 60.0)
+///     .range("y", 40.0, 60.0)
+///     .build(2)?;
+/// index.insert(&wide)?;
+/// assert_eq!(index.find_covering_ref(&narrow)?.covering, Some(1));
+/// # Ok(())
+/// # }
+/// ```
+pub struct ShardedCoveringIndex {
+    schema: Schema,
+    config: ApproxConfig,
+    curve: CurveKind,
+    /// Computes forward dominance keys for shard routing, independent of the
+    /// per-shard engines (which own their curves).
+    keyer: Box<dyn SpaceFillingCurve>,
+    /// Shard `i` owns prefixes in `starts[i] .. starts[i + 1]` (the last
+    /// shard is unbounded above). `starts[0] == 0`; entries are
+    /// non-decreasing (equal neighbours leave the earlier shard empty).
+    starts: Vec<u64>,
+    shards: Vec<RwLock<SfcCoveringIndex>>,
+    /// Which shard holds each stored identifier. The single writer-side
+    /// rendezvous point: readers (covering queries) never touch it.
+    registry: Mutex<HashMap<SubId, u32>>,
+    /// Query statistics aggregated at the sharded level (shards record only
+    /// their own insert/remove counters; queries go through the read-only
+    /// shard path).
+    stats: Mutex<IndexStats>,
+}
+
+impl fmt::Debug for ShardedCoveringIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedCoveringIndex")
+            .field("curve", &self.curve)
+            .field("config", &self.config)
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl ShardedCoveringIndex {
+    /// Creates an empty index over `schema` with `shards` shards whose
+    /// boundaries split the key space uniformly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `shards` is outside `1..=`[`MAX_SHARDS`] or the
+    /// dominance universe cannot be constructed.
+    pub fn new(
+        schema: &Schema,
+        config: ApproxConfig,
+        curve: CurveKind,
+        shards: usize,
+    ) -> Result<Self> {
+        Self::check_shards(shards)?;
+        let starts = (0..shards)
+            .map(|i| ((i as u128) << 64).div_euclid(shards as u128) as u64)
+            .collect();
+        Self::with_boundaries(schema, config, curve, starts)
+    }
+
+    /// Bulk-builds an index over a known subscription set. Shard boundaries
+    /// are chosen from the population's forward-key quantiles, so the shards
+    /// start balanced even when the key distribution is heavily skewed; each
+    /// shard is then built with [`SfcCoveringIndex::build_from`] (one sort
+    /// per shard instead of incremental inserts).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `shards` is invalid, any subscription disagrees
+    /// with `schema`, or two subscriptions share an identifier.
+    pub fn build_from<'a, I>(
+        schema: &Schema,
+        config: ApproxConfig,
+        curve: CurveKind,
+        shards: usize,
+        subscriptions: I,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = &'a Subscription>,
+    {
+        Self::check_shards(shards)?;
+        let universe = dominance_universe(schema)?;
+        let keyer = curve.build(universe);
+
+        let mut keyed: Vec<(u64, &'a Subscription)> = Vec::new();
+        for sub in subscriptions {
+            if sub.schema() != schema {
+                return Err(CoveringError::SchemaMismatch);
+            }
+            let key = keyer.key_of_point(&dominance_point(sub)?)?;
+            keyed.push((key_prefix(&key), sub));
+        }
+
+        // Quantile boundaries: rank i·n/N starts shard i. The first shard
+        // always starts at 0 so every prefix has a home.
+        let mut prefixes: Vec<u64> = keyed.iter().map(|&(p, _)| p).collect();
+        prefixes.sort_unstable();
+        let mut starts = Vec::with_capacity(shards);
+        starts.push(0u64);
+        for i in 1..shards {
+            let rank = (i * prefixes.len()) / shards;
+            starts.push(prefixes.get(rank).copied().unwrap_or(u64::MAX));
+        }
+
+        let index = Self::with_boundaries(schema, config, curve, starts)?;
+        let mut partitions: Vec<Vec<&Subscription>> = vec![Vec::new(); shards];
+        {
+            let mut registry = index.registry.lock().unwrap_or_else(|e| e.into_inner());
+            for (prefix, sub) in keyed {
+                let shard = index.shard_of_prefix(prefix);
+                if registry.insert(sub.id(), shard as u32).is_some() {
+                    return Err(CoveringError::DuplicateSubscription { id: sub.id() });
+                }
+                partitions[shard].push(sub);
+            }
+        }
+        for (shard, part) in partitions.into_iter().enumerate() {
+            let built = SfcCoveringIndex::build_from(schema, config, curve, part)?;
+            *index.shards[shard]
+                .write()
+                .unwrap_or_else(|e| e.into_inner()) = built;
+        }
+        Ok(index)
+    }
+
+    fn with_boundaries(
+        schema: &Schema,
+        config: ApproxConfig,
+        curve: CurveKind,
+        starts: Vec<u64>,
+    ) -> Result<Self> {
+        debug_assert_eq!(starts.first(), Some(&0));
+        let universe = dominance_universe(schema)?;
+        let shards = starts
+            .iter()
+            .map(|_| {
+                Ok(RwLock::new(SfcCoveringIndex::with_curve(
+                    schema, config, curve,
+                )?))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedCoveringIndex {
+            schema: schema.clone(),
+            config,
+            curve,
+            keyer: curve.build(universe),
+            starts,
+            shards,
+            registry: Mutex::new(HashMap::new()),
+            stats: Mutex::new(IndexStats::default()),
+        })
+    }
+
+    fn check_shards(shards: usize) -> Result<()> {
+        if !(1..=MAX_SHARDS).contains(&shards) {
+            return Err(CoveringError::InvalidShardCount { shards });
+        }
+        Ok(())
+    }
+
+    fn check_schema(&self, subscription: &Subscription) -> Result<()> {
+        if subscription.schema() != &self.schema {
+            return Err(CoveringError::SchemaMismatch);
+        }
+        Ok(())
+    }
+
+    /// The schema this index serves.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The curve family the shards are built on.
+    pub fn curve(&self) -> CurveKind {
+        self.curve
+    }
+
+    /// The query configuration shared by all shards.
+    pub fn config(&self) -> ApproxConfig {
+        self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of stored subscriptions per shard (diagnostics / balance
+    /// inspection).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .collect()
+    }
+
+    /// Number of stored subscriptions.
+    pub fn len(&self) -> usize {
+        self.registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a subscription with the given identifier is stored.
+    pub fn contains(&self, id: SubId) -> bool {
+        self.registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(&id)
+    }
+
+    /// A clone of the subscription stored under `id`, if any (cloning is
+    /// cheap — subscription payloads are `Arc`-shared).
+    pub fn get(&self, id: SubId) -> Option<Subscription> {
+        let shard = {
+            let registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+            *registry.get(&id)? as usize
+        };
+        self.shards[shard]
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id)
+            .cloned()
+    }
+
+    /// Accumulated statistics: queries recorded at the sharded level plus
+    /// every shard's insert/remove counters.
+    pub fn stats(&self) -> IndexStats {
+        let mut total = *self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        for shard in &self.shards {
+            total.absorb(&shard.read().unwrap_or_else(|e| e.into_inner()).stats());
+        }
+        total
+    }
+
+    /// The shard whose key range contains `prefix`.
+    fn shard_of_prefix(&self, prefix: u64) -> usize {
+        // `starts[0] == 0`, so the partition point is at least 1.
+        self.starts.partition_point(|&s| s <= prefix) - 1
+    }
+
+    /// The forward-key prefix of a subscription's dominance point.
+    fn prefix_of(&self, subscription: &Subscription) -> Result<u64> {
+        let key = self.keyer.key_of_point(&dominance_point(subscription)?)?;
+        Ok(key_prefix(&key))
+    }
+
+    /// The shards a forward (covering) query for `prefix` must visit, in
+    /// ascending key order. On the Z curve every dominating point's key is
+    /// at-or-after the query key, so shards below the query's shard are
+    /// pruned; Hilbert and Gray keys are not dominance-monotone, so those
+    /// curves fan out to every shard.
+    fn covering_candidates(&self, prefix: u64) -> std::ops::RangeInclusive<usize> {
+        match self.curve {
+            CurveKind::Z => self.shard_of_prefix(prefix)..=self.shards.len() - 1,
+            _ => 0..=self.shards.len() - 1,
+        }
+    }
+
+    /// The shards a reverse (covered-by) query for `prefix` must visit: the
+    /// mirror-image pruning of [`covering_candidates`](Self::covering_candidates).
+    fn covered_by_candidates(&self, prefix: u64) -> std::ops::RangeInclusive<usize> {
+        match self.curve {
+            CurveKind::Z => 0..=self.shard_of_prefix(prefix),
+            _ => 0..=self.shards.len() - 1,
+        }
+    }
+
+    /// Inserts a subscription into the shard owning its forward key.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the subscription's schema does not match the
+    /// index or its identifier is already present (in any shard).
+    pub fn insert(&self, subscription: &Subscription) -> Result<()> {
+        self.check_schema(subscription)?;
+        let shard = self.shard_of_prefix(self.prefix_of(subscription)?);
+        {
+            let mut registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+            if registry.contains_key(&subscription.id()) {
+                return Err(CoveringError::DuplicateSubscription {
+                    id: subscription.id(),
+                });
+            }
+            registry.insert(subscription.id(), shard as u32);
+        }
+        let result = self.shards[shard]
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(subscription);
+        if result.is_err() {
+            self.registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&subscription.id());
+        }
+        result
+    }
+
+    /// Removes a subscription by identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no subscription with that identifier is stored.
+    pub fn remove(&self, id: SubId) -> Result<()> {
+        let shard = {
+            let mut registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+            registry
+                .remove(&id)
+                .ok_or(CoveringError::UnknownSubscription { id })? as usize
+        };
+        let result = self.shards[shard]
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(id);
+        if result.is_err() {
+            // Leave the registry consistent with the shard on the (never
+            // expected) failure path.
+            self.registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(id, shard as u32);
+        }
+        result
+    }
+
+    /// Covering query under the shards' read locks, returning both the
+    /// merged outcome and the per-shard query statistics of every shard
+    /// visited (in visit order). The merged counters are exactly the sums of
+    /// the per-shard counters — the invariant the differential tests pin —
+    /// except `volume_fraction_searched`, which is their maximum.
+    ///
+    /// Candidate shards are visited in ascending key order and the sweep
+    /// stops at the first hit (any reported identifier is a true cover).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query's schema does not match the index.
+    pub fn find_covering_with_shard_stats(
+        &self,
+        query: &Subscription,
+    ) -> Result<(QueryOutcome, Vec<QueryStats>)> {
+        self.check_schema(query)?;
+        let candidates = self.covering_candidates(self.prefix_of(query)?);
+        let mut merged = QueryStats::default();
+        let mut per_shard = Vec::new();
+        let mut hit = None;
+        for shard in candidates {
+            let outcome = self.shards[shard]
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .find_covering_ref(query)?;
+            merged.absorb(&outcome.stats);
+            per_shard.push(outcome.stats);
+            if let Some(id) = outcome.covering {
+                hit = Some(id);
+                break;
+            }
+        }
+        let outcome = match hit {
+            Some(id) => QueryOutcome::found(id, merged),
+            None => QueryOutcome::empty(merged),
+        };
+        self.record(&outcome);
+        Ok((outcome, per_shard))
+    }
+
+    /// Covering query through the sequential shard sweep (see
+    /// [`find_covering_with_shard_stats`](Self::find_covering_with_shard_stats)).
+    /// Takes `&self`, so concurrent readers proceed in parallel; the outcome
+    /// is recorded in the sharded-level statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query's schema does not match the index.
+    pub fn find_covering_ref(&self, query: &Subscription) -> Result<QueryOutcome> {
+        Ok(self.find_covering_with_shard_stats(query)?.0)
+    }
+
+    /// Covering query with parallel fan-out: every candidate shard is
+    /// queried on its own thread (scoped `std` threads), and the results are
+    /// merged in shard order — the hit from the lowest-keyed shard wins, so
+    /// the answer is deterministic regardless of scheduling. Worth using
+    /// when shards are large enough to amortize thread spawn; for
+    /// micro-queries prefer [`find_covering_ref`](Self::find_covering_ref).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query's schema does not match the index.
+    pub fn find_covering_parallel(&self, query: &Subscription) -> Result<QueryOutcome> {
+        self.check_schema(query)?;
+        let candidates = self.covering_candidates(self.prefix_of(query)?);
+        if candidates.clone().count() <= 1 {
+            return self.find_covering_ref(query);
+        }
+        let results: Vec<Result<QueryOutcome>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .map(|shard| {
+                    let shards = &self.shards;
+                    scope.spawn(move || {
+                        shards[shard]
+                            .read()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .find_covering_ref(query)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard query thread panicked"))
+                .collect()
+        });
+        let mut merged = QueryStats::default();
+        let mut hit = None;
+        for result in results {
+            let outcome = result?;
+            merged.absorb(&outcome.stats);
+            if hit.is_none() {
+                hit = outcome.covering;
+            }
+        }
+        let outcome = match hit {
+            Some(id) => QueryOutcome::found(id, merged),
+            None => QueryOutcome::empty(merged),
+        };
+        self.record(&outcome);
+        Ok(outcome)
+    }
+
+    /// Reverse query: identifiers of every stored subscription `query`
+    /// covers, merged across the candidate shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query's schema does not match the index.
+    pub fn find_covered_by_ref(&self, query: &Subscription) -> Result<Vec<SubId>> {
+        self.check_schema(query)?;
+        let candidates = self.covered_by_candidates(self.prefix_of(query)?);
+        let mut ids = Vec::new();
+        for shard in candidates {
+            ids.extend(
+                self.shards[shard]
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .find_covered_by_ref(query)?,
+            );
+        }
+        Ok(ids)
+    }
+
+    fn record(&self, outcome: &QueryOutcome) {
+        self.stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record_query(outcome);
+    }
+}
+
+impl CoveringIndex for ShardedCoveringIndex {
+    fn insert(&mut self, subscription: &Subscription) -> Result<()> {
+        ShardedCoveringIndex::insert(self, subscription)
+    }
+
+    fn remove(&mut self, id: SubId) -> Result<()> {
+        ShardedCoveringIndex::remove(self, id)
+    }
+
+    fn find_covering(&mut self, query: &Subscription) -> Result<QueryOutcome> {
+        self.find_covering_ref(query)
+    }
+
+    fn find_covered_by(&mut self, query: &Subscription) -> Result<Vec<SubId>> {
+        self.find_covered_by_ref(query)
+    }
+
+    fn len(&self) -> usize {
+        ShardedCoveringIndex::len(self)
+    }
+
+    fn contains(&self, id: SubId) -> bool {
+        ShardedCoveringIndex::contains(self, id)
+    }
+
+    fn stats(&self) -> IndexStats {
+        ShardedCoveringIndex::stats(self)
+    }
+
+    fn name(&self) -> &'static str {
+        match (self.curve, self.config.mode.is_exhaustive()) {
+            (CurveKind::Z, true) => "sharded-sfc-z-exhaustive",
+            (CurveKind::Z, false) => "sharded-sfc-z-approximate",
+            (CurveKind::Hilbert, true) => "sharded-sfc-hilbert-exhaustive",
+            (CurveKind::Hilbert, false) => "sharded-sfc-hilbert-approximate",
+            (CurveKind::Gray, true) => "sharded-sfc-gray-exhaustive",
+            (CurveKind::Gray, false) => "sharded-sfc-gray-approximate",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScanIndex;
+    use acd_subscription::SubscriptionBuilder;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("a", 0.0, 100.0)
+            .attribute("b", 0.0, 100.0)
+            .bits_per_attribute(5)
+            .build()
+            .unwrap()
+    }
+
+    fn sub(schema: &Schema, id: SubId, a: (f64, f64), b: (f64, f64)) -> Subscription {
+        SubscriptionBuilder::new(schema)
+            .range("a", a.0, a.1)
+            .range("b", b.0, b.1)
+            .build(id)
+            .unwrap()
+    }
+
+    fn random_subs(schema: &Schema, n: u64, seed: u64) -> Vec<Subscription> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 10_000) as f64 / 100.0
+        };
+        (0..n)
+            .map(|id| {
+                let (a1, a2) = (next(), next());
+                let (b1, b2) = (next(), next());
+                sub(
+                    schema,
+                    id + 1,
+                    (a1.min(a2), a1.max(a2)),
+                    (b1.min(b2), b1.max(b2)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn key_prefix_is_monotone_across_widths() {
+        for bits in [1u32, 7, 63, 64, 65, 127, 128, 131, 200] {
+            let lo = Key::zero(bits);
+            let hi = Key::max_value(bits);
+            assert!(key_prefix(&lo) <= key_prefix(&hi), "width {bits}");
+            if bits >= 2 {
+                let mut mid = Key::zero(bits);
+                mid.set_bit(bits - 1, true);
+                assert!(key_prefix(&lo) < key_prefix(&mid), "width {bits}");
+                assert!(key_prefix(&mid) <= key_prefix(&hi), "width {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_shard_counts() {
+        let s = schema();
+        for shards in [0usize, MAX_SHARDS + 1] {
+            assert!(matches!(
+                ShardedCoveringIndex::new(&s, ApproxConfig::exhaustive(), CurveKind::Z, shards),
+                Err(CoveringError::InvalidShardCount { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn sharded_agrees_with_single_index_and_linear_scan() {
+        let s = schema();
+        let subs = random_subs(&s, 120, 11);
+        for curve in CurveKind::all() {
+            for shards in [1usize, 3, 5] {
+                let sharded =
+                    ShardedCoveringIndex::new(&s, ApproxConfig::exhaustive(), curve, shards)
+                        .unwrap();
+                let mut single =
+                    SfcCoveringIndex::with_curve(&s, ApproxConfig::exhaustive(), curve).unwrap();
+                let mut linear = LinearScanIndex::new(&s);
+                for sub in &subs {
+                    let a = sharded.find_covering_ref(sub).unwrap().is_covered();
+                    let b = single.find_covering(sub).unwrap().is_covered();
+                    let c = linear.find_covering(sub).unwrap().is_covered();
+                    assert_eq!(a, b, "{curve:?}/{shards}: sharded vs single {}", sub.id());
+                    assert_eq!(b, c, "{curve:?}/{shards}: single vs linear {}", sub.id());
+                    sharded.insert(sub).unwrap();
+                    single.insert(sub).unwrap();
+                    linear.insert(sub).unwrap();
+                }
+                assert_eq!(sharded.len(), subs.len());
+                let total: usize = sharded.shard_lens().iter().sum();
+                assert_eq!(total, subs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fan_out_matches_sequential_sweep() {
+        let s = schema();
+        let subs = random_subs(&s, 150, 23);
+        let queries = random_subs(&s, 60, 29);
+        let sharded = ShardedCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            4,
+            &subs,
+        )
+        .unwrap();
+        for q in &queries {
+            let seq = sharded.find_covering_ref(q).unwrap();
+            let par = sharded.find_covering_parallel(q).unwrap();
+            assert_eq!(seq.is_covered(), par.is_covered(), "query {}", q.id());
+            if let Some(id) = par.covering {
+                assert!(sharded.get(id).unwrap().covers(q));
+            }
+        }
+    }
+
+    #[test]
+    fn merged_stats_equal_per_shard_sums() {
+        let s = schema();
+        let subs = random_subs(&s, 200, 41);
+        let sharded = ShardedCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            7,
+            &subs,
+        )
+        .unwrap();
+        for q in random_subs(&s, 50, 43).iter() {
+            let (outcome, per_shard) = sharded.find_covering_with_shard_stats(q).unwrap();
+            assert!(!per_shard.is_empty());
+            assert_eq!(
+                outcome.stats.probes,
+                per_shard.iter().map(|s| s.probes).sum::<usize>()
+            );
+            assert_eq!(
+                outcome.stats.runs_probed,
+                per_shard.iter().map(|s| s.runs_probed).sum::<usize>()
+            );
+            assert_eq!(
+                outcome.stats.candidates_inspected,
+                per_shard
+                    .iter()
+                    .map(|s| s.candidates_inspected)
+                    .sum::<usize>()
+            );
+        }
+    }
+
+    #[test]
+    fn covered_by_matches_single_index() {
+        let s = schema();
+        let subs = random_subs(&s, 90, 3);
+        let sharded = ShardedCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            4,
+            &subs,
+        )
+        .unwrap();
+        let mut single = SfcCoveringIndex::exhaustive(&s).unwrap();
+        for sub in &subs {
+            single.insert(sub).unwrap();
+        }
+        for q in subs.iter().step_by(6) {
+            let mut a = sharded.find_covered_by_ref(q).unwrap();
+            let mut b = single.find_covered_by(q).unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "covered-by mismatch for {}", q.id());
+        }
+    }
+
+    #[test]
+    fn bulk_build_balances_shards_and_matches_incremental() {
+        let s = schema();
+        let subs = random_subs(&s, 240, 7);
+        let bulk = ShardedCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            4,
+            &subs,
+        )
+        .unwrap();
+        let incremental =
+            ShardedCoveringIndex::new(&s, ApproxConfig::exhaustive(), CurveKind::Z, 4).unwrap();
+        for sub in &subs {
+            incremental.insert(sub).unwrap();
+        }
+        for q in random_subs(&s, 40, 9).iter() {
+            assert_eq!(
+                bulk.find_covering_ref(q).unwrap().is_covered(),
+                incremental.find_covering_ref(q).unwrap().is_covered(),
+                "bulk/incremental disagree on {}",
+                q.id()
+            );
+        }
+        // Quantile boundaries keep every shard within a loose balance band.
+        let lens = bulk.shard_lens();
+        assert_eq!(lens.iter().sum::<usize>(), subs.len());
+        let max = *lens.iter().max().unwrap();
+        assert!(
+            max <= subs.len() / 2,
+            "bulk shards badly imbalanced: {lens:?}"
+        );
+        // Duplicate identifiers are rejected across shards.
+        let twice = vec![subs[0].clone(), subs[0].clone()];
+        assert!(matches!(
+            ShardedCoveringIndex::build_from(
+                &s,
+                ApproxConfig::exhaustive(),
+                CurveKind::Z,
+                2,
+                &twice
+            ),
+            Err(CoveringError::DuplicateSubscription { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_remove_round_trip_and_errors() {
+        let s = schema();
+        let idx =
+            ShardedCoveringIndex::new(&s, ApproxConfig::exhaustive(), CurveKind::Z, 3).unwrap();
+        let wide = sub(&s, 1, (0.0, 100.0), (0.0, 100.0));
+        let narrow = sub(&s, 2, (40.0, 60.0), (40.0, 60.0));
+        idx.insert(&wide).unwrap();
+        assert!(idx.contains(1));
+        assert!(idx.get(1).is_some());
+        assert!(matches!(
+            idx.insert(&wide),
+            Err(CoveringError::DuplicateSubscription { id: 1 })
+        ));
+        assert_eq!(idx.find_covering_ref(&narrow).unwrap().covering, Some(1));
+        idx.remove(1).unwrap();
+        assert!(!idx.contains(1));
+        assert!(idx.get(1).is_none());
+        assert!(!idx.find_covering_ref(&narrow).unwrap().is_covered());
+        assert!(matches!(
+            idx.remove(1),
+            Err(CoveringError::UnknownSubscription { id: 1 })
+        ));
+        assert!(idx.is_empty());
+
+        let other = Schema::builder().attribute("x", 0.0, 1.0).build().unwrap();
+        let foreign = SubscriptionBuilder::new(&other).build(5).unwrap();
+        assert!(matches!(
+            idx.insert(&foreign),
+            Err(CoveringError::SchemaMismatch)
+        ));
+        assert!(matches!(
+            idx.find_covering_ref(&foreign),
+            Err(CoveringError::SchemaMismatch)
+        ));
+    }
+
+    #[test]
+    fn stats_aggregate_queries_and_shard_counters() {
+        let s = schema();
+        let subs = random_subs(&s, 60, 17);
+        let idx =
+            ShardedCoveringIndex::new(&s, ApproxConfig::exhaustive(), CurveKind::Z, 4).unwrap();
+        for sub in &subs {
+            idx.insert(sub).unwrap();
+        }
+        for q in subs.iter().take(10) {
+            idx.find_covering_ref(q).unwrap();
+        }
+        idx.remove(subs[0].id()).unwrap();
+        let stats = ShardedCoveringIndex::stats(&idx);
+        assert_eq!(stats.inserts, subs.len() as u64);
+        assert_eq!(stats.removes, 1);
+        assert_eq!(stats.queries, 10);
+    }
+
+    #[test]
+    fn trait_object_usage_and_names() {
+        let s = schema();
+        let mut idx: Box<dyn CoveringIndex> = Box::new(
+            ShardedCoveringIndex::new(&s, ApproxConfig::exhaustive(), CurveKind::Z, 2).unwrap(),
+        );
+        assert_eq!(idx.name(), "sharded-sfc-z-exhaustive");
+        let wide = sub(&s, 1, (0.0, 100.0), (0.0, 100.0));
+        let narrow = sub(&s, 2, (40.0, 60.0), (40.0, 60.0));
+        idx.insert(&wide).unwrap();
+        assert_eq!(idx.find_covering(&narrow).unwrap().covering, Some(1));
+        assert_eq!(idx.find_covered_by(&wide).unwrap(), Vec::<SubId>::new());
+        idx.insert(&narrow).unwrap();
+        assert_eq!(idx.find_covered_by(&wide).unwrap(), vec![2]);
+        assert_eq!(idx.len(), 2);
+        idx.remove(2).unwrap();
+        assert!(!idx.contains(2));
+        assert_eq!(idx.stats().removes, 1);
+    }
+
+    #[test]
+    fn index_is_shareable_across_threads() {
+        // Compile-time-ish check plus a small smoke: concurrent readers over
+        // a shared reference while the main thread holds it too.
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<ShardedCoveringIndex>();
+
+        let s = schema();
+        let subs = random_subs(&s, 40, 77);
+        let idx = ShardedCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            4,
+            &subs,
+        )
+        .unwrap();
+        let queries = random_subs(&s, 20, 79);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for q in &queries {
+                        let outcome = idx.find_covering_ref(q).unwrap();
+                        if let Some(id) = outcome.covering {
+                            assert!(idx.get(id).unwrap().covers(q));
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

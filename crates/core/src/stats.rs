@@ -146,6 +146,23 @@ impl IndexStats {
         self.total_volume_fraction += outcome.stats.volume_fraction_searched;
     }
 
+    /// Merges the counters of `other` into `self`. Used by the sharded index
+    /// to aggregate per-shard statistics into one network-visible figure.
+    pub fn absorb(&mut self, other: &IndexStats) {
+        self.inserts += other.inserts;
+        self.removes += other.removes;
+        self.queries += other.queries;
+        self.queries_covered += other.queries_covered;
+        self.total_runs_probed += other.total_runs_probed;
+        self.total_probes += other.total_probes;
+        self.total_runs_skipped += other.total_runs_skipped;
+        self.total_cubes_enumerated += other.total_cubes_enumerated;
+        self.total_candidates_inspected += other.total_candidates_inspected;
+        self.total_subscriptions_compared += other.total_subscriptions_compared;
+        self.fallback_queries += other.fallback_queries;
+        self.total_volume_fraction += other.total_volume_fraction;
+    }
+
     /// Mean number of runs probed per query.
     pub fn mean_runs_per_query(&self) -> f64 {
         if self.queries == 0 {

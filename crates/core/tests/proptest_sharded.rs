@@ -1,0 +1,208 @@
+//! Differential property tests of the sharded covering index: on random
+//! interleaved insert/remove/query sequences, [`ShardedCoveringIndex`] at
+//! 1, 2, 4 and 7 shards must agree with a single [`SfcCoveringIndex`] and
+//! with the [`LinearScanIndex`] ground truth, and the merged query counters
+//! must equal the sums of the per-shard counters.
+
+use proptest::prelude::*;
+
+use acd_covering::{
+    ApproxConfig, CoveringIndex, LinearScanIndex, SfcCoveringIndex, ShardedCoveringIndex,
+};
+use acd_sfc::CurveKind;
+use acd_subscription::{Schema, SubId, Subscription, SubscriptionBuilder};
+
+const POOL: u64 = 48;
+
+fn schema() -> Schema {
+    Schema::builder()
+        .attribute("a", 0.0, 100.0)
+        .attribute("b", 0.0, 100.0)
+        .bits_per_attribute(5)
+        .build()
+        .unwrap()
+}
+
+/// Deterministic subscription pool: index `i` always denotes the same
+/// subscription, so operation sequences are reproducible.
+fn pool(schema: &Schema) -> Vec<Subscription> {
+    let mut state = 0x8421_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % 10_000) as f64 / 100.0
+    };
+    (0..POOL)
+        .map(|id| {
+            let (a1, a2) = (next(), next());
+            let (b1, b2) = (next(), next());
+            SubscriptionBuilder::new(schema)
+                .range("a", a1.min(a2), a1.max(a2))
+                .range("b", b1.min(b2), b1.max(b2))
+                .build(id + 1)
+                .unwrap()
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Query(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..POOL).prop_map(Op::Insert),
+        (0..POOL).prop_map(Op::Insert),
+        (0..POOL).prop_map(Op::Remove),
+        (0..POOL).prop_map(Op::Query),
+        (0..POOL).prop_map(Op::Query),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_equals_single_equals_linear_under_interleaved_churn(
+        ops in proptest::collection::vec(op_strategy(), 1..220),
+    ) {
+        let s = schema();
+        let subs = pool(&s);
+        let shard_counts = [1usize, 2, 4, 7];
+        let sharded: Vec<ShardedCoveringIndex> = shard_counts
+            .iter()
+            .map(|&n| {
+                ShardedCoveringIndex::new(&s, ApproxConfig::exhaustive(), CurveKind::Z, n)
+                    .unwrap()
+            })
+            .collect();
+        let mut single = SfcCoveringIndex::exhaustive(&s).unwrap();
+        let mut linear = LinearScanIndex::new(&s);
+        let mut live = std::collections::HashSet::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(i) => {
+                    let sub = &subs[i as usize];
+                    if live.insert(sub.id()) {
+                        for idx in &sharded {
+                            idx.insert(sub).unwrap();
+                        }
+                        single.insert(sub).unwrap();
+                        linear.insert(sub).unwrap();
+                    } else {
+                        for idx in &sharded {
+                            prop_assert!(idx.insert(sub).is_err());
+                        }
+                        prop_assert!(single.insert(sub).is_err());
+                        prop_assert!(linear.insert(sub).is_err());
+                    }
+                }
+                Op::Remove(i) => {
+                    let id: SubId = i + 1;
+                    if live.remove(&id) {
+                        for idx in &sharded {
+                            idx.remove(id).unwrap();
+                        }
+                        single.remove(id).unwrap();
+                        linear.remove(id).unwrap();
+                    } else {
+                        for idx in &sharded {
+                            prop_assert!(idx.remove(id).is_err());
+                        }
+                        prop_assert!(single.remove(id).is_err());
+                        prop_assert!(linear.remove(id).is_err());
+                    }
+                }
+                Op::Query(i) => {
+                    let q = &subs[i as usize];
+                    let truth = linear.find_covering(q).unwrap().is_covered();
+                    let exact = single.find_covering(q).unwrap().is_covered();
+                    prop_assert_eq!(truth, exact, "single vs linear on {}", q.id());
+                    for (shards, idx) in shard_counts.iter().zip(&sharded) {
+                        let (outcome, per_shard) =
+                            idx.find_covering_with_shard_stats(q).unwrap();
+                        prop_assert_eq!(
+                            outcome.is_covered(),
+                            truth,
+                            "{} shards disagree with linear on {}",
+                            shards,
+                            q.id()
+                        );
+                        // Any reported id must be live and truly covering.
+                        if let Some(id) = outcome.covering {
+                            prop_assert!(live.contains(&id));
+                            prop_assert!(idx.get(id).unwrap().covers(q));
+                        }
+                        // Stats invariant: the merged counters are exactly
+                        // the per-shard sums.
+                        prop_assert_eq!(
+                            outcome.stats.probes,
+                            per_shard.iter().map(|st| st.probes).sum::<usize>()
+                        );
+                        prop_assert_eq!(
+                            outcome.stats.runs_probed,
+                            per_shard.iter().map(|st| st.runs_probed).sum::<usize>()
+                        );
+                        prop_assert_eq!(
+                            outcome.stats.runs_skipped,
+                            per_shard.iter().map(|st| st.runs_skipped).sum::<usize>()
+                        );
+                        prop_assert_eq!(
+                            outcome.stats.candidates_inspected,
+                            per_shard
+                                .iter()
+                                .map(|st| st.candidates_inspected)
+                                .sum::<usize>()
+                        );
+                        // The sweep never visits more shards than exist.
+                        prop_assert!(per_shard.len() <= *shards);
+                    }
+                }
+            }
+            // Length bookkeeping must agree everywhere, every step.
+            for idx in &sharded {
+                prop_assert_eq!(ShardedCoveringIndex::len(idx), live.len());
+            }
+            prop_assert_eq!(CoveringIndex::len(&single), live.len());
+        }
+
+        // Endgame: covered-by sets agree across all implementations.
+        for q in subs.iter().step_by(9) {
+            let mut want = linear.find_covered_by(q).unwrap();
+            want.sort_unstable();
+            for idx in &sharded {
+                let mut got = idx.find_covered_by_ref(q).unwrap();
+                got.sort_unstable();
+                prop_assert_eq!(&got, &want, "covered-by mismatch for {}", q.id());
+            }
+        }
+
+        // A bulk build over the surviving population answers like the
+        // incrementally maintained indexes.
+        let survivors: Vec<&Subscription> = subs
+            .iter()
+            .filter(|s| live.contains(&s.id()))
+            .collect();
+        let bulk = ShardedCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            4,
+            survivors.into_iter(),
+        )
+        .unwrap();
+        for q in subs.iter().step_by(7) {
+            prop_assert_eq!(
+                bulk.find_covering_ref(q).unwrap().is_covered(),
+                linear.find_covering(q).unwrap().is_covered(),
+                "bulk sharded disagrees with linear on {}",
+                q.id()
+            );
+        }
+    }
+}

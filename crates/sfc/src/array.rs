@@ -588,11 +588,18 @@ impl<V, C: SpaceFillingCurve> SfcArray<V, C> {
             let removed = match bucket {
                 Bucket::Many(v) if v.len() > 1 => v.remove(pos).value,
                 _ => {
-                    // Last entry at the cell: drop the cell from the view
-                    // and swap its payload out of the slab hole.
+                    // Last entry at the cell: drop the cell from the view and
+                    // swap the whole payload — key included — out of the slab
+                    // hole. Leaving the key behind would keep a dead (and for
+                    // wide universes, heap-allocated) payload alive until the
+                    // next merge, and a hole must never look like a live cell
+                    // to any future reader of the slab: only `order` defines
+                    // liveness, and the merge consumes exactly `order`.
                     let slot = self.staging.remove_cell(idx);
-                    let bucket =
-                        std::mem::replace(&mut self.staging.slab[slot].1, Bucket::Many(Vec::new()));
+                    let (_, bucket) = std::mem::replace(
+                        &mut self.staging.slab[slot],
+                        (Key::zero(0), Bucket::Many(Vec::new())),
+                    );
                     match bucket {
                         Bucket::One(e) => e.value,
                         Bucket::Many(mut v) => v.remove(pos).value,
@@ -1174,6 +1181,64 @@ mod tests {
                 a.staging.slab.len()
             );
         }
+    }
+
+    #[test]
+    fn removing_staged_cells_never_resurrects_them_on_merge() {
+        // Regression pin for the staging-removal edge case: a key removed
+        // while still resident in the thin-view staging level (not yet
+        // merged into main) must stay gone when the staging level is next
+        // merged — the slab hole left by the removal must not leak its
+        // payload back into the main level.
+        let u = Universe::new(2, 6).unwrap();
+        let curve = ZCurve::new(u);
+        let mut a: SfcArray<u32, ZCurve> = SfcArray::new(curve.clone());
+
+        // Populate main with enough distinct cells to cross the merge
+        // threshold, so subsequent inserts land in a fresh staging level.
+        let mut id = 0u32;
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                a.insert(p(x, y), id).unwrap();
+                id += 1;
+            }
+        }
+        assert!(a.main.cells() > 0, "main level must be populated");
+
+        // Stage a handful of fresh cells (staying below the merge
+        // threshold), including one duplicate cell.
+        let victim = p(40, 40);
+        let twin = p(41, 41);
+        a.insert(victim.clone(), 1000).unwrap();
+        a.insert(twin.clone(), 1001).unwrap();
+        a.insert(twin.clone(), 1002).unwrap();
+        assert!(a.staging.cells() >= 2, "cells must be staged, not merged");
+
+        // Remove the staged victim entirely, and one of the twin's entries.
+        assert_eq!(a.remove_if(&victim, |_| true).unwrap(), Some(1000));
+        assert_eq!(a.remove_if(&twin, |&v| v == 1001).unwrap(), Some(1001));
+
+        // Force the staging level to merge into main.
+        a.merge_staging();
+        assert_eq!(a.staging.cells(), 0);
+
+        // The removed victim must not have resurrected...
+        assert!(a.values_at(&victim).unwrap().is_empty());
+        let victim_key = curve.key_of_point(&victim).unwrap();
+        if let Some((k, _)) = a.first_key_at_or_after(&victim_key) {
+            assert_ne!(k, &victim_key, "removed staged key resurrected");
+        }
+        // ...the twin's surviving entry must appear exactly once...
+        assert_eq!(a.values_at(&twin).unwrap(), vec![&1002]);
+        // ...and global accounting must agree with a full iteration.
+        assert_eq!(a.len(), 256 + 1);
+        assert_eq!(a.iter().count(), 256 + 1);
+
+        // Re-inserting the victim's cell after its removal-then-merge
+        // round trip yields exactly one entry there.
+        a.insert(victim.clone(), 2000).unwrap();
+        a.merge_staging();
+        assert_eq!(a.values_at(&victim).unwrap(), vec![&2000]);
     }
 
     #[test]

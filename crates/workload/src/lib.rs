@@ -10,8 +10,12 @@
 //!   width model, including direct control of the aspect ratio that drives
 //!   the paper's bounds.
 //! * [`EventWorkload`] draws events matching the same distributions.
+//! * [`ChurnWorkload`] interleaves the two into a mixed
+//!   subscribe/unsubscribe/publish stream with configurable operation
+//!   ratios — the dynamic workload the sharded index and the broker
+//!   unsubscription path are built for.
 //! * [`scenarios`] bundles named application scenarios (stock ticker, sensor
-//!   network) used by the examples and the broker experiments.
+//!   network, churn) used by the examples and the broker experiments.
 //!
 //! ## Example
 //!
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod churn;
 pub mod config;
 pub mod distributions;
 mod error;
@@ -44,6 +49,7 @@ pub mod events;
 pub mod scenarios;
 pub mod subscriptions;
 
+pub use churn::{ChurnConfig, ChurnOp, ChurnWorkload};
 pub use config::{CenterDistribution, WidthModel, WorkloadConfig, WorkloadConfigBuilder};
 pub use error::WorkloadError;
 pub use events::EventWorkload;

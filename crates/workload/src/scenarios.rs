@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use acd_subscription::Schema;
 
+use crate::churn::ChurnConfig;
 use crate::config::{CenterDistribution, WidthModel, WorkloadConfig};
 use crate::Result;
 
@@ -26,15 +27,22 @@ pub enum Scenario {
     /// A synthetic uniform workload with moderate selectivity, useful as a
     /// neutral baseline.
     UniformBaseline,
+    /// A churn-heavy deployment: Zipf-skewed interest (a few hot topics
+    /// dominate) with subscriptions continuously arriving and leaving while
+    /// events flow. Use [`Scenario::churn_config`] to obtain the mixed
+    /// operation stream; the plain [`Scenario::workload_config`] exposes the
+    /// same content model for insert-only comparisons.
+    Churn,
 }
 
 impl Scenario {
     /// All built-in scenarios.
-    pub fn all() -> [Scenario; 3] {
+    pub fn all() -> [Scenario; 4] {
         [
             Scenario::StockTicker,
             Scenario::SensorNetwork,
             Scenario::UniformBaseline,
+            Scenario::Churn,
         ]
     }
 
@@ -44,6 +52,7 @@ impl Scenario {
             Scenario::StockTicker => "stock-ticker",
             Scenario::SensorNetwork => "sensor-network",
             Scenario::UniformBaseline => "uniform",
+            Scenario::Churn => "churn",
         }
     }
 
@@ -71,6 +80,12 @@ impl Scenario {
                 .attribute("attr0", 0.0, WorkloadConfig::DOMAIN_MAX)
                 .attribute("attr1", 0.0, WorkloadConfig::DOMAIN_MAX)
                 .attribute("attr2", 0.0, WorkloadConfig::DOMAIN_MAX)
+                .bits_per_attribute(10)
+                .build()?,
+            Scenario::Churn => Schema::builder()
+                .attribute("topic_rank", 0.0, 10_000.0)
+                .attribute("priority", 0.0, 100.0)
+                .attribute("size", 0.0, 1_000_000.0)
                 .bits_per_attribute(10)
                 .build()?,
         };
@@ -110,8 +125,23 @@ impl Scenario {
                     min: 0.05,
                     max: 0.5,
                 }),
+            Scenario::Churn => builder
+                .center_distribution(CenterDistribution::Zipf { exponent: 1.2 })
+                .width_model(WidthModel::UniformFraction {
+                    min: 0.02,
+                    max: 0.35,
+                }),
         };
         builder.build().expect("built-in scenarios are valid")
+    }
+
+    /// The mixed subscribe/unsubscribe/publish stream of this scenario: the
+    /// balanced operation ratios of [`ChurnConfig::balanced`] over the
+    /// scenario's content model. Defined for every scenario (churn over a
+    /// sensor-network population is meaningful), with [`Scenario::Churn`]
+    /// as the canonical churn-heavy shape.
+    pub fn churn_config(self, seed: u64) -> ChurnConfig {
+        ChurnConfig::balanced(self.workload_config(seed))
     }
 }
 
@@ -158,5 +188,25 @@ mod tests {
                 .center_distribution,
             CenterDistribution::Uniform
         ));
+        assert!(matches!(
+            Scenario::Churn.workload_config(1).center_distribution,
+            CenterDistribution::Zipf { .. }
+        ));
+    }
+
+    #[test]
+    fn every_scenario_yields_a_runnable_churn_stream() {
+        use crate::churn::{ChurnOp, ChurnWorkload};
+        for s in Scenario::all() {
+            let config = s.churn_config(3);
+            assert!(config.validate().is_ok());
+            let mut churn = ChurnWorkload::new(&config).unwrap();
+            let ops = churn.take(200);
+            assert!(ops.iter().any(|op| matches!(op, ChurnOp::Subscribe(_))));
+            assert!(
+                ops.iter().any(|op| matches!(op, ChurnOp::Publish(_))),
+                "scenario {s} produced no publishes"
+            );
+        }
     }
 }

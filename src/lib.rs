@@ -69,11 +69,14 @@ pub use acd_workload as workload;
 pub mod prelude {
     pub use acd_broker::{BrokerNetwork, Topology};
     pub use acd_covering::{
-        ApproxConfig, CoveringIndex, CoveringPolicy, LinearScanIndex, QueryEngine, SfcCoveringIndex,
+        ApproxConfig, CoveringIndex, CoveringPolicy, LinearScanIndex, QueryEngine,
+        SfcCoveringIndex, ShardedCoveringIndex,
     };
     pub use acd_sfc::{CurveKind, Universe};
     pub use acd_subscription::{Event, RangePredicate, Schema, Subscription, SubscriptionBuilder};
-    pub use acd_workload::{Scenario, SubscriptionWorkload, WorkloadConfig};
+    pub use acd_workload::{
+        ChurnConfig, ChurnOp, ChurnWorkload, Scenario, SubscriptionWorkload, WorkloadConfig,
+    };
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! broker overlay, exercised through the facade crate's public API.
 
 use acd::prelude::*;
-use acd_workload::EventWorkload;
+use acd_workload::{ChurnOp, ChurnWorkload, EventWorkload};
 
 #[test]
 fn generated_workload_through_all_indexes() {
@@ -87,6 +87,82 @@ fn broker_overlay_with_scenario_workloads_is_safe_and_saves_traffic() {
             "scenario {scenario}: covering increased subscription traffic"
         );
         assert!(approx.routing_table_entries <= flood.routing_table_entries);
+    }
+}
+
+#[test]
+fn churn_scenario_through_broker_network_matches_naive_oracle() {
+    // Run the churn scenario's mixed subscribe/unsubscribe/publish stream
+    // through a 3-broker overlay under several covering policies. After
+    // every publish, the delivered set must equal the naive oracle's: match
+    // the event against every currently-live subscription, no covering, no
+    // routing — if retraction or re-advertisement ever corrupted routing
+    // state, deliveries would diverge.
+    let seed = 20_260_731;
+    let brokers = 3usize;
+    for policy in [
+        CoveringPolicy::None,
+        CoveringPolicy::ExactSfc,
+        CoveringPolicy::ShardedSfc { shards: 4 },
+    ] {
+        let config = Scenario::Churn.churn_config(seed);
+        let mut churn = ChurnWorkload::new(&config).unwrap();
+        let schema = churn.schema().clone();
+        let mut net =
+            BrokerNetwork::new(Topology::line(brokers).unwrap(), &schema, policy).unwrap();
+
+        // The oracle: every live subscription with its home broker/client.
+        let mut live: std::collections::HashMap<u64, (usize, u64, Subscription)> =
+            std::collections::HashMap::new();
+        let home = |id: u64| (id as usize % brokers, 1000 + id);
+
+        let mut publishes = 0usize;
+        let mut unsubscribes = 0usize;
+        for (step, op) in churn.take(420).into_iter().enumerate() {
+            match op {
+                ChurnOp::Subscribe(sub) => {
+                    let (broker, client) = home(sub.id());
+                    net.subscribe(broker, client, &sub).unwrap();
+                    live.insert(sub.id(), (broker, client, sub));
+                }
+                ChurnOp::Unsubscribe(id) => {
+                    let (broker, _) = home(id);
+                    net.unsubscribe(broker, id).unwrap();
+                    live.remove(&id);
+                    unsubscribes += 1;
+                }
+                ChurnOp::Publish(event) => {
+                    let at = step % brokers;
+                    let got = net.publish(at, &event).unwrap();
+                    let mut want: Vec<(usize, u64)> = live
+                        .values()
+                        .filter(|(_, _, s)| s.matches(&event))
+                        .map(|&(b, c, _)| (b, c))
+                        .collect();
+                    want.sort_unstable();
+                    want.dedup();
+                    assert_eq!(
+                        got,
+                        want,
+                        "policy {} step {step}: deliveries diverged from oracle",
+                        policy.label()
+                    );
+                    publishes += 1;
+                }
+            }
+        }
+        assert!(publishes > 20, "stream exercised too few publishes");
+        assert!(unsubscribes > 20, "stream exercised too few unsubscribes");
+        assert_eq!(net.metrics().unsubscriptions, unsubscribes as u64);
+        // Routing state stays bounded by the live population: every entry
+        // refers to a live subscription on each of the (at most 2) links it
+        // crossed.
+        assert!(
+            net.metrics().routing_table_entries <= (live.len() * (brokers - 1)) as u64,
+            "routing tables leak entries under churn ({} > {})",
+            net.metrics().routing_table_entries,
+            live.len() * (brokers - 1)
+        );
     }
 }
 
