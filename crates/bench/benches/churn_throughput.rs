@@ -12,12 +12,22 @@
 //!   total queries per iteration fixed (shows the lock-contention win that
 //!   perf-smoke's `--assert-budget` gates at ≥1.5× for 4 vs 1 shards on
 //!   multi-core machines).
+//!
+//! Two further groups cover the PR-5 machinery:
+//!
+//! * `parallel_dispatch` — one covering query per iteration through the
+//!   sequential sweep, the per-call scoped-thread fan-out and the
+//!   persistent worker pool (the pool must beat scoped threads at this
+//!   micro-query size);
+//! * `drift_updates` — paired insert/remove churn on a drifted skewed
+//!   population with frozen boundaries vs the auto-rebalance policy armed.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use acd_bench::ci::DriftHarness;
 use acd_covering::{ApproxConfig, ShardedCoveringIndex};
 use acd_sfc::CurveKind;
 use acd_workload::{SubscriptionWorkload, WorkloadConfig};
@@ -123,5 +133,87 @@ fn bench_churn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_churn);
+fn bench_parallel_dispatch(c: &mut Criterion) {
+    let config = WorkloadConfig::builder()
+        .attributes(3)
+        .bits_per_attribute(10)
+        .seed(404)
+        .build()
+        .unwrap();
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let population = workload.take(10_000);
+    let queries = workload.take(64);
+
+    let index = ShardedCoveringIndex::build_from(
+        &schema,
+        ApproxConfig::exhaustive(),
+        CurveKind::Z,
+        4,
+        &population,
+    )
+    .unwrap();
+    // Warm the pool outside the measurement.
+    index.find_covering_parallel(&queries[0]).unwrap();
+
+    let mut group = c.benchmark_group("parallel_dispatch");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            std::hint::black_box(index.find_covering_ref(q).unwrap())
+        });
+    });
+    group.bench_function("scoped-threads", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            std::hint::black_box(index.find_covering_scoped(q).unwrap())
+        });
+    });
+    group.bench_function("worker-pool", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            std::hint::black_box(index.find_covering_parallel(q).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_drift_updates(c: &mut Criterion) {
+    let n = 10_000usize;
+    let mut group = c.benchmark_group("drift_updates");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for (label, rebalance) in [("frozen", false), ("rebalanced", true)] {
+        // DriftHarness drifts the hot region and replaces the population
+        // once, so the frozen variant measures its concentrated steady
+        // state (the same protocol as the perf-smoke gate and e13).
+        let mut harness = DriftHarness::new(n, rebalance, 808);
+        group.bench_with_input(BenchmarkId::new("updates", label), &label, |b, _| {
+            b.iter(|| {
+                for _ in 0..64 {
+                    harness.paired_update();
+                }
+                std::hint::black_box(ShardedCoveringIndex::len(&harness.index))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_churn,
+    bench_parallel_dispatch,
+    bench_drift_updates
+);
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! perf_smoke [--n N] [--queries Q] [--out FILE] [--assert-budget FILE] [--no-eager]
-//!            [--churn-millis MS]
+//!            [--churn-millis MS] [--compare FILE] [--trend-out FILE]
 //! ```
 //!
 //! * `--n` / `--queries` — workload size (defaults: 10000 subscriptions,
@@ -15,9 +15,15 @@
 //! * `--assert-budget FILE` — compare against a [`acd_bench::ci::PerfBudget`]
 //!   JSON file and exit non-zero on any violation;
 //! * `--no-eager` — skip the slow PR-1 eager-engine reference measurement;
-//! * `--churn-millis MS` — wall-clock window of each sharded churn
-//!   measurement (default 300; 0 skips the churn phase, which then fails
-//!   the budget gate).
+//! * `--churn-millis MS` — wall-clock window of each sharded churn and
+//!   drift measurement (default 300; 0 skips both phases, which then fails
+//!   the budget gate);
+//! * `--compare FILE` — a previous run's report; prints a markdown
+//!   perf-trend delta table (missing or incompatible files are reported
+//!   and skipped, never fatal — the first nightly run has no previous
+//!   artifact);
+//! * `--trend-out FILE` — also write that markdown table to `FILE` (for
+//!   `$GITHUB_STEP_SUMMARY`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,6 +37,8 @@ struct Args {
     assert_budget: Option<PathBuf>,
     include_eager: bool,
     churn_millis: u64,
+    compare: Option<PathBuf>,
+    trend_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
         assert_budget: None,
         include_eager: true,
         churn_millis: 300,
+        compare: None,
+        trend_out: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -60,6 +70,8 @@ fn parse_args() -> Result<Args, String> {
                 args.assert_budget = Some(PathBuf::from(value("--assert-budget")?))
             }
             "--no-eager" => args.include_eager = false,
+            "--compare" => args.compare = Some(PathBuf::from(value("--compare")?)),
+            "--trend-out" => args.trend_out = Some(PathBuf::from(value("--trend-out")?)),
             "--churn-millis" => {
                 args.churn_millis = value("--churn-millis")?
                     .parse()
@@ -68,7 +80,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: perf_smoke [--n N] [--queries Q] [--out FILE] \
-                     [--assert-budget FILE] [--no-eager] [--churn-millis MS]"
+                     [--assert-budget FILE] [--no-eager] [--churn-millis MS] \
+                     [--compare FILE] [--trend-out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -145,6 +158,58 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("perf-smoke: report written to {}", args.out.display());
+
+    if let Some(compare_path) = &args.compare {
+        // Best-effort by design: the first run after a report-format change
+        // (or the very first nightly) has nothing comparable to diff
+        // against, and that must not fail the job.
+        match std::fs::read_to_string(compare_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                serde_json::from_str::<ci::PerfSmokeReport>(&text).map_err(|e| e.to_string())
+            }) {
+            Ok(previous) => {
+                let table = ci::trend_table(&previous, &report);
+                println!(
+                    "
+### Perf trend vs {}
+
+{table}",
+                    compare_path.display()
+                );
+                if let Some(trend_path) = &args.trend_out {
+                    let body = format!(
+                        "### Nightly perf trend (vs previous run)
+
+{table}"
+                    );
+                    if let Err(e) = std::fs::write(trend_path, body) {
+                        eprintln!("error: writing {}: {e}", trend_path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "perf-smoke: trend table written to {}",
+                        trend_path.display()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "perf-smoke: no usable previous report at {} ({e}); skipping trend",
+                    compare_path.display()
+                );
+                if let Some(trend_path) = &args.trend_out {
+                    let _ = std::fs::write(
+                        trend_path,
+                        "### Nightly perf trend
+
+No previous report to compare against.
+",
+                    );
+                }
+            }
+        }
+    }
 
     if let Some(budget_path) = &args.assert_budget {
         let budget: PerfBudget = match std::fs::read_to_string(budget_path)

@@ -10,20 +10,25 @@
 //! engine's cost), mean query latency and insert throughput (the
 //! representation gate that keeps the flat inline-key layout from degrading
 //! back toward per-entry heap allocation), the bulk-build speedup over `n`
-//! incremental inserts, and the sharded churn gates: a floor on the 4-shard
+//! incremental inserts, the sharded churn gates (a floor on the 4-shard
 //! update throughput under a mixed subscribe/unsubscribe storm, and — on
 //! machines with at least two worker threads — a floor on the 4-shard vs
-//! 1-shard concurrent query-throughput ratio.
+//! 1-shard concurrent query-throughput ratio), and the rebalance gates: a
+//! floor on the auto-rebalanced update throughput under the skewed-drift
+//! stream and a ceiling on the imbalance factor the rebalanced index ends
+//! with. The report also records pool-vs-scoped parallel dispatch
+//! latencies, and [`trend_table`] renders the run-over-run delta table the
+//! nightly workflow posts to its job summary.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use acd_covering::{
-    ApproxConfig, CoveringIndex, LinearScanIndex, QueryEngine, SfcCoveringIndex,
+    ApproxConfig, CoveringIndex, LinearScanIndex, QueryEngine, RebalancePolicy, SfcCoveringIndex,
     ShardedCoveringIndex,
 };
 use acd_sfc::CurveKind;
-use acd_workload::{SubscriptionWorkload, WorkloadConfig};
+use acd_workload::{Scenario, SubscriptionWorkload, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 
 /// Cost counters of one measured policy.
@@ -68,6 +73,45 @@ pub struct ChurnCost {
     pub update_throughput_per_sec: f64,
 }
 
+/// Throughput of the sharded index under the skewed-*drift* churn stream
+/// (the hot key region jumps half a domain after the quantile-balanced
+/// build): a single writer replaces the whole population once untimed (so
+/// the index is fully drifted), then sustains paired insert/remove updates
+/// for a fixed wall-clock window. Measured with frozen boundaries and with
+/// the auto-rebalance policy armed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftCost {
+    /// Whether the auto-rebalance policy was armed for this run.
+    pub rebalance_enabled: bool,
+    /// Updates (inserts plus removes) completed in the timed window.
+    pub updates_run: u64,
+    /// Updates per second in the timed window.
+    pub update_throughput_per_sec: f64,
+    /// Imbalance factor at the end of the run (1.0 = perfectly balanced,
+    /// 4.0 = everything in one of the 4 shards).
+    pub final_imbalance: f64,
+    /// Rebalance passes performed.
+    pub rebalances: u64,
+    /// Subscriptions moved between shards by those passes.
+    pub subscriptions_migrated: u64,
+}
+
+/// Mean covering-query latency through the three dispatch strategies of the
+/// sharded index at one population size: the sequential early-exit sweep,
+/// the per-call scoped-thread fan-out the worker pool replaced, and the
+/// persistent worker pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelDispatchCost {
+    /// Indexed subscriptions.
+    pub subscriptions: usize,
+    /// Mean latency of the sequential sweep, in microseconds.
+    pub sequential_us: f64,
+    /// Mean latency of the scoped-thread fan-out, in microseconds.
+    pub scoped_us: f64,
+    /// Mean latency of the worker-pool fan-out, in microseconds.
+    pub pool_us: f64,
+}
+
 /// The quick-scale perf report written to `BENCH_ci.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfSmokeReport {
@@ -102,6 +146,18 @@ pub struct PerfSmokeReport {
     /// Update throughput at 4 shards over update throughput at 1 shard
     /// (0 when the churn phase was skipped).
     pub sharded_update_speedup: f64,
+    /// Skewed-drift churn throughput with frozen boundaries and with
+    /// auto-rebalance armed (empty when the churn phase was skipped).
+    pub drift: Vec<DriftCost>,
+    /// Rebalanced over frozen drift update throughput (0 when the drift
+    /// phase was skipped).
+    pub drift_rebalance_speedup: f64,
+    /// Sharded-query dispatch latencies at a micro and at the full
+    /// population size.
+    pub parallel: Vec<ParallelDispatchCost>,
+    /// Worker threads in the persistent query pool during the dispatch
+    /// measurement.
+    pub pool_workers: usize,
 }
 
 impl PerfSmokeReport {
@@ -145,6 +201,17 @@ pub struct PerfBudget {
     /// reader threads (the speedup comes from readers proceeding while the
     /// writer holds another shard's lock).
     pub min_sharded_query_speedup: f64,
+    /// Lower bound on the rebalance-enabled skewed-drift churn update
+    /// throughput (updates/second). Algorithmic at heart — rebalancing
+    /// keeps the drifted population spread over small shards with cheap
+    /// staging merges — so it holds on a single core; wall-clock dependent,
+    /// so set with generous headroom.
+    pub min_rebalanced_churn_update_throughput: f64,
+    /// Upper bound on the imbalance factor the rebalance-enabled drift run
+    /// ends with. Purely algorithmic: if the auto-trigger works, the final
+    /// cut is near the quantiles and the factor stays close to 1 no matter
+    /// how slow the machine is.
+    pub max_imbalance_after_rebalance: f64,
 }
 
 /// Populates `index`, times the query batch, and extracts the cost counters.
@@ -272,6 +339,163 @@ pub fn run_churn(
     }
 }
 
+/// Measures the sharded index under the skewed-drift stream at 4 shards:
+/// bulk-build a quantile-balanced population of `subscriptions`, jump the
+/// generator's hot region half a domain, replace the whole population once
+/// untimed (so the frozen layout is fully concentrated), then sustain
+/// paired insert/remove updates for `millis` of wall clock. With
+/// `rebalance` the auto-rebalance policy (imbalance 1.5, checked every 256
+/// updates) is armed before the drift begins.
+pub fn run_drift_churn(subscriptions: usize, rebalance: bool, millis: u64) -> DriftCost {
+    let mut harness = DriftHarness::new(subscriptions, rebalance, 909);
+    let deadline = Instant::now() + Duration::from_millis(millis);
+    let start = Instant::now();
+    let mut updates_run = 0u64;
+    while Instant::now() < deadline {
+        harness.paired_update();
+        updates_run += 2;
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    harness.cost(rebalance, updates_run, updates_run as f64 / elapsed)
+}
+
+/// The shared setup behind every skewed-drift measurement — the CI drift
+/// phase above, the e13 rebalance table and the `drift_updates` Criterion
+/// group all drive this exact protocol, so a change to the policy constants
+/// or the drift convention cannot silently diverge between the bench, the
+/// experiment and the CI gate.
+///
+/// Construction bulk-builds a quantile-balanced 4-shard index over the
+/// [`Scenario::SkewedDrift`] workload, optionally arms the standard
+/// auto-rebalance policy (imbalance 1.5, min 256, checked every 256
+/// updates), jumps the generator's hot region half a domain, and replaces
+/// the whole population once — so by the time the caller starts timing
+/// [`paired_update`](DriftHarness::paired_update) calls, a frozen layout is
+/// already fully concentrated.
+#[derive(Debug)]
+pub struct DriftHarness {
+    workload: SubscriptionWorkload,
+    /// The drifted 4-shard index under measurement.
+    pub index: ShardedCoveringIndex,
+    retire: std::collections::VecDeque<acd_subscription::SubId>,
+}
+
+impl DriftHarness {
+    /// Builds the harness (see the type docs for the protocol).
+    pub fn new(subscriptions: usize, rebalance: bool, seed: u64) -> Self {
+        let config = Scenario::SkewedDrift.workload_config(seed);
+        let mut workload = SubscriptionWorkload::new(&config).unwrap();
+        let schema = workload.schema().clone();
+        let population = workload.take(subscriptions);
+        let index = ShardedCoveringIndex::build_from(
+            &schema,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            4,
+            &population,
+        )
+        .expect("drift index build");
+        if rebalance {
+            index
+                .set_rebalance_policy(Some(RebalancePolicy {
+                    max_imbalance: 1.5,
+                    min_len: 256,
+                    check_interval: 256,
+                }))
+                .expect("valid drift policy");
+        }
+        workload.set_center_offset(0.5);
+        let mut harness = DriftHarness {
+            workload,
+            index,
+            retire: population.iter().map(|s| s.id()).collect(),
+        };
+        for _ in 0..subscriptions {
+            harness.paired_update();
+        }
+        harness
+    }
+
+    /// One churn step: insert a fresh (drifted) subscription and remove the
+    /// oldest live one, keeping the population size constant.
+    pub fn paired_update(&mut self) {
+        let sub = self.workload.next_subscription();
+        self.retire.push_back(sub.id());
+        self.index.insert(&sub).expect("drift insert");
+        let old = self.retire.pop_front().expect("non-empty");
+        self.index.remove(old).expect("drift remove");
+    }
+
+    /// Packages the index's end state into a [`DriftCost`] row.
+    pub fn cost(
+        &self,
+        rebalance_enabled: bool,
+        updates_run: u64,
+        update_throughput_per_sec: f64,
+    ) -> DriftCost {
+        let stats = ShardedCoveringIndex::stats(&self.index);
+        DriftCost {
+            rebalance_enabled,
+            updates_run,
+            update_throughput_per_sec,
+            final_imbalance: self.index.imbalance(),
+            rebalances: stats.rebalances,
+            subscriptions_migrated: stats.subscriptions_migrated,
+        }
+    }
+}
+
+/// Measures the three covering-query dispatch strategies of a 4-shard
+/// bulk-built index at `subscriptions`, over `queries` query subscriptions.
+/// Returns the cost row plus the pool's worker count.
+pub fn run_parallel_dispatch(
+    subscriptions: usize,
+    queries: usize,
+) -> (ParallelDispatchCost, usize) {
+    let config = WorkloadConfig::builder()
+        .attributes(3)
+        .bits_per_attribute(10)
+        .seed(505)
+        .build()
+        .unwrap();
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let population = workload.take(subscriptions);
+    let query_subs = workload.take(queries.max(1));
+    let index = ShardedCoveringIndex::build_from(
+        &schema,
+        ApproxConfig::exhaustive(),
+        CurveKind::Z,
+        4,
+        &population,
+    )
+    .expect("dispatch index build");
+    // Warm the pool outside the measurement.
+    index
+        .find_covering_parallel(&query_subs[0])
+        .expect("pool warm-up");
+    let measure = |f: &dyn Fn(&acd_subscription::Subscription)| -> f64 {
+        let start = Instant::now();
+        for q in &query_subs {
+            f(q);
+        }
+        start.elapsed().as_secs_f64() * 1e6 / query_subs.len() as f64
+    };
+    let cost = ParallelDispatchCost {
+        subscriptions,
+        sequential_us: measure(&|q| {
+            std::hint::black_box(index.find_covering_ref(q).expect("sequential query"));
+        }),
+        scoped_us: measure(&|q| {
+            std::hint::black_box(index.find_covering_scoped(q).expect("scoped query"));
+        }),
+        pool_us: measure(&|q| {
+            std::hint::black_box(index.find_covering_parallel(q).expect("pool query"));
+        }),
+    };
+    (cost, index.pool_workers())
+}
+
 /// Runs the perf-smoke measurement: the e08 workload shape (3 attributes,
 /// 10 bits) at the given population size, against the linear baseline, the
 /// exact-SFC index (skip engine), the PR-1 eager engine (kept as the
@@ -367,6 +591,48 @@ pub fn run(
     let sharded_query_speedup = ratio(|c| c.query_throughput_per_sec);
     let sharded_update_speedup = ratio(|c| c.update_throughput_per_sec);
 
+    // Drift phase: frozen vs auto-rebalanced boundaries under the skewed
+    // drift stream (same wall-clock window as the churn phase).
+    let drift: Vec<DriftCost> = if churn_millis == 0 {
+        Vec::new()
+    } else {
+        [false, true]
+            .iter()
+            .map(|&rebalance| run_drift_churn(subscriptions, rebalance, churn_millis))
+            .collect()
+    };
+    let drift_rebalance_speedup = {
+        let frozen = drift
+            .iter()
+            .find(|d| !d.rebalance_enabled)
+            .map(|d| d.update_throughput_per_sec)
+            .unwrap_or(0.0);
+        let rebalanced = drift
+            .iter()
+            .find(|d| d.rebalance_enabled)
+            .map(|d| d.update_throughput_per_sec)
+            .unwrap_or(0.0);
+        if frozen > 0.0 {
+            rebalanced / frozen
+        } else {
+            0.0
+        }
+    };
+
+    // Dispatch phase: pool vs scoped threads, at a micro population (where
+    // spawn overhead dominates) and at the full one.
+    let mut parallel = Vec::new();
+    let mut pool_workers = 0usize;
+    let mut dispatch_sizes = vec![subscriptions.min(1_000)];
+    if subscriptions > 1_000 {
+        dispatch_sizes.push(subscriptions);
+    }
+    for n in dispatch_sizes {
+        let (cost, workers) = run_parallel_dispatch(n, queries.min(100));
+        pool_workers = workers;
+        parallel.push(cost);
+    }
+
     PerfSmokeReport {
         subscriptions,
         queries,
@@ -380,6 +646,10 @@ pub fn run(
         churn_millis,
         sharded_query_speedup,
         sharded_update_speedup,
+        drift,
+        drift_rebalance_speedup,
+        parallel,
+        pool_workers,
     }
 }
 
@@ -449,11 +719,128 @@ pub fn check_budget(report: &PerfSmokeReport, budget: &PerfBudget) -> Result<(),
             }
         }
     }
+    match report.drift.iter().find(|d| d.rebalance_enabled) {
+        None => violations.push("report has no rebalance-enabled drift measurement".to_string()),
+        Some(cost) => {
+            if cost.update_throughput_per_sec < budget.min_rebalanced_churn_update_throughput {
+                violations.push(format!(
+                    "rebalanced drift update throughput {:.0}/s below budget {:.0}/s",
+                    cost.update_throughput_per_sec, budget.min_rebalanced_churn_update_throughput
+                ));
+            }
+            if cost.final_imbalance > budget.max_imbalance_after_rebalance {
+                violations.push(format!(
+                    "imbalance after rebalance {:.2} exceeds budget {:.2}",
+                    cost.final_imbalance, budget.max_imbalance_after_rebalance
+                ));
+            }
+        }
+    }
     if violations.is_empty() {
         Ok(())
     } else {
         Err(violations)
     }
+}
+
+/// One row of the nightly perf-trend comparison.
+fn trend_metrics(report: &PerfSmokeReport) -> Vec<(&'static str, Option<f64>, bool)> {
+    // (label, value, lower_is_better)
+    let exact = report.policy("sfc-z-exhaustive");
+    let churn4 = report.churn.iter().find(|c| c.shards == 4);
+    let rebalanced = report.drift.iter().find(|d| d.rebalance_enabled);
+    let micro = report.parallel.first();
+    vec![
+        (
+            "exact-SFC mean query latency (us)",
+            exact.map(|c| c.mean_latency_us),
+            true,
+        ),
+        ("exact-SFC mean probes", exact.map(|c| c.mean_probes), true),
+        (
+            "exact-SFC insert throughput (/s)",
+            exact.map(|c| c.insert_throughput_per_sec),
+            false,
+        ),
+        (
+            "bulk-build speedup (x)",
+            Some(report.bulk_build_speedup),
+            false,
+        ),
+        (
+            "4-shard churn update throughput (/s)",
+            churn4.map(|c| c.update_throughput_per_sec),
+            false,
+        ),
+        (
+            "4-shard churn query throughput (/s)",
+            churn4.map(|c| c.query_throughput_per_sec),
+            false,
+        ),
+        (
+            "rebalanced drift update throughput (/s)",
+            rebalanced.map(|d| d.update_throughput_per_sec),
+            false,
+        ),
+        (
+            "imbalance after rebalance",
+            rebalanced.map(|d| d.final_imbalance),
+            true,
+        ),
+        (
+            "pool micro-query latency (us)",
+            micro.map(|p| p.pool_us),
+            true,
+        ),
+        (
+            "scoped micro-query latency (us)",
+            micro.map(|p| p.scoped_us),
+            true,
+        ),
+    ]
+}
+
+/// Renders a GitHub-flavoured markdown table comparing `current` against
+/// `previous` (the previous nightly run's report): one row per headline
+/// metric with the relative delta, a `+`/`-` sign and a direction marker
+/// (`⬆` improved, `⬇` regressed, `·` within ±2% noise). Used by the
+/// nightly workflow's job summary.
+pub fn trend_table(previous: &PerfSmokeReport, current: &PerfSmokeReport) -> String {
+    let prev = trend_metrics(previous);
+    let cur = trend_metrics(current);
+    let mut out = String::from("| metric | previous | current | delta |\n|---|---:|---:|---:|\n");
+    for ((label, prev_value, lower_is_better), (_, cur_value, _)) in prev.into_iter().zip(cur) {
+        let cell = |v: Option<f64>| match v {
+            Some(v) if v.abs() >= 1000.0 => format!("{v:.0}"),
+            Some(v) => format!("{v:.2}"),
+            None => "n/a".to_string(),
+        };
+        let delta = match (prev_value, cur_value) {
+            (Some(p), Some(c)) if p.abs() > 1e-12 => {
+                let pct = (c - p) / p * 100.0;
+                let improved = if lower_is_better {
+                    pct < 0.0
+                } else {
+                    pct > 0.0
+                };
+                let marker = if pct.abs() <= 2.0 {
+                    "·"
+                } else if improved {
+                    "⬆"
+                } else {
+                    "⬇"
+                };
+                format!("{pct:+.1}% {marker}")
+            }
+            _ => "n/a".to_string(),
+        };
+        out.push_str(&format!(
+            "| {label} | {} | {} | {delta} |\n",
+            cell(prev_value),
+            cell(cur_value)
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -481,6 +868,8 @@ mod tests {
             min_bulk_build_speedup: 0.0,
             min_churn_update_throughput: 0.0,
             min_sharded_query_speedup: 0.0,
+            min_rebalanced_churn_update_throughput: 0.0,
+            max_imbalance_after_rebalance: f64::INFINITY,
         };
         check_budget(&report, &budget).unwrap();
         // An impossible budget must trip every gate (the query-speedup gate
@@ -493,12 +882,14 @@ mod tests {
             min_bulk_build_speedup: f64::INFINITY,
             min_churn_update_throughput: f64::INFINITY,
             min_sharded_query_speedup: f64::INFINITY,
+            min_rebalanced_churn_update_throughput: f64::INFINITY,
+            max_imbalance_after_rebalance: 0.0,
         };
         let violations = check_budget(&report, &impossible).unwrap_err();
         let expected = if report.churn_query_workers >= 2 {
-            7
+            9
         } else {
-            6
+            8
         };
         assert_eq!(violations.len(), expected, "{violations:?}");
         // The bulk-build measurement must be populated and sane; the actual
@@ -516,6 +907,57 @@ mod tests {
         }
         assert!(report.sharded_query_speedup > 0.0);
         assert!(report.sharded_update_speedup > 0.0);
+        // The drift phase ran both variants; the rebalanced one actually
+        // migrated and ended the better balanced of the two.
+        assert_eq!(report.drift.len(), 2);
+        let frozen = report
+            .drift
+            .iter()
+            .find(|d| !d.rebalance_enabled)
+            .expect("frozen drift run");
+        let rebalanced = report
+            .drift
+            .iter()
+            .find(|d| d.rebalance_enabled)
+            .expect("rebalanced drift run");
+        assert_eq!(frozen.rebalances, 0);
+        assert!(rebalanced.rebalances > 0, "{rebalanced:?}");
+        assert!(rebalanced.subscriptions_migrated > 0);
+        assert!(rebalanced.final_imbalance <= frozen.final_imbalance);
+        assert!(report.drift_rebalance_speedup > 0.0);
+        // The dispatch phase measured real latencies and a live pool.
+        assert!(!report.parallel.is_empty());
+        for cost in &report.parallel {
+            assert!(cost.sequential_us > 0.0);
+            assert!(cost.scoped_us > 0.0);
+            assert!(cost.pool_us > 0.0);
+        }
+        assert!(report.pool_workers >= 1);
+    }
+
+    #[test]
+    fn trend_table_renders_deltas_for_every_metric() {
+        let previous = run(300, 10, false, 20);
+        let mut current = previous.clone();
+        // Perturb a few headline numbers so the table shows signed deltas.
+        if let Some(p) = current
+            .policies
+            .iter_mut()
+            .find(|p| p.name == "sfc-z-exhaustive")
+        {
+            p.mean_latency_us *= 2.0;
+            p.insert_throughput_per_sec *= 0.5;
+        }
+        let table = trend_table(&previous, &current);
+        assert!(table.starts_with("| metric |"));
+        assert!(table.contains("exact-SFC mean query latency"));
+        assert!(table.contains("rebalanced drift update throughput"));
+        assert!(table.contains("+100.0%"), "{table}");
+        assert!(table.contains("-50.0%"), "{table}");
+        // Unchanged metrics sit inside the noise band.
+        assert!(table.contains('·'), "{table}");
+        // Every metric row rendered.
+        assert_eq!(table.lines().count(), 2 + trend_metrics(&previous).len());
     }
 
     #[test]
@@ -530,10 +972,18 @@ mod tests {
             min_bulk_build_speedup: 0.0,
             min_churn_update_throughput: 0.0,
             min_sharded_query_speedup: 0.0,
+            min_rebalanced_churn_update_throughput: 0.0,
+            max_imbalance_after_rebalance: f64::INFINITY,
         };
         let violations = check_budget(&report, &budget).unwrap_err();
         assert!(
             violations.iter().any(|v| v.contains("churn")),
+            "{violations:?}"
+        );
+        // Skipping churn also skips drift, which is its own violation.
+        assert!(report.drift.is_empty());
+        assert!(
+            violations.iter().any(|v| v.contains("drift")),
             "{violations:?}"
         );
     }
@@ -546,7 +996,9 @@ mod tests {
                 "min_insert_throughput_exact_sfc": 50000.0,
                 "min_bulk_build_speedup": 2.0,
                 "min_churn_update_throughput": 5000.0,
-                "min_sharded_query_speedup": 1.5}"#,
+                "min_sharded_query_speedup": 1.5,
+                "min_rebalanced_churn_update_throughput": 8000.0,
+                "max_imbalance_after_rebalance": 2.5}"#,
         )
         .unwrap();
         assert_eq!(budget.max_mean_runs_probed_exact_sfc, 48.0);
@@ -556,5 +1008,7 @@ mod tests {
         assert_eq!(budget.min_bulk_build_speedup, 2.0);
         assert_eq!(budget.min_churn_update_throughput, 5000.0);
         assert_eq!(budget.min_sharded_query_speedup, 1.5);
+        assert_eq!(budget.min_rebalanced_churn_update_throughput, 8000.0);
+        assert_eq!(budget.max_imbalance_after_rebalance, 2.5);
     }
 }

@@ -1,0 +1,227 @@
+//! E13 — churn at system level: suppression and retraction traffic vs the
+//! churn rate, and online shard rebalancing under a drifting hot region.
+//!
+//! This experiment promotes the churn scenario from an end-to-end test into
+//! the harness, with three tables:
+//!
+//! 1. **Suppression vs churn rate** — the broker overlay driven by the
+//!    mixed subscribe/unsubscribe/publish stream at increasing unsubscribe
+//!    weights, per covering policy: how much subscription traffic covering
+//!    still suppresses once subscriptions churn, what the retraction
+//!    (unsubscription) traffic costs, and that the per-link suppressed
+//!    state stays bounded by the live population.
+//! 2. **Rebalancing under drift** — the skewed-drift workload against a
+//!    4-shard index with frozen boundaries vs one with the auto-rebalance
+//!    policy armed: update throughput and final imbalance once the hot
+//!    region has moved.
+//! 3. **Parallel query dispatch** — the sequential sweep, the per-call
+//!    scoped-thread fan-out and the persistent worker pool answering the
+//!    same covering queries, at a micro population (where spawn overhead
+//!    dominates) and at the full population.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use acd_broker::{BrokerNetwork, Topology};
+use acd_covering::{ApproxConfig, CoveringPolicy, ShardedCoveringIndex};
+use acd_sfc::CurveKind;
+use acd_workload::{ChurnConfig, ChurnOp, ChurnWorkload, Scenario, SubscriptionWorkload};
+
+use crate::ci::DriftHarness;
+use crate::table::{fmt_f64, Table};
+use crate::RunScale;
+
+/// Runs the experiment.
+pub fn run(scale: RunScale) -> Vec<Table> {
+    vec![
+        suppression_vs_churn_rate(scale),
+        rebalance_under_drift(scale),
+        parallel_dispatch(scale),
+    ]
+}
+
+/// Table 1: overlay traffic per (churn mix, covering policy).
+fn suppression_vs_churn_rate(scale: RunScale) -> Table {
+    // A 15-broker balanced binary tree regardless of scale: churn traffic
+    // shape is what the table shows; ops scale with the run.
+    let brokers = 15usize;
+    let ops = (scale.events * 20).clamp(400, 10_000);
+    let mixes: [(&str, u32, u32, u32); 3] = [
+        ("low (10% unsub)", 60, 10, 30),
+        ("balanced (35% unsub)", 45, 35, 20),
+        ("high (55% unsub)", 30, 55, 15),
+    ];
+    let policies = [
+        CoveringPolicy::None,
+        CoveringPolicy::ExactSfc,
+        CoveringPolicy::ShardedSfc { shards: 4 },
+    ];
+
+    let mut table = Table::new(
+        format!("E13a — suppression and retraction traffic vs churn rate ({brokers} brokers, {ops} ops, churn workload)"),
+        &[
+            "churn mix",
+            "policy",
+            "sub msgs",
+            "suppressed",
+            "suppression ratio",
+            "unsub msgs",
+            "suppressed entries",
+            "deliveries",
+        ],
+    );
+
+    for (label, sub_w, unsub_w, pub_w) in mixes {
+        for policy in policies {
+            let mut config = ChurnConfig::balanced(Scenario::Churn.workload_config(31));
+            config.subscribe_weight = sub_w;
+            config.unsubscribe_weight = unsub_w;
+            config.publish_weight = pub_w;
+            let mut churn = ChurnWorkload::new(&config).unwrap();
+            let schema = churn.schema().clone();
+            let topology = Topology::balanced_tree(2, 4).unwrap();
+            let brokers = topology.brokers();
+            let mut net = BrokerNetwork::new(topology, &schema, policy).unwrap();
+            let mut homes: HashMap<u64, usize> = HashMap::new();
+            let mut deliveries = 0u64;
+            for (i, op) in churn.take(ops).into_iter().enumerate() {
+                let at = i % brokers;
+                match op {
+                    ChurnOp::Subscribe(sub) => {
+                        homes.insert(sub.id(), at);
+                        net.subscribe(at, i as u64, &sub).unwrap();
+                    }
+                    ChurnOp::Unsubscribe(id) => {
+                        let home = homes.remove(&id).expect("registered earlier");
+                        net.unsubscribe(home, id).unwrap();
+                    }
+                    ChurnOp::Publish(event) => {
+                        deliveries += net.publish(at, &event).unwrap().len() as u64;
+                    }
+                }
+            }
+            let metrics = net.metrics();
+            let offered = metrics.subscription_messages + metrics.subscriptions_suppressed;
+            let ratio = if offered == 0 {
+                0.0
+            } else {
+                metrics.subscriptions_suppressed as f64 / offered as f64
+            };
+            let suppressed_entries: usize = (0..brokers)
+                .map(|b| net.broker(b).unwrap().suppressed_entries())
+                .sum();
+            table.add_row(vec![
+                label.to_string(),
+                policy.label(),
+                metrics.subscription_messages.to_string(),
+                metrics.subscriptions_suppressed.to_string(),
+                fmt_f64(ratio),
+                metrics.unsubscription_messages.to_string(),
+                suppressed_entries.to_string(),
+                deliveries.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Table 2: frozen vs auto-rebalanced 4-shard index under the skewed-drift
+/// churn stream.
+fn rebalance_under_drift(scale: RunScale) -> Table {
+    let n = scale.subscriptions.clamp(600, 6_000);
+    let mut table = Table::new(
+        format!("E13b — online rebalancing under a drifting hot region (4 shards, n = {n}, skewed-drift workload)"),
+        &[
+            "variant",
+            "updates",
+            "time (ms)",
+            "updates/s",
+            "final imbalance",
+            "rebalances",
+            "moved",
+        ],
+    );
+    for (label, rebalance) in [("frozen boundaries", false), ("auto-rebalance", true)] {
+        // DriftHarness replaces the population once untimed, so the frozen
+        // variant measures its fully concentrated steady state.
+        let mut harness = DriftHarness::new(n, rebalance, 77);
+        let start = Instant::now();
+        let mut updates = 0u64;
+        for _ in 0..2 * n {
+            harness.paired_update();
+            updates += 2;
+        }
+        let elapsed = start.elapsed();
+        let cost = harness.cost(
+            rebalance,
+            updates,
+            updates as f64 / elapsed.as_secs_f64().max(1e-9),
+        );
+        table.add_row(vec![
+            label.to_string(),
+            updates.to_string(),
+            fmt_f64(elapsed.as_secs_f64() * 1e3),
+            fmt_f64(cost.update_throughput_per_sec),
+            fmt_f64(cost.final_imbalance),
+            cost.rebalances.to_string(),
+            cost.subscriptions_migrated.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Table 3: covering-query latency through the three dispatch strategies.
+fn parallel_dispatch(scale: RunScale) -> Table {
+    let queries = scale.queries.clamp(40, 400);
+    let mut table = Table::new(
+        format!(
+            "E13c — parallel dispatch: sequential vs scoped threads vs worker pool (4 shards, {queries} queries)"
+        ),
+        &["population", "strategy", "mean latency (us)", "hits"],
+    );
+    for n in [1_000usize, scale.subscriptions.clamp(2_000, 20_000)] {
+        let config = Scenario::UniformBaseline.workload_config(55);
+        let mut workload = SubscriptionWorkload::new(&config).unwrap();
+        let schema = workload.schema().clone();
+        let population = workload.take(n);
+        let query_subs = workload.take(queries);
+        let index = ShardedCoveringIndex::build_from(
+            &schema,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            4,
+            &population,
+        )
+        .unwrap();
+        // Warm the pool outside the measurement.
+        index.find_covering_parallel(&query_subs[0]).unwrap();
+
+        type Strategy = fn(&ShardedCoveringIndex, &acd_subscription::Subscription) -> bool;
+        let strategies: [(&str, Strategy); 3] = [
+            ("sequential sweep", |idx, q| {
+                idx.find_covering_ref(q).unwrap().is_covered()
+            }),
+            ("scoped threads", |idx, q| {
+                idx.find_covering_scoped(q).unwrap().is_covered()
+            }),
+            ("worker pool", |idx, q| {
+                idx.find_covering_parallel(q).unwrap().is_covered()
+            }),
+        ];
+        for (label, strategy) in strategies {
+            let start = Instant::now();
+            let mut hits = 0usize;
+            for q in &query_subs {
+                hits += usize::from(strategy(&index, q));
+            }
+            let elapsed = start.elapsed();
+            table.add_row(vec![
+                n.to_string(),
+                label.to_string(),
+                fmt_f64(elapsed.as_secs_f64() * 1e6 / query_subs.len() as f64),
+                hits.to_string(),
+            ]);
+        }
+    }
+    table
+}

@@ -18,6 +18,7 @@ pub mod e09_aspect_ratio;
 pub mod e10_volume_guarantee;
 pub mod e11_work_cap;
 pub mod e12_curves;
+pub mod e13_churn;
 
 use crate::{RunScale, Table};
 
@@ -81,6 +82,10 @@ pub fn catalog() -> Vec<ExperimentInfo> {
             id: "e12",
             description: "Curve interchangeability: Z vs Hilbert vs Gray through the index",
         },
+        ExperimentInfo {
+            id: "e13",
+            description: "Churn: suppression/retraction traffic and online shard rebalancing",
+        },
     ]
 }
 
@@ -104,6 +109,7 @@ pub fn run(id: &str, scale: RunScale) -> Vec<Table> {
         "e10" => e10_volume_guarantee::run(),
         "e11" => e11_work_cap::run(scale),
         "e12" => e12_curves::run(scale),
+        "e13" => e13_churn::run(scale),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -127,7 +133,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len());
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 13);
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub struct Broker {
     /// arrival order) so that removing the covering subscription can
     /// re-advertise exactly the ones it was masking.
     suppressed: HashMap<BrokerId, Vec<Subscription>>,
+    /// Identifiers currently in each link's suppressed list, mirrored so
+    /// the dedup check on suppression is O(1) instead of a list scan.
+    suppressed_ids: HashMap<BrokerId, HashSet<SubId>>,
 }
 
 impl Broker {
@@ -85,6 +88,7 @@ impl Broker {
             sent_counts,
             sent_ids: neighbors.iter().map(|&n| (n, HashSet::new())).collect(),
             suppressed: neighbors.iter().map(|&n| (n, Vec::new())).collect(),
+            suppressed_ids: neighbors.iter().map(|&n| (n, HashSet::new())).collect(),
         })
     }
 
@@ -172,10 +176,21 @@ impl Broker {
                 .expect("interface exists")
                 .insert(subscription.id());
         } else {
-            self.suppressed
+            // Covered chains can re-suppress a subscription that is already
+            // recorded (e.g. a retraction's re-advertisement masked by
+            // another still-sent cover); keep one entry per identifier so
+            // the list is bounded by the live suppressed population.
+            if self
+                .suppressed_ids
                 .get_mut(&neighbor)
                 .expect("interface exists")
-                .push(subscription.clone());
+                .insert(subscription.id())
+            {
+                self.suppressed
+                    .get_mut(&neighbor)
+                    .expect("interface exists")
+                    .push(subscription.clone());
+            }
         }
         Ok(decision)
     }
@@ -213,8 +228,36 @@ impl Broker {
     /// when the unsubscribed subscription itself never made it onto the
     /// link).
     pub fn drop_suppressed(&mut self, neighbor: BrokerId, id: SubId) {
-        if let Some(list) = self.suppressed.get_mut(&neighbor) {
-            list.retain(|s| s.id() != id);
+        if let Some(ids) = self.suppressed_ids.get_mut(&neighbor) {
+            if ids.remove(&id) {
+                self.suppressed
+                    .get_mut(&neighbor)
+                    .expect("lists and id sets cover the same links")
+                    .retain(|s| s.id() != id);
+            }
+        }
+    }
+
+    /// Total suppressed entries across every link (diagnostics: under a
+    /// compacted broker this is bounded by the live suppressed population,
+    /// not by the churn history).
+    pub fn suppressed_entries(&self) -> usize {
+        self.suppressed.values().map(|v| v.len()).sum()
+    }
+
+    /// Compacts every link's suppressed list: drops entries whose
+    /// subscription is no longer live (its unsubscription retired it) and
+    /// collapses duplicate identifiers left by covered chains. Called by
+    /// the network on the unsubscribe path so suppressed state tracks the
+    /// live population instead of the churn history.
+    pub fn compact_suppressed(&mut self, live: &HashSet<SubId>) {
+        for (neighbor, list) in &mut self.suppressed {
+            let ids = self
+                .suppressed_ids
+                .get_mut(neighbor)
+                .expect("lists and id sets cover the same links");
+            ids.clear();
+            list.retain(|s| live.contains(&s.id()) && ids.insert(s.id()));
         }
     }
 
@@ -254,10 +297,15 @@ impl Broker {
             .suppressed
             .get_mut(&neighbor)
             .expect("interface exists");
+        let ids = self
+            .suppressed_ids
+            .get_mut(&neighbor)
+            .expect("lists and id sets cover the same links");
         let mut candidates = Vec::new();
         let mut kept = Vec::with_capacity(list.len());
         for sub in list.drain(..) {
             if removed.covers(&sub) {
+                ids.remove(&sub.id());
                 candidates.push(sub);
             } else {
                 kept.push(sub);

@@ -218,6 +218,12 @@ impl BrokerNetwork {
                     self.brokers[broker_id].drop_suppressed(neighbor, id);
                 }
             }
+            // Compact the visited broker's suppressed state: retire entries
+            // whose subscription has been unsubscribed and collapse
+            // duplicate chain entries, so the per-link lists stay bounded by
+            // the live population under arbitrarily long churn histories.
+            let live = &self.registered_ids;
+            self.brokers[broker_id].compact_suppressed(live);
         }
         Ok(())
     }
@@ -459,6 +465,69 @@ mod tests {
             .contains(&(0, 1)));
         assert!(net.unsubscribe(9, 1).is_err());
         net.unsubscribe(0, 1).unwrap();
+    }
+
+    #[test]
+    fn suppressed_sets_stay_bounded_under_long_churn_histories() {
+        // A long alternating churn history on a line overlay: every round
+        // registers one wide cover and a few narrow subscriptions it masks,
+        // then retires the whole round. Without compaction the per-link
+        // suppressed lists accumulate one clone per *historical* suppression;
+        // with it they must stay bounded by the live population at every
+        // step (and empty at quiescence).
+        let s = schema();
+        let mut net =
+            BrokerNetwork::new(Topology::line(4).unwrap(), &s, CoveringPolicy::ExactSfc).unwrap();
+        let total_links = 2 * (net.topology().brokers() - 1);
+        let mut live = 0usize;
+        let mut next_id: SubId = 1;
+        for round in 0..60 {
+            let wide_id = next_id;
+            net.subscribe(0, 10, &sub(&s, wide_id, (0.0, 100.0), (0.0, 100.0)))
+                .unwrap();
+            let narrow_ids: Vec<SubId> = (0..3)
+                .map(|k| {
+                    let id = next_id + 1 + k;
+                    let lo = 10.0 + (round % 5) as f64 * 10.0 + k as f64;
+                    net.subscribe(0, 11, &sub(&s, id, (lo, lo + 5.0), (lo, lo + 5.0)))
+                        .unwrap();
+                    id
+                })
+                .collect();
+            next_id += 4;
+            live += 4;
+
+            let bound = |net: &BrokerNetwork, live: usize| {
+                let entries: usize = (0..net.topology().brokers())
+                    .map(|b| net.broker(b).unwrap().suppressed_entries())
+                    .sum();
+                // Each live subscription can sit suppressed on at most one
+                // side of every link.
+                assert!(
+                    entries <= live * total_links,
+                    "round {round}: {entries} suppressed entries for {live} live subs"
+                );
+                entries
+            };
+            bound(&net, live);
+
+            // Retire the round in cover-first order, which exercises the
+            // re-advertise + re-suppress chain every time.
+            net.unsubscribe(0, wide_id).unwrap();
+            live -= 1;
+            bound(&net, live);
+            for id in narrow_ids {
+                net.unsubscribe(0, id).unwrap();
+                live -= 1;
+            }
+            bound(&net, live);
+        }
+        // Quiescence: nothing live, nothing suppressed, nothing routed.
+        let entries: usize = (0..net.topology().brokers())
+            .map(|b| net.broker(b).unwrap().suppressed_entries())
+            .sum();
+        assert_eq!(entries, 0, "suppressed state leaked churn history");
+        assert_eq!(net.metrics().routing_table_entries, 0);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub enum CoveringError {
         /// The offending identifier.
         id: u64,
     },
+    /// A rebalance or pool policy has unusable parameters.
+    InvalidPolicy {
+        /// What is wrong with the policy.
+        reason: String,
+    },
     /// An error bubbled up from the subscription data model.
     Subscription(SubscriptionError),
     /// An error bubbled up from the space-filling-curve substrate.
@@ -57,6 +62,9 @@ impl fmt::Display for CoveringError {
             }
             CoveringError::DuplicateSubscription { id } => {
                 write!(f, "subscription {id} is already in the index")
+            }
+            CoveringError::InvalidPolicy { reason } => {
+                write!(f, "invalid policy: {reason}")
             }
             CoveringError::Subscription(e) => write!(f, "subscription error: {e}"),
             CoveringError::Sfc(e) => write!(f, "space filling curve error: {e}"),

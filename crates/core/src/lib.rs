@@ -68,6 +68,8 @@ mod error;
 pub mod index;
 pub mod linear;
 pub mod policy;
+pub mod pool;
+pub mod rebalance;
 pub mod sfc_index;
 pub mod sharded;
 pub mod stats;
@@ -77,7 +79,9 @@ pub use dominance::PointDominanceIndex;
 pub use error::CoveringError;
 pub use index::CoveringIndex;
 pub use linear::LinearScanIndex;
-pub use policy::CoveringPolicy;
+pub use policy::{CoveringPolicy, PoolPolicy, RebalancePolicy};
+pub use pool::QueryPool;
+pub use rebalance::RebalanceOutcome;
 pub use sfc_index::SfcCoveringIndex;
 pub use sharded::ShardedCoveringIndex;
 pub use stats::{IndexStats, QueryOutcome, QueryStats};

@@ -41,6 +41,80 @@ pub enum CoveringPolicy {
     },
 }
 
+/// When a [`ShardedCoveringIndex`] re-cuts its shard boundaries.
+///
+/// The trigger is the imbalance factor reported by
+/// [`crate::rebalance::imbalance_of`] over `shard_lens()`: the largest
+/// shard's length over the ideal per-shard length. A pass is only attempted
+/// once the population reaches `min_len` (rebalancing a few hundred
+/// subscriptions buys nothing), and in auto mode
+/// ([`ShardedCoveringIndex::set_rebalance_policy`]) the trigger is evaluated
+/// every `check_interval` updates rather than on every insert.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebalancePolicy {
+    /// Rebalance when the imbalance factor exceeds this (must be ≥ 1).
+    pub max_imbalance: f64,
+    /// Do nothing while the population is smaller than this.
+    pub min_len: usize,
+    /// Auto mode checks the trigger every this many updates (must be ≥ 1).
+    pub check_interval: u64,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            max_imbalance: 1.5,
+            min_len: 256,
+            check_interval: 1024,
+        }
+    }
+}
+
+impl RebalancePolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoveringError::InvalidPolicy`] if `max_imbalance`
+    /// is below 1 (or not finite) or `check_interval` is zero.
+    pub fn validate(&self) -> Result<()> {
+        if !self.max_imbalance.is_finite() || self.max_imbalance < 1.0 {
+            return Err(crate::CoveringError::InvalidPolicy {
+                reason: format!(
+                    "max_imbalance must be a finite value >= 1, got {}",
+                    self.max_imbalance
+                ),
+            });
+        }
+        if self.check_interval == 0 {
+            return Err(crate::CoveringError::InvalidPolicy {
+                reason: "check_interval must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Sizing of the persistent worker pool behind
+/// [`ShardedCoveringIndex::find_covering_parallel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolPolicy {
+    /// Worker threads; `0` (the default) sizes the pool to the machine
+    /// ([`crate::pool::default_workers`]).
+    pub workers: usize,
+}
+
+impl PoolPolicy {
+    /// The concrete worker count this policy resolves to.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            crate::pool::default_workers()
+        } else {
+            self.workers
+        }
+    }
+}
+
 impl CoveringPolicy {
     /// Whether the policy performs any covering detection at all.
     pub fn detects_covering(&self) -> bool {
@@ -150,6 +224,33 @@ mod tests {
             let outcome = idx.find_covering(&narrow).unwrap();
             assert_eq!(outcome.covering, Some(1), "policy {}", policy.label());
         }
+    }
+
+    #[test]
+    fn rebalance_policy_validation() {
+        assert!(RebalancePolicy::default().validate().is_ok());
+        for bad in [
+            RebalancePolicy {
+                max_imbalance: 0.9,
+                ..Default::default()
+            },
+            RebalancePolicy {
+                max_imbalance: f64::NAN,
+                ..Default::default()
+            },
+            RebalancePolicy {
+                check_interval: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn pool_policy_resolves_workers() {
+        assert!(PoolPolicy::default().resolved_workers() >= 1);
+        assert_eq!(PoolPolicy { workers: 3 }.resolved_workers(), 3);
     }
 
     #[test]

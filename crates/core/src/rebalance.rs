@@ -1,0 +1,164 @@
+//! Shard-boundary rebalancing arithmetic.
+//!
+//! [`ShardedCoveringIndex`](crate::ShardedCoveringIndex) partitions the
+//! dominance-key line into contiguous shard ranges. Boundaries are chosen
+//! once — uniformly for an empty index, from population quantiles for a bulk
+//! build — and a sustained skewed churn stream (new subscriptions clustering
+//! in a drifting hot region) slowly concentrates the population into one
+//! shard, eroding both the lock-level concurrency win and the algorithmic
+//! win of small per-shard staging merges.
+//!
+//! This module holds the pure arithmetic of the cure: quantile boundary
+//! cuts, the imbalance metric that triggers them, and the
+//! [`RebalanceOutcome`] report. The locking choreography (the brief global
+//! write pause) lives in [`crate::sharded`]; keeping the arithmetic here
+//! makes it unit-testable without threads.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of one boundary-migration pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceOutcome {
+    /// Subscriptions whose owning shard changed.
+    pub moved: usize,
+    /// Shards whose contents were rebuilt (gained or lost at least one
+    /// subscription).
+    pub shards_rebuilt: usize,
+    /// Imbalance factor before the pass (see [`imbalance_of`]).
+    pub imbalance_before: f64,
+    /// Imbalance factor after the pass.
+    pub imbalance_after: f64,
+    /// Per-shard subscription counts before the pass.
+    pub lens_before: Vec<usize>,
+    /// Per-shard subscription counts after the pass.
+    pub lens_after: Vec<usize>,
+}
+
+impl RebalanceOutcome {
+    /// Whether the pass changed anything at all.
+    pub fn changed(&self) -> bool {
+        self.moved > 0
+    }
+}
+
+/// The imbalance factor of a shard population: the largest shard's length
+/// over the ideal per-shard length (`total / shards`). `1.0` is a perfect
+/// split; `shards as f64` means everything sits in one shard. Empty
+/// populations report `1.0` (nothing to balance).
+pub fn imbalance_of(lens: &[usize]) -> f64 {
+    let total: usize = lens.iter().sum();
+    if total == 0 || lens.is_empty() {
+        return 1.0;
+    }
+    let max = *lens.iter().max().expect("non-empty") as f64;
+    max * lens.len() as f64 / total as f64
+}
+
+/// Quantile shard boundaries over a population of key prefixes: shard `i`
+/// starts at the prefix of rank `i·n / shards`, with shard 0 pinned to 0 so
+/// every prefix has a home. `prefixes` is sorted in place. Duplicated
+/// prefixes can produce equal neighbouring starts (the earlier shard stays
+/// empty) — with 64-bit prefixes that effectively never happens for real
+/// populations.
+pub fn quantile_starts(prefixes: &mut [u64], shards: usize) -> Vec<u64> {
+    prefixes.sort_unstable();
+    let mut starts = Vec::with_capacity(shards);
+    starts.push(0u64);
+    for i in 1..shards {
+        let rank = (i * prefixes.len()) / shards;
+        starts.push(prefixes.get(rank).copied().unwrap_or(u64::MAX));
+    }
+    starts
+}
+
+/// The shard whose key range contains `prefix` under the given boundary
+/// set (`starts[0] == 0`, non-decreasing; the last shard is unbounded
+/// above).
+pub fn shard_of_prefix(starts: &[u64], prefix: u64) -> usize {
+    // `starts[0] == 0`, so the partition point is at least 1.
+    starts.partition_point(|&s| s <= prefix) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_edge_cases_and_shapes() {
+        assert_eq!(imbalance_of(&[]), 1.0);
+        assert_eq!(imbalance_of(&[0, 0, 0]), 1.0);
+        assert_eq!(imbalance_of(&[25, 25, 25, 25]), 1.0);
+        assert_eq!(imbalance_of(&[100, 0, 0, 0]), 4.0);
+        let skewed = imbalance_of(&[70, 10, 10, 10]);
+        assert!((skewed - 2.8).abs() < 1e-12, "{skewed}");
+    }
+
+    #[test]
+    fn quantile_starts_split_a_uniform_population_evenly() {
+        let mut prefixes: Vec<u64> = (0..1000).map(|i| i * 1000).collect();
+        let starts = quantile_starts(&mut prefixes, 4);
+        assert_eq!(starts.len(), 4);
+        assert_eq!(starts[0], 0);
+        // Re-partitioning under the computed boundaries is balanced.
+        let mut lens = [0usize; 4];
+        for &p in &prefixes {
+            lens[shard_of_prefix(&starts, p)] += 1;
+        }
+        assert!(imbalance_of(&lens) < 1.05, "{lens:?}");
+    }
+
+    #[test]
+    fn quantile_starts_rebalance_a_concentrated_population() {
+        // Everything in the top 1% of the key line: uniform boundaries give
+        // imbalance = shards, quantile boundaries restore ~1.
+        let mut prefixes: Vec<u64> = (0..800u64)
+            .map(|i| u64::MAX - 1_000_000 + i * 1000)
+            .collect();
+        let starts = quantile_starts(&mut prefixes, 4);
+        let mut lens = [0usize; 4];
+        for &p in &prefixes {
+            lens[shard_of_prefix(&starts, p)] += 1;
+        }
+        assert!(imbalance_of(&lens) < 1.05, "{lens:?}");
+    }
+
+    #[test]
+    fn quantile_starts_on_empty_and_tiny_populations() {
+        let starts = quantile_starts(&mut [], 3);
+        assert_eq!(starts, vec![0, u64::MAX, u64::MAX]);
+        let starts = quantile_starts(&mut [42], 2);
+        assert_eq!(starts[0], 0);
+        assert_eq!(shard_of_prefix(&starts, 42), 1);
+    }
+
+    #[test]
+    fn shard_of_prefix_respects_half_open_ranges() {
+        let starts = [0u64, 100, 100, 200];
+        assert_eq!(shard_of_prefix(&starts, 0), 0);
+        assert_eq!(shard_of_prefix(&starts, 99), 0);
+        // Equal neighbours: the later shard wins, the earlier stays empty.
+        assert_eq!(shard_of_prefix(&starts, 100), 2);
+        assert_eq!(shard_of_prefix(&starts, 199), 2);
+        assert_eq!(shard_of_prefix(&starts, 200), 3);
+        assert_eq!(shard_of_prefix(&starts, u64::MAX), 3);
+    }
+
+    #[test]
+    fn outcome_changed_reflects_moves() {
+        let outcome = RebalanceOutcome {
+            moved: 0,
+            shards_rebuilt: 0,
+            imbalance_before: 1.0,
+            imbalance_after: 1.0,
+            lens_before: vec![1, 1],
+            lens_after: vec![1, 1],
+        };
+        assert!(!outcome.changed());
+        assert!(RebalanceOutcome {
+            moved: 3,
+            shards_rebuilt: 2,
+            ..outcome
+        }
+        .changed());
+    }
+}

@@ -299,6 +299,21 @@ impl SfcCoveringIndex {
         self.subscriptions.get(&id)
     }
 
+    /// Iterates over every stored subscription, in unspecified order (used
+    /// by the sharded index to gather shard contents for a boundary
+    /// migration; cloning the items is cheap — payloads are `Arc`-shared).
+    pub fn subscriptions(&self) -> impl Iterator<Item = &Subscription> + '_ {
+        self.subscriptions.values()
+    }
+
+    /// Zeroes the accumulated statistics. Used by the sharded index after a
+    /// boundary migration rebuilds a shard: the rebuilt shard's synthetic
+    /// bulk-build counters are absorbed into the sharded-level totals
+    /// instead, so migration never changes what `stats()` reports.
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = IndexStats::default();
+    }
+
     fn check_schema(&self, subscription: &Subscription) -> Result<()> {
         if subscription.schema() != &self.schema {
             return Err(CoveringError::SchemaMismatch);

@@ -1,4 +1,4 @@
-//! A sharded, concurrently readable covering index.
+//! A sharded, concurrently readable covering index with online rebalancing.
 //!
 //! [`ShardedCoveringIndex`] partitions subscriptions across N shards by
 //! *SFC key range*: shard `i` owns a contiguous slice of the dominance-space
@@ -24,14 +24,45 @@
 //! The reverse (covered-by) query prunes the opposite suffix: subscriptions
 //! a query covers have keys at or before `key(q)`.
 //!
+//! # Boundaries, drift and rebalancing
+//!
 //! Shard boundaries are uniform slices of the key space by default;
 //! [`ShardedCoveringIndex::build_from`] instead picks boundaries from the
 //! population's key *quantiles* so bulk-built shards start balanced even
-//! under skewed (e.g. Zipf) workloads.
+//! under skewed (e.g. Zipf) workloads. Boundaries are no longer frozen
+//! after construction: sustained skewed churn (a drifting hot region)
+//! concentrates new subscriptions into one shard, and
+//! [`rebalance`](ShardedCoveringIndex::rebalance) re-cuts the boundaries to
+//! the *current* population's quantiles, migrating subscriptions between
+//! shards under a brief global write pause. The pause is implemented with a
+//! single readers-writer lock over the boundary vector: every index
+//! operation holds it for read (cheap, shared), a migration takes it for
+//! write, so a reader either sees the entire old layout or the entire new
+//! one — never a torn mixture. [`maybe_rebalance`] gates the pass on a
+//! [`RebalancePolicy`], and [`set_rebalance_policy`] arms an automatic
+//! check every `check_interval` updates.
+//!
+//! # The parallel query path
+//!
+//! [`find_covering_parallel`](ShardedCoveringIndex::find_covering_parallel)
+//! fans the candidate shards out over a persistent
+//! [`QueryPool`] — long-lived worker threads fed by
+//! a channel — created lazily on the first parallel query and sized by
+//! [`PoolPolicy`]. The pool replaces the scoped-thread-per-call fan-out of
+//! earlier revisions (kept as
+//! [`find_covering_scoped`](ShardedCoveringIndex::find_covering_scoped) for
+//! comparison): dispatching to a live worker costs well under a
+//! microsecond, so the parallel path pays off even for micro-queries where
+//! a thread spawn used to cost more than the whole query.
+//!
+//! [`maybe_rebalance`]: ShardedCoveringIndex::maybe_rebalance
+//! [`set_rebalance_policy`]: ShardedCoveringIndex::set_rebalance_policy
+//! [`QueryPool`]: crate::pool::QueryPool
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock};
 
 use acd_sfc::{CurveKind, Key, SpaceFillingCurve};
 use acd_subscription::{dominance_point, dominance_universe, Schema, SubId, Subscription};
@@ -39,6 +70,9 @@ use acd_subscription::{dominance_point, dominance_universe, Schema, SubId, Subsc
 use crate::config::ApproxConfig;
 use crate::error::CoveringError;
 use crate::index::CoveringIndex;
+use crate::policy::{PoolPolicy, RebalancePolicy};
+use crate::pool::QueryPool;
+use crate::rebalance::{imbalance_of, quantile_starts, shard_of_prefix, RebalanceOutcome};
 use crate::sfc_index::SfcCoveringIndex;
 use crate::stats::{IndexStats, QueryOutcome, QueryStats};
 use crate::Result;
@@ -76,7 +110,8 @@ fn key_prefix(key: &Key) -> u64 {
 
 /// A sharded covering index: key-range partitioned [`SfcCoveringIndex`]
 /// shards behind per-shard read/write locks, with shard pruning for
-/// dominance queries (see the [module docs](self)).
+/// dominance queries, online boundary rebalancing and a persistent parallel
+/// query pool (see the [module docs](self)).
 ///
 /// All operations take `&self`; interior locking makes the index safe to
 /// share across threads (`&ShardedCoveringIndex` is `Send + Sync`). It also
@@ -121,15 +156,67 @@ pub struct ShardedCoveringIndex {
     /// Shard `i` owns prefixes in `starts[i] .. starts[i + 1]` (the last
     /// shard is unbounded above). `starts[0] == 0`; entries are
     /// non-decreasing (equal neighbours leave the earlier shard empty).
-    starts: Vec<u64>,
-    shards: Vec<RwLock<SfcCoveringIndex>>,
+    ///
+    /// The `RwLock` is the global-pause rendezvous: every index operation
+    /// that routes by boundary or walks the shards holds it for read, a
+    /// boundary migration holds it for write. Lock order is `starts` →
+    /// `registry` → shard locks (ascending) → `stats`; every code path
+    /// acquires a subset of that chain in that order.
+    starts: RwLock<Vec<u64>>,
+    /// The shard array itself never changes length; the `Arc` lets pool
+    /// workers (which need `'static` jobs) share it without borrowing
+    /// `self`.
+    shards: Arc<Vec<RwLock<SfcCoveringIndex>>>,
     /// Which shard holds each stored identifier. The single writer-side
     /// rendezvous point: readers (covering queries) never touch it.
     registry: Mutex<HashMap<SubId, u32>>,
     /// Query statistics aggregated at the sharded level (shards record only
     /// their own insert/remove counters; queries go through the read-only
-    /// shard path).
+    /// shard path). Migrations also fold retired shards' counters in here,
+    /// so rebalancing never changes what [`stats`](Self::stats) reports.
     stats: Mutex<IndexStats>,
+    /// Auto-rebalance policy; `None` leaves rebalancing to explicit calls.
+    rebalance_policy: RwLock<Option<RebalancePolicy>>,
+    /// Updates since construction, counted only while a policy is armed
+    /// (drives the `check_interval` trigger).
+    ops_since_check: AtomicU64,
+    /// The persistent parallel-query pool, created on first use.
+    pool: OnceLock<QueryPool>,
+    /// Sizing for the pool; `committed` flips (under the same lock) the
+    /// moment pool creation reads the policy, so a concurrent
+    /// [`set_pool_policy`](Self::set_pool_policy) can never report success
+    /// for a policy the pool did not use.
+    pool_policy: Mutex<PoolPolicyState>,
+}
+
+/// See [`ShardedCoveringIndex::set_pool_policy`].
+#[derive(Debug, Default)]
+struct PoolPolicyState {
+    policy: PoolPolicy,
+    committed: bool,
+}
+
+/// Merges per-shard covering outcomes in ascending shard order: counters
+/// sum ([`QueryStats::absorb`]), and the hit from the lowest-keyed shard
+/// wins, so every fan-out strategy returns exactly the sequential sweep's
+/// answer.
+fn merge_outcomes<I>(results: I) -> Result<QueryOutcome>
+where
+    I: IntoIterator<Item = Result<QueryOutcome>>,
+{
+    let mut merged = QueryStats::default();
+    let mut hit = None;
+    for result in results {
+        let outcome = result?;
+        merged.absorb(&outcome.stats);
+        if hit.is_none() {
+            hit = outcome.covering;
+        }
+    }
+    Ok(match hit {
+        Some(id) => QueryOutcome::found(id, merged),
+        None => QueryOutcome::empty(merged),
+    })
 }
 
 impl fmt::Debug for ShardedCoveringIndex {
@@ -197,23 +284,16 @@ impl ShardedCoveringIndex {
             keyed.push((key_prefix(&key), sub));
         }
 
-        // Quantile boundaries: rank i·n/N starts shard i. The first shard
-        // always starts at 0 so every prefix has a home.
         let mut prefixes: Vec<u64> = keyed.iter().map(|&(p, _)| p).collect();
-        prefixes.sort_unstable();
-        let mut starts = Vec::with_capacity(shards);
-        starts.push(0u64);
-        for i in 1..shards {
-            let rank = (i * prefixes.len()) / shards;
-            starts.push(prefixes.get(rank).copied().unwrap_or(u64::MAX));
-        }
+        let starts = quantile_starts(&mut prefixes, shards);
 
-        let index = Self::with_boundaries(schema, config, curve, starts)?;
         let mut partitions: Vec<Vec<&Subscription>> = vec![Vec::new(); shards];
+        let index = Self::with_boundaries(schema, config, curve, starts)?;
         {
+            let starts = index.starts.read().unwrap_or_else(|e| e.into_inner());
             let mut registry = index.registry.lock().unwrap_or_else(|e| e.into_inner());
             for (prefix, sub) in keyed {
-                let shard = index.shard_of_prefix(prefix);
+                let shard = shard_of_prefix(&starts, prefix);
                 if registry.insert(sub.id(), shard as u32).is_some() {
                     return Err(CoveringError::DuplicateSubscription { id: sub.id() });
                 }
@@ -250,10 +330,14 @@ impl ShardedCoveringIndex {
             config,
             curve,
             keyer: curve.build(universe),
-            starts,
-            shards,
+            starts: RwLock::new(starts),
+            shards: Arc::new(shards),
             registry: Mutex::new(HashMap::new()),
             stats: Mutex::new(IndexStats::default()),
+            rebalance_policy: RwLock::new(None),
+            ops_since_check: AtomicU64::new(0),
+            pool: OnceLock::new(),
+            pool_policy: Mutex::new(PoolPolicyState::default()),
         })
     }
 
@@ -292,12 +376,29 @@ impl ShardedCoveringIndex {
     }
 
     /// Number of stored subscriptions per shard (diagnostics / balance
-    /// inspection).
+    /// inspection; the trigger input of [`maybe_rebalance`](Self::maybe_rebalance)).
     pub fn shard_lens(&self) -> Vec<usize> {
+        let _layout = self.starts.read().unwrap_or_else(|e| e.into_inner());
         self.shards
             .iter()
             .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
             .collect()
+    }
+
+    /// The current shard boundaries (start prefix of each shard's key
+    /// range; `boundaries()[0] == 0`).
+    pub fn boundaries(&self) -> Vec<u64> {
+        self.starts
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The imbalance factor of the current population: the largest shard's
+    /// length over the ideal per-shard length (`1.0` = perfectly balanced,
+    /// `shard_count()` = everything in one shard).
+    pub fn imbalance(&self) -> f64 {
+        imbalance_of(&self.shard_lens())
     }
 
     /// Number of stored subscriptions.
@@ -324,6 +425,7 @@ impl ShardedCoveringIndex {
     /// A clone of the subscription stored under `id`, if any (cloning is
     /// cheap — subscription payloads are `Arc`-shared).
     pub fn get(&self, id: SubId) -> Option<Subscription> {
+        let _layout = self.starts.read().unwrap_or_else(|e| e.into_inner());
         let shard = {
             let registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
             *registry.get(&id)? as usize
@@ -336,19 +438,16 @@ impl ShardedCoveringIndex {
     }
 
     /// Accumulated statistics: queries recorded at the sharded level plus
-    /// every shard's insert/remove counters.
+    /// every shard's insert/remove counters. Boundary migrations fold the
+    /// counters of rebuilt shards into the sharded level first, so the
+    /// totals reported here are unaffected by rebalancing.
     pub fn stats(&self) -> IndexStats {
+        let _layout = self.starts.read().unwrap_or_else(|e| e.into_inner());
         let mut total = *self.stats.lock().unwrap_or_else(|e| e.into_inner());
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             total.absorb(&shard.read().unwrap_or_else(|e| e.into_inner()).stats());
         }
         total
-    }
-
-    /// The shard whose key range contains `prefix`.
-    fn shard_of_prefix(&self, prefix: u64) -> usize {
-        // `starts[0] == 0`, so the partition point is at least 1.
-        self.starts.partition_point(|&s| s <= prefix) - 1
     }
 
     /// The forward-key prefix of a subscription's dominance point.
@@ -362,18 +461,22 @@ impl ShardedCoveringIndex {
     /// at-or-after the query key, so shards below the query's shard are
     /// pruned; Hilbert and Gray keys are not dominance-monotone, so those
     /// curves fan out to every shard.
-    fn covering_candidates(&self, prefix: u64) -> std::ops::RangeInclusive<usize> {
+    fn covering_candidates(&self, starts: &[u64], prefix: u64) -> std::ops::RangeInclusive<usize> {
         match self.curve {
-            CurveKind::Z => self.shard_of_prefix(prefix)..=self.shards.len() - 1,
+            CurveKind::Z => shard_of_prefix(starts, prefix)..=self.shards.len() - 1,
             _ => 0..=self.shards.len() - 1,
         }
     }
 
     /// The shards a reverse (covered-by) query for `prefix` must visit: the
     /// mirror-image pruning of [`covering_candidates`](Self::covering_candidates).
-    fn covered_by_candidates(&self, prefix: u64) -> std::ops::RangeInclusive<usize> {
+    fn covered_by_candidates(
+        &self,
+        starts: &[u64],
+        prefix: u64,
+    ) -> std::ops::RangeInclusive<usize> {
         match self.curve {
-            CurveKind::Z => 0..=self.shard_of_prefix(prefix),
+            CurveKind::Z => 0..=shard_of_prefix(starts, prefix),
             _ => 0..=self.shards.len() - 1,
         }
     }
@@ -386,25 +489,36 @@ impl ShardedCoveringIndex {
     /// index or its identifier is already present (in any shard).
     pub fn insert(&self, subscription: &Subscription) -> Result<()> {
         self.check_schema(subscription)?;
-        let shard = self.shard_of_prefix(self.prefix_of(subscription)?);
-        {
-            let mut registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
-            if registry.contains_key(&subscription.id()) {
-                return Err(CoveringError::DuplicateSubscription {
-                    id: subscription.id(),
-                });
+        let prefix = self.prefix_of(subscription)?;
+        let result = {
+            // Hold the layout for the whole route-then-write window so a
+            // migration cannot move the boundary between choosing the shard
+            // and inserting into it.
+            let starts = self.starts.read().unwrap_or_else(|e| e.into_inner());
+            let shard = shard_of_prefix(&starts, prefix);
+            {
+                let mut registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+                if registry.contains_key(&subscription.id()) {
+                    return Err(CoveringError::DuplicateSubscription {
+                        id: subscription.id(),
+                    });
+                }
+                registry.insert(subscription.id(), shard as u32);
             }
-            registry.insert(subscription.id(), shard as u32);
-        }
-        let result = self.shards[shard]
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(subscription);
-        if result.is_err() {
-            self.registry
-                .lock()
+            let result = self.shards[shard]
+                .write()
                 .unwrap_or_else(|e| e.into_inner())
-                .remove(&subscription.id());
+                .insert(subscription);
+            if result.is_err() {
+                self.registry
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&subscription.id());
+            }
+            result
+        };
+        if result.is_ok() {
+            self.after_update();
         }
         result
     }
@@ -415,45 +529,44 @@ impl ShardedCoveringIndex {
     ///
     /// Returns an error if no subscription with that identifier is stored.
     pub fn remove(&self, id: SubId) -> Result<()> {
-        let shard = {
-            let mut registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
-            registry
-                .remove(&id)
-                .ok_or(CoveringError::UnknownSubscription { id })? as usize
-        };
-        let result = self.shards[shard]
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(id);
-        if result.is_err() {
-            // Leave the registry consistent with the shard on the (never
-            // expected) failure path.
-            self.registry
-                .lock()
+        let result = {
+            // The layout guard keeps the registry's shard assignment valid
+            // until the removal lands (a migration would otherwise move the
+            // subscription out from under us).
+            let _layout = self.starts.read().unwrap_or_else(|e| e.into_inner());
+            let shard = {
+                let mut registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+                registry
+                    .remove(&id)
+                    .ok_or(CoveringError::UnknownSubscription { id })? as usize
+            };
+            let result = self.shards[shard]
+                .write()
                 .unwrap_or_else(|e| e.into_inner())
-                .insert(id, shard as u32);
+                .remove(id);
+            if result.is_err() {
+                // Leave the registry consistent with the shard on the (never
+                // expected) failure path.
+                self.registry
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(id, shard as u32);
+            }
+            result
+        };
+        if result.is_ok() {
+            self.after_update();
         }
         result
     }
 
-    /// Covering query under the shards' read locks, returning both the
-    /// merged outcome and the per-shard query statistics of every shard
-    /// visited (in visit order). The merged counters are exactly the sums of
-    /// the per-shard counters — the invariant the differential tests pin —
-    /// except `volume_fraction_searched`, which is their maximum.
-    ///
-    /// Candidate shards are visited in ascending key order and the sweep
-    /// stops at the first hit (any reported identifier is a true cover).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the query's schema does not match the index.
-    pub fn find_covering_with_shard_stats(
+    /// Sequential early-exit sweep over `candidates` (caller holds the
+    /// layout guard). Returns the merged outcome plus per-shard stats.
+    fn sweep_covering(
         &self,
+        candidates: std::ops::RangeInclusive<usize>,
         query: &Subscription,
     ) -> Result<(QueryOutcome, Vec<QueryStats>)> {
-        self.check_schema(query)?;
-        let candidates = self.covering_candidates(self.prefix_of(query)?);
         let mut merged = QueryStats::default();
         let mut per_shard = Vec::new();
         let mut hit = None;
@@ -473,6 +586,32 @@ impl ShardedCoveringIndex {
             Some(id) => QueryOutcome::found(id, merged),
             None => QueryOutcome::empty(merged),
         };
+        Ok((outcome, per_shard))
+    }
+
+    /// Covering query under the shards' read locks, returning both the
+    /// merged outcome and the per-shard query statistics of every shard
+    /// visited (in visit order). The merged counters are exactly the sums of
+    /// the per-shard counters — the invariant the differential tests pin —
+    /// except `volume_fraction_searched`, which is their maximum.
+    ///
+    /// Candidate shards are visited in ascending key order and the sweep
+    /// stops at the first hit (any reported identifier is a true cover).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query's schema does not match the index.
+    pub fn find_covering_with_shard_stats(
+        &self,
+        query: &Subscription,
+    ) -> Result<(QueryOutcome, Vec<QueryStats>)> {
+        self.check_schema(query)?;
+        let prefix = self.prefix_of(query)?;
+        let (outcome, per_shard) = {
+            let starts = self.starts.read().unwrap_or_else(|e| e.into_inner());
+            let candidates = self.covering_candidates(&starts, prefix);
+            self.sweep_covering(candidates, query)?
+        };
         self.record(&outcome);
         Ok((outcome, per_shard))
     }
@@ -489,51 +628,152 @@ impl ShardedCoveringIndex {
         Ok(self.find_covering_with_shard_stats(query)?.0)
     }
 
-    /// Covering query with parallel fan-out: every candidate shard is
-    /// queried on its own thread (scoped `std` threads), and the results are
-    /// merged in shard order — the hit from the lowest-keyed shard wins, so
-    /// the answer is deterministic regardless of scheduling. Worth using
-    /// when shards are large enough to amortize thread spawn; for
-    /// micro-queries prefer [`find_covering_ref`](Self::find_covering_ref).
+    /// The persistent query pool, created on first use with the current
+    /// [`PoolPolicy`].
+    fn pool(&self) -> &QueryPool {
+        self.pool.get_or_init(|| {
+            let workers = {
+                let mut state = self.pool_policy.lock().unwrap_or_else(|e| e.into_inner());
+                // Committing under the lock closes the race with a
+                // concurrent set_pool_policy: once this flag is set, the
+                // setter refuses, so a `true` return always means the pool
+                // was (or will be) built with that policy.
+                state.committed = true;
+                state.policy.resolved_workers()
+            }
+            // One candidate shard always runs inline on the caller.
+            .min(self.shards.len().saturating_sub(1).max(1));
+            QueryPool::new(workers)
+        })
+    }
+
+    /// Sets the pool sizing policy. Returns `false` (and changes nothing)
+    /// if the pool was already created by an earlier parallel query.
+    pub fn set_pool_policy(&self, policy: PoolPolicy) -> bool {
+        let mut state = self.pool_policy.lock().unwrap_or_else(|e| e.into_inner());
+        if state.committed {
+            return false;
+        }
+        state.policy = policy;
+        true
+    }
+
+    /// Number of worker threads the parallel path will use (creates the
+    /// pool if it does not exist yet).
+    pub fn pool_workers(&self) -> usize {
+        self.pool().workers()
+    }
+
+    /// Covering query with parallel fan-out over the persistent worker
+    /// pool: every candidate shard beyond the first is dispatched to a
+    /// pool worker (one channel send each) while the lowest-keyed shard —
+    /// whose hit decides the query — runs inline on the caller. Results are
+    /// merged in shard order, so the answer is deterministic regardless of
+    /// scheduling and identical to the sequential sweep's.
+    ///
+    /// Compared to the scoped-thread fan-out this replaces
+    /// ([`find_covering_scoped`](Self::find_covering_scoped)), dispatch
+    /// costs a channel send instead of a thread spawn, which keeps the
+    /// parallel path profitable even for micro-queries.
     ///
     /// # Errors
     ///
     /// Returns an error if the query's schema does not match the index.
     pub fn find_covering_parallel(&self, query: &Subscription) -> Result<QueryOutcome> {
         self.check_schema(query)?;
-        let candidates = self.covering_candidates(self.prefix_of(query)?);
-        if candidates.clone().count() <= 1 {
-            return self.find_covering_ref(query);
-        }
-        let results: Vec<Result<QueryOutcome>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .map(|shard| {
-                    let shards = &self.shards;
-                    scope.spawn(move || {
-                        shards[shard]
+        let prefix = self.prefix_of(query)?;
+        let outcome = {
+            let starts = self.starts.read().unwrap_or_else(|e| e.into_inner());
+            let candidates = self.covering_candidates(&starts, prefix);
+            let (first, last) = (*candidates.start(), *candidates.end());
+            if first == last {
+                self.sweep_covering(candidates, query)?.0
+            } else {
+                let pool = self.pool();
+                let (tx, rx) = mpsc::channel::<(usize, Result<QueryOutcome>)>();
+                for shard in (first + 1)..=last {
+                    let shards = Arc::clone(&self.shards);
+                    let query = query.clone();
+                    let tx = tx.clone();
+                    pool.execute(move || {
+                        let result = shards[shard]
                             .read()
                             .unwrap_or_else(|e| e.into_inner())
-                            .find_covering_ref(query)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard query thread panicked"))
-                .collect()
-        });
-        let mut merged = QueryStats::default();
-        let mut hit = None;
-        for result in results {
-            let outcome = result?;
-            merged.absorb(&outcome.stats);
-            if hit.is_none() {
-                hit = outcome.covering;
+                            .find_covering_ref(&query);
+                        let _ = tx.send((shard, result));
+                    });
+                }
+                drop(tx);
+                let mut results: Vec<Option<Result<QueryOutcome>>> =
+                    (first..=last).map(|_| None).collect();
+                results[0] = Some(
+                    self.shards[first]
+                        .read()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .find_covering_ref(query),
+                );
+                for (shard, result) in rx {
+                    results[shard - first] = Some(result);
+                }
+                // A worker lost to a panicking job never reports; fall back
+                // to querying those shards inline so the answer stays
+                // complete.
+                for (offset, slot) in results.iter_mut().enumerate() {
+                    if slot.is_none() {
+                        *slot = Some(
+                            self.shards[first + offset]
+                                .read()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .find_covering_ref(query),
+                        );
+                    }
+                }
+                merge_outcomes(
+                    results
+                        .into_iter()
+                        .map(|r| r.expect("every candidate slot is filled")),
+                )?
             }
-        }
-        let outcome = match hit {
-            Some(id) => QueryOutcome::found(id, merged),
-            None => QueryOutcome::empty(merged),
+        };
+        self.record(&outcome);
+        Ok(outcome)
+    }
+
+    /// Covering query with the per-call scoped-thread fan-out the pool
+    /// replaced. Kept for benchmarking the two strategies against each
+    /// other; prefer [`find_covering_parallel`](Self::find_covering_parallel).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query's schema does not match the index.
+    pub fn find_covering_scoped(&self, query: &Subscription) -> Result<QueryOutcome> {
+        self.check_schema(query)?;
+        let prefix = self.prefix_of(query)?;
+        let outcome = {
+            let starts = self.starts.read().unwrap_or_else(|e| e.into_inner());
+            let candidates = self.covering_candidates(&starts, prefix);
+            if candidates.clone().count() <= 1 {
+                self.sweep_covering(candidates, query)?.0
+            } else {
+                let results: Vec<Result<QueryOutcome>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = candidates
+                        .map(|shard| {
+                            let shards = &self.shards;
+                            scope.spawn(move || {
+                                shards[shard]
+                                    .read()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .find_covering_ref(query)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard query thread panicked"))
+                        .collect()
+                });
+                merge_outcomes(results)?
+            }
         };
         self.record(&outcome);
         Ok(outcome)
@@ -547,7 +787,9 @@ impl ShardedCoveringIndex {
     /// Returns an error if the query's schema does not match the index.
     pub fn find_covered_by_ref(&self, query: &Subscription) -> Result<Vec<SubId>> {
         self.check_schema(query)?;
-        let candidates = self.covered_by_candidates(self.prefix_of(query)?);
+        let prefix = self.prefix_of(query)?;
+        let starts = self.starts.read().unwrap_or_else(|e| e.into_inner());
+        let candidates = self.covered_by_candidates(&starts, prefix);
         let mut ids = Vec::new();
         for shard in candidates {
             ids.extend(
@@ -558,6 +800,179 @@ impl ShardedCoveringIndex {
             );
         }
         Ok(ids)
+    }
+
+    /// Re-cuts the shard boundaries to the current population's key
+    /// quantiles, migrating subscriptions whose shard changed. Runs under a
+    /// brief global write pause (the layout lock held for write plus every
+    /// shard's write lock), so concurrent readers observe either the
+    /// complete old layout or the complete new one. Shards whose membership
+    /// is unchanged are left untouched; changed shards are rebuilt with the
+    /// bulk path (one sort per shard). Accumulated statistics are preserved
+    /// exactly — rebuilt shards' counters are folded into the sharded-level
+    /// totals — and `stats().rebalances` / `stats().subscriptions_migrated`
+    /// record the pass.
+    ///
+    /// A pass over an already-balanced population is a cheap no-op
+    /// (`moved == 0`, boundaries unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if a shard rebuild fails (which cannot happen
+    /// for subscriptions the index already accepted); the index is left
+    /// unchanged in that case.
+    pub fn rebalance(&self) -> Result<RebalanceOutcome> {
+        let mut starts = self.starts.write().unwrap_or_else(|e| e.into_inner());
+        let mut registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let mut guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.write().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        let lens_before: Vec<usize> = guards.iter().map(|g| g.len()).collect();
+        let imbalance_before = imbalance_of(&lens_before);
+        let total: usize = lens_before.iter().sum();
+
+        // Gather the whole population with its routing prefixes (clones are
+        // cheap — payloads are Arc-shared).
+        let mut keyed: Vec<(u64, Subscription)> = Vec::with_capacity(total);
+        for guard in &guards {
+            for sub in guard.subscriptions() {
+                let key = self.keyer.key_of_point(&dominance_point(sub)?)?;
+                keyed.push((key_prefix(&key), sub.clone()));
+            }
+        }
+        let mut prefixes: Vec<u64> = keyed.iter().map(|&(p, _)| p).collect();
+        let new_starts = quantile_starts(&mut prefixes, self.shards.len());
+
+        // Diff the new partition against the registry's current assignment.
+        let shard_count = self.shards.len();
+        let mut partitions: Vec<Vec<Subscription>> = vec![Vec::new(); shard_count];
+        let mut dirty = vec![false; shard_count];
+        let mut moved: Vec<(SubId, u32)> = Vec::new();
+        for (prefix, sub) in keyed {
+            let new_shard = shard_of_prefix(&new_starts, prefix);
+            let old_shard = *registry
+                .get(&sub.id())
+                .expect("registry covers every stored subscription")
+                as usize;
+            if old_shard != new_shard {
+                dirty[old_shard] = true;
+                dirty[new_shard] = true;
+                moved.push((sub.id(), new_shard as u32));
+            }
+            partitions[new_shard].push(sub);
+        }
+        if moved.is_empty() {
+            return Ok(RebalanceOutcome {
+                moved: 0,
+                shards_rebuilt: 0,
+                imbalance_before,
+                imbalance_after: imbalance_before,
+                lens_before: lens_before.clone(),
+                lens_after: lens_before,
+            });
+        }
+
+        // Build every dirty shard first, so an error leaves the index
+        // untouched; only then commit shards, registry and boundaries.
+        let mut rebuilt: Vec<(usize, SfcCoveringIndex)> = Vec::new();
+        for (shard, part) in partitions.into_iter().enumerate() {
+            if !dirty[shard] {
+                continue;
+            }
+            let mut built =
+                SfcCoveringIndex::build_from(&self.schema, self.config, self.curve, part.iter())?;
+            built.reset_stats();
+            rebuilt.push((shard, built));
+        }
+        let shards_rebuilt = rebuilt.len();
+        let mut absorbed = IndexStats::default();
+        for (shard, built) in rebuilt {
+            absorbed.absorb(&guards[shard].stats());
+            *guards[shard] = built;
+        }
+        for (id, shard) in &moved {
+            registry.insert(*id, *shard);
+        }
+        *starts = new_starts;
+        let lens_after: Vec<usize> = guards.iter().map(|g| g.len()).collect();
+        let outcome = RebalanceOutcome {
+            moved: moved.len(),
+            shards_rebuilt,
+            imbalance_before,
+            imbalance_after: imbalance_of(&lens_after),
+            lens_before,
+            lens_after,
+        };
+        let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.absorb(&absorbed);
+        stats.rebalances += 1;
+        stats.subscriptions_migrated += outcome.moved as u64;
+        Ok(outcome)
+    }
+
+    /// Runs [`rebalance`](Self::rebalance) only if `policy` says the index
+    /// needs it: the population has reached `policy.min_len` and the
+    /// imbalance factor exceeds `policy.max_imbalance`. Returns `None` when
+    /// the trigger did not fire.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the policy is invalid or the pass fails.
+    pub fn maybe_rebalance(&self, policy: &RebalancePolicy) -> Result<Option<RebalanceOutcome>> {
+        policy.validate()?;
+        let lens = self.shard_lens();
+        let total: usize = lens.iter().sum();
+        if total < policy.min_len || imbalance_of(&lens) <= policy.max_imbalance {
+            return Ok(None);
+        }
+        Ok(Some(self.rebalance()?))
+    }
+
+    /// Arms (or with `None`, disarms) automatic rebalancing: every
+    /// `policy.check_interval` successful updates, the index evaluates the
+    /// trigger of [`maybe_rebalance`](Self::maybe_rebalance) and re-cuts its
+    /// boundaries when it fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the policy is invalid (the previous policy stays
+    /// in force).
+    pub fn set_rebalance_policy(&self, policy: Option<RebalancePolicy>) -> Result<()> {
+        if let Some(p) = &policy {
+            p.validate()?;
+        }
+        *self
+            .rebalance_policy
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = policy;
+        Ok(())
+    }
+
+    /// The currently armed auto-rebalance policy, if any.
+    pub fn rebalance_policy(&self) -> Option<RebalancePolicy> {
+        *self
+            .rebalance_policy
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Auto-rebalance hook, called after every successful update with no
+    /// locks held.
+    fn after_update(&self) {
+        let policy = *self
+            .rebalance_policy
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(policy) = policy else { return };
+        let ops = self.ops_since_check.fetch_add(1, Ordering::Relaxed) + 1;
+        if ops.is_multiple_of(policy.check_interval) {
+            // Best-effort: a failed pass (which cannot happen for
+            // subscriptions the index accepted) leaves the index valid, and
+            // the update that tripped the check already succeeded.
+            let _ = self.maybe_rebalance(&policy);
+        }
     }
 
     fn record(&self, outcome: &QueryOutcome) {
@@ -654,6 +1069,30 @@ mod tests {
             .collect()
     }
 
+    /// Subscriptions concentrated in one corner of the attribute space, so
+    /// their forward keys pile into a narrow prefix range.
+    fn corner_subs(schema: &Schema, n: u64, first_id: SubId, seed: u64) -> Vec<Subscription> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 800) as f64 / 100.0
+        };
+        (0..n)
+            .map(|i| {
+                let (a1, a2) = (90.0 + next(), 90.0 + next());
+                let (b1, b2) = (90.0 + next(), 90.0 + next());
+                sub(
+                    schema,
+                    first_id + i,
+                    (a1.min(a2), a1.max(a2)),
+                    (b1.min(b2), b1.max(b2)),
+                )
+            })
+            .collect()
+    }
+
     #[test]
     fn key_prefix_is_monotone_across_widths() {
         for bits in [1u32, 7, 63, 64, 65, 127, 128, 131, 200] {
@@ -725,11 +1164,33 @@ mod tests {
         for q in &queries {
             let seq = sharded.find_covering_ref(q).unwrap();
             let par = sharded.find_covering_parallel(q).unwrap();
+            let scoped = sharded.find_covering_scoped(q).unwrap();
             assert_eq!(seq.is_covered(), par.is_covered(), "query {}", q.id());
+            assert_eq!(par, scoped, "pool vs scoped disagree on {}", q.id());
             if let Some(id) = par.covering {
                 assert!(sharded.get(id).unwrap().covers(q));
             }
         }
+        assert!(sharded.pool_workers() >= 1);
+    }
+
+    #[test]
+    fn pool_policy_is_settable_until_first_use() {
+        let s = schema();
+        let subs = random_subs(&s, 60, 31);
+        let sharded = ShardedCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            4,
+            &subs,
+        )
+        .unwrap();
+        assert!(sharded.set_pool_policy(PoolPolicy { workers: 2 }));
+        assert_eq!(sharded.pool_workers(), 2);
+        // The pool exists now; re-sizing is refused.
+        assert!(!sharded.set_pool_policy(PoolPolicy { workers: 5 }));
+        assert_eq!(sharded.pool_workers(), 2);
     }
 
     #[test]
@@ -835,6 +1296,167 @@ mod tests {
             ),
             Err(CoveringError::DuplicateSubscription { .. })
         ));
+    }
+
+    #[test]
+    fn rebalance_recuts_a_drifted_population() {
+        let s = schema();
+        // Start balanced over a uniform population, then drift: churn in a
+        // corner-concentrated batch and retire most of the uniform one.
+        let uniform = random_subs(&s, 200, 13);
+        let index = ShardedCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            4,
+            &uniform,
+        )
+        .unwrap();
+        let drifted = corner_subs(&s, 200, 10_000, 17);
+        for sub in &drifted {
+            index.insert(sub).unwrap();
+        }
+        for sub in uniform.iter().take(180) {
+            index.remove(sub.id()).unwrap();
+        }
+        let stats_before = ShardedCoveringIndex::stats(&index);
+        let imbalance_before = index.imbalance();
+        assert!(
+            imbalance_before > 1.5,
+            "drift failed to imbalance: {imbalance_before} {:?}",
+            index.shard_lens()
+        );
+
+        let outcome = index.rebalance().unwrap();
+        assert!(outcome.changed());
+        assert!(outcome.moved > 0);
+        assert!(outcome.shards_rebuilt >= 2);
+        assert_eq!(outcome.imbalance_before, imbalance_before);
+        assert!(outcome.imbalance_after < imbalance_before, "{outcome:?}");
+        assert!(index.imbalance() < 1.5, "{:?}", index.shard_lens());
+
+        // Accumulated statistics are preserved exactly across the pass.
+        let stats_after = ShardedCoveringIndex::stats(&index);
+        assert_eq!(stats_after.inserts, stats_before.inserts);
+        assert_eq!(stats_after.removes, stats_before.removes);
+        assert_eq!(stats_after.queries, stats_before.queries);
+        assert_eq!(stats_after.rebalances, 1);
+        assert_eq!(stats_after.subscriptions_migrated, outcome.moved as u64);
+
+        // Contents and answers are unchanged.
+        assert_eq!(index.len(), 220);
+        assert_eq!(index.shard_lens().iter().sum::<usize>(), 220);
+        let mut linear = LinearScanIndex::new(&s);
+        for sub in drifted.iter().chain(uniform.iter().skip(180)) {
+            linear.insert(sub).unwrap();
+            assert!(index.contains(sub.id()));
+            assert!(index.get(sub.id()).is_some());
+        }
+        for q in random_subs(&s, 60, 19)
+            .iter()
+            .chain(drifted.iter().take(20))
+        {
+            assert_eq!(
+                index.find_covering_ref(q).unwrap().is_covered(),
+                linear.find_covering(q).unwrap().is_covered(),
+                "post-rebalance disagreement on {}",
+                q.id()
+            );
+        }
+    }
+
+    #[test]
+    fn rebalance_of_a_balanced_population_is_a_no_op() {
+        let s = schema();
+        let subs = random_subs(&s, 160, 21);
+        let index = ShardedCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            4,
+            &subs,
+        )
+        .unwrap();
+        let boundaries = index.boundaries();
+        let outcome = index.rebalance().unwrap();
+        assert!(!outcome.changed(), "{outcome:?}");
+        assert_eq!(outcome.shards_rebuilt, 0);
+        assert_eq!(index.boundaries(), boundaries);
+        // A no-op pass is not recorded as a migration.
+        assert_eq!(ShardedCoveringIndex::stats(&index).rebalances, 0);
+    }
+
+    #[test]
+    fn maybe_rebalance_honours_the_policy_gates() {
+        let s = schema();
+        let index =
+            ShardedCoveringIndex::new(&s, ApproxConfig::exhaustive(), CurveKind::Z, 4).unwrap();
+        for sub in corner_subs(&s, 120, 1, 27) {
+            index.insert(&sub).unwrap();
+        }
+        assert!(index.imbalance() > 1.5);
+        // Below min_len: no pass.
+        let policy = RebalancePolicy {
+            max_imbalance: 1.5,
+            min_len: 10_000,
+            check_interval: 1,
+        };
+        assert!(index.maybe_rebalance(&policy).unwrap().is_none());
+        // Above the imbalance bound: no pass.
+        let lax = RebalancePolicy {
+            max_imbalance: 64.0,
+            min_len: 1,
+            check_interval: 1,
+        };
+        assert!(index.maybe_rebalance(&lax).unwrap().is_none());
+        // Armed correctly: the pass fires and balances.
+        let strict = RebalancePolicy {
+            max_imbalance: 1.25,
+            min_len: 64,
+            check_interval: 1,
+        };
+        let outcome = index.maybe_rebalance(&strict).unwrap().unwrap();
+        assert!(outcome.changed());
+        assert!(index.imbalance() <= 1.5, "{:?}", index.shard_lens());
+        // Invalid policies are rejected.
+        let bad = RebalancePolicy {
+            max_imbalance: 0.5,
+            min_len: 0,
+            check_interval: 1,
+        };
+        assert!(index.maybe_rebalance(&bad).is_err());
+    }
+
+    #[test]
+    fn auto_rebalance_fires_from_the_update_path() {
+        let s = schema();
+        let index =
+            ShardedCoveringIndex::new(&s, ApproxConfig::exhaustive(), CurveKind::Z, 4).unwrap();
+        index
+            .set_rebalance_policy(Some(RebalancePolicy {
+                max_imbalance: 1.5,
+                min_len: 64,
+                check_interval: 16,
+            }))
+            .unwrap();
+        assert!(index.rebalance_policy().is_some());
+        for sub in corner_subs(&s, 200, 1, 33) {
+            index.insert(&sub).unwrap();
+        }
+        let stats = ShardedCoveringIndex::stats(&index);
+        assert!(stats.rebalances >= 1, "auto trigger never fired: {stats:?}");
+        assert!(stats.subscriptions_migrated > 0);
+        assert!(index.imbalance() < 2.0, "{:?}", index.shard_lens());
+        // Disarm and verify validation still guards the setter.
+        index.set_rebalance_policy(None).unwrap();
+        assert!(index.rebalance_policy().is_none());
+        assert!(index
+            .set_rebalance_policy(Some(RebalancePolicy {
+                max_imbalance: 0.0,
+                min_len: 0,
+                check_interval: 0,
+            }))
+            .is_err());
     }
 
     #[test]

@@ -125,6 +125,10 @@ pub struct IndexStats {
     /// Sum of the per-query searched volume fractions (divide by `queries`
     /// for the mean).
     pub total_volume_fraction: f64,
+    /// Shard-boundary rebalance passes performed (sharded index only).
+    pub rebalances: u64,
+    /// Subscriptions moved between shards by rebalance passes.
+    pub subscriptions_migrated: u64,
 }
 
 impl IndexStats {
@@ -161,6 +165,8 @@ impl IndexStats {
         self.total_subscriptions_compared += other.total_subscriptions_compared;
         self.fallback_queries += other.fallback_queries;
         self.total_volume_fraction += other.total_volume_fraction;
+        self.rebalances += other.rebalances;
+        self.subscriptions_migrated += other.subscriptions_migrated;
     }
 
     /// Mean number of runs probed per query.

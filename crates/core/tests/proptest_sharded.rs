@@ -51,6 +51,10 @@ enum Op {
     Insert(u64),
     Remove(u64),
     Query(u64),
+    /// Re-cut every sharded index's boundaries to the current population's
+    /// quantiles. Pure maintenance: it must never change any answer, any
+    /// length, or any accumulated total.
+    Rebalance,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -60,6 +64,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0..POOL).prop_map(Op::Remove),
         (0..POOL).prop_map(Op::Query),
         (0..POOL).prop_map(Op::Query),
+        Just(Op::Rebalance),
     ]
 }
 
@@ -116,6 +121,27 @@ proptest! {
                         }
                         prop_assert!(single.remove(id).is_err());
                         prop_assert!(linear.remove(id).is_err());
+                    }
+                }
+                Op::Rebalance => {
+                    for idx in &sharded {
+                        let stats_before = ShardedCoveringIndex::stats(idx);
+                        let outcome = idx.rebalance().unwrap();
+                        let stats_after = ShardedCoveringIndex::stats(idx);
+                        // Migration is invisible to every accumulated
+                        // total except its own counters.
+                        prop_assert_eq!(stats_after.inserts, stats_before.inserts);
+                        prop_assert_eq!(stats_after.removes, stats_before.removes);
+                        prop_assert_eq!(stats_after.queries, stats_before.queries);
+                        prop_assert_eq!(stats_after.total_probes, stats_before.total_probes);
+                        prop_assert_eq!(
+                            stats_after.subscriptions_migrated,
+                            stats_before.subscriptions_migrated + outcome.moved as u64
+                        );
+                        prop_assert_eq!(
+                            idx.shard_lens().iter().sum::<usize>(),
+                            live.len()
+                        );
                     }
                 }
                 Op::Query(i) => {

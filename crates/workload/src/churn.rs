@@ -151,6 +151,15 @@ impl ChurnWorkload {
         &self.live
     }
 
+    /// Shifts the centers of every subsequently generated subscription by
+    /// `fraction` of the domain (see
+    /// [`SubscriptionWorkload::set_center_offset`]): the churn stream's hot
+    /// region drifts mid-stream, which is the workload shape that forces a
+    /// frozen shard layout out of balance.
+    pub fn set_center_offset(&mut self, fraction: f64) {
+        self.subscriptions.set_center_offset(fraction);
+    }
+
     fn subscribe(&mut self) -> ChurnOp {
         let subscription = self.subscriptions.next_subscription();
         self.live.push(subscription.id());

@@ -33,16 +33,26 @@ pub enum Scenario {
     /// operation stream; the plain [`Scenario::workload_config`] exposes the
     /// same content model for insert-only comparisons.
     Churn,
+    /// A churn-heavy deployment whose hot region *moves*: interest is
+    /// sharply Zipf-skewed and narrow, and the driver is expected to advance
+    /// the generator's center offset over time
+    /// ([`crate::SubscriptionWorkload::set_center_offset`] /
+    /// [`crate::ChurnWorkload::set_center_offset`]). Under a key-range
+    /// sharded index this is the adversarial stream: a shard layout frozen
+    /// at build time ends up funnelling every new subscription into one
+    /// shard — the workload online rebalancing exists for.
+    SkewedDrift,
 }
 
 impl Scenario {
     /// All built-in scenarios.
-    pub fn all() -> [Scenario; 4] {
+    pub fn all() -> [Scenario; 5] {
         [
             Scenario::StockTicker,
             Scenario::SensorNetwork,
             Scenario::UniformBaseline,
             Scenario::Churn,
+            Scenario::SkewedDrift,
         ]
     }
 
@@ -53,6 +63,7 @@ impl Scenario {
             Scenario::SensorNetwork => "sensor-network",
             Scenario::UniformBaseline => "uniform",
             Scenario::Churn => "churn",
+            Scenario::SkewedDrift => "skewed-drift",
         }
     }
 
@@ -82,7 +93,7 @@ impl Scenario {
                 .attribute("attr2", 0.0, WorkloadConfig::DOMAIN_MAX)
                 .bits_per_attribute(10)
                 .build()?,
-            Scenario::Churn => Schema::builder()
+            Scenario::Churn | Scenario::SkewedDrift => Schema::builder()
                 .attribute("topic_rank", 0.0, 10_000.0)
                 .attribute("priority", 0.0, 100.0)
                 .attribute("size", 0.0, 1_000_000.0)
@@ -130,6 +141,15 @@ impl Scenario {
                 .width_model(WidthModel::UniformFraction {
                     min: 0.02,
                     max: 0.35,
+                }),
+            // Sharper skew and narrower widths than `Churn`: the hot region
+            // is compact enough that drifting it really does concentrate
+            // keys into one shard's range.
+            Scenario::SkewedDrift => builder
+                .center_distribution(CenterDistribution::Zipf { exponent: 1.4 })
+                .width_model(WidthModel::UniformFraction {
+                    min: 0.01,
+                    max: 0.2,
                 }),
         };
         builder.build().expect("built-in scenarios are valid")
@@ -192,6 +212,37 @@ mod tests {
             Scenario::Churn.workload_config(1).center_distribution,
             CenterDistribution::Zipf { .. }
         ));
+        assert!(matches!(
+            Scenario::SkewedDrift.workload_config(1).center_distribution,
+            CenterDistribution::Zipf { exponent } if exponent > 1.2
+        ));
+    }
+
+    #[test]
+    fn skewed_drift_shifts_its_hot_region_with_the_offset() {
+        let config = Scenario::SkewedDrift.workload_config(7);
+        let mut workload = SubscriptionWorkload::new(&config).unwrap();
+        let mean_center = |subs: &[acd_subscription::Subscription]| -> f64 {
+            let grid = subs[0].schema().grid_size() as f64;
+            subs.iter()
+                .map(|s| {
+                    let (lo, hi) = s.grid_bounds()[0];
+                    (lo as f64 + hi as f64) / 2.0 / grid
+                })
+                .sum::<f64>()
+                / subs.len() as f64
+        };
+        let stationary = workload.take(300);
+        workload.set_center_offset(0.5);
+        assert!((workload.center_offset() - 0.5).abs() < 1e-12);
+        let drifted = workload.take(300);
+        let (before, after) = (mean_center(&stationary), mean_center(&drifted));
+        // Zipf mass sits near the low end; a half-domain shift moves it to
+        // the middle of the domain.
+        assert!(
+            after > before + 0.25,
+            "drift did not move the hot region: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub struct SubscriptionWorkload {
     zipf: Option<Zipf>,
     cluster_centers: Vec<Vec<f64>>,
     next_id: SubId,
+    /// Additive center drift in raw domain units, wrapped modulo the
+    /// domain. See [`SubscriptionWorkload::set_center_offset`].
+    center_offset: f64,
 }
 
 impl SubscriptionWorkload {
@@ -59,7 +62,23 @@ impl SubscriptionWorkload {
             zipf,
             cluster_centers,
             next_id: 1,
+            center_offset: 0.0,
         })
+    }
+
+    /// Shifts every subsequently drawn center by `fraction` of the domain
+    /// (wrapping around its upper end). This models a *drifting* hot
+    /// region: a Zipf or clustered workload whose popular values migrate
+    /// over time — exactly the stream that erodes a frozen shard layout
+    /// and motivates online rebalancing. The fraction is taken modulo 1;
+    /// `0.0` restores the stationary distribution.
+    pub fn set_center_offset(&mut self, fraction: f64) {
+        self.center_offset = fraction.rem_euclid(1.0) * WorkloadConfig::DOMAIN_MAX;
+    }
+
+    /// The current center drift as a fraction of the domain.
+    pub fn center_offset(&self) -> f64 {
+        self.center_offset / WorkloadConfig::DOMAIN_MAX
     }
 
     /// The schema the generated subscriptions are built against.
@@ -72,10 +91,11 @@ impl SubscriptionWorkload {
         &self.config
     }
 
-    /// Draws one center coordinate for attribute `attr`.
+    /// Draws one center coordinate for attribute `attr`, applying the
+    /// current drift offset (wrapped modulo the domain).
     fn sample_center(&mut self, attr: usize) -> f64 {
         let max = WorkloadConfig::DOMAIN_MAX;
-        match self.config.center_distribution {
+        let raw = match self.config.center_distribution {
             CenterDistribution::Uniform => self.rng.gen_range(0.0..max),
             CenterDistribution::Zipf { .. } => {
                 let z = self.zipf.as_ref().expect("zipf sampler exists");
@@ -88,7 +108,8 @@ impl SubscriptionWorkload {
                 let mean = self.cluster_centers[c][attr];
                 sample_clamped_gaussian(&mut self.rng, mean, spread * max, 0.0, max)
             }
-        }
+        };
+        (raw + self.center_offset).rem_euclid(max)
     }
 
     /// Draws the width (in raw units) of every attribute of one
