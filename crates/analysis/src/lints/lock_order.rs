@@ -1,0 +1,391 @@
+//! `lock-order`: syntactic enforcement of the documented lock hierarchy.
+//!
+//! The sharded index (`crates/core/src/sharded.rs`) documents a strict
+//! acquisition order — layout (`starts`) → `registry` → shard locks
+//! (ascending) → policy locks → `stats` — and a deadlock needs exactly one
+//! code path that acquires against it. This lint models the hierarchy as
+//! ranked **lock classes** (see [`LOCK_CLASSES`], mirrored at runtime by
+//! `acd_covering::ordered` and documented in `LOCKING.md`) and walks every
+//! function body tracking which classes are held at each acquisition.
+//!
+//! The tracking is deliberately syntactic (no type information):
+//!
+//! * an *acquisition* is a `.read()` / `.write()` / `.lock()` call whose
+//!   receiver chain (scanned back to the start of the statement) names a
+//!   known class field — `self.registry.lock()`, `starts.read()`,
+//!   `self.shards[shard].write()` all classify;
+//! * an acquisition is *held* (until the end of its enclosing block) when it
+//!   is the entire initializer of a `let` binding, modulo the poison-recovery
+//!   chain (`.unwrap()`, `.expect("…")`, `.unwrap_or_else(…)`); anything
+//!   else — a guard deref-copied through `*`, or a chained
+//!   `.lock().…().len()` temporary — is *transient*: checked against the
+//!   held set at the acquisition point, then considered released;
+//! * acquiring a class ranked **below** any currently-held class, or
+//!   re-acquiring a held non-`multi` class, is flagged.
+//!
+//! The approximation errs toward under-holding (a guard bound through a
+//! tuple pattern is treated as transient), which can miss a violation but
+//! never invents one; the runtime `OrderedRwLock` assertions are the
+//! belt-and-braces that catch what syntax cannot.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::lints::Lint;
+use crate::source::SourceFile;
+
+/// One ranked lock class of the documented hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct LockClass {
+    /// Base rank; classes must be acquired in increasing rank order.
+    pub rank: u32,
+    /// Class name used in diagnostics (matches `LOCKING.md`).
+    pub name: &'static str,
+    /// Field/binding identifiers that classify an acquisition.
+    pub fields: &'static [&'static str],
+    /// Whether several locks of this class may be held at once (shard locks,
+    /// acquired in ascending shard order — the ascending part is enforced at
+    /// runtime by per-shard ranks, which syntax cannot see).
+    pub multi: bool,
+}
+
+/// The rank table. Keep in sync with `acd_covering::ordered::rank_table()`
+/// and `LOCKING.md`; the workspace test `tests/acd_lint.rs` cross-checks the
+/// two tables.
+pub const LOCK_CLASSES: &[LockClass] = &[
+    LockClass {
+        rank: 10,
+        name: "layout",
+        fields: &["starts"],
+        multi: false,
+    },
+    LockClass {
+        rank: 20,
+        name: "registry",
+        fields: &["registry"],
+        multi: false,
+    },
+    LockClass {
+        rank: 30,
+        name: "shard",
+        fields: &["shards"],
+        multi: true,
+    },
+    LockClass {
+        rank: 100,
+        name: "policy",
+        fields: &["rebalance_policy", "pool_policy"],
+        multi: false,
+    },
+    LockClass {
+        rank: 110,
+        name: "stats",
+        fields: &["stats"],
+        multi: false,
+    },
+];
+
+fn class_of_field(name: &str) -> Option<&'static LockClass> {
+    LOCK_CLASSES.iter().find(|c| c.fields.contains(&name))
+}
+
+const ACQUIRE_METHODS: &[&str] = &["read", "write", "lock"];
+const RECOVERY_METHODS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+pub struct LockOrder;
+
+#[derive(Debug)]
+struct Held {
+    class: &'static LockClass,
+    /// Brace depth of the block the guard lives in; popped when the block
+    /// closes.
+    depth: usize,
+}
+
+impl Lint for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn check_source(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        let mut diagnostics = Vec::new();
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0usize;
+        let mut fn_body_floor: Vec<usize> = Vec::new();
+
+        for i in 0..code.len() {
+            let token = code[i];
+            if token.is_punct('{') {
+                depth += 1;
+                continue;
+            }
+            if token.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                held.retain(|h| h.depth <= depth);
+                // Leaving a function body resets the held set entirely: the
+                // analysis is intra-procedural.
+                if fn_body_floor.last().is_some_and(|&floor| depth < floor) {
+                    fn_body_floor.pop();
+                    held.clear();
+                }
+                continue;
+            }
+            if token.is_ident("fn") {
+                // The body starts at the next `{` one level deeper.
+                fn_body_floor.push(depth + 1);
+                continue;
+            }
+
+            // An acquisition: `.` <method> `(` `)`.
+            if token.kind != TokenKind::Ident
+                || !ACQUIRE_METHODS.contains(&token.text.as_str())
+                || i == 0
+                || !code[i - 1].is_punct('.')
+                || !code.get(i + 1).is_some_and(|t| t.is_punct('('))
+                || !code.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            {
+                continue;
+            }
+            let Some(class) = classify_receiver(&code, i - 1) else {
+                continue;
+            };
+
+            if let Some(worst) = held.iter().max_by_key(|h| h.class.rank) {
+                if class.rank < worst.class.rank {
+                    diagnostics.push(file.diagnostic(
+                        self.name(),
+                        token,
+                        format!(
+                            "acquired `{}` (rank {}) while holding `{}` (rank {}); \
+                             the documented order is layout → registry → shards \
+                             (ascending) → policy → stats (see LOCKING.md)",
+                            class.name, class.rank, worst.class.name, worst.class.rank
+                        ),
+                    ));
+                } else if class.rank == worst.class.rank && !class.multi {
+                    diagnostics.push(file.diagnostic(
+                        self.name(),
+                        token,
+                        format!(
+                            "double acquisition of `{}` (rank {}): the class is \
+                             non-reentrant, a second acquisition self-deadlocks",
+                            class.name, class.rank
+                        ),
+                    ));
+                }
+            }
+
+            if is_held_binding(&code, i) {
+                held.push(Held { class, depth });
+            }
+        }
+        diagnostics
+    }
+}
+
+/// Scans backwards from the `.` of an acquisition to the start of the
+/// statement (`;`, `{`, `}`, or a top-level `=`), returning the lock class
+/// of the nearest classifying identifier in the receiver chain, if any.
+fn classify_receiver(code: &[&Token], dot: usize) -> Option<&'static LockClass> {
+    let mut i = dot;
+    while i > 0 {
+        i -= 1;
+        let t = code[i];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') || t.is_punct('=') {
+            return None;
+        }
+        if t.kind == TokenKind::Ident {
+            if let Some(class) = class_of_field(&t.text) {
+                return Some(class);
+            }
+        }
+    }
+    None
+}
+
+/// Whether the acquisition whose method identifier sits at `code[i]` is the
+/// entire initializer of a `let` binding (so its guard lives until the end
+/// of the enclosing block). See the module docs for the exact shape.
+fn is_held_binding(code: &[&Token], i: usize) -> bool {
+    // Forward: after `(` `)`, allow only poison-recovery calls, then `;`.
+    let mut j = i + 3; // past `(` `)`
+    loop {
+        match (code.get(j), code.get(j + 1)) {
+            (Some(t), _) if t.is_punct(';') => break,
+            (Some(dot), Some(m))
+                if dot.is_punct('.')
+                    && m.kind == TokenKind::Ident
+                    && RECOVERY_METHODS.contains(&m.text.as_str())
+                    && code.get(j + 2).is_some_and(|t| t.is_punct('(')) =>
+            {
+                // Skip the balanced argument list.
+                let mut depth = 1usize;
+                j += 3;
+                while depth > 0 {
+                    match code.get(j) {
+                        Some(t) if t.is_punct('(') => depth += 1,
+                        Some(t) if t.is_punct(')') => depth -= 1,
+                        Some(_) => {}
+                        None => return false,
+                    }
+                    j += 1;
+                }
+            }
+            _ => return false,
+        }
+    }
+
+    // Backward: statement must be `let [mut] <ident> [: ty] = <receiver
+    // chain>` with nothing but the plain receiver between `=` and the call.
+    let mut k = i - 1; // the `.` before the method
+    let mut saw_eq = false;
+    while k > 0 {
+        k -= 1;
+        let t = code[k];
+        if t.is_punct('=') {
+            saw_eq = true;
+            break;
+        }
+        // Receiver chain tokens only: identifiers, field dots, indexing.
+        let plain = t.kind == TokenKind::Ident
+            || t.kind == TokenKind::Number
+            || t.is_punct('.')
+            || t.is_punct('[')
+            || t.is_punct(']');
+        if !plain {
+            return false;
+        }
+    }
+    if !saw_eq {
+        return false;
+    }
+    // Before the `=`: `let` must start the statement.
+    let mut saw_let = false;
+    while k > 0 {
+        k -= 1;
+        let t = code[k];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.is_ident("let") {
+            saw_let = true;
+        }
+    }
+    saw_let
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(PathBuf::from("t.rs"), src.to_string());
+        LockOrder.check_source(&file)
+    }
+
+    #[test]
+    fn in_order_acquisitions_are_clean() {
+        let src = "\
+fn ok(&self) {
+    let starts = self.starts.read();
+    let registry = self.registry.lock();
+    let guard = self.shards[3].write();
+    let stats = self.stats.lock();
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn out_of_order_acquisition_is_flagged() {
+        let src = "\
+fn bad(&self) {
+    let guard = self.shards[0].read();
+    let registry = self.registry.lock();
+}
+";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`registry` (rank 20)"));
+        assert!(diags[0].message.contains("`shard` (rank 30)"));
+    }
+
+    #[test]
+    fn double_acquisition_of_non_multi_class_is_flagged() {
+        let src = "\
+fn bad(&self) {
+    let a = self.registry.lock();
+    let b = self.registry.lock();
+}
+";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("double acquisition"));
+    }
+
+    #[test]
+    fn shard_class_allows_multiple_holds() {
+        let src = "\
+fn ok(&self) {
+    let a = self.shards[0].write();
+    let b = self.shards[1].write();
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn transient_guards_release_at_statement_end() {
+        // The deref-copied stats guard is a temporary: the shard read after
+        // it must NOT count as stats-then-shard.
+        let src = "\
+fn ok(&self) {
+    let layout = self.starts.read();
+    let total = *self.stats.lock();
+    let len = self.shards[0].read().len();
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn block_scoped_guards_release_at_block_end() {
+        let src = "\
+fn ok(&self) {
+    let starts = self.starts.read();
+    {
+        let registry = self.registry.lock();
+    }
+    let registry = self.registry.lock();
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn held_set_resets_between_functions() {
+        let src = "\
+fn first(&self) {
+    let stats = self.stats.lock();
+}
+fn second(&self) {
+    let starts = self.starts.read();
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn poison_recovery_chain_still_counts_as_held() {
+        let src = "\
+fn bad(&self) {
+    let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+    let starts = self.starts.read().unwrap_or_else(|e| e.into_inner());
+}
+";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`layout` (rank 10)"));
+    }
+}

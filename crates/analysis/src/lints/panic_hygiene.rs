@@ -1,0 +1,231 @@
+//! `panic-hygiene`: library code must not reach for the panic hammer.
+//!
+//! In non-test library code this lint flags:
+//!
+//! * `.unwrap()` — propagate the error, or use `.expect("…")` with a
+//!   message that documents the invariant making the failure impossible;
+//! * `.expect(…)` whose argument is **not** a non-empty string literal (the
+//!   literal is the documentation; an empty or computed message defeats it);
+//! * the panicking macros `panic!`, `unreachable!`, `todo!`,
+//!   `unimplemented!`;
+//! * (only with `--strict-indexing`) slice/array indexing `xs[i]`, which
+//!   panics out of bounds — `get`/`get_mut` make the fallible path explicit.
+//!
+//! The poisoned-lock recovery idiom `unwrap_or_else(|e| e.into_inner())` is
+//! *not* an `unwrap` and is never flagged — that is the sanctioned way to
+//! keep serving under a poisoned `Mutex`/`RwLock` (see `LOCKING.md`).
+//!
+//! Exempt outright: `#[cfg(test)]` regions (driver-wide), `tests/`,
+//! `benches/`, `examples/` and `src/bin/` paths, and the bench crate
+//! (`crates/bench`) — experiment harnesses are allowed to fail loudly.
+//! Anything else needs an inline `// acd-lint: allow(panic-hygiene) <reason>`
+//! with a real reason.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::lints::Lint;
+use crate::source::{is_method_call, SourceFile};
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Identifiers that precede `[` without being an indexing receiver.
+const NON_RECEIVER_KEYWORDS: &[&str] = &[
+    "mut", "ref", "in", "as", "dyn", "impl", "where", "return", "break", "const",
+];
+
+pub struct PanicHygiene {
+    /// Whether to also flag slice/array indexing (`--strict-indexing`).
+    pub strict_indexing: bool,
+}
+
+impl Lint for PanicHygiene {
+    fn name(&self) -> &'static str {
+        "panic-hygiene"
+    }
+
+    fn check_source(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        if is_exempt_path(file) {
+            return Vec::new();
+        }
+        let code: Vec<&Token> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        let mut diagnostics = Vec::new();
+        for i in 0..code.len() {
+            let t = code[i];
+            if t.kind == TokenKind::Ident && is_method_call(&code, i) {
+                if t.text == "unwrap" {
+                    diagnostics.push(
+                        file.diagnostic(
+                            self.name(),
+                            t,
+                            "called `unwrap()` in library code; propagate the error or \
+                         use `expect(\"…\")` with a message documenting the invariant"
+                                .to_string(),
+                        ),
+                    );
+                } else if t.text == "expect" && !expect_message_is_literal(&code, i) {
+                    diagnostics.push(
+                        file.diagnostic(
+                            self.name(),
+                            t,
+                            "`expect(…)` without a non-empty string-literal message; \
+                         the literal is what documents the invariant"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+            // `panic!` and friends. A leading `.` cannot occur (macros are
+            // not methods), so the ident + `!` shape is unambiguous.
+            if t.kind == TokenKind::Ident
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                diagnostics.push(file.diagnostic(
+                    self.name(),
+                    t,
+                    format!(
+                        "`{}!` in library code; return an error, or suppress with \
+                         `// acd-lint: allow(panic-hygiene) <why it cannot fire>`",
+                        t.text
+                    ),
+                ));
+            }
+            if self.strict_indexing && is_indexing(&code, i) {
+                diagnostics.push(
+                    file.diagnostic(
+                        self.name(),
+                        code[i],
+                        "slice/array indexing panics out of bounds; prefer `get`/`get_mut` \
+                     (strict-indexing mode)"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+        diagnostics
+    }
+}
+
+/// Paths whose code may panic freely: test/bench/example trees, binary
+/// entry points, and the whole bench crate.
+fn is_exempt_path(file: &SourceFile) -> bool {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    p.starts_with("tests/")
+        || p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+        || p.contains("/bin/")
+        || p.starts_with("crates/bench/")
+}
+
+/// Whether the `expect` call at `code[i]` carries a non-empty string-literal
+/// message: `expect` `(` <Str with content> `)`.
+fn expect_message_is_literal(code: &[&Token], i: usize) -> bool {
+    let Some(arg) = code.get(i + 2) else {
+        return false;
+    };
+    matches!(arg.kind, TokenKind::Str | TokenKind::RawStr)
+        && !arg.text.trim_matches(['r', '#', '"']).is_empty()
+        && code.get(i + 3).is_some_and(|t| t.is_punct(')'))
+}
+
+/// Strict mode: `ident [` where the ident is a plausible indexing receiver.
+/// `#[…]` attributes never match (the previous token is `#`), and slice
+/// *types* like `[u8; 4]` have no ident directly before the bracket.
+fn is_indexing(code: &[&Token], i: usize) -> bool {
+    if !code[i].is_punct('[') || i == 0 {
+        return false;
+    }
+    let prev = code[i - 1];
+    prev.kind == TokenKind::Ident && !NON_RECEIVER_KEYWORDS.contains(&prev.text.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_at(path: &str, src: &str, strict: bool) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(PathBuf::from(path), src.to_string());
+        PanicHygiene {
+            strict_indexing: strict,
+        }
+        .check_source(&file)
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        run_at("crates/x/src/lib.rs", src, false)
+    }
+
+    #[test]
+    fn unwrap_is_flagged_but_poison_recovery_is_not() {
+        let src = "\
+fn f(m: &std::sync::Mutex<u32>) -> u32 {
+    let a = m.lock().unwrap();
+    let b = m.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("unwrap()"));
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn expect_with_invariant_message_is_justified() {
+        let src = "\
+fn f(v: Option<u32>, w: Option<u32>, msg: &str) {
+    let a = v.expect(\"caller guarantees Some per the insert contract\");
+    let b = w.expect(\"\");
+    let c = v.expect(msg);
+}
+";
+        let diags = run(src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.message.contains("string-literal")));
+    }
+
+    #[test]
+    fn panic_macros_are_flagged() {
+        let src = "\
+fn f(x: u32) -> u32 {
+    match x {
+        0 => todo!(),
+        1 => unreachable!(\"by construction\"),
+        _ => panic!(\"boom\"),
+    }
+}
+";
+        let diags = run(src);
+        assert_eq!(diags.len(), 3);
+    }
+
+    #[test]
+    fn bench_crate_and_test_paths_are_exempt() {
+        let src = "fn f() { panic!(\"fine here\"); }\n";
+        assert!(run_at("crates/bench/src/experiments.rs", src, false).is_empty());
+        assert!(run_at("crates/core/tests/stress.rs", src, false).is_empty());
+        assert!(run_at("crates/analysis/src/bin/acd_lint.rs", src, false).is_empty());
+        assert_eq!(run_at("crates/core/src/lib.rs", src, false).len(), 1);
+    }
+
+    #[test]
+    fn strict_indexing_is_opt_in() {
+        let src = "\
+fn f(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+";
+        assert!(run(src).is_empty());
+        let strict = run_at("crates/x/src/lib.rs", src, true);
+        assert_eq!(strict.len(), 1);
+        assert!(strict[0].message.contains("strict-indexing"));
+    }
+
+    #[test]
+    fn attributes_do_not_trip_strict_indexing() {
+        let src = "#[derive(Clone)]\npub struct S { xs: [u8; 4] }\n";
+        assert!(run_at("crates/x/src/lib.rs", src, true).is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! `vendor-discipline`: the build must stay offline-reproducible.
+//!
+//! Every dependency in every workspace manifest must resolve locally —
+//! either `path = "…"` (the `vendor/` stand-ins and the workspace crates
+//! themselves) or `workspace = true` (inheriting a path dependency from the
+//! root). A bare version requirement (`rand = "0.8"`), a `version =` without
+//! `path =`, or a `git =` source would reach for the network at build time
+//! and is flagged at the line declaring the dependency.
+//!
+//! The check is a hand-rolled line scanner (this crate vendors nothing, not
+//! even a TOML parser). It understands the three declaration shapes the
+//! ecosystem actually uses:
+//!
+//! * inline entries in a `[…dependencies]` table: `foo = { path = "…" }`;
+//! * dotted keys: `foo.workspace = true`, `foo.path = "…"`;
+//! * sub-tables: `[dependencies.foo]` with `path`/`workspace` keys inside.
+
+use std::path::Path;
+
+use crate::diagnostics::Diagnostic;
+use crate::lints::Lint;
+
+pub struct VendorDiscipline;
+
+/// One dependency being accumulated within the current table.
+struct DepEntry {
+    name: String,
+    line: usize,
+    snippet: String,
+    local: bool,
+}
+
+impl Lint for VendorDiscipline {
+    fn name(&self) -> &'static str {
+        "vendor-discipline"
+    }
+
+    fn check_manifest(&self, path: &Path, text: &str) -> Vec<Diagnostic> {
+        let mut diagnostics = Vec::new();
+        let mut pending: Vec<DepEntry> = Vec::new();
+        // Which kind of section the scanner is inside.
+        let mut in_dep_table = false; // `[…dependencies]`
+        let mut in_sub_table = false; // `[dependencies.<name>]` (entry last in `pending`)
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.starts_with('[') {
+                let name = line.trim_matches(['[', ']']).trim();
+                in_sub_table = false;
+                if let Some(i) = name.rfind("dependencies.") {
+                    // `[dependencies.foo]` / `[target.'…'.dev-dependencies.foo]`
+                    flush(self.name(), path, &mut pending, &mut diagnostics);
+                    pending.push(DepEntry {
+                        name: name[i + "dependencies.".len()..].to_string(),
+                        line: line_no,
+                        snippet: raw.trim_end().to_string(),
+                        local: false,
+                    });
+                    in_sub_table = true;
+                    in_dep_table = false;
+                } else {
+                    flush(self.name(), path, &mut pending, &mut diagnostics);
+                    in_dep_table = name.ends_with("dependencies");
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if in_sub_table {
+                if let Some(entry) = pending.last_mut() {
+                    if key == "path" || (key == "workspace" && value == "true") {
+                        entry.local = true;
+                    }
+                }
+            } else if in_dep_table {
+                match key.split_once('.') {
+                    // Dotted key: `foo.workspace = true` / `foo.path = "…"`.
+                    Some((name, sub)) => {
+                        let local = sub == "path" || (sub == "workspace" && value == "true");
+                        upsert(&mut pending, name, line_no, raw, local);
+                    }
+                    // Plain entry: `foo = "1"` / `foo = { path = "…" }`.
+                    None => upsert(&mut pending, key, line_no, raw, entry_is_local(value)),
+                }
+            }
+        }
+        flush(self.name(), path, &mut pending, &mut diagnostics);
+        diagnostics
+    }
+}
+
+/// Records (or updates) the accumulated locality of dependency `name`.
+fn upsert(pending: &mut Vec<DepEntry>, name: &str, line: usize, raw: &str, local: bool) {
+    if let Some(entry) = pending.iter_mut().find(|e| e.name == name) {
+        entry.local |= local;
+    } else {
+        pending.push(DepEntry {
+            name: name.to_string(),
+            line,
+            snippet: raw.trim_end().to_string(),
+            local,
+        });
+    }
+}
+
+/// Emits a violation for every accumulated dependency that never resolved
+/// locally, then clears the accumulator.
+fn flush(lint: &'static str, path: &Path, pending: &mut Vec<DepEntry>, out: &mut Vec<Diagnostic>) {
+    for entry in pending.drain(..) {
+        if !entry.local {
+            out.push(Diagnostic {
+                lint,
+                path: path.to_path_buf(),
+                line: entry.line,
+                col: 1,
+                message: format!(
+                    "dependency `{}` does not resolve locally; use `path = \"…\"` to a \
+                     `vendor/` stand-in (or `workspace = true`) — registry/git sources \
+                     break the offline build",
+                    entry.name
+                ),
+                snippet: entry.snippet,
+            });
+        }
+    }
+}
+
+/// Whether a single-line dependency entry value resolves locally: an inline
+/// table carrying a `path` key or `workspace = true`.
+fn entry_is_local(value: &str) -> bool {
+    has_key(value, "path") || (has_key(value, "workspace") && value.contains("true"))
+}
+
+/// Whether `value` contains `key` as a TOML key (word-bounded, followed by
+/// `=`), not merely as a substring of a version string or another key.
+fn has_key(value: &str, key: &str) -> bool {
+    let bytes = value.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = value[from..].find(key).map(|p| p + from) {
+        let before_ok = pos == 0
+            || !(bytes[pos - 1].is_ascii_alphanumeric()
+                || bytes[pos - 1] == b'_'
+                || bytes[pos - 1] == b'-');
+        let after = value[pos + key.len()..].trim_start();
+        if before_ok && after.starts_with('=') {
+            return true;
+        }
+        from = pos + key.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(text: &str) -> Vec<Diagnostic> {
+        VendorDiscipline.check_manifest(&PathBuf::from("Cargo.toml"), text)
+    }
+
+    #[test]
+    fn path_workspace_and_dotted_deps_are_clean() {
+        let text = "\
+[package]
+name = \"x\"
+
+[dependencies]
+acd-sfc = { path = \"../sfc\" }
+rand = { workspace = true }
+serde.workspace = true
+zorder.path = \"../zorder\"
+
+[dev-dependencies]
+proptest = { path = \"../../vendor/proptest\" }
+";
+        assert!(run(text).is_empty(), "{:?}", run(text));
+    }
+
+    #[test]
+    fn bare_versions_and_git_sources_are_flagged() {
+        let text = "\
+[dependencies]
+rand = \"0.8\"
+serde = { version = \"1\", features = [\"derive\"] }
+left-pad = { git = \"https://example.invalid/left-pad\" }
+ok = { path = \"../ok\" }
+";
+        let diags = run(text);
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags[0].message.contains("`rand`"));
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[1].message.contains("`serde`"));
+        assert!(diags[2].message.contains("`left-pad`"));
+    }
+
+    #[test]
+    fn dotted_version_without_path_is_flagged() {
+        let text = "\
+[dependencies]
+bad.version = \"2\"
+good.version = \"1\"
+good.path = \"../good\"
+";
+        let diags = run(text);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`bad`"));
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn dependency_subtables_are_tracked_to_their_end() {
+        let text = "\
+[dependencies.good]
+version = \"1\"
+path = \"../good\"
+
+[dependencies.bad]
+version = \"2\"
+
+[features]
+default = []
+";
+        let diags = run(text);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`bad`"));
+        assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn non_dependency_tables_are_ignored() {
+        let text = "\
+[package]
+name = \"x\"
+version = \"0.1.0\"
+
+[features]
+net = []
+
+[workspace.dependencies]
+acd-core = { path = \"crates/core\" }
+";
+        assert!(run(text).is_empty());
+    }
+
+    #[test]
+    fn dep_named_like_path_does_not_false_negative() {
+        // A dependency whose *name* contains "path" but whose value is a bare
+        // version must still be flagged.
+        let text = "[dependencies]\npathfinding = \"4\"\n";
+        assert_eq!(run(text).len(), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! A lexed source file plus the `acd-lint` comment directives found in it.
+
+use std::path::PathBuf;
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// An inline suppression: `// acd-lint: allow(<lint>) <reason>`.
+///
+/// The directive suppresses diagnostics of `lint` on its own line (trailing
+/// form) or the line directly below (standalone form). The reason text is
+/// **required** — an empty reason is itself reported by the driver, so every
+/// suppression in the tree documents why the invariant is waived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    pub lint: String,
+    pub reason: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// A lexed file with its directives and test-region map.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as it should appear in diagnostics (workspace-relative when
+    /// produced by a workspace run).
+    pub path: PathBuf,
+    pub text: String,
+    pub tokens: Vec<Token>,
+    /// Lines carrying a `// acd-lint: hot` marker (each marks the next `fn`).
+    pub hot_markers: Vec<usize>,
+    pub allows: Vec<Allow>,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and extracts directives and test regions.
+    pub fn parse(path: PathBuf, text: String) -> SourceFile {
+        let tokens = lex(&text);
+        let mut hot_markers = Vec::new();
+        let mut allows = Vec::new();
+        for token in &tokens {
+            if !token.is_comment() {
+                continue;
+            }
+            let body = token
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim();
+            let Some(directive) = body.strip_prefix("acd-lint:") else {
+                continue;
+            };
+            let directive = directive.trim();
+            if directive == "hot" {
+                hot_markers.push(token.line);
+            } else if let Some(rest) = directive.strip_prefix("allow(") {
+                let (lint, reason) = match rest.split_once(')') {
+                    Some((lint, reason)) => (lint.trim().to_string(), reason.trim()),
+                    None => (rest.trim().to_string(), ""),
+                };
+                // Strip a leading em-dash/colon separator from the reason.
+                let reason = reason
+                    .trim_start_matches(['—', '-', ':', ' '])
+                    .trim()
+                    .to_string();
+                allows.push(Allow {
+                    lint,
+                    reason,
+                    line: token.line,
+                    col: token.col,
+                });
+            }
+            // Unknown directives are left to `lint-directive` in the driver.
+        }
+        let test_regions = find_test_regions(&tokens);
+        SourceFile {
+            path,
+            text,
+            tokens,
+            hot_markers,
+            allows,
+            test_regions,
+        }
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// The trimmed text of source line `line` (1-based).
+    pub fn line_text(&self, line: usize) -> String {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1))
+            .unwrap_or("")
+            .trim_end()
+            .to_string()
+    }
+
+    /// Builds a diagnostic anchored at `token`.
+    pub fn diagnostic(&self, lint: &'static str, token: &Token, message: String) -> Diagnostic {
+        Diagnostic {
+            lint,
+            path: self.path.clone(),
+            line: token.line,
+            col: token.col,
+            message,
+            snippet: self.line_text(token.line),
+        }
+    }
+
+    /// Whether a diagnostic of `lint` at `line` is covered by an allow
+    /// directive (trailing on the same line, or standalone on the line
+    /// above). Only allows with a reason count — reason-less allows are
+    /// reported separately and do not suppress.
+    pub fn is_allowed(&self, lint: &str, line: usize) -> bool {
+        self.allows.iter().any(|a| {
+            a.lint == lint && !a.reason.is_empty() && (a.line == line || a.line + 1 == line)
+        })
+    }
+}
+
+/// Finds `#[cfg(test)]` attributes and maps each to the line range of the
+/// item it gates (to the matching `}` of the item's block, or to the `;` of
+/// a block-less item).
+fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut i = 0usize;
+    while i + 6 < code.len() {
+        let is_cfg_test = code[i].is_punct('#')
+            && code[i + 1].is_punct('[')
+            && code[i + 2].is_ident("cfg")
+            && code[i + 3].is_punct('(')
+            && code[i + 4].is_ident("test")
+            && code[i + 5].is_punct(')')
+            && code[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = code[i].line;
+        let mut j = i + 7;
+        let mut end_line = start_line;
+        // Scan to the gated item's end: the matching `}` of its first block,
+        // or a `;` before any block opens.
+        while j < code.len() {
+            if code[j].is_punct(';') {
+                end_line = code[j].line;
+                break;
+            }
+            if code[j].is_punct('{') {
+                let mut depth = 1usize;
+                j += 1;
+                while j < code.len() && depth > 0 {
+                    if code[j].is_punct('{') {
+                        depth += 1;
+                    } else if code[j].is_punct('}') {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                end_line = code[j.saturating_sub(1).min(code.len() - 1)].line;
+                break;
+            }
+            j += 1;
+        }
+        if j >= code.len() {
+            end_line = code.last().map(|t| t.line).unwrap_or(start_line);
+        }
+        regions.push((start_line, end_line));
+        i = j.max(i + 7);
+    }
+    regions
+}
+
+/// Convenience used by lints: does `tokens[i]` look like the method of a
+/// `.name(…)` call? Returns true when the previous code token is `.` and the
+/// next is `(`.
+pub fn is_method_call(code: &[&Token], i: usize) -> bool {
+    i > 0
+        && code[i - 1].is_punct('.')
+        && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+        && code[i].kind == TokenKind::Ident
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_hot_and_allow_directives() {
+        let src = "\
+// acd-lint: hot
+fn f() {}
+// acd-lint: allow(panic-hygiene) guard recovery is the idiom
+fn g() {}
+// acd-lint: allow(hot-path-alloc)
+fn h() {}
+";
+        let file = SourceFile::parse(PathBuf::from("x.rs"), src.to_string());
+        assert_eq!(file.hot_markers, vec![1]);
+        assert_eq!(file.allows.len(), 2);
+        assert_eq!(file.allows[0].lint, "panic-hygiene");
+        assert_eq!(file.allows[0].reason, "guard recovery is the idiom");
+        assert!(file.allows[1].reason.is_empty());
+        assert!(file.is_allowed("panic-hygiene", 4));
+        assert!(!file.is_allowed("panic-hygiene", 6));
+        // Reason-less allows never suppress.
+        assert!(!file.is_allowed("hot-path-alloc", 6));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let src = "\
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let x = 1;
+    }
+}
+fn after() {}
+";
+        let file = SourceFile::parse(PathBuf::from("x.rs"), src.to_string());
+        assert_eq!(file.test_regions, vec![(2, 7)]);
+        assert!(file.in_test_region(5));
+        assert!(!file.in_test_region(1));
+        assert!(!file.in_test_region(8));
+    }
+
+    #[test]
+    fn block_less_cfg_test_items_end_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn real() {}\n";
+        let file = SourceFile::parse(PathBuf::from("x.rs"), src.to_string());
+        assert_eq!(file.test_regions, vec![(1, 2)]);
+        assert!(!file.in_test_region(3));
+    }
+}

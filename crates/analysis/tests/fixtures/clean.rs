@@ -1,0 +1,12 @@
+//! Control fixture: violates nothing. Not compiled — linted by
+//! `tests/fixtures.rs`.
+
+/// Ordered acquisition, no allocation markers, no panics.
+pub fn well_behaved(
+    starts: &std::sync::RwLock<Vec<u64>>,
+    stats: &std::sync::Mutex<u64>,
+) -> Option<u64> {
+    let layout = starts.read().ok()?;
+    let total = stats.lock().ok()?;
+    layout.first().map(|f| f + *total)
+}

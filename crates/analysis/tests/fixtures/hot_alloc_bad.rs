@@ -1,0 +1,15 @@
+//! Must-fail fixture for the `hot-path-alloc` lint: a function marked hot
+//! that allocates. Not compiled — linted by `tests/fixtures.rs`.
+
+// acd-lint: hot
+pub fn sum_labels(xs: &[u32]) -> usize {
+    let copy = xs.to_vec();
+    let label = format!("{} entries", copy.len());
+    let boxed = Box::new(copy);
+    label.len() + boxed.len()
+}
+
+/// Unmarked: the same calls are fine here.
+pub fn cold_copy(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}

@@ -1,0 +1,28 @@
+//! Must-fail fixture for the `lock-order` lint: acquires locks against the
+//! documented hierarchy. Not compiled — linted by `tests/fixtures.rs`.
+
+struct Index {
+    starts: std::sync::RwLock<Vec<u64>>,
+    registry: std::sync::Mutex<()>,
+    stats: std::sync::Mutex<()>,
+}
+
+impl Index {
+    fn backwards(&self) {
+        let _s = self.stats.lock();
+        // stats (rank 110) is held: registry (rank 20) must not follow.
+        let _r = self.registry.lock();
+    }
+
+    fn shard_then_layout(&self, shards: &[std::sync::RwLock<()>]) {
+        let _guard = shards[0].read();
+        // A shard lock (rank 30) is held: the layout lock (rank 10) is lower.
+        let _layout = self.starts.read();
+    }
+
+    fn double_registry(&self) {
+        let _a = self.registry.lock();
+        // The registry class is not multi: re-acquisition self-deadlocks.
+        let _b = self.registry.lock();
+    }
+}

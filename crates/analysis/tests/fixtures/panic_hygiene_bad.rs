@@ -1,0 +1,19 @@
+//! Must-fail fixture for the `panic-hygiene` lint. Not compiled — linted by
+//! `tests/fixtures.rs`.
+
+pub fn brittle(input: Option<u32>, pairs: &[(u32, u32)]) -> u32 {
+    let first = input.unwrap();
+    let second = pairs.first().expect("");
+    if first > second.0 {
+        panic!("first too large");
+    }
+    match first {
+        0 => unreachable!(),
+        n => n,
+    }
+}
+
+/// A justified expect with a real message is allowed.
+pub fn sturdy(input: Option<u32>) -> u32 {
+    input.expect("caller checked is_some")
+}

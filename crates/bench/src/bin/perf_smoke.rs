@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! perf_smoke [--n N] [--queries Q] [--out FILE] [--assert-budget FILE] [--no-eager]
-//!            [--churn-millis MS] [--compare FILE] [--trend-out FILE]
+//!            [--churn-millis MS] [--compare FILE]... [--trend-out FILE]
 //! ```
 //!
 //! * `--n` / `--queries` — workload size (defaults: 10000 subscriptions,
@@ -18,10 +18,12 @@
 //! * `--churn-millis MS` — wall-clock window of each sharded churn and
 //!   drift measurement (default 300; 0 skips both phases, which then fails
 //!   the budget gate);
-//! * `--compare FILE` — a previous run's report; prints a markdown
-//!   perf-trend delta table (missing or incompatible files are reported
-//!   and skipped, never fatal — the first nightly run has no previous
-//!   artifact);
+//! * `--compare FILE` — a previous run's report; repeatable. With one file
+//!   the trend table diffs point-to-point; with several the baseline is the
+//!   per-metric **median** across them (the nightly workflow passes the last
+//!   5 artifacts, so one noisy night cannot fake a regression). Missing or
+//!   incompatible files are reported and skipped, never fatal — the first
+//!   nightly run has no previous artifact;
 //! * `--trend-out FILE` — also write that markdown table to `FILE` (for
 //!   `$GITHUB_STEP_SUMMARY`).
 
@@ -37,7 +39,7 @@ struct Args {
     assert_budget: Option<PathBuf>,
     include_eager: bool,
     churn_millis: u64,
-    compare: Option<PathBuf>,
+    compare: Vec<PathBuf>,
     trend_out: Option<PathBuf>,
 }
 
@@ -49,7 +51,7 @@ fn parse_args() -> Result<Args, String> {
         assert_budget: None,
         include_eager: true,
         churn_millis: 300,
-        compare: None,
+        compare: Vec::new(),
         trend_out: None,
     };
     let mut iter = std::env::args().skip(1);
@@ -70,7 +72,7 @@ fn parse_args() -> Result<Args, String> {
                 args.assert_budget = Some(PathBuf::from(value("--assert-budget")?))
             }
             "--no-eager" => args.include_eager = false,
-            "--compare" => args.compare = Some(PathBuf::from(value("--compare")?)),
+            "--compare" => args.compare.push(PathBuf::from(value("--compare")?)),
             "--trend-out" => args.trend_out = Some(PathBuf::from(value("--trend-out")?)),
             "--churn-millis" => {
                 args.churn_millis = value("--churn-millis")?
@@ -81,7 +83,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: perf_smoke [--n N] [--queries Q] [--out FILE] \
                      [--assert-budget FILE] [--no-eager] [--churn-millis MS] \
-                     [--compare FILE] [--trend-out FILE]"
+                     [--compare FILE]... [--trend-out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -159,54 +161,70 @@ fn main() -> ExitCode {
     }
     eprintln!("perf-smoke: report written to {}", args.out.display());
 
-    if let Some(compare_path) = &args.compare {
+    if !args.compare.is_empty() {
         // Best-effort by design: the first run after a report-format change
         // (or the very first nightly) has nothing comparable to diff
         // against, and that must not fail the job.
-        match std::fs::read_to_string(compare_path)
-            .map_err(|e| e.to_string())
-            .and_then(|text| {
-                serde_json::from_str::<ci::PerfSmokeReport>(&text).map_err(|e| e.to_string())
-            }) {
-            Ok(previous) => {
-                let table = ci::trend_table(&previous, &report);
-                println!(
-                    "
-### Perf trend vs {}
-
-{table}",
-                    compare_path.display()
-                );
-                if let Some(trend_path) = &args.trend_out {
-                    let body = format!(
-                        "### Nightly perf trend (vs previous run)
-
-{table}"
-                    );
-                    if let Err(e) = std::fs::write(trend_path, body) {
-                        eprintln!("error: writing {}: {e}", trend_path.display());
-                        return ExitCode::FAILURE;
-                    }
-                    eprintln!(
-                        "perf-smoke: trend table written to {}",
-                        trend_path.display()
-                    );
-                }
+        let mut history = Vec::new();
+        for path in &args.compare {
+            match std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| {
+                    serde_json::from_str::<ci::PerfSmokeReport>(&text).map_err(|e| e.to_string())
+                }) {
+                Ok(previous) => history.push(previous),
+                Err(e) => eprintln!(
+                    "perf-smoke: skipping unusable previous report {} ({e})",
+                    path.display()
+                ),
             }
-            Err(e) => {
-                eprintln!(
-                    "perf-smoke: no usable previous report at {} ({e}); skipping trend",
-                    compare_path.display()
-                );
-                if let Some(trend_path) = &args.trend_out {
-                    let _ = std::fs::write(
-                        trend_path,
-                        "### Nightly perf trend
+        }
+        if history.is_empty() {
+            eprintln!("perf-smoke: no usable previous report; skipping trend");
+            if let Some(trend_path) = &args.trend_out {
+                let _ = std::fs::write(
+                    trend_path,
+                    "### Nightly perf trend
 
 No previous report to compare against.
 ",
-                    );
+                );
+            }
+        } else {
+            // One usable report: point-to-point diff. Several: diff against
+            // their per-metric median, which a single noisy night barely
+            // moves.
+            let (table, baseline_label) = if history.len() == 1 {
+                (
+                    ci::trend_table(&history[0], &report),
+                    "previous run".to_string(),
+                )
+            } else {
+                (
+                    ci::trend_table_median(&history, &report),
+                    format!("median of last {} runs", history.len()),
+                )
+            };
+            println!(
+                "
+### Perf trend vs {baseline_label}
+
+{table}"
+            );
+            if let Some(trend_path) = &args.trend_out {
+                let body = format!(
+                    "### Nightly perf trend (vs {baseline_label})
+
+{table}"
+                );
+                if let Err(e) = std::fs::write(trend_path, body) {
+                    eprintln!("error: writing {}: {e}", trend_path.display());
+                    return ExitCode::FAILURE;
                 }
+                eprintln!(
+                    "perf-smoke: trend table written to {}",
+                    trend_path.display()
+                );
             }
         }
     }

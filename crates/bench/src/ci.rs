@@ -806,10 +806,53 @@ fn trend_metrics(report: &PerfSmokeReport) -> Vec<(&'static str, Option<f64>, bo
 /// (`⬆` improved, `⬇` regressed, `·` within ±2% noise). Used by the
 /// nightly workflow's job summary.
 pub fn trend_table(previous: &PerfSmokeReport, current: &PerfSmokeReport) -> String {
-    let prev = trend_metrics(previous);
+    render_trend_table("previous", trend_metrics(previous), trend_metrics(current))
+}
+
+/// Like [`trend_table`], but the baseline column is the per-metric **median**
+/// over `history` (the last k nightly reports, any order). A single noisy
+/// nightly run shifts a point-to-point delta twice — once as `current`, once
+/// as next night's `previous` — while it barely moves a k-run median, so this
+/// is the table the nightly workflow prefers once enough artifacts exist.
+/// Metrics missing from some historical reports (older format versions) take
+/// the median of the runs that do have them.
+pub fn trend_table_median(history: &[PerfSmokeReport], current: &PerfSmokeReport) -> String {
+    let per_report: Vec<_> = history.iter().map(trend_metrics).collect();
     let cur = trend_metrics(current);
-    let mut out = String::from("| metric | previous | current | delta |\n|---|---:|---:|---:|\n");
-    for ((label, prev_value, lower_is_better), (_, cur_value, _)) in prev.into_iter().zip(cur) {
+    let baseline = cur
+        .iter()
+        .enumerate()
+        .map(|(i, &(label, _, lower_is_better))| {
+            let mut values: Vec<f64> = per_report.iter().filter_map(|r| r[i].1).collect();
+            (label, median(&mut values), lower_is_better)
+        })
+        .collect();
+    let header = format!("median (k={})", history.len());
+    render_trend_table(&header, baseline, cur)
+}
+
+/// Median of `values` (sorted in place); `None` when empty.
+fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = values.len();
+    Some(if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    })
+}
+
+fn render_trend_table(
+    baseline_header: &str,
+    baseline: Vec<(&'static str, Option<f64>, bool)>,
+    cur: Vec<(&'static str, Option<f64>, bool)>,
+) -> String {
+    let mut out =
+        format!("| metric | {baseline_header} | current | delta |\n|---|---:|---:|---:|\n");
+    for ((label, prev_value, lower_is_better), (_, cur_value, _)) in baseline.into_iter().zip(cur) {
         let cell = |v: Option<f64>| match v {
             Some(v) if v.abs() >= 1000.0 => format!("{v:.0}"),
             Some(v) => format!("{v:.2}"),
@@ -958,6 +1001,44 @@ mod tests {
         assert!(table.contains('·'), "{table}");
         // Every metric row rendered.
         assert_eq!(table.lines().count(), 2 + trend_metrics(&previous).len());
+    }
+
+    #[test]
+    fn median_is_robust_to_a_single_outlier_run() {
+        assert_eq!(median(&mut []), None);
+        assert_eq!(median(&mut [3.0]), Some(3.0));
+        assert_eq!(median(&mut [1.0, 100.0, 2.0]), Some(2.0));
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn trend_table_median_baselines_against_history() {
+        let base = run(300, 10, false, 20);
+        // Three historical runs: two at 1x latency, one outlier at 10x. The
+        // median ignores the outlier, so a current run at 1x shows ~0% delta.
+        let mut outlier = base.clone();
+        if let Some(p) = outlier
+            .policies
+            .iter_mut()
+            .find(|p| p.name == "sfc-z-exhaustive")
+        {
+            p.mean_latency_us *= 10.0;
+        }
+        let history = vec![base.clone(), outlier, base.clone()];
+        let table = trend_table_median(&history, &base);
+        assert!(
+            table.contains("| metric | median (k=3) | current | delta |"),
+            "{table}"
+        );
+        let latency_row = table
+            .lines()
+            .find(|l| l.contains("exact-SFC mean query latency"))
+            .unwrap();
+        assert!(
+            latency_row.contains("+0.0%") || latency_row.contains("-0.0%"),
+            "{latency_row}"
+        );
+        assert_eq!(table.lines().count(), 2 + trend_metrics(&base).len());
     }
 
     #[test]

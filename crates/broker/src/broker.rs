@@ -325,6 +325,7 @@ impl Broker {
     /// form used on the event delivery hot path (a broker fanning out
     /// thousands of events per second would otherwise build a fresh `Vec`
     /// per event).
+    // acd-lint: hot
     pub fn matching_local_clients_iter<'a>(
         &'a self,
         event: &'a Event,

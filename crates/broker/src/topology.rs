@@ -221,7 +221,12 @@ impl Topology {
                 }
             }
         }
-        unreachable!("topology is connected by construction")
+        // A tree reaches every broker, so BFS exhausting the queue without
+        // hitting `to` means the invariant was broken elsewhere; report it
+        // instead of panicking the routing layer.
+        Err(BrokerError::InvalidTopology {
+            reason: format!("no path from broker {from} to broker {to}"),
+        })
     }
 
     fn is_connected(&self) -> bool {

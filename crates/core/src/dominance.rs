@@ -389,6 +389,7 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
     /// at-or-after it — via the arithmetic fast seek when the curve has one
     /// ([`SpaceFillingCurve::region_seeker`], the Z curve's BIGMIN), or via
     /// the seekable lazily-merging [`RunStream`] otherwise.
+    // acd-lint: hot
     fn query_skip<F>(
         &self,
         query: &Point,

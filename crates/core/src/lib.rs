@@ -67,6 +67,7 @@ pub mod dominance;
 mod error;
 pub mod index;
 pub mod linear;
+pub mod ordered;
 pub mod policy;
 pub mod pool;
 pub mod rebalance;
@@ -79,6 +80,7 @@ pub use dominance::PointDominanceIndex;
 pub use error::CoveringError;
 pub use index::CoveringIndex;
 pub use linear::LinearScanIndex;
+pub use ordered::{OrderedMutex, OrderedRwLock};
 pub use policy::{CoveringPolicy, PoolPolicy, RebalancePolicy};
 pub use pool::QueryPool;
 pub use rebalance::RebalanceOutcome;

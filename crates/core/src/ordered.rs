@@ -1,0 +1,323 @@
+//! Rank-checked lock wrappers enforcing the documented lock hierarchy.
+//!
+//! [`ShardedCoveringIndex`](crate::ShardedCoveringIndex) documents a strict
+//! acquisition order — layout → registry → shard locks (ascending) → policy
+//! → stats — and `acd-lint`'s `lock-order` pass checks it syntactically.
+//! Syntax cannot see through helper functions or closures, so these wrappers
+//! add the runtime half of the contract: under `debug_assertions`, every
+//! acquisition asserts that its rank is **strictly greater** than every rank
+//! already held by the current thread (tracked in a thread-local stack), and
+//! panics naming both lock classes when the order is violated. Release
+//! builds compile the tracking away entirely — the wrappers are then plain
+//! `RwLock`/`Mutex` with poison recovery folded in.
+//!
+//! Ranks are assigned per class (see `LOCKING.md` and the mirrored table in
+//! `acd-analysis`); shard locks take `RANK_SHARD_BASE + shard_index`, so the
+//! "ascending shard order" rule falls out of the strict-increase check.
+//!
+//! Poison recovery (`unwrap_or_else(|e| e.into_inner())`) lives *inside*
+//! these wrappers: a panic mid-update can at worst leave a stale statistic,
+//! never a torn index, so continuing past a poisoned lock is sound and call
+//! sites stay free of `unwrap`-shaped noise.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Rank of the shard-layout lock (`starts`).
+pub const RANK_LAYOUT: u32 = 10;
+/// Rank of the subscription registry lock.
+pub const RANK_REGISTRY: u32 = 20;
+/// Base rank of the per-shard locks; shard `i` gets `RANK_SHARD_BASE + i`,
+/// which stays below [`RANK_POLICY`] because shard counts are capped at
+/// [`crate::sharded::MAX_SHARDS`].
+pub const RANK_SHARD_BASE: u32 = 30;
+/// Rank of the rebalance-policy lock.
+pub const RANK_POLICY: u32 = 100;
+/// Rank of the pool-policy lock (same class as [`RANK_POLICY`], ordered
+/// after it so holding both in that order is legal).
+pub const RANK_POOL_POLICY: u32 = 101;
+/// Rank of the aggregate-statistics lock.
+pub const RANK_STATS: u32 = 110;
+
+/// The lock classes in acquisition order: `(base rank, class name)`.
+///
+/// This table is the single runtime source of truth mirrored by the static
+/// table in `acd-analysis` (`lints::lock_order::LOCK_CLASSES`) and by the
+/// prose in `LOCKING.md`; a workspace test cross-checks the two.
+pub fn rank_table() -> &'static [(u32, &'static str)] {
+    &[
+        (RANK_LAYOUT, "layout"),
+        (RANK_REGISTRY, "registry"),
+        (RANK_SHARD_BASE, "shard"),
+        (RANK_POLICY, "policy"),
+        (RANK_STATS, "stats"),
+    ]
+}
+
+#[cfg(debug_assertions)]
+mod tracking {
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT_TOKEN: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        /// Locks held by this thread: `(token, rank, class name)`.
+        static HELD: RefCell<Vec<(u64, u32, &'static str)>> =
+            const { RefCell::new(Vec::new()) };
+    }
+
+    /// Proof of a tracked acquisition; dropping it releases the rank.
+    #[derive(Debug)]
+    pub struct Held {
+        token: u64,
+    }
+
+    impl Held {
+        /// Asserts the strict-increase invariant against every rank the
+        /// current thread holds, then records the acquisition. Runs *before*
+        /// blocking on the lock — a true deadlock would otherwise block the
+        /// assertion forever.
+        pub fn acquire(rank: u32, name: &'static str) -> Held {
+            let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+            HELD.with(|cell| {
+                let mut held = cell.borrow_mut();
+                if let Some(&(_, top_rank, top_name)) =
+                    held.iter().max_by_key(|&&(_, rank, _)| rank)
+                {
+                    assert!(
+                        rank > top_rank,
+                        "lock-order violation: acquiring `{name}` (rank {rank}) while \
+                         holding `{top_name}` (rank {top_rank}); locks must be taken in \
+                         the order layout → registry → shards (ascending) → policy → \
+                         stats — see LOCKING.md"
+                    );
+                }
+                held.push((token, rank, name));
+            });
+            Held { token }
+        }
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            // Remove by token rather than popping: guards may be dropped in
+            // any order (rebalance drops its shard-guard Vec front to back).
+            HELD.with(|cell| {
+                let mut held = cell.borrow_mut();
+                if let Some(i) = held.iter().position(|&(t, _, _)| t == self.token) {
+                    held.swap_remove(i);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod tracking {
+    /// Release builds: no tracking, zero size, nothing to drop.
+    #[derive(Debug)]
+    pub struct Held;
+
+    impl Held {
+        #[inline(always)]
+        pub fn acquire(_rank: u32, _name: &'static str) -> Held {
+            Held
+        }
+    }
+}
+
+use tracking::Held;
+
+/// An `RwLock` that carries its rank in the documented lock hierarchy.
+#[derive(Debug)]
+pub struct OrderedRwLock<T> {
+    rank: u32,
+    name: &'static str,
+    inner: RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// Wraps `value` in a lock of the given rank and class name.
+    pub fn new(rank: u32, name: &'static str, value: T) -> OrderedRwLock<T> {
+        OrderedRwLock {
+            rank,
+            name,
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Shared acquisition; recovers from poisoning.
+    pub fn read(&self) -> OrderedReadGuard<'_, T> {
+        let held = Held::acquire(self.rank, self.name);
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        OrderedReadGuard { guard, _held: held }
+    }
+
+    /// Exclusive acquisition; recovers from poisoning.
+    pub fn write(&self) -> OrderedWriteGuard<'_, T> {
+        let held = Held::acquire(self.rank, self.name);
+        let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        OrderedWriteGuard { guard, _held: held }
+    }
+}
+
+/// A `Mutex` that carries its rank in the documented lock hierarchy.
+#[derive(Debug)]
+pub struct OrderedMutex<T> {
+    rank: u32,
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wraps `value` in a mutex of the given rank and class name.
+    pub fn new(rank: u32, name: &'static str, value: T) -> OrderedMutex<T> {
+        OrderedMutex {
+            rank,
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Exclusive acquisition; recovers from poisoning.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        let held = Held::acquire(self.rank, self.name);
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        OrderedMutexGuard { guard, _held: held }
+    }
+}
+
+/// Shared guard for an [`OrderedRwLock`]; releases its rank on drop.
+#[derive(Debug)]
+pub struct OrderedReadGuard<'a, T> {
+    guard: RwLockReadGuard<'a, T>,
+    _held: Held,
+}
+
+/// Exclusive guard for an [`OrderedRwLock`]; releases its rank on drop.
+#[derive(Debug)]
+pub struct OrderedWriteGuard<'a, T> {
+    guard: RwLockWriteGuard<'a, T>,
+    _held: Held,
+}
+
+/// Guard for an [`OrderedMutex`]; releases its rank on drop.
+#[derive(Debug)]
+pub struct OrderedMutexGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    _held: Held,
+}
+
+impl<T> Deref for OrderedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> Deref for OrderedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for OrderedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_table_is_strictly_increasing() {
+        let table = rank_table();
+        assert!(table.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn in_order_acquisitions_succeed() {
+        let layout = OrderedRwLock::new(RANK_LAYOUT, "layout", 0u32);
+        let registry = OrderedMutex::new(RANK_REGISTRY, "registry", 0u32);
+        let shard0 = OrderedRwLock::new(RANK_SHARD_BASE, "shard", 0u32);
+        let shard1 = OrderedRwLock::new(RANK_SHARD_BASE + 1, "shard", 0u32);
+        let stats = OrderedMutex::new(RANK_STATS, "stats", 0u32);
+
+        let a = layout.read();
+        let b = registry.lock();
+        let c = shard0.write();
+        let d = shard1.write();
+        let e = stats.lock();
+        assert_eq!(*a + *b + *c + *d + *e, 0);
+    }
+
+    #[test]
+    fn guards_release_their_rank_on_drop() {
+        let registry = OrderedMutex::new(RANK_REGISTRY, "registry", ());
+        let layout = OrderedRwLock::new(RANK_LAYOUT, "layout", ());
+        drop(registry.lock());
+        // `layout` has a lower rank; legal only because the registry guard
+        // is gone.
+        let _g = layout.read();
+    }
+
+    #[test]
+    fn out_of_order_drops_are_tracked_correctly() {
+        let shard0 = OrderedRwLock::new(RANK_SHARD_BASE, "shard", ());
+        let shard1 = OrderedRwLock::new(RANK_SHARD_BASE + 1, "shard", ());
+        let g0 = shard0.write();
+        let g1 = shard1.write();
+        drop(g0); // dropped before g1 — front-to-back like rebalance()
+        drop(g1);
+        let _again = shard0.write();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "acquiring `registry` (rank 20) while holding `shard` (rank 30)")]
+    fn out_of_order_acquisition_panics_naming_both_classes() {
+        let shard = OrderedRwLock::new(RANK_SHARD_BASE, "shard", ());
+        let registry = OrderedMutex::new(RANK_REGISTRY, "registry", ());
+        let _s = shard.read();
+        let _r = registry.lock(); // rank 20 after rank 30: must panic
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn same_shard_reacquisition_panics() {
+        let shard = OrderedRwLock::new(RANK_SHARD_BASE + 3, "shard", ());
+        let _a = shard.read();
+        let _b = shard.read(); // equal rank: not strictly increasing
+    }
+
+    #[test]
+    fn poisoned_locks_recover() {
+        use std::sync::Arc;
+        let lock = Arc::new(OrderedMutex::new(RANK_STATS, "stats", 7u32));
+        let poisoner = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _g = poisoner.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*lock.lock(), 7);
+    }
+}

@@ -17,6 +17,7 @@
 //! result channel and falls back to querying inline).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -62,6 +63,10 @@ pub struct QueryPool {
     /// drop so the workers run dry and exit.
     sender: Option<mpsc::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs that panicked inside a worker (the worker itself survives).
+    /// Exposed via [`panicked_workers`](Self::panicked_workers) so callers
+    /// can tell "results missing because a job died" from ordinary timing.
+    panics: Arc<AtomicUsize>,
 }
 
 impl QueryPool {
@@ -71,9 +76,11 @@ impl QueryPool {
         let workers = workers.max(1);
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
+        let panics = Arc::new(AtomicUsize::new(0));
         let workers = (0..workers)
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
+                let panics = Arc::clone(&panics);
                 std::thread::Builder::new()
                     .name(format!("acd-query-{i}"))
                     .spawn(move || loop {
@@ -83,9 +90,12 @@ impl QueryPool {
                         match job {
                             // A panicking job must not kill the worker: the
                             // pool is shared by every query of the index's
-                            // lifetime.
+                            // lifetime. Count it so callers can attribute
+                            // missing results.
                             Ok(job) => {
-                                let _ = catch_unwind(AssertUnwindSafe(job));
+                                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                    panics.fetch_add(1, Ordering::Relaxed);
+                                }
                             }
                             Err(_) => break,
                         }
@@ -96,12 +106,21 @@ impl QueryPool {
         QueryPool {
             sender: Some(sender),
             workers,
+            panics,
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Number of jobs that have panicked inside a worker since the pool was
+    /// created. Workers survive job panics, so this is a cumulative health
+    /// counter: a nonzero value explains result channels that disconnected
+    /// without delivering.
+    pub fn panicked_workers(&self) -> usize {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// Enqueues a job; some worker runs it as soon as one is free.
@@ -183,6 +202,20 @@ mod tests {
         pool.execute(|| panic!("job panic must be contained"));
         pool.execute(move || tx.send(7u32).unwrap());
         assert_eq!(rx.recv_timeout(Duration::from_secs(30)), Ok(7));
+    }
+
+    #[test]
+    fn panicked_jobs_are_counted() {
+        let pool = QueryPool::new(1);
+        assert_eq!(pool.panicked_workers(), 0);
+        let (tx, rx) = mpsc::channel();
+        pool.execute(|| panic!("first panic"));
+        pool.execute(|| panic!("second panic"));
+        // A single worker runs jobs in order, so once this sentinel lands
+        // both panics have been counted.
+        pool.execute(move || tx.send(()).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(30)), Ok(()));
+        assert_eq!(pool.panicked_workers(), 2);
     }
 
     #[test]

@@ -341,6 +341,7 @@ impl SfcCoveringIndex {
     /// # Errors
     ///
     /// Returns an error if the query's schema does not match the index.
+    // acd-lint: hot
     pub fn find_covering_ref(&self, query: &Subscription) -> Result<QueryOutcome> {
         self.check_schema(query)?;
         let query_point = dominance_point(query)?;

@@ -4,7 +4,8 @@
 //! *SFC key range*: shard `i` owns a contiguous slice of the dominance-space
 //! key line, and a subscription lives in the shard that contains its forward
 //! dominance key. Each shard is a complete [`SfcCoveringIndex`] behind its
-//! own [`RwLock`], so queries proceed concurrently with each other and with
+//! own rank-checked [`OrderedRwLock`], so
+//! queries proceed concurrently with each other and with
 //! updates to *other* shards; only a write to the same shard excludes
 //! readers.
 //!
@@ -62,7 +63,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock};
+use std::sync::{mpsc, Arc, Once, OnceLock};
 
 use acd_sfc::{CurveKind, Key, SpaceFillingCurve};
 use acd_subscription::{dominance_point, dominance_universe, Schema, SubId, Subscription};
@@ -70,6 +71,10 @@ use acd_subscription::{dominance_point, dominance_universe, Schema, SubId, Subsc
 use crate::config::ApproxConfig;
 use crate::error::CoveringError;
 use crate::index::CoveringIndex;
+use crate::ordered::{
+    OrderedMutex, OrderedRwLock, RANK_LAYOUT, RANK_POLICY, RANK_POOL_POLICY, RANK_REGISTRY,
+    RANK_SHARD_BASE, RANK_STATS,
+};
 use crate::policy::{PoolPolicy, RebalancePolicy};
 use crate::pool::QueryPool;
 use crate::rebalance::{imbalance_of, quantile_starts, shard_of_prefix, RebalanceOutcome};
@@ -160,23 +165,27 @@ pub struct ShardedCoveringIndex {
     /// The `RwLock` is the global-pause rendezvous: every index operation
     /// that routes by boundary or walks the shards holds it for read, a
     /// boundary migration holds it for write. Lock order is `starts` →
-    /// `registry` → shard locks (ascending) → `stats`; every code path
-    /// acquires a subset of that chain in that order.
-    starts: RwLock<Vec<u64>>,
+    /// `registry` → shard locks (ascending) → `stats` (see `LOCKING.md`);
+    /// every code path acquires a subset of that chain in that order. The
+    /// [`OrderedRwLock`]/[`OrderedMutex`] wrappers assert exactly that in
+    /// debug builds, and `acd-lint`'s `lock-order` pass checks it
+    /// statically.
+    starts: OrderedRwLock<Vec<u64>>,
     /// The shard array itself never changes length; the `Arc` lets pool
     /// workers (which need `'static` jobs) share it without borrowing
-    /// `self`.
-    shards: Arc<Vec<RwLock<SfcCoveringIndex>>>,
+    /// `self`. Shard `i`'s lock carries rank `RANK_SHARD_BASE + i`, so the
+    /// ascending-order rule is machine-checked too.
+    shards: Arc<Vec<OrderedRwLock<SfcCoveringIndex>>>,
     /// Which shard holds each stored identifier. The single writer-side
     /// rendezvous point: readers (covering queries) never touch it.
-    registry: Mutex<HashMap<SubId, u32>>,
+    registry: OrderedMutex<HashMap<SubId, u32>>,
     /// Query statistics aggregated at the sharded level (shards record only
     /// their own insert/remove counters; queries go through the read-only
     /// shard path). Migrations also fold retired shards' counters in here,
     /// so rebalancing never changes what [`stats`](Self::stats) reports.
-    stats: Mutex<IndexStats>,
+    stats: OrderedMutex<IndexStats>,
     /// Auto-rebalance policy; `None` leaves rebalancing to explicit calls.
-    rebalance_policy: RwLock<Option<RebalancePolicy>>,
+    rebalance_policy: OrderedRwLock<Option<RebalancePolicy>>,
     /// Updates since construction, counted only while a policy is armed
     /// (drives the `check_interval` trigger).
     ops_since_check: AtomicU64,
@@ -186,7 +195,11 @@ pub struct ShardedCoveringIndex {
     /// moment pool creation reads the policy, so a concurrent
     /// [`set_pool_policy`](Self::set_pool_policy) can never report success
     /// for a policy the pool did not use.
-    pool_policy: Mutex<PoolPolicyState>,
+    pool_policy: OrderedMutex<PoolPolicyState>,
+    /// Fires on the first parallel query that had to re-run shards inline
+    /// (a pool job panicked and never reported); logging only the first
+    /// occurrence keeps a sick pool from flooding stderr.
+    fallback_logged: Once,
 }
 
 /// See [`ShardedCoveringIndex::set_pool_policy`].
@@ -290,8 +303,8 @@ impl ShardedCoveringIndex {
         let mut partitions: Vec<Vec<&Subscription>> = vec![Vec::new(); shards];
         let index = Self::with_boundaries(schema, config, curve, starts)?;
         {
-            let starts = index.starts.read().unwrap_or_else(|e| e.into_inner());
-            let mut registry = index.registry.lock().unwrap_or_else(|e| e.into_inner());
+            let starts = index.starts.read();
+            let mut registry = index.registry.lock();
             for (prefix, sub) in keyed {
                 let shard = shard_of_prefix(&starts, prefix);
                 if registry.insert(sub.id(), shard as u32).is_some() {
@@ -302,9 +315,7 @@ impl ShardedCoveringIndex {
         }
         for (shard, part) in partitions.into_iter().enumerate() {
             let built = SfcCoveringIndex::build_from(schema, config, curve, part)?;
-            *index.shards[shard]
-                .write()
-                .unwrap_or_else(|e| e.into_inner()) = built;
+            *index.shards[shard].write() = built;
         }
         Ok(index)
     }
@@ -319,10 +330,13 @@ impl ShardedCoveringIndex {
         let universe = dominance_universe(schema)?;
         let shards = starts
             .iter()
-            .map(|_| {
-                Ok(RwLock::new(SfcCoveringIndex::with_curve(
-                    schema, config, curve,
-                )?))
+            .enumerate()
+            .map(|(i, _)| {
+                Ok(OrderedRwLock::new(
+                    RANK_SHARD_BASE + i as u32,
+                    "shard",
+                    SfcCoveringIndex::with_curve(schema, config, curve)?,
+                ))
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(ShardedCoveringIndex {
@@ -330,14 +344,15 @@ impl ShardedCoveringIndex {
             config,
             curve,
             keyer: curve.build(universe),
-            starts: RwLock::new(starts),
+            starts: OrderedRwLock::new(RANK_LAYOUT, "layout", starts),
             shards: Arc::new(shards),
-            registry: Mutex::new(HashMap::new()),
-            stats: Mutex::new(IndexStats::default()),
-            rebalance_policy: RwLock::new(None),
+            registry: OrderedMutex::new(RANK_REGISTRY, "registry", HashMap::new()),
+            stats: OrderedMutex::new(RANK_STATS, "stats", IndexStats::default()),
+            rebalance_policy: OrderedRwLock::new(RANK_POLICY, "policy", None),
             ops_since_check: AtomicU64::new(0),
             pool: OnceLock::new(),
-            pool_policy: Mutex::new(PoolPolicyState::default()),
+            pool_policy: OrderedMutex::new(RANK_POOL_POLICY, "policy", PoolPolicyState::default()),
+            fallback_logged: Once::new(),
         })
     }
 
@@ -378,20 +393,14 @@ impl ShardedCoveringIndex {
     /// Number of stored subscriptions per shard (diagnostics / balance
     /// inspection; the trigger input of [`maybe_rebalance`](Self::maybe_rebalance)).
     pub fn shard_lens(&self) -> Vec<usize> {
-        let _layout = self.starts.read().unwrap_or_else(|e| e.into_inner());
-        self.shards
-            .iter()
-            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
-            .collect()
+        let _layout = self.starts.read();
+        self.shards.iter().map(|s| s.read().len()).collect()
     }
 
     /// The current shard boundaries (start prefix of each shard's key
     /// range; `boundaries()[0] == 0`).
     pub fn boundaries(&self) -> Vec<u64> {
-        self.starts
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        self.starts.read().clone()
     }
 
     /// The imbalance factor of the current population: the largest shard's
@@ -403,10 +412,7 @@ impl ShardedCoveringIndex {
 
     /// Number of stored subscriptions.
     pub fn len(&self) -> usize {
-        self.registry
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .len()
+        self.registry.lock().len()
     }
 
     /// Whether the index is empty.
@@ -416,25 +422,18 @@ impl ShardedCoveringIndex {
 
     /// Whether a subscription with the given identifier is stored.
     pub fn contains(&self, id: SubId) -> bool {
-        self.registry
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .contains_key(&id)
+        self.registry.lock().contains_key(&id)
     }
 
     /// A clone of the subscription stored under `id`, if any (cloning is
     /// cheap — subscription payloads are `Arc`-shared).
     pub fn get(&self, id: SubId) -> Option<Subscription> {
-        let _layout = self.starts.read().unwrap_or_else(|e| e.into_inner());
+        let _layout = self.starts.read();
         let shard = {
-            let registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+            let registry = self.registry.lock();
             *registry.get(&id)? as usize
         };
-        self.shards[shard]
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(id)
-            .cloned()
+        self.shards[shard].read().get(id).cloned()
     }
 
     /// Accumulated statistics: queries recorded at the sharded level plus
@@ -442,10 +441,10 @@ impl ShardedCoveringIndex {
     /// counters of rebuilt shards into the sharded level first, so the
     /// totals reported here are unaffected by rebalancing.
     pub fn stats(&self) -> IndexStats {
-        let _layout = self.starts.read().unwrap_or_else(|e| e.into_inner());
-        let mut total = *self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let _layout = self.starts.read();
+        let mut total = *self.stats.lock();
         for shard in self.shards.iter() {
-            total.absorb(&shard.read().unwrap_or_else(|e| e.into_inner()).stats());
+            total.absorb(&shard.read().stats());
         }
         total
     }
@@ -494,10 +493,10 @@ impl ShardedCoveringIndex {
             // Hold the layout for the whole route-then-write window so a
             // migration cannot move the boundary between choosing the shard
             // and inserting into it.
-            let starts = self.starts.read().unwrap_or_else(|e| e.into_inner());
+            let starts = self.starts.read();
             let shard = shard_of_prefix(&starts, prefix);
             {
-                let mut registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+                let mut registry = self.registry.lock();
                 if registry.contains_key(&subscription.id()) {
                     return Err(CoveringError::DuplicateSubscription {
                         id: subscription.id(),
@@ -505,15 +504,9 @@ impl ShardedCoveringIndex {
                 }
                 registry.insert(subscription.id(), shard as u32);
             }
-            let result = self.shards[shard]
-                .write()
-                .unwrap_or_else(|e| e.into_inner())
-                .insert(subscription);
+            let result = self.shards[shard].write().insert(subscription);
             if result.is_err() {
-                self.registry
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .remove(&subscription.id());
+                self.registry.lock().remove(&subscription.id());
             }
             result
         };
@@ -533,24 +526,18 @@ impl ShardedCoveringIndex {
             // The layout guard keeps the registry's shard assignment valid
             // until the removal lands (a migration would otherwise move the
             // subscription out from under us).
-            let _layout = self.starts.read().unwrap_or_else(|e| e.into_inner());
+            let _layout = self.starts.read();
             let shard = {
-                let mut registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+                let mut registry = self.registry.lock();
                 registry
                     .remove(&id)
                     .ok_or(CoveringError::UnknownSubscription { id })? as usize
             };
-            let result = self.shards[shard]
-                .write()
-                .unwrap_or_else(|e| e.into_inner())
-                .remove(id);
+            let result = self.shards[shard].write().remove(id);
             if result.is_err() {
                 // Leave the registry consistent with the shard on the (never
                 // expected) failure path.
-                self.registry
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .insert(id, shard as u32);
+                self.registry.lock().insert(id, shard as u32);
             }
             result
         };
@@ -571,10 +558,7 @@ impl ShardedCoveringIndex {
         let mut per_shard = Vec::new();
         let mut hit = None;
         for shard in candidates {
-            let outcome = self.shards[shard]
-                .read()
-                .unwrap_or_else(|e| e.into_inner())
-                .find_covering_ref(query)?;
+            let outcome = self.shards[shard].read().find_covering_ref(query)?;
             merged.absorb(&outcome.stats);
             per_shard.push(outcome.stats);
             if let Some(id) = outcome.covering {
@@ -608,7 +592,7 @@ impl ShardedCoveringIndex {
         self.check_schema(query)?;
         let prefix = self.prefix_of(query)?;
         let (outcome, per_shard) = {
-            let starts = self.starts.read().unwrap_or_else(|e| e.into_inner());
+            let starts = self.starts.read();
             let candidates = self.covering_candidates(&starts, prefix);
             self.sweep_covering(candidates, query)?
         };
@@ -633,7 +617,7 @@ impl ShardedCoveringIndex {
     fn pool(&self) -> &QueryPool {
         self.pool.get_or_init(|| {
             let workers = {
-                let mut state = self.pool_policy.lock().unwrap_or_else(|e| e.into_inner());
+                let mut state = self.pool_policy.lock();
                 // Committing under the lock closes the race with a
                 // concurrent set_pool_policy: once this flag is set, the
                 // setter refuses, so a `true` return always means the pool
@@ -650,7 +634,7 @@ impl ShardedCoveringIndex {
     /// Sets the pool sizing policy. Returns `false` (and changes nothing)
     /// if the pool was already created by an earlier parallel query.
     pub fn set_pool_policy(&self, policy: PoolPolicy) -> bool {
-        let mut state = self.pool_policy.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.pool_policy.lock();
         if state.committed {
             return false;
         }
@@ -683,7 +667,7 @@ impl ShardedCoveringIndex {
         self.check_schema(query)?;
         let prefix = self.prefix_of(query)?;
         let outcome = {
-            let starts = self.starts.read().unwrap_or_else(|e| e.into_inner());
+            let starts = self.starts.read();
             let candidates = self.covering_candidates(&starts, prefix);
             let (first, last) = (*candidates.start(), *candidates.end());
             if first == last {
@@ -696,37 +680,36 @@ impl ShardedCoveringIndex {
                     let query = query.clone();
                     let tx = tx.clone();
                     pool.execute(move || {
-                        let result = shards[shard]
-                            .read()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .find_covering_ref(&query);
+                        let result = shards[shard].read().find_covering_ref(&query);
                         let _ = tx.send((shard, result));
                     });
                 }
                 drop(tx);
                 let mut results: Vec<Option<Result<QueryOutcome>>> =
                     (first..=last).map(|_| None).collect();
-                results[0] = Some(
-                    self.shards[first]
-                        .read()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .find_covering_ref(query),
-                );
+                results[0] = Some(self.shards[first].read().find_covering_ref(query));
                 for (shard, result) in rx {
                     results[shard - first] = Some(result);
                 }
                 // A worker lost to a panicking job never reports; fall back
                 // to querying those shards inline so the answer stays
                 // complete.
+                let mut fell_back = false;
                 for (offset, slot) in results.iter_mut().enumerate() {
                     if slot.is_none() {
-                        *slot = Some(
-                            self.shards[first + offset]
-                                .read()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .find_covering_ref(query),
-                        );
+                        fell_back = true;
+                        *slot = Some(self.shards[first + offset].read().find_covering_ref(query));
                     }
+                }
+                if fell_back {
+                    self.fallback_logged.call_once(|| {
+                        eprintln!(
+                            "acd-covering: a parallel covering query re-ran shard(s) \
+                             inline because pool workers did not report ({} panicked \
+                             job(s) so far); further fallbacks will not be logged",
+                            pool.panicked_workers()
+                        );
+                    });
                 }
                 merge_outcomes(
                     results
@@ -750,7 +733,7 @@ impl ShardedCoveringIndex {
         self.check_schema(query)?;
         let prefix = self.prefix_of(query)?;
         let outcome = {
-            let starts = self.starts.read().unwrap_or_else(|e| e.into_inner());
+            let starts = self.starts.read();
             let candidates = self.covering_candidates(&starts, prefix);
             if candidates.clone().count() <= 1 {
                 self.sweep_covering(candidates, query)?.0
@@ -759,12 +742,7 @@ impl ShardedCoveringIndex {
                     let handles: Vec<_> = candidates
                         .map(|shard| {
                             let shards = &self.shards;
-                            scope.spawn(move || {
-                                shards[shard]
-                                    .read()
-                                    .unwrap_or_else(|e| e.into_inner())
-                                    .find_covering_ref(query)
-                            })
+                            scope.spawn(move || shards[shard].read().find_covering_ref(query))
                         })
                         .collect();
                     handles
@@ -788,16 +766,11 @@ impl ShardedCoveringIndex {
     pub fn find_covered_by_ref(&self, query: &Subscription) -> Result<Vec<SubId>> {
         self.check_schema(query)?;
         let prefix = self.prefix_of(query)?;
-        let starts = self.starts.read().unwrap_or_else(|e| e.into_inner());
+        let starts = self.starts.read();
         let candidates = self.covered_by_candidates(&starts, prefix);
         let mut ids = Vec::new();
         for shard in candidates {
-            ids.extend(
-                self.shards[shard]
-                    .read()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .find_covered_by_ref(query)?,
-            );
+            ids.extend(self.shards[shard].read().find_covered_by_ref(query)?);
         }
         Ok(ids)
     }
@@ -822,13 +795,9 @@ impl ShardedCoveringIndex {
     /// for subscriptions the index already accepted); the index is left
     /// unchanged in that case.
     pub fn rebalance(&self) -> Result<RebalanceOutcome> {
-        let mut starts = self.starts.write().unwrap_or_else(|e| e.into_inner());
-        let mut registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
-        let mut guards: Vec<_> = self
-            .shards
-            .iter()
-            .map(|s| s.write().unwrap_or_else(|e| e.into_inner()))
-            .collect();
+        let mut starts = self.starts.write();
+        let mut registry = self.registry.lock();
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
         let lens_before: Vec<usize> = guards.iter().map(|g| g.len()).collect();
         let imbalance_before = imbalance_of(&lens_before);
         let total: usize = lens_before.iter().sum();
@@ -905,7 +874,7 @@ impl ShardedCoveringIndex {
             lens_before,
             lens_after,
         };
-        let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let mut stats = self.stats.lock();
         stats.absorb(&absorbed);
         stats.rebalances += 1;
         stats.subscriptions_migrated += outcome.moved as u64;
@@ -943,28 +912,19 @@ impl ShardedCoveringIndex {
         if let Some(p) = &policy {
             p.validate()?;
         }
-        *self
-            .rebalance_policy
-            .write()
-            .unwrap_or_else(|e| e.into_inner()) = policy;
+        *self.rebalance_policy.write() = policy;
         Ok(())
     }
 
     /// The currently armed auto-rebalance policy, if any.
     pub fn rebalance_policy(&self) -> Option<RebalancePolicy> {
-        *self
-            .rebalance_policy
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
+        *self.rebalance_policy.read()
     }
 
     /// Auto-rebalance hook, called after every successful update with no
     /// locks held.
     fn after_update(&self) {
-        let policy = *self
-            .rebalance_policy
-            .read()
-            .unwrap_or_else(|e| e.into_inner());
+        let policy = *self.rebalance_policy.read();
         let Some(policy) = policy else { return };
         let ops = self.ops_since_check.fetch_add(1, Ordering::Relaxed) + 1;
         if ops.is_multiple_of(policy.check_interval) {
@@ -976,10 +936,7 @@ impl ShardedCoveringIndex {
     }
 
     fn record(&self, outcome: &QueryOutcome) {
-        self.stats
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .record_query(outcome);
+        self.stats.lock().record_query(outcome);
     }
 }
 

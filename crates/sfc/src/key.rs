@@ -358,15 +358,18 @@ impl Key {
                     })
                 }
             }
-            Repr::Spill(_) => {
-                let mut out = self.clone();
-                let Repr::Spill(words) = &mut out.repr else {
-                    unreachable!()
-                };
-                for w in words.iter_mut().rev() {
-                    let (new, overflow) = w.overflowing_add(1);
-                    *w = new;
+            Repr::Spill(words) => {
+                // Work on a copy of the words and rebuild the key at the
+                // end; matching the payload directly keeps every arm total.
+                let mut words = words.clone();
+                for i in (0..words.len()).rev() {
+                    let (new, overflow) = words[i].overflowing_add(1);
+                    words[i] = new;
                     if !overflow {
+                        let out = Key {
+                            bits: self.bits,
+                            repr: Repr::Spill(words),
+                        };
                         // Check the carry did not escape past the
                         // significant bits.
                         let mut check = out.clone();
@@ -392,11 +395,8 @@ impl Key {
                 bits: self.bits,
                 repr: Repr::Inline(v - 1),
             }),
-            Repr::Spill(_) => {
-                let mut out = self.clone();
-                let Repr::Spill(words) = &mut out.repr else {
-                    unreachable!()
-                };
+            Repr::Spill(words) => {
+                let mut words = words.clone();
                 for w in words.iter_mut().rev() {
                     let (new, borrow) = w.overflowing_sub(1);
                     *w = new;
@@ -404,6 +404,10 @@ impl Key {
                         break;
                     }
                 }
+                let mut out = Key {
+                    bits: self.bits,
+                    repr: Repr::Spill(words),
+                };
                 out.mask_slack();
                 Some(out)
             }

@@ -301,6 +301,7 @@ macro_rules! define_z_seeker {
             /// dimensions): the smallest Z key at-or-after `key` whose cell
             /// lies in the rectangle, without touching the decomposition at
             /// all and without allocating (the returned key is inline).
+            // acd-lint: hot
             fn seek(&self, key: &Key) -> Option<Key> {
                 let total = self.total;
                 debug_assert_eq!(key.bits(), total);
@@ -357,6 +358,7 @@ macro_rules! define_z_seeker {
                             // Key is in the upper half: restrict the box.
                             zmin = (zmin & !low_mask) | ((1 as $int) << j);
                         }
+                        // acd-lint: allow(panic-hygiene) the remaining bit patterns require zmin > zmax at the deciding bit, which KeyRange ordering excludes
                         _ => unreachable!("zmin > zmax is impossible for a valid rectangle"),
                     }
                 }

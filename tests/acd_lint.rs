@@ -1,0 +1,62 @@
+//! Workspace-level invariant gate: the whole repository must pass `acd-lint`,
+//! and the lint's static lock-rank table must agree with the runtime table
+//! compiled into `acd-covering`. Running under `cargo test` means a violation
+//! fails the same command CI runs — no separate lint step can drift.
+
+use std::path::PathBuf;
+
+use acd_analysis::{lint_workspace, Config};
+
+/// `CARGO_MANIFEST_DIR` of the root `acd` package is the workspace root.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint_workspace(&Config::new(workspace_root())).expect("workspace readable");
+    assert!(
+        report.is_clean(),
+        "acd-lint found {} violation(s):\n{}",
+        report.diagnostics.len(),
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.render())
+            .collect::<String>()
+    );
+    // Guard against a silently-broken walker reporting "clean" because it
+    // looked at nothing: the workspace has many sources and one manifest per
+    // crate plus the root's.
+    assert!(
+        report.sources >= 40,
+        "walker found {} sources",
+        report.sources
+    );
+    assert!(
+        report.manifests >= 7,
+        "walker found {} manifests",
+        report.manifests
+    );
+}
+
+#[test]
+fn static_and_runtime_rank_tables_agree() {
+    let runtime = acd_covering::ordered::rank_table();
+    let stat = acd_analysis::lints::lock_order::LOCK_CLASSES;
+    assert_eq!(
+        runtime.len(),
+        stat.len(),
+        "lock class tables differ in length; update LOCKING.md and both tables together"
+    );
+    for (&(rank, name), class) in runtime.iter().zip(stat) {
+        assert_eq!(
+            (rank, name),
+            (class.rank, class.name),
+            "lock class mismatch between acd_covering::ordered::rank_table() and \
+             acd_analysis LOCK_CLASSES; update LOCKING.md and both tables together"
+        );
+    }
+    // Both tables must list classes in acquisition (ascending-rank) order.
+    assert!(runtime.windows(2).all(|w| w[0].0 < w[1].0));
+}
