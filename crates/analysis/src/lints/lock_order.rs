@@ -1,8 +1,10 @@
 //! `lock-order`: syntactic enforcement of the documented lock hierarchy.
 //!
-//! The sharded index (`crates/core/src/sharded.rs`) documents a strict
-//! acquisition order — layout (`starts`) → `registry` → shard locks
-//! (ascending) → policy locks → `stats` — and a deadlock needs exactly one
+//! The sharded index (`crates/core/src/sharded.rs`) and the broker overlay
+//! (`crates/broker/src/network.rs`) document a strict acquisition order —
+//! broker (`brokers`) → netreg (`registered`) → layout (`starts`) →
+//! `registry` → shard locks (ascending) → policy locks → `stats` — and a
+//! deadlock needs exactly one
 //! code path that acquires against it. This lint models the hierarchy as
 //! ranked **lock classes** (see [`LOCK_CLASSES`], mirrored at runtime by
 //! `acd_covering::ordered` and documented in `LOCKING.md`) and walks every
@@ -52,6 +54,18 @@ pub struct LockClass {
 /// and `LOCKING.md`; the workspace test `tests/acd_lint.rs` cross-checks the
 /// two tables.
 pub const LOCK_CLASSES: &[LockClass] = &[
+    LockClass {
+        rank: 5,
+        name: "broker",
+        fields: &["brokers"],
+        multi: false,
+    },
+    LockClass {
+        rank: 8,
+        name: "netreg",
+        fields: &["registered"],
+        multi: false,
+    },
     LockClass {
         rank: 10,
         name: "layout",
@@ -157,8 +171,9 @@ impl Lint for LockOrder {
                         token,
                         format!(
                             "acquired `{}` (rank {}) while holding `{}` (rank {}); \
-                             the documented order is layout → registry → shards \
-                             (ascending) → policy → stats (see LOCKING.md)",
+                             the documented order is broker → netreg → layout → \
+                             registry → shards (ascending) → policy → stats (see \
+                             LOCKING.md)",
                             class.name, class.rank, worst.class.name, worst.class.rank
                         ),
                     ));

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use acd_broker::{BrokerNetwork, Topology};
+use acd_broker::{BrokerConfig, Topology};
 use acd_covering::CoveringPolicy;
 use acd_workload::{EventWorkload, Scenario, SubscriptionWorkload};
 
@@ -30,8 +30,13 @@ fn bench_propagation(c: &mut Criterion) {
     ] {
         group.bench_function(policy.label(), |b| {
             b.iter_batched(
-                || BrokerNetwork::new(topology.clone(), &schema, policy).unwrap(),
-                |mut net| {
+                || {
+                    BrokerConfig::new(topology.clone(), &schema)
+                        .policy(policy)
+                        .build()
+                        .unwrap()
+                },
+                |net| {
                     for (i, s) in subscriptions.iter().enumerate() {
                         let at = (i * 7) % net.topology().brokers();
                         net.subscribe(at, i as u64, s).unwrap();
@@ -58,7 +63,10 @@ fn bench_delivery(c: &mut Criterion) {
         .take(200);
     let topology = Topology::balanced_tree(2, 3).unwrap(); // 15 brokers
 
-    let mut net = BrokerNetwork::new(topology, &schema, CoveringPolicy::ExactSfc).unwrap();
+    let net = BrokerConfig::new(topology, &schema)
+        .policy(CoveringPolicy::ExactSfc)
+        .build()
+        .unwrap();
     for (i, s) in subscriptions.iter().enumerate() {
         let at = (i * 7) % net.topology().brokers();
         net.subscribe(at, i as u64, s).unwrap();

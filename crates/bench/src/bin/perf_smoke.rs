@@ -147,6 +147,17 @@ fn main() -> ExitCode {
             );
         }
     }
+    if let Some(e2e) = &report.e2e {
+        println!(
+            "e2e daemon ({} connections, {} ms): {:>9.0} events/s, \
+             {:>8.1} us mean publish latency, {} deliveries",
+            e2e.connections,
+            e2e.window_millis,
+            e2e.events_per_sec,
+            e2e.mean_publish_latency_us,
+            e2e.deliveries,
+        );
+    }
 
     let json = match serde_json::to_string(&report) {
         Ok(j) => j,

@@ -16,16 +16,19 @@
 //! 1-shard concurrent query-throughput ratio), and the rebalance gates: a
 //! floor on the auto-rebalanced update throughput under the skewed-drift
 //! stream and a ceiling on the imbalance factor the rebalanced index ends
-//! with. The report also records pool-vs-scoped parallel dispatch
-//! latencies, and [`trend_table`] renders the run-over-run delta table the
-//! nightly workflow posts to its job summary.
+//! with, and the end-to-end daemon gates (a floor on loopback publish
+//! throughput and a ceiling on the mean publish→deliveries round trip
+//! through a live `acd-brokerd`). The report also records pool-vs-scoped
+//! parallel dispatch latencies, and [`trend_table`] renders the
+//! run-over-run delta table the nightly workflow posts to its job summary.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use acd_broker::{BrokerClient, BrokerConfig, BrokerDaemon, Topology};
 use acd_covering::{
-    ApproxConfig, CoveringIndex, LinearScanIndex, QueryEngine, RebalancePolicy, SfcCoveringIndex,
-    ShardedCoveringIndex,
+    ApproxConfig, CoveringIndex, CoveringPolicy, LinearScanIndex, QueryEngine, RebalancePolicy,
+    SfcCoveringIndex, ShardedCoveringIndex,
 };
 use acd_sfc::CurveKind;
 use acd_workload::{Scenario, SubscriptionWorkload, WorkloadConfig};
@@ -112,6 +115,25 @@ pub struct ParallelDispatchCost {
     pub pool_us: f64,
 }
 
+/// End-to-end daemon throughput: an in-process `acd-brokerd` serving a
+/// covering overlay on loopback, driven by real TCP client connections
+/// publishing as fast as the round trip allows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E2eCost {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Publishes completed across all connections in the timed window.
+    pub publishes: u64,
+    /// Deliveries those publishes caused.
+    pub deliveries: u64,
+    /// Publishes per second across all connections.
+    pub events_per_sec: f64,
+    /// Mean publish→deliveries round-trip latency, in microseconds.
+    pub mean_publish_latency_us: f64,
+    /// Wall-clock window of the measurement, in milliseconds.
+    pub window_millis: u64,
+}
+
 /// The quick-scale perf report written to `BENCH_ci.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfSmokeReport {
@@ -158,6 +180,10 @@ pub struct PerfSmokeReport {
     /// Worker threads in the persistent query pool during the dispatch
     /// measurement.
     pub pool_workers: usize,
+    /// End-to-end daemon throughput over loopback TCP (`None` when the
+    /// timed phases were skipped with `churn_millis == 0`, and in reports
+    /// written before the daemon existed).
+    pub e2e: Option<E2eCost>,
 }
 
 impl PerfSmokeReport {
@@ -212,6 +238,15 @@ pub struct PerfBudget {
     /// cut is near the quantiles and the factor stays close to 1 no matter
     /// how slow the machine is.
     pub max_imbalance_after_rebalance: f64,
+    /// Lower bound on the end-to-end daemon publish throughput (events
+    /// per second across all loopback connections). Wall-clock dependent
+    /// and round-trip bound, so set with very generous headroom; it exists
+    /// to catch the daemon hanging or serializing all connections, not to
+    /// measure the network stack.
+    pub min_e2e_events_per_sec: f64,
+    /// Upper bound on the mean end-to-end publish→deliveries round-trip
+    /// latency in microseconds. Same headroom caveat.
+    pub max_e2e_publish_latency_us: f64,
 }
 
 /// Populates `index`, times the query batch, and extracts the cost counters.
@@ -496,6 +531,93 @@ pub fn run_parallel_dispatch(
     (cost, index.pool_workers())
 }
 
+/// E2e phase: start an in-process [`BrokerDaemon`] on a loopback ephemeral
+/// port, open `connections` real TCP clients, have each register a handful
+/// of subscriptions and then publish round trips as fast as it can for
+/// `millis` of wall clock. Measures the full daemon path — wire codec,
+/// worker dispatch, concurrent `BrokerNetwork` routing — not the covering
+/// index in isolation.
+fn run_e2e(connections: usize, millis: u64) -> E2eCost {
+    use acd_subscription::{Event, Schema, SubscriptionBuilder};
+
+    const DOMAIN: f64 = 1000.0;
+    const BROKERS: usize = 4;
+    const SUBS_PER_CONNECTION: u64 = 4;
+
+    let schema = Schema::builder()
+        .attribute("x", 0.0, DOMAIN)
+        .attribute("y", 0.0, DOMAIN)
+        .bits_per_attribute(8)
+        .build()
+        .expect("e2e schema");
+    let network = BrokerConfig::new(Topology::line(BROKERS).expect("line topology"), &schema)
+        .policy(CoveringPolicy::ExactSfc)
+        .build()
+        .expect("e2e network");
+    let daemon = BrokerDaemon::start(std::sync::Arc::new(network), "127.0.0.1:0", connections)
+        .expect("start e2e daemon");
+    let addr = daemon.local_addr();
+    let window = Duration::from_millis(millis);
+
+    let per_connection: Vec<(u64, u64, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|index| {
+                let schema = &schema;
+                scope.spawn(move || {
+                    let mut client = BrokerClient::connect(addr).expect("connect e2e client");
+                    // A few standing subscriptions so publishes route and
+                    // deliver rather than dying at the first broker.
+                    for s in 0..SUBS_PER_CONNECTION {
+                        let id = index as u64 * SUBS_PER_CONNECTION + s + 1;
+                        let lo = (s as f64 / SUBS_PER_CONNECTION as f64) * DOMAIN * 0.9;
+                        let sub = SubscriptionBuilder::new(schema)
+                            .range("x", lo, lo + DOMAIN * 0.2)
+                            .range("y", 0.0, DOMAIN)
+                            .build(id)
+                            .expect("e2e subscription");
+                        client
+                            .subscribe((id % BROKERS as u64) as usize, id, &sub)
+                            .expect("e2e subscribe");
+                    }
+                    let mut publishes = 0u64;
+                    let mut deliveries = 0u64;
+                    let mut in_flight = Duration::ZERO;
+                    let deadline = Instant::now() + window;
+                    while Instant::now() < deadline {
+                        let x = (publishes % 100) as f64 / 100.0 * DOMAIN;
+                        let event = Event::new(schema, vec![x, DOMAIN / 2.0]).expect("e2e event");
+                        let sent = Instant::now();
+                        let pairs = client
+                            .publish(publishes as usize % BROKERS, &event)
+                            .expect("e2e publish");
+                        in_flight += sent.elapsed();
+                        publishes += 1;
+                        deliveries += pairs.len() as u64;
+                    }
+                    (publishes, deliveries, in_flight)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("e2e connection thread"))
+            .collect()
+    });
+    drop(daemon);
+
+    let publishes: u64 = per_connection.iter().map(|(p, _, _)| p).sum();
+    let deliveries: u64 = per_connection.iter().map(|(_, d, _)| d).sum();
+    let in_flight: Duration = per_connection.iter().map(|(_, _, t)| *t).sum();
+    E2eCost {
+        connections,
+        publishes,
+        deliveries,
+        events_per_sec: publishes as f64 / window.as_secs_f64().max(f64::MIN_POSITIVE),
+        mean_publish_latency_us: in_flight.as_secs_f64() * 1e6 / publishes.max(1) as f64,
+        window_millis: millis,
+    }
+}
+
 /// Runs the perf-smoke measurement: the e08 workload shape (3 attributes,
 /// 10 bits) at the given population size, against the linear baseline, the
 /// exact-SFC index (skip engine), the PR-1 eager engine (kept as the
@@ -633,6 +755,14 @@ pub fn run(
         parallel.push(cost);
     }
 
+    // E2e phase: the daemon path over loopback TCP (same wall-clock window
+    // as the churn phase; skipped together with it).
+    let e2e = if churn_millis == 0 {
+        None
+    } else {
+        Some(run_e2e(4, churn_millis))
+    };
+
     PerfSmokeReport {
         subscriptions,
         queries,
@@ -650,6 +780,7 @@ pub fn run(
         drift_rebalance_speedup,
         parallel,
         pool_workers,
+        e2e,
     }
 }
 
@@ -736,6 +867,23 @@ pub fn check_budget(report: &PerfSmokeReport, budget: &PerfBudget) -> Result<(),
             }
         }
     }
+    match &report.e2e {
+        None => violations.push("report has no e2e daemon measurement".to_string()),
+        Some(cost) => {
+            if cost.events_per_sec < budget.min_e2e_events_per_sec {
+                violations.push(format!(
+                    "e2e publish throughput {:.0} events/s below budget {:.0}",
+                    cost.events_per_sec, budget.min_e2e_events_per_sec
+                ));
+            }
+            if cost.mean_publish_latency_us > budget.max_e2e_publish_latency_us {
+                violations.push(format!(
+                    "e2e mean publish latency {:.1} us exceeds budget {:.1} us",
+                    cost.mean_publish_latency_us, budget.max_e2e_publish_latency_us
+                ));
+            }
+        }
+    }
     if violations.is_empty() {
         Ok(())
     } else {
@@ -795,6 +943,16 @@ fn trend_metrics(report: &PerfSmokeReport) -> Vec<(&'static str, Option<f64>, bo
         (
             "scoped micro-query latency (us)",
             micro.map(|p| p.scoped_us),
+            true,
+        ),
+        (
+            "e2e publish throughput (events/s)",
+            report.e2e.as_ref().map(|e| e.events_per_sec),
+            false,
+        ),
+        (
+            "e2e mean publish latency (us)",
+            report.e2e.as_ref().map(|e| e.mean_publish_latency_us),
             true,
         ),
     ]
@@ -913,6 +1071,8 @@ mod tests {
             min_sharded_query_speedup: 0.0,
             min_rebalanced_churn_update_throughput: 0.0,
             max_imbalance_after_rebalance: f64::INFINITY,
+            min_e2e_events_per_sec: 0.0,
+            max_e2e_publish_latency_us: f64::INFINITY,
         };
         check_budget(&report, &budget).unwrap();
         // An impossible budget must trip every gate (the query-speedup gate
@@ -927,12 +1087,14 @@ mod tests {
             min_sharded_query_speedup: f64::INFINITY,
             min_rebalanced_churn_update_throughput: f64::INFINITY,
             max_imbalance_after_rebalance: 0.0,
+            min_e2e_events_per_sec: f64::INFINITY,
+            max_e2e_publish_latency_us: 0.0,
         };
         let violations = check_budget(&report, &impossible).unwrap_err();
         let expected = if report.churn_query_workers >= 2 {
-            9
+            11
         } else {
-            8
+            10
         };
         assert_eq!(violations.len(), expected, "{violations:?}");
         // The bulk-build measurement must be populated and sane; the actual
@@ -976,6 +1138,27 @@ mod tests {
             assert!(cost.pool_us > 0.0);
         }
         assert!(report.pool_workers >= 1);
+        // The e2e phase drove real publishes through the loopback daemon.
+        let e2e = report.e2e.as_ref().expect("e2e phase ran");
+        assert_eq!(e2e.connections, 4);
+        assert!(e2e.publishes > 0, "{e2e:?}");
+        assert!(e2e.events_per_sec > 0.0);
+        assert!(e2e.mean_publish_latency_us > 0.0);
+    }
+
+    #[test]
+    fn reports_without_an_e2e_field_still_parse() {
+        // Artifacts written before the daemon existed have no "e2e" key;
+        // the trend table must keep accepting them (the field reads as
+        // None and its rows render "n/a").
+        let report = run(200, 10, false, 0);
+        let mut text = serde_json::to_string(&report).unwrap();
+        let cut = text.find(",\"e2e\":").unwrap();
+        text.truncate(cut);
+        text.push('}');
+        let back: PerfSmokeReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.e2e, None);
+        assert_eq!(back.pool_workers, report.pool_workers);
     }
 
     #[test]
@@ -1055,6 +1238,8 @@ mod tests {
             min_sharded_query_speedup: 0.0,
             min_rebalanced_churn_update_throughput: 0.0,
             max_imbalance_after_rebalance: f64::INFINITY,
+            min_e2e_events_per_sec: 0.0,
+            max_e2e_publish_latency_us: f64::INFINITY,
         };
         let violations = check_budget(&report, &budget).unwrap_err();
         assert!(
@@ -1065,6 +1250,12 @@ mod tests {
         assert!(report.drift.is_empty());
         assert!(
             violations.iter().any(|v| v.contains("drift")),
+            "{violations:?}"
+        );
+        // ... and the e2e daemon phase, which must not pass silently either.
+        assert_eq!(report.e2e, None);
+        assert!(
+            violations.iter().any(|v| v.contains("e2e")),
             "{violations:?}"
         );
     }
@@ -1079,7 +1270,9 @@ mod tests {
                 "min_churn_update_throughput": 5000.0,
                 "min_sharded_query_speedup": 1.5,
                 "min_rebalanced_churn_update_throughput": 8000.0,
-                "max_imbalance_after_rebalance": 2.5}"#,
+                "max_imbalance_after_rebalance": 2.5,
+                "min_e2e_events_per_sec": 200.0,
+                "max_e2e_publish_latency_us": 50000.0}"#,
         )
         .unwrap();
         assert_eq!(budget.max_mean_runs_probed_exact_sfc, 48.0);
@@ -1091,5 +1284,7 @@ mod tests {
         assert_eq!(budget.min_sharded_query_speedup, 1.5);
         assert_eq!(budget.min_rebalanced_churn_update_throughput, 8000.0);
         assert_eq!(budget.max_imbalance_after_rebalance, 2.5);
+        assert_eq!(budget.min_e2e_events_per_sec, 200.0);
+        assert_eq!(budget.max_e2e_publish_latency_us, 50000.0);
     }
 }

@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use acd_broker::{BrokerNetwork, Topology};
+use acd_broker::{BrokerConfig, Topology};
 use acd_covering::CoveringPolicy;
 use acd_workload::{EventWorkload, Scenario, SubscriptionWorkload};
 
@@ -57,7 +57,10 @@ pub fn run(scale: RunScale) -> Vec<Table> {
 
     let mut reference_deliveries: Option<u64> = None;
     for policy in policies {
-        let mut net = BrokerNetwork::new(topology.clone(), &schema, policy).unwrap();
+        let net = BrokerConfig::new(topology.clone(), &schema)
+            .policy(policy)
+            .build()
+            .unwrap();
         let start = Instant::now();
         for (i, s) in subscriptions.iter().enumerate() {
             let at = (i * 7) % topology.brokers();

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use acd_broker::{BrokerNetwork, Topology};
+use acd_broker::{BrokerConfig, Topology};
 use acd_covering::{ApproxConfig, CoveringPolicy, ShardedCoveringIndex};
 use acd_sfc::CurveKind;
 use acd_workload::{ChurnConfig, ChurnOp, ChurnWorkload, Scenario, SubscriptionWorkload};
@@ -81,7 +81,10 @@ fn suppression_vs_churn_rate(scale: RunScale) -> Table {
             let schema = churn.schema().clone();
             let topology = Topology::balanced_tree(2, 4).unwrap();
             let brokers = topology.brokers();
-            let mut net = BrokerNetwork::new(topology, &schema, policy).unwrap();
+            let net = BrokerConfig::new(topology, &schema)
+                .policy(policy)
+                .build()
+                .unwrap();
             let mut homes: HashMap<u64, usize> = HashMap::new();
             let mut deliveries = 0u64;
             for (i, op) in churn.take(ops).into_iter().enumerate() {

@@ -1,0 +1,168 @@
+//! `acd-brokerd` — serve a covering-aware broker overlay over TCP.
+//!
+//! ```text
+//! acd-brokerd [--addr 127.0.0.1:0] [--topology star|line|tree|random]
+//!             [--brokers N] [--policy none|exact-linear|exact-sfc|
+//!              sharded-sfc:SHARDS|approx:EPSILON]
+//!             [--workers N] [--attributes N] [--bits B] [--seed S]
+//! ```
+//!
+//! The schema is the synthetic-workload one (`attr0..attrN-1`, domain
+//! `[0, 1e6]`), so `acd-brokerload` streams are compatible out of the box.
+//! On startup the daemon prints exactly one line, `listening on ADDR`, to
+//! stdout — scripts (and the e2e integration test) parse it to learn the
+//! ephemeral port.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use acd_broker::{BrokerConfig, BrokerDaemon, CoveringPolicy, Topology};
+use acd_workload::{SubscriptionWorkload, WorkloadConfig};
+
+struct Args {
+    addr: String,
+    topology: String,
+    brokers: usize,
+    policy: CoveringPolicy,
+    workers: usize,
+    attributes: usize,
+    bits: u32,
+    seed: u64,
+}
+
+fn parse_policy(s: &str) -> Result<CoveringPolicy, String> {
+    if let Some(shards) = s.strip_prefix("sharded-sfc:") {
+        let shards: usize = shards
+            .parse()
+            .map_err(|_| format!("bad shard count in {s:?}"))?;
+        return Ok(CoveringPolicy::ShardedSfc { shards });
+    }
+    if let Some(eps) = s.strip_prefix("approx:") {
+        let epsilon: f64 = eps.parse().map_err(|_| format!("bad epsilon in {s:?}"))?;
+        return Ok(CoveringPolicy::Approximate { epsilon });
+    }
+    match s {
+        "none" => Ok(CoveringPolicy::None),
+        "exact-linear" => Ok(CoveringPolicy::ExactLinear),
+        "exact-sfc" => Ok(CoveringPolicy::ExactSfc),
+        other => Err(format!(
+            "unknown policy {other:?} (none, exact-linear, exact-sfc, \
+             sharded-sfc:SHARDS, approx:EPSILON)"
+        )),
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".into(),
+        topology: "line".into(),
+        brokers: 8,
+        policy: CoveringPolicy::ExactSfc,
+        workers: 4,
+        attributes: 2,
+        bits: 10,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--topology" => args.topology = value("--topology")?,
+            "--brokers" => {
+                args.brokers = value("--brokers")?
+                    .parse()
+                    .map_err(|e| format!("--brokers: {e}"))?
+            }
+            "--policy" => args.policy = parse_policy(&value("--policy")?)?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--attributes" => {
+                args.attributes = value("--attributes")?
+                    .parse()
+                    .map_err(|e| format!("--attributes: {e}"))?
+            }
+            "--bits" => {
+                args.bits = value("--bits")?
+                    .parse()
+                    .map_err(|e| format!("--bits: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_topology(kind: &str, brokers: usize, seed: u64) -> Result<Topology, String> {
+    let topology = match kind {
+        "star" => Topology::star(brokers),
+        "line" => Topology::line(brokers),
+        "tree" => {
+            // Smallest balanced binary tree with at least the requested
+            // broker count.
+            let mut depth = 1;
+            while (1 << (depth + 1)) - 1 < brokers {
+                depth += 1;
+            }
+            Topology::balanced_tree(2, depth)
+        }
+        "random" => Topology::random_tree(brokers, seed),
+        other => {
+            return Err(format!(
+                "unknown topology {other:?} (star, line, tree, random)"
+            ))
+        }
+    };
+    topology.map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let topology = build_topology(&args.topology, args.brokers, args.seed)?;
+    let workload = WorkloadConfig::builder()
+        .attributes(args.attributes)
+        .bits_per_attribute(args.bits)
+        .seed(args.seed)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let schema = SubscriptionWorkload::new(&workload)
+        .map_err(|e| e.to_string())?
+        .schema()
+        .clone();
+    let network = Arc::new(
+        BrokerConfig::new(topology, &schema)
+            .policy(args.policy)
+            .build()
+            .map_err(|e| e.to_string())?,
+    );
+    eprintln!(
+        "acd-brokerd: {} brokers ({}), policy {}, {} connection workers",
+        network.topology().brokers(),
+        args.topology,
+        args.policy.label(),
+        args.workers
+    );
+    let daemon = BrokerDaemon::start(network, args.addr.as_str(), args.workers)
+        .map_err(|e| e.to_string())?;
+    // The one machine-readable line scripts depend on.
+    println!("listening on {}", daemon.local_addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("acd-brokerd: {message}");
+        std::process::exit(2);
+    }
+}

@@ -246,18 +246,20 @@ impl Broker {
     }
 
     /// Compacts every link's suppressed list: drops entries whose
-    /// subscription is no longer live (its unsubscription retired it) and
-    /// collapses duplicate identifiers left by covered chains. Called by
-    /// the network on the unsubscribe path so suppressed state tracks the
-    /// live population instead of the churn history.
-    pub fn compact_suppressed(&mut self, live: &HashSet<SubId>) {
+    /// subscription is no longer live (the `live` predicate says which
+    /// still are) and collapses duplicate identifiers left by covered
+    /// chains. Called by the network on the unsubscribe path — while
+    /// holding this broker's lock, with the predicate reading the live
+    /// registration map — so suppressed state tracks the live population
+    /// instead of the churn history.
+    pub fn compact_suppressed<F: Fn(SubId) -> bool>(&mut self, live: F) {
         for (neighbor, list) in &mut self.suppressed {
             let ids = self
                 .suppressed_ids
                 .get_mut(neighbor)
                 .expect("lists and id sets cover the same links");
             ids.clear();
-            list.retain(|s| live.contains(&s.id()) && ids.insert(s.id()));
+            list.retain(|s| live(s.id()) && ids.insert(s.id()));
         }
     }
 

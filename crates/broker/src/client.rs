@@ -1,0 +1,184 @@
+//! A blocking client for the `acd-brokerd` daemon.
+//!
+//! [`BrokerClient::connect`] performs the `Hello` handshake and rebuilds
+//! the daemon's [`Schema`] locally, so subscriptions and events can be
+//! constructed client-side against the exact attribute universe the
+//! network uses. Requests are strict request/response except
+//! [`publish_batch`](BrokerClient::publish_batch), which pipelines a whole
+//! burst of publishes over the socket before collecting the responses —
+//! the shape the daemon's flush-on-idle batching is built for.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use acd_subscription::{Event, Schema, SubId, Subscription};
+
+use crate::broker::{BrokerId, ClientId};
+use crate::error::ServiceError;
+use crate::wire::{encode_frame, read_frame, Frame};
+
+/// A connection to a broker daemon.
+#[derive(Debug)]
+pub struct BrokerClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    schema: Schema,
+    /// Reused encode buffer: steady-state requests allocate nothing.
+    out: Vec<u8>,
+    /// Reused decode payload buffer.
+    scratch: Vec<u8>,
+}
+
+impl BrokerClient {
+    /// Connects and completes the `Hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection fails, the greeting is corrupt,
+    /// or the daemon's schema does not parse.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<BrokerClient, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        let mut scratch = Vec::new();
+        let schema =
+            match read_frame(&mut reader, &mut scratch)? {
+                Frame::Hello { schema_json } => serde_json::from_str::<Schema>(&schema_json)
+                    .map_err(|e| ServiceError::CorruptFrame {
+                        reason: format!("Hello schema does not parse: {e}"),
+                    })?,
+                other => {
+                    return Err(ServiceError::UnexpectedFrame {
+                        kind: other.kind_name().to_string(),
+                    })
+                }
+            };
+        Ok(BrokerClient {
+            reader,
+            writer,
+            schema,
+            out: Vec::new(),
+            scratch,
+        })
+    }
+
+    /// The schema the daemon's network uses (from the `Hello` greeting).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Registers `subscription` for `client` at broker `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Rejected`] if the daemon's network refused
+    /// the registration, or a transport/protocol error.
+    pub fn subscribe(
+        &mut self,
+        at: BrokerId,
+        client: ClientId,
+        subscription: &Subscription,
+    ) -> Result<(), ServiceError> {
+        self.send(&Frame::subscribe(at, client, subscription))?;
+        match self.receive()? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Retracts subscription `id` from broker `at`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`subscribe`](Self::subscribe).
+    pub fn unsubscribe(&mut self, at: BrokerId, id: SubId) -> Result<(), ServiceError> {
+        self.send(&Frame::Unsubscribe { at, id })?;
+        match self.receive()? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Publishes `event` at broker `at`, returning the deliveries it caused
+    /// across the whole overlay as sorted `(broker, client)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`subscribe`](Self::subscribe).
+    pub fn publish(
+        &mut self,
+        at: BrokerId,
+        event: &Event,
+    ) -> Result<Vec<(BrokerId, ClientId)>, ServiceError> {
+        self.send(&Frame::Publish {
+            at,
+            values: event.values().to_vec(),
+        })?;
+        match self.receive()? {
+            Frame::Deliveries { pairs } => Ok(pairs),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Publishes a whole burst of events pipelined — all requests go out
+    /// before any response is read — returning one delivery list per event,
+    /// in order. On an overlay served to many clients this is the
+    /// throughput shape: one flush per burst, one batched response write
+    /// from the daemon.
+    ///
+    /// # Errors
+    ///
+    /// As for [`subscribe`](Self::subscribe); the first rejected publish
+    /// fails the whole batch.
+    pub fn publish_batch(
+        &mut self,
+        at: BrokerId,
+        events: &[Event],
+    ) -> Result<Vec<Vec<(BrokerId, ClientId)>>, ServiceError> {
+        for event in events {
+            encode_frame(
+                &Frame::Publish {
+                    at,
+                    values: event.values().to_vec(),
+                },
+                &mut self.out,
+            );
+            self.writer.write_all(&self.out)?;
+        }
+        self.writer.flush()?;
+        let mut batches = Vec::with_capacity(events.len());
+        for _ in events {
+            match read_frame(&mut self.reader, &mut self.scratch)? {
+                Frame::Deliveries { pairs } => batches.push(pairs),
+                other => return Err(unexpected(other)),
+            }
+        }
+        Ok(batches)
+    }
+
+    /// Encodes, writes and flushes one request frame.
+    fn send(&mut self, frame: &Frame) -> Result<(), ServiceError> {
+        encode_frame(frame, &mut self.out);
+        self.writer.write_all(&self.out)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one response frame.
+    fn receive(&mut self) -> Result<Frame, ServiceError> {
+        read_frame(&mut self.reader, &mut self.scratch)
+    }
+}
+
+/// Maps a non-success response to the matching error: daemon `Err` frames
+/// become [`ServiceError::Rejected`], anything else is a protocol
+/// violation.
+fn unexpected(frame: Frame) -> ServiceError {
+    match frame {
+        Frame::Err { message } => ServiceError::Rejected { message },
+        other => ServiceError::UnexpectedFrame {
+            kind: other.kind_name().to_string(),
+        },
+    }
+}

@@ -81,6 +81,80 @@ impl From<SubscriptionError> for BrokerError {
     }
 }
 
+/// Error type for the daemon/client service layer: transport failures, wire
+/// corruption, protocol violations, and broker errors relayed back to the
+/// caller.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// A socket operation failed (the `io::Error` rendered to text so the
+    /// variant stays `Clone + PartialEq` for tests).
+    Io(String),
+    /// A frame failed structural validation: bad magic, bad length, a
+    /// checksum mismatch, or a truncated stream.
+    CorruptFrame {
+        /// What exactly failed to validate.
+        reason: String,
+    },
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// The version byte the peer sent.
+        found: u8,
+    },
+    /// A structurally valid frame arrived where the protocol does not allow
+    /// it (e.g. a request frame on a client, or a second `Hello`).
+    UnexpectedFrame {
+        /// The frame kind that arrived.
+        kind: String,
+    },
+    /// The daemon rejected the request; the broker error is relayed as text
+    /// so client and server need not share error representations.
+    Rejected {
+        /// The daemon-side error message.
+        message: String,
+    },
+    /// An error from the in-process broker overlay.
+    Broker(BrokerError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+            ServiceError::CorruptFrame { reason } => write!(f, "corrupt frame: {reason}"),
+            ServiceError::VersionMismatch { found } => {
+                write!(f, "peer speaks protocol version {found}, expected 1")
+            }
+            ServiceError::UnexpectedFrame { kind } => {
+                write!(f, "unexpected {kind} frame at this point of the protocol")
+            }
+            ServiceError::Rejected { message } => write!(f, "request rejected: {message}"),
+            ServiceError::Broker(e) => write!(f, "broker error: {e}"),
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Broker(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e.to_string())
+    }
+}
+
+impl From<BrokerError> for ServiceError {
+    fn from(e: BrokerError) -> Self {
+        ServiceError::Broker(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +173,21 @@ mod tests {
     fn error_is_send_sync_static() {
         fn assert_traits<T: Send + Sync + 'static>() {}
         assert_traits::<BrokerError>();
+        assert_traits::<ServiceError>();
+    }
+
+    #[test]
+    fn service_error_conversions_and_display() {
+        let e: ServiceError = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        let e: ServiceError = BrokerError::UnknownSubscription { id: 4 }.into();
+        assert!(Error::source(&e).is_some());
+        let e = ServiceError::CorruptFrame {
+            reason: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("checksum"));
+        assert!(ServiceError::VersionMismatch { found: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

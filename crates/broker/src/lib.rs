@@ -8,23 +8,30 @@
 //! of an acyclic broker overlay implementing content-based routing:
 //!
 //! * [`Topology`] — star, line, balanced-tree and random-tree overlays;
-//! * [`BrokerNetwork`] — the simulator: clients attach to brokers, register
-//!   [`Subscription`]s and publish [`Event`]s; subscriptions are propagated
-//!   through the overlay with per-interface *sender-side covering
-//!   suppression* governed by a [`CoveringPolicy`]; events are forwarded
-//!   along reverse subscription paths and delivered to matching clients;
+//! * [`BrokerNetwork`] — the overlay service, built with [`BrokerConfig`]:
+//!   clients attach to brokers, register [`Subscription`]s and publish
+//!   [`Event`]s; subscriptions are propagated through the overlay with
+//!   per-interface *sender-side covering suppression* governed by a
+//!   [`CoveringPolicy`]; events are forwarded along reverse subscription
+//!   paths and delivered to matching clients. All operations take `&self`
+//!   behind interior locking, so one network can be driven from many
+//!   threads at once (see `LOCKING.md` for the lock hierarchy);
 //! * [`NetworkMetrics`] — subscription messages, routing-table entries, event
 //!   messages, deliveries and covering-detection cost, the quantities the
-//!   broker experiment (E7) reports.
+//!   broker experiment (E7) reports;
+//! * [`service`] / [`client`] / [`wire`] — a TCP front door: the
+//!   `acd-brokerd` daemon serves a network over a length-prefixed,
+//!   checksummed binary protocol, and [`BrokerClient`] is the matching
+//!   blocking client.
 //!
-//! The simulator's key correctness property — **covering suppression never
+//! The overlay's key correctness property — **covering suppression never
 //! changes what subscribers receive** — is verified in the crate's tests by
 //! comparing deliveries against a flooding configuration.
 //!
 //! ## Example
 //!
 //! ```
-//! use acd_broker::{BrokerNetwork, Topology};
+//! use acd_broker::{BrokerConfig, Topology};
 //! use acd_covering::CoveringPolicy;
 //! use acd_subscription::{Schema, SubscriptionBuilder, Event};
 //!
@@ -34,7 +41,9 @@
 //!     .bits_per_attribute(8)
 //!     .build()?;
 //! let topology = Topology::star(4)?; // broker 0 in the middle
-//! let mut net = BrokerNetwork::new(topology, &schema, CoveringPolicy::ExactSfc)?;
+//! let net = BrokerConfig::new(topology, &schema)
+//!     .policy(CoveringPolicy::ExactSfc)
+//!     .build()?;
 //!
 //! let wide = SubscriptionBuilder::new(&schema).range("price", 0.0, 90.0).build(1)?;
 //! net.subscribe(1, 100, &wide)?;
@@ -50,15 +59,20 @@
 #![warn(missing_debug_implementations)]
 
 pub mod broker;
+pub mod client;
 mod error;
 pub mod metrics;
 pub mod network;
+pub mod service;
 pub mod topology;
+pub mod wire;
 
 pub use broker::{Broker, BrokerId, ClientId};
-pub use error::BrokerError;
+pub use client::BrokerClient;
+pub use error::{BrokerError, ServiceError};
 pub use metrics::NetworkMetrics;
-pub use network::BrokerNetwork;
+pub use network::{BrokerConfig, BrokerNetwork, BrokerRef};
+pub use service::BrokerDaemon;
 pub use topology::Topology;
 
 // Re-exports so examples can depend on a single crate.

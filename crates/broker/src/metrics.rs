@@ -1,4 +1,6 @@
-//! Network-wide metrics collected by the simulator.
+//! Network-wide metrics collected by the broker overlay.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +68,59 @@ impl NetworkMetrics {
         } else {
             self.subscriptions_suppressed as f64 / attempted as f64
         }
+    }
+}
+
+/// Interior-mutable counters behind [`NetworkMetrics`] in the concurrent
+/// network: independent relaxed atomics (no cross-counter invariant is ever
+/// read back mid-operation), snapshotted on demand. `routing_table_entries`
+/// has no cell here — it is recomputed from broker state at snapshot time.
+#[derive(Debug, Default)]
+pub(crate) struct MetricCounters {
+    pub subscriptions_registered: AtomicU64,
+    pub subscription_messages: AtomicU64,
+    pub subscriptions_suppressed: AtomicU64,
+    pub unsubscriptions: AtomicU64,
+    pub unsubscription_messages: AtomicU64,
+    pub covering_queries: AtomicU64,
+    pub covering_runs_probed: AtomicU64,
+    pub covering_comparisons: AtomicU64,
+    pub events_published: AtomicU64,
+    pub event_messages: AtomicU64,
+    pub deliveries: AtomicU64,
+}
+
+impl MetricCounters {
+    /// A point-in-time copy of every counter (`routing_table_entries` is
+    /// left at 0 for the caller to fill in from live broker state).
+    pub fn snapshot(&self) -> NetworkMetrics {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        NetworkMetrics {
+            subscriptions_registered: get(&self.subscriptions_registered),
+            subscription_messages: get(&self.subscription_messages),
+            subscriptions_suppressed: get(&self.subscriptions_suppressed),
+            unsubscriptions: get(&self.unsubscriptions),
+            unsubscription_messages: get(&self.unsubscription_messages),
+            routing_table_entries: 0,
+            covering_queries: get(&self.covering_queries),
+            covering_runs_probed: get(&self.covering_runs_probed),
+            covering_comparisons: get(&self.covering_comparisons),
+            events_published: get(&self.events_published),
+            event_messages: get(&self.event_messages),
+            deliveries: get(&self.deliveries),
+        }
+    }
+
+    /// Relaxed add, the only write mode the counters need.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Relaxed increment.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 }
 

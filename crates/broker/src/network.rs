@@ -1,57 +1,172 @@
-//! The broker-network simulator.
+//! The concurrent broker overlay: a routing-table service behind interior
+//! locking.
+//!
+//! [`BrokerNetwork`] used to be a single-threaded simulator whose operations
+//! took `&mut self`; it is now a service layer: [`subscribe`], [`unsubscribe`]
+//! and [`publish`] take `&self` and are callable from many threads at once
+//! (the TCP daemon in [`crate::service`] drives one network from a whole
+//! worker team). Concurrency control is two lock classes registered in
+//! `LOCKING.md` and the `acd-lint` rank table:
+//!
+//! * every broker sits behind its own [`OrderedRwLock`] (class `broker`,
+//!   rank 5, below every covering-index class because forwarding decisions
+//!   run index operations under the broker lock). The overlay holds **at
+//!   most one broker lock at a time**: BFS propagation decides under the
+//!   sender's lock, releases it, then updates the receiving neighbor under
+//!   its own — which is what makes per-broker locking deadlock-free on any
+//!   topology;
+//! * the network-wide registration map sits behind an [`OrderedMutex`]
+//!   (class `netreg`, rank 8, above `broker` so compaction can consult it
+//!   while holding the broker being compacted).
+//!
+//! Counters are plain relaxed atomics (see [`crate::metrics`]).
+//!
+//! Each operation still completes synchronously: [`subscribe`] returns after
+//! the subscription is propagated through the whole overlay, [`publish`]
+//! returns the complete delivery list. Under concurrent callers the overlay
+//! state converges to some interleaving of the completed operations — an
+//! operation that has returned is fully visible to every later one.
+//!
+//! [`subscribe`]: BrokerNetwork::subscribe
+//! [`unsubscribe`]: BrokerNetwork::unsubscribe
+//! [`publish`]: BrokerNetwork::publish
 
-use acd_covering::CoveringPolicy;
+use std::collections::{HashMap, VecDeque};
+use std::ops::Deref;
+
+use acd_covering::ordered::{OrderedReadGuard, RANK_BROKER, RANK_NET_REGISTRY};
+use acd_covering::{CoveringPolicy, OrderedMutex, OrderedRwLock};
 use acd_subscription::{Event, Schema, SubId, Subscription};
 
-use crate::broker::{Broker, BrokerId, ClientId};
+use crate::broker::{Broker, BrokerId, ClientId, ForwardDecision};
 use crate::error::BrokerError;
-use crate::metrics::NetworkMetrics;
+use crate::metrics::{MetricCounters, NetworkMetrics};
 use crate::topology::Topology;
 use crate::Result;
 
-/// A deterministic, in-process simulation of a content-based
-/// publish/subscribe overlay with covering-aware subscription propagation.
+/// Builder-style configuration for a [`BrokerNetwork`].
 ///
-/// The simulator processes operations synchronously: [`subscribe`] propagates
-/// the subscription through the whole overlay before returning, and
-/// [`publish`] forwards the event and returns the complete delivery list.
-/// Message and routing-table counters are accumulated in
-/// [`metrics`](BrokerNetwork::metrics).
+/// Topology and schema are mandatory (constructor arguments); everything
+/// else defaults and is overridden fluently:
 ///
-/// [`subscribe`]: BrokerNetwork::subscribe
-/// [`publish`]: BrokerNetwork::publish
+/// ```
+/// use acd_broker::{BrokerConfig, Topology};
+/// use acd_covering::CoveringPolicy;
+/// use acd_subscription::Schema;
+///
+/// # fn main() -> Result<(), acd_broker::BrokerError> {
+/// let schema = Schema::builder().attribute("x", 0.0, 1.0).build()?;
+/// let net = BrokerConfig::new(Topology::star(4)?, &schema)
+///     .policy(CoveringPolicy::ExactSfc)
+///     .build()?;
+/// assert_eq!(net.topology().brokers(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    topology: Topology,
+    schema: Schema,
+    policy: CoveringPolicy,
+}
+
+impl BrokerConfig {
+    /// Starts a configuration over `topology` and `schema`, with covering
+    /// detection disabled ([`CoveringPolicy::None`]) until
+    /// [`policy`](Self::policy) says otherwise.
+    pub fn new(topology: Topology, schema: &Schema) -> BrokerConfig {
+        BrokerConfig {
+            topology,
+            schema: schema.clone(),
+            policy: CoveringPolicy::None,
+        }
+    }
+
+    /// Sets the covering policy every broker applies when propagating
+    /// subscriptions.
+    #[must_use]
+    pub fn policy(mut self, policy: CoveringPolicy) -> BrokerConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the covering policy cannot build its indexes.
+    pub fn build(self) -> Result<BrokerNetwork> {
+        let mut brokers = Vec::with_capacity(self.topology.brokers());
+        for id in 0..self.topology.brokers() {
+            let broker = Broker::new(id, self.topology.neighbors(id), &self.schema, self.policy)?;
+            brokers.push(OrderedRwLock::new(RANK_BROKER, "broker", broker));
+        }
+        Ok(BrokerNetwork {
+            topology: self.topology,
+            schema: self.schema,
+            policy: self.policy,
+            brokers,
+            registered: OrderedMutex::new(RANK_NET_REGISTRY, "netreg", HashMap::new()),
+            counters: MetricCounters::default(),
+        })
+    }
+}
+
+/// A content-based publish/subscribe overlay with covering-aware
+/// subscription propagation, safe to drive from many threads through
+/// `&self` (see the module docs for the locking discipline).
+///
+/// Built with [`BrokerConfig`]:
+///
+/// ```
+/// use acd_broker::{BrokerConfig, Topology};
+/// use acd_covering::CoveringPolicy;
+/// use acd_subscription::{Event, Schema, SubscriptionBuilder};
+///
+/// # fn main() -> Result<(), acd_broker::BrokerError> {
+/// let schema = Schema::builder()
+///     .attribute("price", 0.0, 100.0)
+///     .bits_per_attribute(8)
+///     .build()?;
+/// let net = BrokerConfig::new(Topology::line(3)?, &schema)
+///     .policy(CoveringPolicy::ExactSfc)
+///     .build()?;
+/// let sub = SubscriptionBuilder::new(&schema).range("price", 0.0, 50.0).build(1)?;
+/// net.subscribe(0, 100, &sub)?;
+/// let deliveries = net.publish(2, &Event::new(&schema, vec![25.0])?)?;
+/// assert_eq!(deliveries, vec![(0, 100)]);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct BrokerNetwork {
     topology: Topology,
     schema: Schema,
     policy: CoveringPolicy,
-    brokers: Vec<Broker>,
-    metrics: NetworkMetrics,
-    registered_ids: std::collections::HashSet<SubId>,
+    /// Per-broker routing and covering state; lock class `broker` (rank 5),
+    /// at most one held at a time.
+    brokers: Vec<OrderedRwLock<Broker>>,
+    /// Live subscription id → home broker; lock class `netreg` (rank 8).
+    registered: OrderedMutex<HashMap<SubId, BrokerId>>,
+    counters: MetricCounters,
+}
+
+/// A read guard over one broker, for inspection in tests and experiments;
+/// dereferences to [`Broker`].
+#[derive(Debug)]
+pub struct BrokerRef<'a> {
+    guard: OrderedReadGuard<'a, Broker>,
+}
+
+impl Deref for BrokerRef<'_> {
+    type Target = Broker;
+
+    fn deref(&self) -> &Broker {
+        &self.guard
+    }
 }
 
 impl BrokerNetwork {
-    /// Creates a network over `topology` where every broker applies `policy`
-    /// when propagating subscriptions over `schema`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the covering policy cannot build its indexes.
-    pub fn new(topology: Topology, schema: &Schema, policy: CoveringPolicy) -> Result<Self> {
-        let mut brokers = Vec::with_capacity(topology.brokers());
-        for id in 0..topology.brokers() {
-            brokers.push(Broker::new(id, topology.neighbors(id), schema, policy)?);
-        }
-        Ok(BrokerNetwork {
-            topology,
-            schema: schema.clone(),
-            policy,
-            brokers,
-            metrics: NetworkMetrics::default(),
-            registered_ids: std::collections::HashSet::new(),
-        })
-    }
-
     /// The overlay topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
@@ -67,30 +182,37 @@ impl BrokerNetwork {
         &self.schema
     }
 
-    /// Accumulated metrics (routing-table entries are recomputed on access).
+    /// Accumulated metrics (routing-table entries are recomputed on access,
+    /// locking one broker at a time).
     pub fn metrics(&self) -> NetworkMetrics {
-        let mut m = self.metrics;
-        m.routing_table_entries = self
-            .brokers
-            .iter()
-            .map(|b| b.routing_table_entries() as u64)
-            .sum();
-        m
+        let mut metrics = self.counters.snapshot();
+        let mut entries = 0u64;
+        for id in 0..self.brokers.len() {
+            let broker = self.brokers[id].read();
+            entries += broker.routing_table_entries() as u64;
+        }
+        metrics.routing_table_entries = entries;
+        metrics
     }
 
-    /// Access to an individual broker (for inspection in tests and
-    /// experiments).
+    /// Read access to an individual broker (for inspection in tests and
+    /// experiments). The returned guard holds the broker's read lock — drop
+    /// it before calling back into the network.
     ///
     /// # Errors
     ///
     /// Returns an error if `id` is out of range.
-    pub fn broker(&self, id: BrokerId) -> Result<&Broker> {
+    pub fn broker(&self, id: BrokerId) -> Result<BrokerRef<'_>> {
         self.topology.check_broker(id)?;
-        Ok(&self.brokers[id])
+        Ok(BrokerRef {
+            guard: self.brokers[id].read(),
+        })
     }
 
     /// Registers `subscription` for `client` at broker `at`, and propagates
     /// it through the overlay applying the covering policy on every link.
+    /// When this returns, the subscription is visible to every subsequent
+    /// [`publish`](Self::publish) anywhere in the overlay.
     ///
     /// # Errors
     ///
@@ -98,7 +220,7 @@ impl BrokerNetwork {
     /// schema does not match the network, or its identifier was already
     /// registered.
     pub fn subscribe(
-        &mut self,
+        &self,
         at: BrokerId,
         client: ClientId,
         subscription: &Subscription,
@@ -109,13 +231,19 @@ impl BrokerNetwork {
                 acd_subscription::SubscriptionError::SchemaMismatch,
             ));
         }
-        if !self.registered_ids.insert(subscription.id()) {
-            return Err(BrokerError::DuplicateSubscription {
-                id: subscription.id(),
-            });
+        {
+            let mut registered = self.registered.lock();
+            if registered.contains_key(&subscription.id()) {
+                return Err(BrokerError::DuplicateSubscription {
+                    id: subscription.id(),
+                });
+            }
+            registered.insert(subscription.id(), at);
         }
-        self.metrics.subscriptions_registered += 1;
-        self.brokers[at].add_local(client, subscription.clone());
+        MetricCounters::bump(&self.counters.subscriptions_registered);
+        self.brokers[at]
+            .write()
+            .add_local(client, subscription.clone());
         self.propagate(at, None, subscription)
     }
 
@@ -123,39 +251,54 @@ impl BrokerNetwork {
     /// applying the covering policy on every link. The overlay is a tree, so
     /// a simple BFS carrying the "arrived from" interface suffices. Shared
     /// by [`subscribe`](Self::subscribe) and the re-advertisement step of
-    /// [`unsubscribe`](Self::unsubscribe).
+    /// [`unsubscribe`](Self::unsubscribe). The forwarding decision is made
+    /// under the sender's write lock and the routing entry is added under
+    /// the receiver's — never both at once.
     fn propagate(
-        &mut self,
+        &self,
         start: BrokerId,
         arrived_from: Option<BrokerId>,
         subscription: &Subscription,
     ) -> Result<()> {
-        let mut queue: std::collections::VecDeque<(BrokerId, Option<BrokerId>)> =
-            std::collections::VecDeque::new();
+        let mut queue: VecDeque<(BrokerId, Option<BrokerId>)> = VecDeque::new();
         queue.push_back((start, arrived_from));
         while let Some((broker_id, from)) = queue.pop_front() {
-            // Iterating the borrowed neighbor slice is fine: the loop body
-            // only touches the disjoint `brokers` and `metrics` fields.
             for &neighbor in self.topology.neighbors(broker_id) {
                 if Some(neighbor) == from {
                     continue;
                 }
-                let decision = self.brokers[broker_id].should_forward(neighbor, subscription)?;
-                if decision.covering_query {
-                    self.metrics.covering_queries += 1;
-                    self.metrics.covering_runs_probed += decision.runs_probed as u64;
-                    self.metrics.covering_comparisons += decision.comparisons as u64;
-                }
+                let decision = self.brokers[broker_id]
+                    .write()
+                    .should_forward(neighbor, subscription)?;
+                self.record_decision(&decision);
                 if decision.forward {
-                    self.metrics.subscription_messages += 1;
-                    self.brokers[neighbor].add_received(broker_id, subscription.clone());
+                    MetricCounters::bump(&self.counters.subscription_messages);
+                    self.brokers[neighbor]
+                        .write()
+                        .add_received(broker_id, subscription.clone());
                     queue.push_back((neighbor, Some(broker_id)));
                 } else {
-                    self.metrics.subscriptions_suppressed += 1;
+                    MetricCounters::bump(&self.counters.subscriptions_suppressed);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Folds one forwarding decision's covering-query cost into the
+    /// counters.
+    fn record_decision(&self, decision: &ForwardDecision) {
+        if decision.covering_query {
+            MetricCounters::bump(&self.counters.covering_queries);
+            MetricCounters::add(
+                &self.counters.covering_runs_probed,
+                decision.runs_probed as u64,
+            );
+            MetricCounters::add(
+                &self.counters.covering_comparisons,
+                decision.comparisons as u64,
+            );
+        }
     }
 
     /// Unregisters subscription `id` (which must have been registered by a
@@ -169,64 +312,73 @@ impl BrokerNetwork {
     ///
     /// Returns an error if the broker does not exist or the subscription is
     /// not registered at it.
-    pub fn unsubscribe(&mut self, at: BrokerId, id: SubId) -> Result<()> {
+    pub fn unsubscribe(&self, at: BrokerId, id: SubId) -> Result<()> {
         self.topology.check_broker(at)?;
-        if !self.registered_ids.contains(&id) {
-            return Err(BrokerError::UnknownSubscription { id });
+        {
+            let registered = self.registered.lock();
+            match registered.get(&id) {
+                Some(&home) if home == at => {}
+                // Not registered, or registered at another broker: the same
+                // error either way, and any registration stays intact.
+                _ => return Err(BrokerError::UnknownSubscription { id }),
+            }
         }
-        let Some((_client, subscription)) = self.brokers[at].remove_local(id) else {
-            // Registered somewhere, but not at this broker.
+        let Some((_client, subscription)) = self.brokers[at].write().remove_local(id) else {
+            // A concurrent unsubscribe of the same id won the race.
             return Err(BrokerError::UnknownSubscription { id });
         };
-        self.registered_ids.remove(&id);
-        self.metrics.unsubscriptions += 1;
+        self.registered.lock().remove(&id);
+        MetricCounters::bump(&self.counters.unsubscriptions);
 
         // Walk the links the subscription was actually sent on (a subtree of
         // the overlay). On each such link: retract it, re-advertise whatever
         // it was masking, and continue into the neighbor.
-        let mut queue: std::collections::VecDeque<(BrokerId, Option<BrokerId>)> =
-            std::collections::VecDeque::new();
+        let mut queue: VecDeque<(BrokerId, Option<BrokerId>)> = VecDeque::new();
         queue.push_back((at, None));
         while let Some((broker_id, from)) = queue.pop_front() {
-            // Re-advertisement recurses into `propagate`, which needs all of
-            // `&mut self`; the neighbor list must be detached first.
-            let neighbors: Vec<BrokerId> = self.topology.neighbors(broker_id).to_vec();
-            for neighbor in neighbors {
+            for &neighbor in self.topology.neighbors(broker_id) {
                 if Some(neighbor) == from {
                     continue;
                 }
-                if self.brokers[broker_id].was_sent(neighbor, id) {
-                    let readvertised =
-                        self.brokers[broker_id].retract_sent(neighbor, &subscription)?;
-                    self.metrics.unsubscription_messages += 1;
+                let sent = self.brokers[broker_id].read().was_sent(neighbor, id);
+                if sent {
+                    let readvertised = self.brokers[broker_id]
+                        .write()
+                        .retract_sent(neighbor, &subscription)?;
+                    MetricCounters::bump(&self.counters.unsubscription_messages);
                     for (candidate, decision) in readvertised {
-                        if decision.covering_query {
-                            self.metrics.covering_queries += 1;
-                            self.metrics.covering_runs_probed += decision.runs_probed as u64;
-                            self.metrics.covering_comparisons += decision.comparisons as u64;
-                        }
+                        self.record_decision(&decision);
                         if decision.forward {
-                            self.metrics.subscription_messages += 1;
-                            self.brokers[neighbor].add_received(broker_id, candidate.clone());
+                            MetricCounters::bump(&self.counters.subscription_messages);
+                            self.brokers[neighbor]
+                                .write()
+                                .add_received(broker_id, candidate.clone());
                             self.propagate(neighbor, Some(broker_id), &candidate)?;
                         } else {
-                            self.metrics.subscriptions_suppressed += 1;
+                            MetricCounters::bump(&self.counters.subscriptions_suppressed);
                         }
                     }
-                    self.brokers[neighbor].remove_received(broker_id, id);
+                    self.brokers[neighbor]
+                        .write()
+                        .remove_received(broker_id, id);
                     queue.push_back((neighbor, Some(broker_id)));
                 } else {
                     // Never sent on this link: at most sitting in its
                     // suppressed list.
-                    self.brokers[broker_id].drop_suppressed(neighbor, id);
+                    self.brokers[broker_id]
+                        .write()
+                        .drop_suppressed(neighbor, id);
                 }
             }
-            // Compact the visited broker's suppressed state: retire entries
-            // whose subscription has been unsubscribed and collapse
-            // duplicate chain entries, so the per-link lists stay bounded by
-            // the live population under arbitrarily long churn histories.
-            let live = &self.registered_ids;
-            self.brokers[broker_id].compact_suppressed(live);
+            // Compact the visited broker's suppressed state so the per-link
+            // lists stay bounded by the live population under arbitrarily
+            // long churn histories. The live map is consulted *while the
+            // broker lock is held* (the documented `broker → netreg`
+            // nesting): an entry is only retired when its subscription is
+            // truly unregistered at that moment.
+            let mut broker = self.brokers[broker_id].write();
+            let registered = self.registered.lock();
+            broker.compact_suppressed(|sub| registered.contains_key(&sub));
         }
         Ok(())
     }
@@ -238,33 +390,31 @@ impl BrokerNetwork {
     ///
     /// Returns an error if the broker does not exist.
     // acd-lint: hot
-    pub fn publish(&mut self, at: BrokerId, event: &Event) -> Result<Vec<(BrokerId, ClientId)>> {
+    pub fn publish(&self, at: BrokerId, event: &Event) -> Result<Vec<(BrokerId, ClientId)>> {
         self.topology.check_broker(at)?;
-        self.metrics.events_published += 1;
+        MetricCounters::bump(&self.counters.events_published);
         let mut deliveries = Vec::new();
 
-        let mut queue: std::collections::VecDeque<(BrokerId, Option<BrokerId>)> =
-            std::collections::VecDeque::new();
+        let mut queue: VecDeque<(BrokerId, Option<BrokerId>)> = VecDeque::new();
         queue.push_back((at, None));
         while let Some((broker_id, from)) = queue.pop_front() {
-            for (client, _) in self.brokers[broker_id].matching_local_clients_iter(event) {
+            let broker = self.brokers[broker_id].read();
+            for (client, _) in broker.matching_local_clients_iter(event) {
                 deliveries.push((broker_id, client));
             }
-            // Iterating the borrowed neighbor slice is fine: the loop body
-            // only touches the disjoint `brokers` and `metrics` fields.
             for &neighbor in self.topology.neighbors(broker_id) {
                 if Some(neighbor) == from {
                     continue;
                 }
-                if self.brokers[broker_id].neighbor_interested(neighbor, event) {
-                    self.metrics.event_messages += 1;
+                if broker.neighbor_interested(neighbor, event) {
+                    MetricCounters::bump(&self.counters.event_messages);
                     queue.push_back((neighbor, Some(broker_id)));
                 }
             }
         }
         deliveries.sort_unstable();
         deliveries.dedup();
-        self.metrics.deliveries += deliveries.len() as u64;
+        MetricCounters::add(&self.counters.deliveries, deliveries.len() as u64);
         Ok(deliveries)
     }
 }
@@ -291,11 +441,32 @@ mod tests {
             .unwrap()
     }
 
+    fn network(topology: Topology, schema: &Schema, policy: CoveringPolicy) -> BrokerNetwork {
+        BrokerConfig::new(topology, schema)
+            .policy(policy)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn network_is_shareable_across_threads() {
+        fn assert_traits<T: Send + Sync>() {}
+        assert_traits::<BrokerNetwork>();
+    }
+
+    #[test]
+    fn config_defaults_to_no_covering() {
+        let s = schema();
+        let net = BrokerConfig::new(Topology::line(2).unwrap(), &s)
+            .build()
+            .unwrap();
+        assert_eq!(net.policy(), CoveringPolicy::None);
+    }
+
     #[test]
     fn events_are_delivered_across_the_overlay() {
         let s = schema();
-        let mut net =
-            BrokerNetwork::new(Topology::line(4).unwrap(), &s, CoveringPolicy::ExactSfc).unwrap();
+        let net = network(Topology::line(4).unwrap(), &s, CoveringPolicy::ExactSfc);
         net.subscribe(0, 10, &sub(&s, 1, (0.0, 50.0), (0.0, 50.0)))
             .unwrap();
         net.subscribe(3, 30, &sub(&s, 2, (40.0, 100.0), (40.0, 100.0)))
@@ -331,8 +502,7 @@ mod tests {
             .collect();
 
         let run = |policy: CoveringPolicy| {
-            let mut net =
-                BrokerNetwork::new(Topology::balanced_tree(2, 3).unwrap(), &s, policy).unwrap();
+            let net = network(Topology::balanced_tree(2, 3).unwrap(), &s, policy);
             for (i, subscription) in subs.iter().enumerate() {
                 net.subscribe(0, 100 + i as u64, subscription).unwrap();
             }
@@ -364,8 +534,7 @@ mod tests {
     #[test]
     fn rejects_bad_brokers_duplicates_and_foreign_schemas() {
         let s = schema();
-        let mut net =
-            BrokerNetwork::new(Topology::star(3).unwrap(), &s, CoveringPolicy::None).unwrap();
+        let net = network(Topology::star(3).unwrap(), &s, CoveringPolicy::None);
         let a = sub(&s, 1, (0.0, 10.0), (0.0, 10.0));
         assert!(net.subscribe(9, 1, &a).is_err());
         net.subscribe(0, 1, &a).unwrap();
@@ -383,8 +552,7 @@ mod tests {
     #[test]
     fn subscription_propagation_counts_messages_per_link() {
         let s = schema();
-        let mut net =
-            BrokerNetwork::new(Topology::line(5).unwrap(), &s, CoveringPolicy::None).unwrap();
+        let net = network(Topology::line(5).unwrap(), &s, CoveringPolicy::None);
         net.subscribe(2, 1, &sub(&s, 1, (0.0, 10.0), (0.0, 10.0)))
             .unwrap();
         // Flooding from the middle of a 5-line reaches the 4 other brokers
@@ -408,7 +576,7 @@ mod tests {
             CoveringPolicy::ExactSfc,
             CoveringPolicy::ShardedSfc { shards: 3 },
         ] {
-            let mut net = BrokerNetwork::new(Topology::line(3).unwrap(), &s, policy).unwrap();
+            let net = network(Topology::line(3).unwrap(), &s, policy);
             let wide = sub(&s, 1, (0.0, 100.0), (0.0, 100.0));
             let narrow = sub(&s, 2, (10.0, 30.0), (10.0, 30.0));
             // The wide subscription masks the narrow one on every link.
@@ -450,8 +618,7 @@ mod tests {
     #[test]
     fn unsubscribe_rejects_unknown_ids_and_wrong_brokers() {
         let s = schema();
-        let mut net =
-            BrokerNetwork::new(Topology::line(3).unwrap(), &s, CoveringPolicy::ExactSfc).unwrap();
+        let net = network(Topology::line(3).unwrap(), &s, CoveringPolicy::ExactSfc);
         let a = sub(&s, 1, (0.0, 10.0), (0.0, 10.0));
         net.subscribe(0, 1, &a).unwrap();
         assert!(matches!(
@@ -481,8 +648,7 @@ mod tests {
         // with it they must stay bounded by the live population at every
         // step (and empty at quiescence).
         let s = schema();
-        let mut net =
-            BrokerNetwork::new(Topology::line(4).unwrap(), &s, CoveringPolicy::ExactSfc).unwrap();
+        let net = network(Topology::line(4).unwrap(), &s, CoveringPolicy::ExactSfc);
         let total_links = 2 * (net.topology().brokers() - 1);
         let mut live = 0usize;
         let mut next_id: SubId = 1;
@@ -538,8 +704,7 @@ mod tests {
     #[test]
     fn publish_without_subscribers_stays_local() {
         let s = schema();
-        let mut net =
-            BrokerNetwork::new(Topology::star(5).unwrap(), &s, CoveringPolicy::ExactSfc).unwrap();
+        let net = network(Topology::star(5).unwrap(), &s, CoveringPolicy::ExactSfc);
         let e = Event::new(&s, vec![1.0, 1.0]).unwrap();
         assert!(net.publish(4, &e).unwrap().is_empty());
         assert_eq!(net.metrics().event_messages, 0);

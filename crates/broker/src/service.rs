@@ -1,0 +1,398 @@
+//! The TCP front door: a daemon serving one [`BrokerNetwork`] to remote
+//! clients over the [`crate::wire`] protocol.
+//!
+//! Architecture:
+//!
+//! * an **accept thread** polls the listener (non-blocking, so shutdown is
+//!   observed without a wake-up connection) and hands each accepted socket
+//!   to
+//! * a **connection worker team** — the same long-lived channel-fed
+//!   [`QueryPool`] the sharded index uses for queries — where each
+//!   connection is served to completion by one worker;
+//! * every worker drives the **shared network through `&self`**: the
+//!   overlay's interior locking (see `LOCKING.md`) is what lets N
+//!   connections subscribe, unsubscribe and publish concurrently.
+//!
+//! Per connection the worker speaks a strict request/response protocol
+//! (`Hello` greeting, then one response frame per request frame, in order)
+//! with **flush-on-idle batching**: responses are buffered while more
+//! requests are already readable and flushed when the connection goes
+//! idle, so a pipelining client pays one syscall per burst instead of one
+//! per publish.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use acd_covering::QueryPool;
+use acd_subscription::{Event, SubscriptionBuilder};
+
+use crate::error::ServiceError;
+use crate::network::BrokerNetwork;
+use crate::wire::{encode_frame, read_frame, Frame};
+
+/// How long a blocked connection read waits before re-checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// How long the accept thread sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// A running broker daemon: owns the listener and the connection worker
+/// team, serves until dropped (or [`shutdown`](Self::shutdown)).
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use acd_broker::{BrokerConfig, BrokerDaemon, Topology};
+/// use acd_subscription::Schema;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder().attribute("x", 0.0, 100.0).build()?;
+/// let net = Arc::new(BrokerConfig::new(Topology::star(4)?, &schema).build()?);
+/// let daemon = BrokerDaemon::start(net, "127.0.0.1:0", 4)?;
+/// println!("listening on {}", daemon.local_addr());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BrokerDaemon {
+    network: Arc<BrokerNetwork>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BrokerDaemon {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `network` with a team of `workers` connection workers. Each worker
+    /// serves one connection at a time, so `workers` bounds the number of
+    /// concurrently served clients; further connections queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn start(
+        network: Arc<BrokerNetwork>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> Result<BrokerDaemon, ServiceError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let network = Arc::clone(&network);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("acd-brokerd-accept".into())
+                .spawn(move || accept_loop(listener, network, shutdown, workers))
+                .map_err(ServiceError::from)?
+        };
+        Ok(BrokerDaemon {
+            network,
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the daemon is actually listening on (with the real port
+    /// when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served network — callers can inspect metrics or drive it
+    /// in-process alongside the remote clients.
+    pub fn network(&self) -> &Arc<BrokerNetwork> {
+        &self.network
+    }
+
+    /// Stops accepting, drains the worker team, and returns once every
+    /// connection worker has exited. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            // Joining the accept thread drops the pool, which joins every
+            // connection worker.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BrokerDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accepts until shutdown, dispatching each connection to the worker team.
+fn accept_loop(
+    listener: TcpListener,
+    network: Arc<BrokerNetwork>,
+    shutdown: Arc<AtomicBool>,
+    workers: usize,
+) {
+    let pool = QueryPool::new(workers);
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let network = Arc::clone(&network);
+                let shutdown = Arc::clone(&shutdown);
+                pool.execute(move || {
+                    // A connection failing (corrupt frames, peer reset) only
+                    // closes that connection; the daemon keeps serving.
+                    let _ = serve_connection(&network, stream, &shutdown);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Dropping the pool here joins the connection workers; their reads
+    // observe the shutdown flag within one READ_POLL.
+}
+
+/// A [`Read`] adapter that turns read timeouts into polite polling: it
+/// retries on `WouldBlock`/`TimedOut` until bytes arrive or the daemon
+/// shuts down (reported as EOF, so frame-boundary reads end cleanly).
+/// Because the retry lives *inside* `read`, `read_exact` above it never
+/// sees a timeout mid-frame and partial reads are never lost.
+#[derive(Debug)]
+struct PatientStream<'a> {
+    stream: &'a TcpStream,
+    shutdown: &'a AtomicBool,
+}
+
+impl Read for PatientStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Ok(0);
+            }
+            match self.stream.read(buf) {
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                result => return result,
+            }
+        }
+    }
+}
+
+/// Serves one connection to completion: `Hello` greeting, then one
+/// response per request with flush-on-idle batching.
+fn serve_connection(
+    network: &BrokerNetwork,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+) -> Result<(), ServiceError> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(PatientStream {
+        stream: &stream,
+        shutdown,
+    });
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+
+    let schema_json =
+        serde_json::to_string(network.schema()).map_err(|e| ServiceError::Io(e.to_string()))?;
+    encode_frame(&Frame::Hello { schema_json }, &mut out);
+    writer.write_all(&out)?;
+    writer.flush()?;
+
+    loop {
+        // Peek for data so a clean disconnect (EOF at a frame boundary,
+        // including our own shutdown) ends the loop without an error.
+        if reader.fill_buf()?.is_empty() {
+            writer.flush()?;
+            return Ok(());
+        }
+        let request = read_frame(&mut reader, &mut scratch)?;
+        let response = handle_request(network, request)?;
+        encode_frame(&response, &mut out);
+        writer.write_all(&out)?;
+        // Flush-on-idle: only pay the syscall when no further request is
+        // already buffered (a pipelining client gets its whole burst of
+        // responses in one write).
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+    }
+}
+
+/// Executes one request against the network. Broker-level rejections come
+/// back as [`Frame::Err`] (the connection continues); protocol violations
+/// are returned as hard errors (the connection closes).
+fn handle_request(network: &BrokerNetwork, request: Frame) -> Result<Frame, ServiceError> {
+    match request {
+        Frame::Subscribe {
+            at,
+            client,
+            id,
+            bounds,
+        } => {
+            let schema = network.schema();
+            if bounds.len() != schema.arity() {
+                return Ok(Frame::Err {
+                    message: format!(
+                        "subscription has {} bounds but the schema has {} attributes",
+                        bounds.len(),
+                        schema.arity()
+                    ),
+                });
+            }
+            let mut builder = SubscriptionBuilder::new(schema);
+            for (attribute, (lo, hi)) in schema.attributes().iter().zip(&bounds) {
+                builder = builder.range(attribute.name(), *lo, *hi);
+            }
+            let outcome = builder
+                .build(id)
+                .map_err(crate::BrokerError::from)
+                .and_then(|subscription| network.subscribe(at, client, &subscription));
+            Ok(reply(outcome.map(|()| Frame::Ok)))
+        }
+        Frame::Unsubscribe { at, id } => Ok(reply(network.unsubscribe(at, id).map(|()| Frame::Ok))),
+        Frame::Publish { at, values } => {
+            let outcome = Event::new(network.schema(), values)
+                .map_err(crate::BrokerError::from)
+                .and_then(|event| network.publish(at, &event))
+                .map(|pairs| Frame::Deliveries { pairs });
+            Ok(reply(outcome))
+        }
+        other => Err(ServiceError::UnexpectedFrame {
+            kind: other.kind_name().to_string(),
+        }),
+    }
+}
+
+/// Folds a broker outcome into its response frame.
+fn reply(outcome: Result<Frame, crate::BrokerError>) -> Frame {
+    match outcome {
+        Ok(frame) => frame,
+        Err(e) => Frame::Err {
+            message: e.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::BrokerClient;
+    use crate::network::BrokerConfig;
+    use crate::topology::Topology;
+    use acd_covering::CoveringPolicy;
+    use acd_subscription::Schema;
+
+    fn daemon(policy: CoveringPolicy) -> BrokerDaemon {
+        let schema = Schema::builder()
+            .attribute("x", 0.0, 100.0)
+            .bits_per_attribute(8)
+            .build()
+            .unwrap();
+        let net = Arc::new(
+            BrokerConfig::new(Topology::line(3).unwrap(), &schema)
+                .policy(policy)
+                .build()
+                .unwrap(),
+        );
+        BrokerDaemon::start(net, "127.0.0.1:0", 2).unwrap()
+    }
+
+    #[test]
+    fn daemon_serves_subscribe_publish_unsubscribe() {
+        let daemon = daemon(CoveringPolicy::ExactSfc);
+        let mut client = BrokerClient::connect(daemon.local_addr()).unwrap();
+        let schema = client.schema().clone();
+        let sub = SubscriptionBuilder::new(&schema)
+            .range("x", 10.0, 40.0)
+            .build(1)
+            .unwrap();
+        client.subscribe(0, 7, &sub).unwrap();
+        let hit = Event::new(&schema, vec![25.0]).unwrap();
+        assert_eq!(client.publish(2, &hit).unwrap(), vec![(0, 7)]);
+        let miss = Event::new(&schema, vec![80.0]).unwrap();
+        assert_eq!(client.publish(2, &miss).unwrap(), vec![]);
+        client.unsubscribe(0, 1).unwrap();
+        assert_eq!(client.publish(2, &hit).unwrap(), vec![]);
+        assert_eq!(daemon.network().metrics().events_published, 3);
+    }
+
+    #[test]
+    fn broker_rejections_travel_as_err_frames_and_keep_the_connection() {
+        let daemon = daemon(CoveringPolicy::None);
+        let mut client = BrokerClient::connect(daemon.local_addr()).unwrap();
+        let schema = client.schema().clone();
+        let sub = SubscriptionBuilder::new(&schema)
+            .range("x", 0.0, 50.0)
+            .build(1)
+            .unwrap();
+        client.subscribe(0, 7, &sub).unwrap();
+        // Duplicate id: rejected with the broker's message, connection fine.
+        let rejected = client.subscribe(1, 8, &sub);
+        assert!(matches!(
+            rejected,
+            Err(ServiceError::Rejected { message }) if message.contains("already registered")
+        ));
+        // Unknown broker: same shape.
+        assert!(client
+            .publish(99, &Event::new(&schema, vec![1.0]).unwrap())
+            .is_err());
+        // The connection still works after both rejections.
+        assert_eq!(
+            client
+                .publish(2, &Event::new(&schema, vec![10.0]).unwrap())
+                .unwrap(),
+            vec![(0, 7)]
+        );
+    }
+
+    #[test]
+    fn pipelined_publishes_come_back_in_order() {
+        let daemon = daemon(CoveringPolicy::ExactSfc);
+        let mut client = BrokerClient::connect(daemon.local_addr()).unwrap();
+        let schema = client.schema().clone();
+        let sub = SubscriptionBuilder::new(&schema)
+            .range("x", 0.0, 50.0)
+            .build(1)
+            .unwrap();
+        client.subscribe(0, 7, &sub).unwrap();
+        let events: Vec<Event> = (0..20)
+            .map(|i| Event::new(&schema, vec![i as f64 * 5.0]).unwrap())
+            .collect();
+        let batches = client.publish_batch(2, &events).unwrap();
+        assert_eq!(batches.len(), events.len());
+        for (event, deliveries) in events.iter().zip(&batches) {
+            let expected: Vec<(usize, u64)> = if event.value(0) <= 50.0 {
+                vec![(0, 7)]
+            } else {
+                vec![]
+            };
+            assert_eq!(deliveries, &expected);
+        }
+    }
+
+    #[test]
+    fn shutdown_disconnects_clients_and_joins_workers() {
+        let mut daemon = daemon(CoveringPolicy::None);
+        let addr = daemon.local_addr();
+        let mut client = BrokerClient::connect(addr).unwrap();
+        daemon.shutdown();
+        // The daemon is gone: either the next request errors out, or new
+        // connections are refused.
+        let schema = client.schema().clone();
+        let result = client.publish(0, &Event::new(&schema, vec![1.0]).unwrap());
+        assert!(result.is_err());
+        assert!(BrokerClient::connect(addr).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! End-to-end integration test: start the real `acd-brokerd` binary on a
+//! loopback ephemeral port, drive a churn mix from several concurrent
+//! client connections, and assert that the delivered event sets exactly
+//! equal an in-process oracle's.
+//!
+//! Each connection owns a disjoint slice of `attr0`'s domain and unique
+//! subscription/client id spaces, so its deliveries are exactly
+//! predictable from its own live set regardless of how the daemon's
+//! worker team interleaves the connections.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use acd_broker::{BrokerClient, ServiceError};
+use acd_subscription::{Event, Schema, Subscription, SubscriptionBuilder};
+
+const CONNECTIONS: usize = 4;
+const OPS_PER_CONNECTION: usize = 200;
+const BROKERS: usize = 8;
+/// The workload schema domain (`acd_workload::WorkloadConfig::DOMAIN_MAX`).
+const DOMAIN: f64 = 1_000_000.0;
+
+/// The daemon process, killed on drop so a failing test never leaks it.
+struct DaemonGuard {
+    child: Child,
+    addr: String,
+}
+
+impl DaemonGuard {
+    fn start(policy: &str) -> DaemonGuard {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_acd-brokerd"))
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--topology",
+                "random",
+                "--brokers",
+                &BROKERS.to_string(),
+                "--policy",
+                policy,
+                "--workers",
+                &CONNECTIONS.to_string(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn acd-brokerd");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read the listening line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected daemon greeting: {line:?}"))
+            .to_string();
+        DaemonGuard { child, addr }
+    }
+}
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Deterministic splitmix64, one per connection.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Drives one connection's churn mix, asserting oracle-exact deliveries
+/// after every publish. Returns the number of publishes checked.
+fn drive(addr: &str, index: usize) -> Result<usize, ServiceError> {
+    let mut client = BrokerClient::connect(addr)?;
+    let schema: Schema = client.schema().clone();
+    assert_eq!(
+        schema.arity(),
+        2,
+        "daemon serves the 2-attribute workload schema"
+    );
+
+    let mut rng = Rng(0xE2E0 + index as u64);
+    let width = DOMAIN / CONNECTIONS as f64;
+    // Margins keep neighboring slices out of each other's grid cells.
+    let (slice_lo, slice_hi) = (
+        index as f64 * width + width * 0.05,
+        (index + 1) as f64 * width - width * 0.05,
+    );
+    let mut live: Vec<(usize, Subscription)> = Vec::new();
+    let mut next_id = (index as u64) * 1_000_000;
+    let mut publishes = 0usize;
+
+    for step in 0..OPS_PER_CONNECTION {
+        match rng.below(10) {
+            0..=3 => {
+                let lo = slice_lo + rng.unit() * (slice_hi - slice_lo) * 0.8;
+                let hi = lo + rng.unit() * (slice_hi - lo);
+                let y_lo = rng.unit() * DOMAIN * 0.8;
+                let y_hi = y_lo + rng.unit() * (DOMAIN - y_lo);
+                next_id += 1;
+                let sub = SubscriptionBuilder::new(&schema)
+                    .range("attr0", lo, hi)
+                    .range("attr1", y_lo, y_hi)
+                    .build(next_id)
+                    .map_err(|e| ServiceError::Io(e.to_string()))?;
+                let home = (next_id % BROKERS as u64) as usize;
+                client.subscribe(home, next_id, &sub)?;
+                live.push((home, sub));
+            }
+            4 | 5 => {
+                if !live.is_empty() {
+                    let victim = rng.below(live.len() as u64) as usize;
+                    let (home, sub) = live.swap_remove(victim);
+                    client.unsubscribe(home, sub.id())?;
+                }
+            }
+            _ => {
+                let x = slice_lo + rng.unit() * (slice_hi - slice_lo);
+                let y = rng.unit() * DOMAIN;
+                let event =
+                    Event::new(&schema, vec![x, y]).map_err(|e| ServiceError::Io(e.to_string()))?;
+                let deliveries = client.publish(step % BROKERS, &event)?;
+                let mut expected: Vec<(usize, u64)> = live
+                    .iter()
+                    .filter(|(_, sub)| sub.matches(&event))
+                    .map(|(home, sub)| (*home, sub.id()))
+                    .collect();
+                expected.sort_unstable();
+                assert_eq!(
+                    deliveries, expected,
+                    "connection {index} step {step}: daemon deliveries diverged \
+                     from the in-process oracle"
+                );
+                publishes += 1;
+            }
+        }
+    }
+
+    for (home, sub) in live {
+        client.unsubscribe(home, sub.id())?;
+    }
+    Ok(publishes)
+}
+
+fn churn_over_daemon(policy: &str) {
+    let daemon = DaemonGuard::start(policy);
+    let checked: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONNECTIONS)
+            .map(|index| {
+                let addr = daemon.addr.as_str();
+                scope.spawn(move || drive(addr, index))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .expect("connection thread")
+                    .expect("connection ran clean")
+            })
+            .collect()
+    });
+    // Every connection actually exercised the publish path.
+    for (index, publishes) in checked.iter().enumerate() {
+        assert!(
+            *publishes > 0,
+            "connection {index} never published — churn mix degenerated"
+        );
+    }
+}
+
+#[test]
+fn concurrent_connections_get_oracle_exact_deliveries_exact_sfc() {
+    churn_over_daemon("exact-sfc");
+}
+
+#[test]
+fn concurrent_connections_get_oracle_exact_deliveries_flooding() {
+    churn_over_daemon("none");
+}
+
+#[test]
+fn load_generator_completes_against_a_live_daemon() {
+    let daemon = DaemonGuard::start("exact-sfc");
+    let status = Command::new(env!("CARGO_BIN_EXE_acd-brokerload"))
+        .args([
+            "--addr",
+            &daemon.addr,
+            "--connections",
+            "4",
+            "--ops",
+            "150",
+            "--brokers",
+            &BROKERS.to_string(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn acd-brokerload");
+    assert!(status.success(), "load generator failed: {status}");
+}

@@ -2,7 +2,7 @@
 //! policy the brokers use, every subscriber receives exactly the same events
 //! as under flooding.
 
-use acd_broker::{BrokerNetwork, Topology};
+use acd_broker::{BrokerConfig, Topology};
 use acd_covering::CoveringPolicy;
 use acd_workload::{EventWorkload, Scenario, SubscriptionWorkload};
 
@@ -20,7 +20,10 @@ fn run_policy(
     let mut event_workload = EventWorkload::with_schema(&config, &schema).unwrap();
     let published = event_workload.take(events);
 
-    let mut net = BrokerNetwork::new(topology.clone(), &schema, policy).unwrap();
+    let net = BrokerConfig::new(topology.clone(), &schema)
+        .policy(policy)
+        .build()
+        .unwrap();
     for (i, s) in subscriptions.iter().enumerate() {
         net.subscribe((i * 3) % topology.brokers(), i as u64, s)
             .unwrap();

@@ -1,0 +1,178 @@
+//! Threaded stress test for the concurrent `BrokerNetwork`: many threads
+//! drive subscribe/unsubscribe/publish through `&self` on one shared
+//! network. Each thread owns a disjoint slice of the first attribute's
+//! domain, so its deliveries are exactly predictable by a thread-local
+//! oracle no matter how the threads interleave — which turns the stress
+//! test into an exact correctness check, not just a crash hunt.
+//!
+//! Run in CI's stress job (release, single-threaded test harness so the
+//! worker threads get the machine).
+
+use std::sync::Arc;
+
+use acd_broker::{BrokerConfig, BrokerNetwork, Topology};
+use acd_covering::CoveringPolicy;
+use acd_subscription::{Event, Schema, Subscription, SubscriptionBuilder};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 300;
+const DOMAIN: f64 = 1000.0;
+
+fn schema() -> Schema {
+    Schema::builder()
+        .attribute("x", 0.0, DOMAIN)
+        .attribute("y", 0.0, DOMAIN)
+        .bits_per_attribute(8)
+        .build()
+        .unwrap()
+}
+
+/// A tiny deterministic PRNG (splitmix64) so the stress mix needs no
+/// external dependencies and every run replays the same schedule attempts.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One thread's workload: churn inside its own x-slice, checking every
+/// publish against a local oracle of its own live subscriptions.
+fn drive(net: &BrokerNetwork, thread: usize, seed: u64) {
+    let schema = net.schema().clone();
+    let brokers = net.topology().brokers();
+    let mut rng = Rng(seed);
+    // Disjoint slice, with a margin so grid quantization cannot blur two
+    // neighboring slices into a shared cell.
+    let width = DOMAIN / THREADS as f64;
+    let (slice_lo, slice_hi) = (
+        thread as f64 * width + width * 0.05,
+        (thread + 1) as f64 * width - width * 0.05,
+    );
+    let mut live: Vec<(usize, Subscription)> = Vec::new();
+    let mut next_id = (thread as u64) * 1_000_000;
+
+    for step in 0..OPS_PER_THREAD {
+        match rng.below(10) {
+            // 0-3: subscribe inside the slice.
+            0..=3 => {
+                let lo = slice_lo + rng.unit() * (slice_hi - slice_lo) * 0.8;
+                let hi = lo + rng.unit() * (slice_hi - lo);
+                let y_lo = rng.unit() * DOMAIN * 0.8;
+                let y_hi = y_lo + rng.unit() * (DOMAIN - y_lo);
+                next_id += 1;
+                let sub = SubscriptionBuilder::new(&schema)
+                    .range("x", lo, hi)
+                    .range("y", y_lo, y_hi)
+                    .build(next_id)
+                    .unwrap();
+                let home = (next_id % brokers as u64) as usize;
+                net.subscribe(home, next_id, &sub).unwrap();
+                live.push((home, sub));
+            }
+            // 4-5: unsubscribe one of ours.
+            4 | 5 => {
+                if !live.is_empty() {
+                    let victim = rng.below(live.len() as u64) as usize;
+                    let (home, sub) = live.swap_remove(victim);
+                    net.unsubscribe(home, sub.id()).unwrap();
+                }
+            }
+            // 6-9: publish inside the slice and check the oracle exactly.
+            _ => {
+                let x = slice_lo + rng.unit() * (slice_hi - slice_lo);
+                let y = rng.unit() * DOMAIN;
+                let event = Event::new(&schema, vec![x, y]).unwrap();
+                let at = step % brokers;
+                let deliveries = net.publish(at, &event).unwrap();
+                let mine: Vec<(usize, u64)> = deliveries
+                    .iter()
+                    .copied()
+                    .filter(|(_, client)| client / 1_000_000 == thread as u64)
+                    .collect();
+                let mut expected: Vec<(usize, u64)> = live
+                    .iter()
+                    .filter(|(_, sub)| sub.matches(&event))
+                    .map(|(home, sub)| (*home, sub.id()))
+                    .collect();
+                expected.sort_unstable();
+                assert_eq!(
+                    mine, expected,
+                    "thread {thread} step {step}: deliveries diverged from the oracle"
+                );
+                // Foreign deliveries would mean slice isolation broke.
+                assert_eq!(
+                    mine.len(),
+                    deliveries.len(),
+                    "thread {thread} step {step}: received another slice's deliveries"
+                );
+            }
+        }
+    }
+
+    // Drain, so the network ends the test empty.
+    for (home, sub) in live {
+        net.unsubscribe(home, sub.id()).unwrap();
+    }
+}
+
+fn stress(policy: CoveringPolicy) {
+    let schema = schema();
+    let net = Arc::new(
+        BrokerConfig::new(Topology::random_tree(10, 7).unwrap(), &schema)
+            .policy(policy)
+            .build()
+            .unwrap(),
+    );
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let net = Arc::clone(&net);
+            scope.spawn(move || drive(&net, thread, 0xACD0 + thread as u64));
+        }
+    });
+    let metrics = net.metrics();
+    assert_eq!(
+        metrics.routing_table_entries, 0,
+        "all subscriptions were retracted, routing state must be empty"
+    );
+    assert_eq!(metrics.subscriptions_registered, metrics.unsubscriptions);
+    let suppressed: usize = (0..net.topology().brokers())
+        .map(|b| net.broker(b).unwrap().suppressed_entries())
+        .sum();
+    assert_eq!(suppressed, 0, "suppressed state leaked after full drain");
+}
+
+#[test]
+fn network_is_send_and_sync() {
+    fn assert_traits<T: Send + Sync>() {}
+    assert_traits::<BrokerNetwork>();
+    assert_traits::<Arc<BrokerNetwork>>();
+}
+
+#[test]
+fn concurrent_churn_matches_the_oracle_flooding() {
+    stress(CoveringPolicy::None);
+}
+
+#[test]
+fn concurrent_churn_matches_the_oracle_exact_sfc() {
+    stress(CoveringPolicy::ExactSfc);
+}
+
+#[test]
+fn concurrent_churn_matches_the_oracle_sharded() {
+    stress(CoveringPolicy::ShardedSfc { shards: 3 });
+}

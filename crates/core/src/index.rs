@@ -21,7 +21,7 @@ use crate::Result;
 /// truly covers the query (no false positives). Approximate implementations
 /// may fail to find an existing covering subscription (false negatives),
 /// which only costs bandwidth, never correctness.
-pub trait CoveringIndex: std::fmt::Debug + Send {
+pub trait CoveringIndex: std::fmt::Debug + Send + Sync {
     /// Inserts a subscription.
     ///
     /// # Errors

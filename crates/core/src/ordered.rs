@@ -13,7 +13,10 @@
 //!
 //! Ranks are assigned per class (see `LOCKING.md` and the mirrored table in
 //! `acd-analysis`); shard locks take `RANK_SHARD_BASE + shard_index`, so the
-//! "ascending shard order" rule falls out of the strict-increase check.
+//! "ascending shard order" rule falls out of the strict-increase check. The
+//! broker overlay's classes ([`RANK_BROKER`], [`RANK_NET_REGISTRY`]) sit
+//! *below* the index classes because a broker runs covering-index operations
+//! while its own lock is held.
 //!
 //! Poison recovery (`unwrap_or_else(|e| e.into_inner())`) lives *inside*
 //! these wrappers: a panic mid-update can at worst leave a stale statistic,
@@ -23,6 +26,16 @@
 use std::ops::{Deref, DerefMut};
 use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+/// Rank of the per-broker overlay locks (`brokers`). Below every index rank:
+/// a broker decides forwarding by running covering-index operations (which
+/// acquire [`RANK_LAYOUT`] and upward) while its own lock is held, so the
+/// broker class must sit at the bottom of the hierarchy. All brokers share
+/// one rank — the overlay never holds two broker locks at once.
+pub const RANK_BROKER: u32 = 5;
+/// Rank of the broker-network subscription-registration lock (`registered`).
+/// Above [`RANK_BROKER`] so suppressed-state compaction can consult the
+/// live-id map while holding the broker being compacted.
+pub const RANK_NET_REGISTRY: u32 = 8;
 /// Rank of the shard-layout lock (`starts`).
 pub const RANK_LAYOUT: u32 = 10;
 /// Rank of the subscription registry lock.
@@ -46,6 +59,8 @@ pub const RANK_STATS: u32 = 110;
 /// prose in `LOCKING.md`; a workspace test cross-checks the two.
 pub fn rank_table() -> &'static [(u32, &'static str)] {
     &[
+        (RANK_BROKER, "broker"),
+        (RANK_NET_REGISTRY, "netreg"),
         (RANK_LAYOUT, "layout"),
         (RANK_REGISTRY, "registry"),
         (RANK_SHARD_BASE, "shard"),
@@ -89,8 +104,8 @@ mod tracking {
                         rank > top_rank,
                         "lock-order violation: acquiring `{name}` (rank {rank}) while \
                          holding `{top_name}` (rank {top_rank}); locks must be taken in \
-                         the order layout → registry → shards (ascending) → policy → \
-                         stats — see LOCKING.md"
+                         the order broker → netreg → layout → registry → shards \
+                         (ascending) → policy → stats — see LOCKING.md"
                     );
                 }
                 held.push((token, rank, name));

@@ -40,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CoveringPolicy::ExactSfc,
         CoveringPolicy::Approximate { epsilon: 0.05 },
     ] {
-        let mut net = BrokerNetwork::new(topology.clone(), &schema, policy)?;
+        let net = BrokerConfig::new(topology.clone(), &schema)
+            .policy(policy)
+            .build()?;
         for (i, s) in subscriptions.iter().enumerate() {
             net.subscribe((i * 5) % topology.brokers(), i as u64, s)?;
         }

@@ -30,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let schema = churn.schema().clone();
         let topology = Topology::balanced_tree(2, 3)?;
         let brokers = topology.brokers();
-        let mut net = BrokerNetwork::new(topology, &schema, policy)?;
+        let net = BrokerConfig::new(topology, &schema)
+            .policy(policy)
+            .build()?;
 
         let mut deliveries = 0u64;
         for (step, op) in churn.take(ops).into_iter().enumerate() {

@@ -67,7 +67,7 @@ pub use acd_workload as workload;
 
 /// The types most applications need, importable with a single `use`.
 pub mod prelude {
-    pub use acd_broker::{BrokerNetwork, Topology};
+    pub use acd_broker::{BrokerConfig, BrokerNetwork, Topology};
     pub use acd_covering::{
         ApproxConfig, CoveringIndex, CoveringPolicy, LinearScanIndex, QueryEngine,
         SfcCoveringIndex, ShardedCoveringIndex,

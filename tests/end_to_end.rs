@@ -65,7 +65,10 @@ fn broker_overlay_with_scenario_workloads_is_safe_and_saves_traffic() {
         let topology = Topology::balanced_tree(2, 3).unwrap();
 
         let run = |policy: CoveringPolicy| {
-            let mut net = BrokerNetwork::new(topology.clone(), &schema, policy).unwrap();
+            let net = BrokerConfig::new(topology.clone(), &schema)
+                .policy(policy)
+                .build()
+                .unwrap();
             for (i, s) in subscriptions.iter().enumerate() {
                 net.subscribe(i % topology.brokers(), i as u64, s).unwrap();
             }
@@ -108,8 +111,10 @@ fn churn_scenario_through_broker_network_matches_naive_oracle() {
         let config = Scenario::Churn.churn_config(seed);
         let mut churn = ChurnWorkload::new(&config).unwrap();
         let schema = churn.schema().clone();
-        let mut net =
-            BrokerNetwork::new(Topology::line(brokers).unwrap(), &schema, policy).unwrap();
+        let net = BrokerConfig::new(Topology::line(brokers).unwrap(), &schema)
+            .policy(policy)
+            .build()
+            .unwrap();
 
         // The oracle: every live subscription with its home broker/client.
         let mut live: std::collections::HashMap<u64, (usize, u64, Subscription)> =
