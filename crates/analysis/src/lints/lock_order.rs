@@ -2,7 +2,8 @@
 //!
 //! The sharded index (`crates/core/src/sharded.rs`) and the broker overlay
 //! (`crates/broker/src/network.rs`) document a strict acquisition order —
-//! broker (`brokers`) → netreg (`registered`) → layout (`starts`) →
+//! session (`sessions`) → broker (`brokers`) → netreg (`registered`) →
+//! layout (`starts`) →
 //! `registry` → shard locks (ascending) → policy locks → `stats` — and a
 //! deadlock needs exactly one
 //! code path that acquires against it. This lint models the hierarchy as
@@ -54,6 +55,12 @@ pub struct LockClass {
 /// and `LOCKING.md`; the workspace test `tests/acd_lint.rs` cross-checks the
 /// two tables.
 pub const LOCK_CLASSES: &[LockClass] = &[
+    LockClass {
+        rank: 3,
+        name: "session",
+        fields: &["sessions"],
+        multi: false,
+    },
     LockClass {
         rank: 5,
         name: "broker",

@@ -29,8 +29,9 @@ use crate::source::{is_method_call, SourceFile};
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Identifiers that precede `[` without being an indexing receiver.
+/// `let` starts slice/array destructuring patterns, never an index.
 const NON_RECEIVER_KEYWORDS: &[&str] = &[
-    "mut", "ref", "in", "as", "dyn", "impl", "where", "return", "break", "const",
+    "mut", "ref", "in", "as", "dyn", "impl", "where", "return", "break", "const", "let",
 ];
 
 pub struct PanicHygiene {
@@ -226,6 +227,17 @@ fn f(xs: &[u32], i: usize) -> u32 {
     #[test]
     fn attributes_do_not_trip_strict_indexing() {
         let src = "#[derive(Clone)]\npub struct S { xs: [u8; 4] }\n";
+        assert!(run_at("crates/x/src/lib.rs", src, true).is_empty());
+    }
+
+    #[test]
+    fn slice_destructuring_does_not_trip_strict_indexing() {
+        let src = "\
+fn f(header: &[u8; 4]) -> u8 {
+    let [a, _, _, b] = *header;
+    a ^ b
+}
+";
         assert!(run_at("crates/x/src/lib.rs", src, true).is_empty());
     }
 }

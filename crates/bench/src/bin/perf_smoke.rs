@@ -158,6 +158,27 @@ fn main() -> ExitCode {
             e2e.deliveries,
         );
     }
+    if let Some(r) = &report.resilience {
+        println!(
+            "e2e resilience counters: {} rejected, {} evicted, {} corrupt frames, \
+             {} session retries, {} session takeovers",
+            r.connections_rejected,
+            r.connections_evicted,
+            r.frames_corrupt,
+            r.client_retries,
+            r.client_reconnects,
+        );
+    }
+    if let Some(chaos) = &report.chaos {
+        println!(
+            "chaos recovery ({} subscriptions): reconnect + resubscribe in {:.1} ms \
+             ({} retries, {} reconnects)",
+            chaos.subscriptions,
+            chaos.reconnect_resubscribe_ms,
+            chaos.client_retries,
+            chaos.client_reconnects,
+        );
+    }
 
     let json = match serde_json::to_string(&report) {
         Ok(j) => j,

@@ -25,7 +25,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use acd_broker::{BrokerClient, BrokerConfig, BrokerDaemon, Topology};
+use acd_broker::{
+    BrokerClient, BrokerConfig, BrokerDaemon, ResilientClient, RetryPolicy, Topology,
+};
 use acd_covering::{
     ApproxConfig, CoveringIndex, CoveringPolicy, LinearScanIndex, QueryEngine, RebalancePolicy,
     SfcCoveringIndex, ShardedCoveringIndex,
@@ -134,6 +136,44 @@ pub struct E2eCost {
     pub window_millis: u64,
 }
 
+/// Resilience counters from the e2e daemon's [`NetworkMetrics`] snapshot:
+/// connections shed or evicted, corrupt frames seen, and session repairs
+/// absorbed. All zero in a clean run — the point of reporting them is that
+/// a nonzero value in a fault-free perf run is itself a regression signal.
+///
+/// [`NetworkMetrics`]: acd_broker::NetworkMetrics
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceCounters {
+    /// Connections/requests answered with a typed `Rejected` frame.
+    pub connections_rejected: u64,
+    /// Connections reaped for idling or evicted as slow consumers.
+    pub connections_evicted: u64,
+    /// Request frames that failed checksum/framing validation.
+    pub frames_corrupt: u64,
+    /// Same-connection session retries absorbed idempotently.
+    pub client_retries: u64,
+    /// Cross-connection session takeovers (reconnect replays).
+    pub client_reconnects: u64,
+}
+
+/// Chaos phase: how long a [`ResilientClient`] takes to notice a daemon
+/// restart, reconnect, and replay its whole tracked subscription set —
+/// the recovery path every failover leans on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosCost {
+    /// Tracked subscriptions replayed by the reconnect.
+    pub subscriptions: usize,
+    /// Wall-clock from the first publish attempt against the restarted
+    /// daemon to its acked response — failure detection, reconnect,
+    /// full resubscription replay and the publish round trip — in
+    /// milliseconds.
+    pub reconnect_resubscribe_ms: f64,
+    /// Client-side failed attempts absorbed during the measurement.
+    pub client_retries: u64,
+    /// Client-side reconnects performed during the measurement.
+    pub client_reconnects: u64,
+}
+
 /// The quick-scale perf report written to `BENCH_ci.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfSmokeReport {
@@ -184,6 +224,12 @@ pub struct PerfSmokeReport {
     /// timed phases were skipped with `churn_millis == 0`, and in reports
     /// written before the daemon existed).
     pub e2e: Option<E2eCost>,
+    /// Resilience counters from the e2e daemon's metrics snapshot (`None`
+    /// when the e2e phase was skipped, and in older reports).
+    pub resilience: Option<ResilienceCounters>,
+    /// Reconnect + resubscribe recovery measurement (`None` when the
+    /// timed phases were skipped, and in older reports).
+    pub chaos: Option<ChaosCost>,
 }
 
 impl PerfSmokeReport {
@@ -247,6 +293,13 @@ pub struct PerfBudget {
     /// Upper bound on the mean end-to-end publish→deliveries round-trip
     /// latency in microseconds. Same headroom caveat.
     pub max_e2e_publish_latency_us: f64,
+    /// Upper bound on the chaos phase's reconnect + full-resubscribe
+    /// recovery time in milliseconds (failure detection, reconnect, replay
+    /// of the whole tracked set, one publish round trip). Wall-clock
+    /// dependent, so set with very generous headroom; it exists to catch
+    /// the recovery path stalling or retrying quadratically, not to time
+    /// the network stack.
+    pub max_reconnect_resubscribe_ms: f64,
 }
 
 /// Populates `index`, times the query batch, and extracts the cost counters.
@@ -537,7 +590,7 @@ pub fn run_parallel_dispatch(
 /// `millis` of wall clock. Measures the full daemon path — wire codec,
 /// worker dispatch, concurrent `BrokerNetwork` routing — not the covering
 /// index in isolation.
-fn run_e2e(connections: usize, millis: u64) -> E2eCost {
+fn run_e2e(connections: usize, millis: u64) -> (E2eCost, ResilienceCounters) {
     use acd_subscription::{Event, Schema, SubscriptionBuilder};
 
     const DOMAIN: f64 = 1000.0;
@@ -603,18 +656,116 @@ fn run_e2e(connections: usize, millis: u64) -> E2eCost {
             .map(|h| h.join().expect("e2e connection thread"))
             .collect()
     });
+    let metrics = daemon.network().metrics();
+    let resilience = ResilienceCounters {
+        connections_rejected: metrics.connections_rejected,
+        connections_evicted: metrics.connections_evicted,
+        frames_corrupt: metrics.frames_corrupt,
+        client_retries: metrics.client_retries,
+        client_reconnects: metrics.client_reconnects,
+    };
     drop(daemon);
 
     let publishes: u64 = per_connection.iter().map(|(p, _, _)| p).sum();
     let deliveries: u64 = per_connection.iter().map(|(_, d, _)| d).sum();
     let in_flight: Duration = per_connection.iter().map(|(_, _, t)| *t).sum();
-    E2eCost {
+    let cost = E2eCost {
         connections,
         publishes,
         deliveries,
         events_per_sec: publishes as f64 / window.as_secs_f64().max(f64::MIN_POSITIVE),
         mean_publish_latency_us: in_flight.as_secs_f64() * 1e6 / publishes.max(1) as f64,
         window_millis: millis,
+    };
+    (cost, resilience)
+}
+
+/// Chaos phase: subscribe a resilient client to `subscriptions` standing
+/// subscriptions, kill the daemon, restart one on the same port, and time
+/// how long the client's next publish takes end to end — failure
+/// detection, reconnect, replay of the whole tracked set, and the publish
+/// round trip. The publish's delivery list proves the replay: every
+/// subscription matches the event, so the count must equal the set size.
+fn run_chaos(subscriptions: usize) -> ChaosCost {
+    use acd_subscription::{Event, Schema, SubscriptionBuilder};
+
+    const DOMAIN: f64 = 1000.0;
+    const BROKERS: usize = 4;
+
+    let schema = Schema::builder()
+        .attribute("x", 0.0, DOMAIN)
+        .bits_per_attribute(8)
+        .build()
+        .expect("chaos schema");
+    let build_network = || {
+        BrokerConfig::new(Topology::line(BROKERS).expect("line topology"), &schema)
+            .policy(CoveringPolicy::ExactSfc)
+            .build()
+            .expect("chaos network")
+    };
+    let mut daemon = BrokerDaemon::start(std::sync::Arc::new(build_network()), "127.0.0.1:0", 2)
+        .expect("start chaos daemon");
+    let addr = daemon.local_addr();
+    let policy = RetryPolicy {
+        max_attempts: 100,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        request_timeout: Some(Duration::from_secs(2)),
+        jitter_seed: 1,
+    };
+    let mut client = ResilientClient::connect(addr, policy).expect("connect chaos client");
+    // Every subscription covers the whole domain, so one publish delivers
+    // to all of them — the delivery count certifies the replay.
+    for id in 1..=subscriptions as u64 {
+        let sub = SubscriptionBuilder::new(&schema)
+            .range("x", 0.0, DOMAIN)
+            .build(id)
+            .expect("chaos subscription");
+        client
+            .subscribe((id % BROKERS as u64) as usize, id, &sub)
+            .expect("chaos subscribe");
+    }
+    let event = Event::new(&schema, vec![DOMAIN / 2.0]).expect("chaos event");
+    assert_eq!(
+        client.publish(0, &event).expect("warm-up publish").len(),
+        subscriptions
+    );
+    let before = client.stats();
+
+    daemon.shutdown();
+    drop(daemon);
+    let daemon = {
+        let mut attempts = 0;
+        loop {
+            match BrokerDaemon::start(std::sync::Arc::new(build_network()), addr, 2) {
+                Ok(d) => break d,
+                Err(e) => {
+                    attempts += 1;
+                    assert!(attempts < 100, "chaos daemon never came back: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    };
+
+    let started = Instant::now();
+    let deliveries = client
+        .publish(0, &event)
+        .expect("publish after the restart");
+    let reconnect_resubscribe_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        deliveries.len(),
+        subscriptions,
+        "the replayed subscription set must be whole"
+    );
+    drop(daemon);
+
+    let stats = client.stats();
+    ChaosCost {
+        subscriptions,
+        reconnect_resubscribe_ms,
+        client_retries: stats.retries - before.retries,
+        client_reconnects: stats.reconnects - before.reconnects,
     }
 }
 
@@ -757,10 +908,19 @@ pub fn run(
 
     // E2e phase: the daemon path over loopback TCP (same wall-clock window
     // as the churn phase; skipped together with it).
-    let e2e = if churn_millis == 0 {
+    let (e2e, resilience) = if churn_millis == 0 {
+        (None, None)
+    } else {
+        let (cost, counters) = run_e2e(4, churn_millis);
+        (Some(cost), Some(counters))
+    };
+
+    // Chaos phase: reconnect + full-resubscribe recovery time across a
+    // daemon restart (skipped together with the other timed phases).
+    let chaos = if churn_millis == 0 {
         None
     } else {
-        Some(run_e2e(4, churn_millis))
+        Some(run_chaos(32))
     };
 
     PerfSmokeReport {
@@ -781,6 +941,8 @@ pub fn run(
         parallel,
         pool_workers,
         e2e,
+        resilience,
+        chaos,
     }
 }
 
@@ -884,6 +1046,17 @@ pub fn check_budget(report: &PerfSmokeReport, budget: &PerfBudget) -> Result<(),
             }
         }
     }
+    match &report.chaos {
+        None => violations.push("report has no chaos recovery measurement".to_string()),
+        Some(cost) => {
+            if cost.reconnect_resubscribe_ms > budget.max_reconnect_resubscribe_ms {
+                violations.push(format!(
+                    "chaos reconnect + resubscribe {:.1} ms exceeds budget {:.1} ms",
+                    cost.reconnect_resubscribe_ms, budget.max_reconnect_resubscribe_ms
+                ));
+            }
+        }
+    }
     if violations.is_empty() {
         Ok(())
     } else {
@@ -953,6 +1126,11 @@ fn trend_metrics(report: &PerfSmokeReport) -> Vec<(&'static str, Option<f64>, bo
         (
             "e2e mean publish latency (us)",
             report.e2e.as_ref().map(|e| e.mean_publish_latency_us),
+            true,
+        ),
+        (
+            "reconnect + resubscribe (ms)",
+            report.chaos.as_ref().map(|c| c.reconnect_resubscribe_ms),
             true,
         ),
     ]
@@ -1073,6 +1251,7 @@ mod tests {
             max_imbalance_after_rebalance: f64::INFINITY,
             min_e2e_events_per_sec: 0.0,
             max_e2e_publish_latency_us: f64::INFINITY,
+            max_reconnect_resubscribe_ms: f64::INFINITY,
         };
         check_budget(&report, &budget).unwrap();
         // An impossible budget must trip every gate (the query-speedup gate
@@ -1089,12 +1268,13 @@ mod tests {
             max_imbalance_after_rebalance: 0.0,
             min_e2e_events_per_sec: f64::INFINITY,
             max_e2e_publish_latency_us: 0.0,
+            max_reconnect_resubscribe_ms: 0.0,
         };
         let violations = check_budget(&report, &impossible).unwrap_err();
         let expected = if report.churn_query_workers >= 2 {
-            11
+            12
         } else {
-            10
+            11
         };
         assert_eq!(violations.len(), expected, "{violations:?}");
         // The bulk-build measurement must be populated and sane; the actual
@@ -1144,6 +1324,17 @@ mod tests {
         assert!(e2e.publishes > 0, "{e2e:?}");
         assert!(e2e.events_per_sec > 0.0);
         assert!(e2e.mean_publish_latency_us > 0.0);
+        // A clean e2e run sheds nothing, evicts nobody, sees no damage.
+        let resilience = report.resilience.as_ref().expect("resilience counters");
+        assert_eq!(resilience.connections_rejected, 0, "{resilience:?}");
+        assert_eq!(resilience.connections_evicted, 0, "{resilience:?}");
+        assert_eq!(resilience.frames_corrupt, 0, "{resilience:?}");
+        // The chaos phase recovered across a restart: at least one
+        // reconnect, a whole replayed set, a finite recovery time.
+        let chaos = report.chaos.as_ref().expect("chaos phase ran");
+        assert_eq!(chaos.subscriptions, 32);
+        assert!(chaos.reconnect_resubscribe_ms > 0.0, "{chaos:?}");
+        assert!(chaos.client_reconnects >= 1, "{chaos:?}");
     }
 
     #[test]
@@ -1158,6 +1349,10 @@ mod tests {
         text.push('}');
         let back: PerfSmokeReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back.e2e, None);
+        // The fields stacked after e2e (also absent from old artifacts)
+        // read back as None too.
+        assert_eq!(back.resilience, None);
+        assert_eq!(back.chaos, None);
         assert_eq!(back.pool_workers, report.pool_workers);
     }
 
@@ -1240,6 +1435,7 @@ mod tests {
             max_imbalance_after_rebalance: f64::INFINITY,
             min_e2e_events_per_sec: 0.0,
             max_e2e_publish_latency_us: f64::INFINITY,
+            max_reconnect_resubscribe_ms: f64::INFINITY,
         };
         let violations = check_budget(&report, &budget).unwrap_err();
         assert!(
@@ -1258,6 +1454,12 @@ mod tests {
             violations.iter().any(|v| v.contains("e2e")),
             "{violations:?}"
         );
+        // ... and the chaos recovery phase.
+        assert_eq!(report.chaos, None);
+        assert!(
+            violations.iter().any(|v| v.contains("chaos")),
+            "{violations:?}"
+        );
     }
 
     #[test]
@@ -1272,7 +1474,8 @@ mod tests {
                 "min_rebalanced_churn_update_throughput": 8000.0,
                 "max_imbalance_after_rebalance": 2.5,
                 "min_e2e_events_per_sec": 200.0,
-                "max_e2e_publish_latency_us": 50000.0}"#,
+                "max_e2e_publish_latency_us": 50000.0,
+                "max_reconnect_resubscribe_ms": 5000.0}"#,
         )
         .unwrap();
         assert_eq!(budget.max_mean_runs_probed_exact_sfc, 48.0);
@@ -1286,5 +1489,6 @@ mod tests {
         assert_eq!(budget.max_imbalance_after_rebalance, 2.5);
         assert_eq!(budget.min_e2e_events_per_sec, 200.0);
         assert_eq!(budget.max_e2e_publish_latency_us, 50000.0);
+        assert_eq!(budget.max_reconnect_resubscribe_ms, 5000.0);
     }
 }

@@ -5,7 +5,17 @@
 //!             [--brokers N] [--policy none|exact-linear|exact-sfc|
 //!              sharded-sfc:SHARDS|approx:EPSILON]
 //!             [--workers N] [--attributes N] [--bits B] [--seed S]
+//!             [--max-connections N] [--max-inflight N]
+//!             [--idle-timeout-ms MS] [--chaos SPEC]
 //! ```
+//!
+//! `--chaos` injects deterministic transport faults into every accepted
+//! connection (see `acd_broker::FaultPlan::parse` for the spec grammar,
+//! e.g. `seed=7,corrupt=0.01,disconnect=0.005`) — the fault-injection
+//! harness the chaos test suite drives. `--max-connections` /
+//! `--max-inflight` bound admission (excess work is answered with typed
+//! `Rejected` frames instead of stalling), and `--idle-timeout-ms` reaps
+//! connections that stay silent.
 //!
 //! The schema is the synthetic-workload one (`attr0..attrN-1`, domain
 //! `[0, 1e6]`), so `acd-brokerload` streams are compatible out of the box.
@@ -16,7 +26,7 @@
 use std::io::Write;
 use std::sync::Arc;
 
-use acd_broker::{BrokerConfig, BrokerDaemon, CoveringPolicy, Topology};
+use acd_broker::{BrokerConfig, BrokerDaemon, CoveringPolicy, DaemonOptions, FaultPlan, Topology};
 use acd_workload::{SubscriptionWorkload, WorkloadConfig};
 
 struct Args {
@@ -28,6 +38,10 @@ struct Args {
     attributes: usize,
     bits: u32,
     seed: u64,
+    max_connections: usize,
+    max_inflight: usize,
+    idle_timeout_ms: u64,
+    chaos: Option<FaultPlan>,
 }
 
 fn parse_policy(s: &str) -> Result<CoveringPolicy, String> {
@@ -62,6 +76,10 @@ fn parse_args() -> Result<Args, String> {
         attributes: 2,
         bits: 10,
         seed: 42,
+        max_connections: 0,
+        max_inflight: 0,
+        idle_timeout_ms: 0,
+        chaos: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -95,6 +113,22 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--max-connections" => {
+                args.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?
+            }
+            "--max-inflight" => {
+                args.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?
+            }
+            "--idle-timeout-ms" => {
+                args.idle_timeout_ms = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-ms: {e}"))?
+            }
+            "--chaos" => args.chaos = Some(FaultPlan::parse(&value("--chaos")?)?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -150,7 +184,19 @@ fn run() -> Result<(), String> {
         args.policy.label(),
         args.workers
     );
-    let daemon = BrokerDaemon::start(network, args.addr.as_str(), args.workers)
+    if args.chaos.is_some() {
+        eprintln!("acd-brokerd: chaos enabled — injecting transport faults");
+    }
+    let options = DaemonOptions {
+        workers: args.workers,
+        max_connections: args.max_connections,
+        max_inflight: args.max_inflight,
+        idle_timeout: (args.idle_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(args.idle_timeout_ms)),
+        chaos: args.chaos,
+        ..DaemonOptions::default()
+    };
+    let daemon = BrokerDaemon::start_with(network, args.addr.as_str(), options)
         .map_err(|e| e.to_string())?;
     // The one machine-readable line scripts depend on.
     println!("listening on {}", daemon.local_addr());

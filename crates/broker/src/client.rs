@@ -8,14 +8,57 @@
 //! burst of publishes over the socket before collecting the responses —
 //! the shape the daemon's flush-on-idle batching is built for.
 
+use std::error::Error;
+use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use acd_subscription::{Event, Schema, SubId, Subscription};
 
 use crate::broker::{BrokerId, ClientId};
 use crate::error::ServiceError;
 use crate::wire::{encode_frame, read_frame, Frame};
+
+/// A [`publish_batch`](BrokerClient::publish_batch) failure that preserves
+/// the partial result: every delivery list acknowledged before the error.
+///
+/// Events at positions `< acked.len()` were definitely applied; events past
+/// that point are *in limbo* — their requests may or may not have reached
+/// the daemon before the connection died. Callers resuming a batch should
+/// continue from `acked.len()` knowing limbo events can be double-applied
+/// (publishing has no subscriber-visible state, so a duplicate at worst
+/// inflates the network's message counters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchError {
+    /// Delivery lists for the prefix of events the daemon acknowledged.
+    pub acked: Vec<Vec<(BrokerId, ClientId)>>,
+    /// What ended the batch.
+    pub error: ServiceError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch failed after {} acknowledged publishes: {}",
+            self.acked.len(),
+            self.error
+        )
+    }
+}
+
+impl Error for BatchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<BatchError> for ServiceError {
+    fn from(e: BatchError) -> ServiceError {
+        e.error
+    }
+}
 
 /// A connection to a broker daemon.
 #[derive(Debug)]
@@ -37,8 +80,27 @@ impl BrokerClient {
     /// Returns an error if the connection fails, the greeting is corrupt,
     /// or the daemon's schema does not parse.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<BrokerClient, ServiceError> {
+        BrokerClient::connect_with(addr, None)
+    }
+
+    /// Like [`connect`](Self::connect), but with `io_timeout` applied to
+    /// the socket *before* the handshake read, so a daemon that accepts
+    /// and then never greets (or whose greeting is lost in transit)
+    /// surfaces as a timed-out connect instead of a hang. The resilient
+    /// layer always connects this way.
+    ///
+    /// # Errors
+    ///
+    /// As for [`connect`](Self::connect), plus a timeout I/O error when
+    /// the greeting does not arrive within the deadline.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        io_timeout: Option<Duration>,
+    ) -> Result<BrokerClient, ServiceError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
         let writer = BufWriter::new(stream.try_clone()?);
         let mut reader = BufReader::new(stream);
         let mut scratch = Vec::new();
@@ -48,11 +110,9 @@ impl BrokerClient {
                     .map_err(|e| ServiceError::CorruptFrame {
                         reason: format!("Hello schema does not parse: {e}"),
                     })?,
-                other => {
-                    return Err(ServiceError::UnexpectedFrame {
-                        kind: other.kind_name().to_string(),
-                    })
-                }
+                // A `Rejected` greeting (connection cap) maps to a typed
+                // `Overloaded` here, like any other non-Hello frame.
+                other => return Err(unexpected(other)),
             };
         Ok(BrokerClient {
             reader,
@@ -66,6 +126,21 @@ impl BrokerClient {
     /// The schema the daemon's network uses (from the `Hello` greeting).
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// Applies a deadline to every socket read and write (`None` blocks
+    /// forever). The resilient layer sets this per attempt so a stalled
+    /// daemon surfaces as a timed-out request instead of a hang.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the socket options cannot be set.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServiceError> {
+        // Reader and writer share one fd, so one call covers both halves.
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        Ok(())
     }
 
     /// Registers `subscription` for `client` at broker `at`.
@@ -87,6 +162,29 @@ impl BrokerClient {
         }
     }
 
+    /// Registers `subscription` idempotently with a session `epoch`
+    /// ([`Frame::Resubscribe`]): retrying after a lost response, or
+    /// replaying after a reconnect, converges on the registration being
+    /// live exactly once. This is the request the resilient layer uses for
+    /// every subscribe.
+    ///
+    /// # Errors
+    ///
+    /// As for [`subscribe`](Self::subscribe).
+    pub fn resubscribe(
+        &mut self,
+        at: BrokerId,
+        client: ClientId,
+        subscription: &Subscription,
+        epoch: u64,
+    ) -> Result<(), ServiceError> {
+        self.send(&Frame::resubscribe(at, client, subscription, epoch))?;
+        match self.receive()? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Retracts subscription `id` from broker `at`.
     ///
     /// # Errors
@@ -94,6 +192,21 @@ impl BrokerClient {
     /// As for [`subscribe`](Self::subscribe).
     pub fn unsubscribe(&mut self, at: BrokerId, id: SubId) -> Result<(), ServiceError> {
         self.send(&Frame::Unsubscribe { at, id })?;
+        match self.receive()? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Retracts subscription `id` idempotently with a session `epoch`
+    /// ([`Frame::Retract`]): retracting an id that is already gone is a
+    /// success, so a retried retraction never errors.
+    ///
+    /// # Errors
+    ///
+    /// As for [`subscribe`](Self::subscribe).
+    pub fn retract(&mut self, at: BrokerId, id: SubId, epoch: u64) -> Result<(), ServiceError> {
+        self.send(&Frame::Retract { at, id, epoch })?;
         match self.receive()? {
             Frame::Ok => Ok(()),
             other => Err(unexpected(other)),
@@ -129,13 +242,20 @@ impl BrokerClient {
     ///
     /// # Errors
     ///
-    /// As for [`subscribe`](Self::subscribe); the first rejected publish
-    /// fails the whole batch.
+    /// Fails with a [`BatchError`] carrying every delivery list that was
+    /// acknowledged before the failure, so callers can resume from
+    /// `acked.len()` instead of blindly re-publishing the whole batch. The
+    /// first rejected publish fails the rest of the batch the same way.
     pub fn publish_batch(
         &mut self,
         at: BrokerId,
         events: &[Event],
-    ) -> Result<Vec<Vec<(BrokerId, ClientId)>>, ServiceError> {
+    ) -> Result<Vec<Vec<(BrokerId, ClientId)>>, BatchError> {
+        let mut acked: Vec<Vec<(BrokerId, ClientId)>> = Vec::with_capacity(events.len());
+        let fail = |acked: &mut Vec<Vec<(BrokerId, ClientId)>>, error: ServiceError| BatchError {
+            acked: std::mem::take(acked),
+            error,
+        };
         for event in events {
             encode_frame(
                 &Frame::Publish {
@@ -144,17 +264,24 @@ impl BrokerClient {
                 },
                 &mut self.out,
             );
-            self.writer.write_all(&self.out)?;
-        }
-        self.writer.flush()?;
-        let mut batches = Vec::with_capacity(events.len());
-        for _ in events {
-            match read_frame(&mut self.reader, &mut self.scratch)? {
-                Frame::Deliveries { pairs } => batches.push(pairs),
-                other => return Err(unexpected(other)),
+            if let Err(e) = self.writer.write_all(&self.out) {
+                return Err(fail(&mut acked, e.into()));
             }
         }
-        Ok(batches)
+        if let Err(e) = self.writer.flush() {
+            return Err(fail(&mut acked, e.into()));
+        }
+        for _ in events {
+            match read_frame(&mut self.reader, &mut self.scratch) {
+                Ok(Frame::Deliveries { pairs }) => acked.push(pairs),
+                Ok(other) => {
+                    let error = unexpected(other);
+                    return Err(fail(&mut acked, error));
+                }
+                Err(e) => return Err(fail(&mut acked, e)),
+            }
+        }
+        Ok(acked)
     }
 
     /// Encodes, writes and flushes one request frame.
@@ -172,11 +299,13 @@ impl BrokerClient {
 }
 
 /// Maps a non-success response to the matching error: daemon `Err` frames
-/// become [`ServiceError::Rejected`], anything else is a protocol
-/// violation.
+/// become [`ServiceError::Rejected`], `Rejected` frames (overload
+/// shedding — the request was *not* executed) become
+/// [`ServiceError::Overloaded`], anything else is a protocol violation.
 fn unexpected(frame: Frame) -> ServiceError {
     match frame {
         Frame::Err { message } => ServiceError::Rejected { message },
+        Frame::Rejected { reason } => ServiceError::Overloaded { reason },
         other => ServiceError::UnexpectedFrame {
             kind: other.kind_name().to_string(),
         },

@@ -113,6 +113,13 @@ pub enum ServiceError {
         /// The daemon-side error message.
         message: String,
     },
+    /// The daemon is shedding load: it refused the connection or declined
+    /// to execute the request. Unlike [`Rejected`](Self::Rejected) nothing
+    /// was applied, so the operation is safe to retry after backing off.
+    Overloaded {
+        /// The daemon-side shedding reason.
+        reason: String,
+    },
     /// An error from the in-process broker overlay.
     Broker(BrokerError),
 }
@@ -129,6 +136,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "unexpected {kind} frame at this point of the protocol")
             }
             ServiceError::Rejected { message } => write!(f, "request rejected: {message}"),
+            ServiceError::Overloaded { reason } => write!(f, "daemon overloaded: {reason}"),
             ServiceError::Broker(e) => write!(f, "broker error: {e}"),
         }
     }
@@ -189,5 +197,9 @@ mod tests {
         assert!(ServiceError::VersionMismatch { found: 9 }
             .to_string()
             .contains('9'));
+        let e = ServiceError::Overloaded {
+            reason: "connection cap reached".into(),
+        };
+        assert!(e.to_string().contains("overloaded"));
     }
 }

@@ -1,0 +1,469 @@
+//! Deterministic, seedable fault injection for the daemon transport.
+//!
+//! A [`FaultyStream`] wraps any `Read + Write` transport and misbehaves on a
+//! schedule drawn from a seeded generator: writes may be silently dropped,
+//! delayed, corrupted by a single bit flip, truncated mid-frame (the
+//! connection then dies), capped to a partial length, or answered with a
+//! hard disconnect; reads may be delayed, stalled, corrupted, or cut off.
+//! Every decision comes from the vendored deterministic `StdRng`, so a
+//! failing chaos run replays exactly from its seed.
+//!
+//! The wrapper is usable two ways: in-process tests wrap in-memory or TCP
+//! streams directly, and `acd-brokerd --chaos <spec>` wraps every accepted
+//! connection server-side, so an unmodified client on a clean socket still
+//! experiences the full fault schedule in both directions.
+//!
+//! Fault dice are rolled only on *data* events — a successful read of at
+//! least one byte, or a non-empty write. Pass-through outcomes
+//! (`WouldBlock`, `TimedOut`, EOF, empty buffers) never consume randomness,
+//! so the schedule does not depend on how often a patient reader polls.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic fault schedule: per-event probabilities plus the
+/// parameters of the faults themselves. All probabilities default to zero,
+/// making the default plan a transparent no-op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault dice. Streams derived from the same plan with the
+    /// same salt misbehave identically across runs.
+    pub seed: u64,
+    /// Probability a write is silently discarded (reported as fully
+    /// written, delivered nowhere).
+    pub drop: f64,
+    /// Probability a data event has one bit of one byte flipped.
+    pub corrupt: f64,
+    /// Probability a write delivers only a prefix and the connection then
+    /// dies — the classic truncated-mid-frame failure.
+    pub truncate: f64,
+    /// Probability a data event hard-disconnects the stream instead
+    /// (`ConnectionReset`, nothing transferred).
+    pub disconnect: f64,
+    /// Probability a data event stalls for [`stall_ms`](Self::stall_ms).
+    pub stall: f64,
+    /// Length of a stall, in milliseconds.
+    pub stall_ms: u64,
+    /// Probability a data event is delayed by [`delay_ms`](Self::delay_ms).
+    pub delay: f64,
+    /// Length of a delay, in milliseconds.
+    pub delay_ms: u64,
+    /// Cap on the bytes accepted per `write` call (0 = unlimited); forces
+    /// callers through their partial-write paths.
+    pub max_write: usize,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop: 0.0,
+            corrupt: 0.0,
+            truncate: 0.0,
+            disconnect: 0.0,
+            stall: 0.0,
+            stall_ms: 100,
+            delay: 0.0,
+            delay_ms: 1,
+            max_write: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses a comma-separated `key=value` spec, e.g.
+    /// `seed=7,drop=0.01,corrupt=0.02,truncate=0.01,disconnect=0.01,stall=0.005,stall-ms=400,delay=0.05,delay-ms=2,max-write=512`.
+    ///
+    /// Unknown keys and out-of-range probabilities are errors; omitted keys
+    /// keep their (inert) defaults.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        fn prob(key: &str, value: &str) -> Result<f64, String> {
+            let p: f64 = value
+                .parse()
+                .map_err(|_| format!("`{key}={value}`: not a number"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("`{key}={value}`: probability must be in [0, 1]"));
+            }
+            Ok(p)
+        }
+        fn int<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("`{key}={value}`: not a non-negative integer"))
+        }
+
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("`{part}`: expected key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => plan.seed = int(key, value)?,
+                "drop" => plan.drop = prob(key, value)?,
+                "corrupt" => plan.corrupt = prob(key, value)?,
+                "truncate" => plan.truncate = prob(key, value)?,
+                "disconnect" => plan.disconnect = prob(key, value)?,
+                "stall" => plan.stall = prob(key, value)?,
+                "stall-ms" => plan.stall_ms = int(key, value)?,
+                "delay" => plan.delay = prob(key, value)?,
+                "delay-ms" => plan.delay_ms = int(key, value)?,
+                "max-write" => plan.max_write = int(key, value)?,
+                _ => {
+                    return Err(format!(
+                        "unknown fault key `{key}` (known: seed, drop, corrupt, truncate, \
+                         disconnect, stall, stall-ms, delay, delay-ms, max-write)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True when the plan injects nothing — every probability zero and no
+    /// write cap — so wrapping a stream with it would be pure overhead.
+    pub fn is_noop(&self) -> bool {
+        self.drop == 0.0
+            && self.corrupt == 0.0
+            && self.truncate == 0.0
+            && self.disconnect == 0.0
+            && self.stall == 0.0
+            && self.delay == 0.0
+            && self.max_write == 0
+    }
+}
+
+fn dead_err() -> io::Error {
+    io::Error::new(
+        ErrorKind::ConnectionReset,
+        "fault injection: connection dropped",
+    )
+}
+
+/// A `Read + Write` transport that misbehaves per a [`FaultPlan`].
+///
+/// Once a disconnect or truncation fault fires the stream is *dead*: every
+/// later operation returns `ConnectionReset`, exactly like a real socket
+/// whose peer vanished. Wrap the read and write halves of one connection in
+/// two `FaultyStream`s with different `salt`s so the two directions draw
+/// independent (but still reproducible) schedules.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    plan: Arc<FaultPlan>,
+    rng: StdRng,
+    dead: bool,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner` with the given plan; `salt` differentiates the dice of
+    /// multiple streams sharing one plan (per-connection, per-direction).
+    pub fn new(inner: S, plan: Arc<FaultPlan>, salt: u64) -> FaultyStream<S> {
+        let seed = plan.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        FaultyStream {
+            inner,
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+            dead: false,
+        }
+    }
+
+    /// The wrapped transport (for shutdown calls and address queries).
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Sleeps if the stall or delay dice say so. Stall wins when both fire.
+    fn maybe_pause(&mut self) {
+        if self.plan.stall > 0.0 && self.rng.gen_bool(self.plan.stall) {
+            thread::sleep(Duration::from_millis(self.plan.stall_ms));
+        } else if self.plan.delay > 0.0 && self.rng.gen_bool(self.plan.delay) {
+            thread::sleep(Duration::from_millis(self.plan.delay_ms));
+        }
+    }
+
+    /// Flips one random bit of one random byte in `bytes`.
+    fn corrupt_one(&mut self, bytes: &mut [u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let i = self.rng.gen_range(0..bytes.len());
+        let bit = self.rng.gen_range(0u32..8);
+        if let Some(b) = bytes.get_mut(i) {
+            *b ^= 1 << bit;
+        }
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(dead_err());
+        }
+        // Pass errors (including WouldBlock/TimedOut polls) and EOF through
+        // without consuming randomness.
+        let n = self.inner.read(buf)?;
+        if n == 0 {
+            return Ok(0);
+        }
+        if self.plan.disconnect > 0.0 && self.rng.gen_bool(self.plan.disconnect) {
+            self.dead = true;
+            return Err(dead_err());
+        }
+        self.maybe_pause();
+        if self.plan.corrupt > 0.0 && self.rng.gen_bool(self.plan.corrupt) {
+            if let Some(data) = buf.get_mut(..n) {
+                self.corrupt_one(data);
+            }
+        }
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(dead_err());
+        }
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        if self.plan.disconnect > 0.0 && self.rng.gen_bool(self.plan.disconnect) {
+            self.dead = true;
+            return Err(dead_err());
+        }
+        if self.plan.drop > 0.0 && self.rng.gen_bool(self.plan.drop) {
+            // Vanishes in transit: the caller believes it was sent.
+            return Ok(buf.len());
+        }
+        self.maybe_pause();
+        let limit = if self.plan.max_write == 0 {
+            buf.len()
+        } else {
+            buf.len().min(self.plan.max_write)
+        };
+        if self.plan.truncate > 0.0 && self.rng.gen_bool(self.plan.truncate) {
+            // Deliver a strict prefix, then the connection dies mid-frame.
+            let cut = self.rng.gen_range(0..limit);
+            if let Some(prefix) = buf.get(..cut) {
+                if !prefix.is_empty() {
+                    self.inner.write_all(prefix)?;
+                    let _ = self.inner.flush();
+                }
+            }
+            self.dead = true;
+            return Err(dead_err());
+        }
+        if self.plan.corrupt > 0.0 && self.rng.gen_bool(self.plan.corrupt) {
+            let mut copy = buf.get(..limit).unwrap_or(buf).to_vec();
+            self.corrupt_one(&mut copy);
+            return self.inner.write(&copy);
+        }
+        self.inner.write(buf.get(..limit).unwrap_or(buf))
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(dead_err());
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(plan: FaultPlan) -> Arc<FaultPlan> {
+        Arc::new(plan)
+    }
+
+    #[test]
+    fn parse_reads_every_key() {
+        let plan = FaultPlan::parse(
+            "seed=7, drop=0.01, corrupt=0.02, truncate=0.01, disconnect=0.01, \
+             stall=0.005, stall-ms=400, delay=0.05, delay-ms=2, max-write=512",
+        )
+        .expect("valid spec");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.drop, 0.01);
+        assert_eq!(plan.corrupt, 0.02);
+        assert_eq!(plan.truncate, 0.01);
+        assert_eq!(plan.disconnect, 0.01);
+        assert_eq!(plan.stall, 0.005);
+        assert_eq!(plan.stall_ms, 400);
+        assert_eq!(plan.delay, 0.05);
+        assert_eq!(plan.delay_ms, 2);
+        assert_eq!(plan.max_write, 512);
+        assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("drop=1.5").is_err());
+        assert!(FaultPlan::parse("drop=-0.1").is_err());
+        assert!(FaultPlan::parse("seed=x").is_err());
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("")
+            .expect("empty spec is a no-op")
+            .is_noop());
+    }
+
+    #[test]
+    fn default_plan_is_transparent() {
+        let mut sink = Vec::new();
+        let mut s = FaultyStream::new(&mut sink, arc(FaultPlan::default()), 0);
+        s.write_all(b"hello").expect("no-op plan writes cleanly");
+        s.flush().expect("flush passes through");
+        drop(s);
+        assert_eq!(sink, b"hello");
+
+        let source = b"world".to_vec();
+        let mut s = FaultyStream::new(source.as_slice(), arc(FaultPlan::default()), 0);
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).expect("no-op plan reads cleanly");
+        assert_eq!(out, b"world");
+    }
+
+    #[test]
+    fn drop_fault_swallows_the_write() {
+        let plan = FaultPlan {
+            drop: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut sink = Vec::new();
+        let mut s = FaultyStream::new(&mut sink, arc(plan), 1);
+        assert_eq!(s.write(b"gone").expect("drop reports success"), 4);
+        drop(s);
+        assert!(sink.is_empty(), "dropped write must reach nobody");
+    }
+
+    #[test]
+    fn disconnect_fault_kills_the_stream() {
+        let plan = FaultPlan {
+            disconnect: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut sink = Vec::new();
+        let mut s = FaultyStream::new(&mut sink, arc(plan), 2);
+        let err = s.write(b"x").expect_err("disconnect fires");
+        assert_eq!(err.kind(), ErrorKind::ConnectionReset);
+        // Dead forever after, reads included.
+        assert!(s.write(b"y").is_err());
+        assert!(s.flush().is_err());
+        drop(s);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn truncate_fault_delivers_a_strict_prefix_then_dies() {
+        let plan = FaultPlan {
+            truncate: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut sink = Vec::new();
+        let mut s = FaultyStream::new(&mut sink, arc(plan), 3);
+        let err = s
+            .write(b"0123456789abcdef")
+            .expect_err("truncate kills the write");
+        assert_eq!(err.kind(), ErrorKind::ConnectionReset);
+        assert!(s.write(b"more").is_err(), "stream is dead after truncation");
+        drop(s);
+        assert!(sink.len() < 16, "must be a strict prefix");
+        assert_eq!(&sink[..], &b"0123456789abcdef"[..sink.len()]);
+    }
+
+    #[test]
+    fn corrupt_fault_flips_exactly_one_bit() {
+        let plan = FaultPlan {
+            corrupt: 1.0,
+            ..FaultPlan::default()
+        };
+        let original = [0u8; 64];
+        let mut sink = Vec::new();
+        let mut s = FaultyStream::new(&mut sink, arc(plan), 4);
+        let n = s.write(&original).expect("corrupt still writes");
+        drop(s);
+        assert_eq!(n, 64);
+        let flipped_bits: u32 = sink.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped_bits, 1, "exactly one bit must differ");
+    }
+
+    #[test]
+    fn corrupt_fault_applies_to_reads_too() {
+        let plan = FaultPlan {
+            corrupt: 1.0,
+            ..FaultPlan::default()
+        };
+        let source = [0u8; 32];
+        let mut s = FaultyStream::new(source.as_slice(), arc(plan), 5);
+        let mut buf = [0u8; 32];
+        let n = s.read(&mut buf).expect("corrupt read still reads");
+        let flipped: u32 = buf.iter().take(n).map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn max_write_caps_each_write_call() {
+        let plan = FaultPlan {
+            max_write: 4,
+            ..FaultPlan::default()
+        };
+        let mut sink = Vec::new();
+        let mut s = FaultyStream::new(&mut sink, arc(plan), 6);
+        assert_eq!(s.write(b"0123456789").expect("partial write"), 4);
+        // write_all loops through the cap and delivers everything.
+        s.write_all(b"abcdefghij")
+            .expect("write_all survives the cap");
+        drop(s);
+        assert_eq!(&sink[..4], b"0123");
+        assert_eq!(&sink[4..], b"abcdefghij");
+    }
+
+    #[test]
+    fn eof_passes_through_even_under_total_faults() {
+        let plan = FaultPlan {
+            disconnect: 1.0,
+            corrupt: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut s = FaultyStream::new(&[] as &[u8], arc(plan), 7);
+        let mut buf = [0u8; 8];
+        assert_eq!(s.read(&mut buf).expect("EOF is not a fault event"), 0);
+    }
+
+    #[test]
+    fn same_seed_and_salt_replay_identically() {
+        let plan = FaultPlan {
+            seed: 42,
+            drop: 0.5,
+            ..FaultPlan::default()
+        };
+        let transcript = |salt: u64| {
+            let mut sink = Vec::new();
+            let mut s = FaultyStream::new(&mut sink, arc(plan.clone()), salt);
+            for i in 0u8..100 {
+                assert_eq!(s.write(&[i]).expect("drop never errors"), 1);
+            }
+            drop(s);
+            sink
+        };
+        assert_eq!(transcript(1), transcript(1), "same salt: same schedule");
+        assert_ne!(
+            transcript(1),
+            transcript(2),
+            "different salt: different dice"
+        );
+        let sink = transcript(1);
+        assert!(
+            !sink.is_empty() && sink.len() < 100,
+            "p=0.5 drops some, not all"
+        );
+    }
+}

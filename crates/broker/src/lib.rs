@@ -61,18 +61,22 @@
 pub mod broker;
 pub mod client;
 mod error;
+pub mod faults;
 pub mod metrics;
 pub mod network;
+pub mod resilient;
 pub mod service;
 pub mod topology;
 pub mod wire;
 
 pub use broker::{Broker, BrokerId, ClientId};
-pub use client::BrokerClient;
+pub use client::{BatchError, BrokerClient};
 pub use error::{BrokerError, ServiceError};
+pub use faults::{FaultPlan, FaultyStream};
 pub use metrics::NetworkMetrics;
 pub use network::{BrokerConfig, BrokerNetwork, BrokerRef};
-pub use service::BrokerDaemon;
+pub use resilient::{ClientStats, GaveUp, Resilience, ResilientClient, RetryPolicy};
+pub use service::{BrokerDaemon, DaemonOptions};
 pub use topology::Topology;
 
 // Re-exports so examples can depend on a single crate.

@@ -39,6 +39,23 @@ pub struct NetworkMetrics {
     /// Events delivered to local subscribers (a client counts once per
     /// matching subscription).
     pub deliveries: u64,
+    /// Connections the daemon refused at the accept gate (connection cap)
+    /// or requests it declined to execute (per-connection in-flight cap).
+    pub connections_rejected: u64,
+    /// Connections the daemon evicted: slow consumers whose response writes
+    /// timed out, and idle connections the reaper closed. Each eviction
+    /// retracts the session's subscriptions exactly like `unsubscribe`.
+    pub connections_evicted: u64,
+    /// Request frames that failed structural validation (bad magic or
+    /// length, checksum mismatch, truncation, foreign version).
+    pub frames_corrupt: u64,
+    /// Idempotent retries the daemon absorbed: a `Resubscribe` that found
+    /// the id already live, or a `Retract` of an id already gone.
+    pub client_retries: u64,
+    /// Session takeovers: a `Resubscribe` that moved a live registration
+    /// from one connection to another — the signature of a client
+    /// reconnecting and replaying its subscription set.
+    pub client_reconnects: u64,
 }
 
 impl NetworkMetrics {
@@ -88,6 +105,11 @@ pub(crate) struct MetricCounters {
     pub events_published: AtomicU64,
     pub event_messages: AtomicU64,
     pub deliveries: AtomicU64,
+    pub connections_rejected: AtomicU64,
+    pub connections_evicted: AtomicU64,
+    pub frames_corrupt: AtomicU64,
+    pub client_retries: AtomicU64,
+    pub client_reconnects: AtomicU64,
 }
 
 impl MetricCounters {
@@ -108,6 +130,11 @@ impl MetricCounters {
             events_published: get(&self.events_published),
             event_messages: get(&self.event_messages),
             deliveries: get(&self.deliveries),
+            connections_rejected: get(&self.connections_rejected),
+            connections_evicted: get(&self.connections_evicted),
+            frames_corrupt: get(&self.frames_corrupt),
+            client_retries: get(&self.client_retries),
+            client_reconnects: get(&self.client_reconnects),
         }
     }
 

@@ -187,12 +187,18 @@ impl BrokerNetwork {
     pub fn metrics(&self) -> NetworkMetrics {
         let mut metrics = self.counters.snapshot();
         let mut entries = 0u64;
-        for id in 0..self.brokers.len() {
-            let broker = self.brokers[id].read();
-            entries += broker.routing_table_entries() as u64;
+        for cell in &self.brokers {
+            entries += cell.read().routing_table_entries() as u64;
         }
         metrics.routing_table_entries = entries;
         metrics
+    }
+
+    /// The raw resilience/service counters, for the daemon front door to
+    /// record connection-level events (rejections, evictions, corrupt
+    /// frames, absorbed retries) into the same snapshot.
+    pub(crate) fn counters(&self) -> &MetricCounters {
+        &self.counters
     }
 
     /// Read access to an individual broker (for inspection in tests and
@@ -205,8 +211,19 @@ impl BrokerNetwork {
     pub fn broker(&self, id: BrokerId) -> Result<BrokerRef<'_>> {
         self.topology.check_broker(id)?;
         Ok(BrokerRef {
-            guard: self.brokers[id].read(),
+            guard: self.cell(id).read(),
         })
+    }
+
+    /// The lock cell of broker `id`.
+    ///
+    /// Every caller passes an id that was validated at the public boundary
+    /// (`check_broker`) or produced by the topology's adjacency lists, which
+    /// only hold in-range ids — a miss here is a bug, not bad input.
+    fn cell(&self, id: BrokerId) -> &OrderedRwLock<Broker> {
+        self.brokers
+            .get(id)
+            .expect("broker ids are validated before they reach the overlay walk")
     }
 
     /// Registers `subscription` for `client` at broker `at`, and propagates
@@ -241,7 +258,7 @@ impl BrokerNetwork {
             registered.insert(subscription.id(), at);
         }
         MetricCounters::bump(&self.counters.subscriptions_registered);
-        self.brokers[at]
+        self.cell(at)
             .write()
             .add_local(client, subscription.clone());
         self.propagate(at, None, subscription)
@@ -267,13 +284,14 @@ impl BrokerNetwork {
                 if Some(neighbor) == from {
                     continue;
                 }
-                let decision = self.brokers[broker_id]
+                let decision = self
+                    .cell(broker_id)
                     .write()
                     .should_forward(neighbor, subscription)?;
                 self.record_decision(&decision);
                 if decision.forward {
                     MetricCounters::bump(&self.counters.subscription_messages);
-                    self.brokers[neighbor]
+                    self.cell(neighbor)
                         .write()
                         .add_received(broker_id, subscription.clone());
                     queue.push_back((neighbor, Some(broker_id)));
@@ -323,7 +341,7 @@ impl BrokerNetwork {
                 _ => return Err(BrokerError::UnknownSubscription { id }),
             }
         }
-        let Some((_client, subscription)) = self.brokers[at].write().remove_local(id) else {
+        let Some((_client, subscription)) = self.cell(at).write().remove_local(id) else {
             // A concurrent unsubscribe of the same id won the race.
             return Err(BrokerError::UnknownSubscription { id });
         };
@@ -340,9 +358,10 @@ impl BrokerNetwork {
                 if Some(neighbor) == from {
                     continue;
                 }
-                let sent = self.brokers[broker_id].read().was_sent(neighbor, id);
+                let sent = self.cell(broker_id).read().was_sent(neighbor, id);
                 if sent {
-                    let readvertised = self.brokers[broker_id]
+                    let readvertised = self
+                        .cell(broker_id)
                         .write()
                         .retract_sent(neighbor, &subscription)?;
                     MetricCounters::bump(&self.counters.unsubscription_messages);
@@ -350,7 +369,7 @@ impl BrokerNetwork {
                         self.record_decision(&decision);
                         if decision.forward {
                             MetricCounters::bump(&self.counters.subscription_messages);
-                            self.brokers[neighbor]
+                            self.cell(neighbor)
                                 .write()
                                 .add_received(broker_id, candidate.clone());
                             self.propagate(neighbor, Some(broker_id), &candidate)?;
@@ -358,16 +377,12 @@ impl BrokerNetwork {
                             MetricCounters::bump(&self.counters.subscriptions_suppressed);
                         }
                     }
-                    self.brokers[neighbor]
-                        .write()
-                        .remove_received(broker_id, id);
+                    self.cell(neighbor).write().remove_received(broker_id, id);
                     queue.push_back((neighbor, Some(broker_id)));
                 } else {
                     // Never sent on this link: at most sitting in its
                     // suppressed list.
-                    self.brokers[broker_id]
-                        .write()
-                        .drop_suppressed(neighbor, id);
+                    self.cell(broker_id).write().drop_suppressed(neighbor, id);
                 }
             }
             // Compact the visited broker's suppressed state so the per-link
@@ -376,7 +391,7 @@ impl BrokerNetwork {
             // broker lock is held* (the documented `broker → netreg`
             // nesting): an entry is only retired when its subscription is
             // truly unregistered at that moment.
-            let mut broker = self.brokers[broker_id].write();
+            let mut broker = self.cell(broker_id).write();
             let registered = self.registered.lock();
             broker.compact_suppressed(|sub| registered.contains_key(&sub));
         }
@@ -398,7 +413,7 @@ impl BrokerNetwork {
         let mut queue: VecDeque<(BrokerId, Option<BrokerId>)> = VecDeque::new();
         queue.push_back((at, None));
         while let Some((broker_id, from)) = queue.pop_front() {
-            let broker = self.brokers[broker_id].read();
+            let broker = self.cell(broker_id).read();
             for (client, _) in broker.matching_local_clients_iter(event) {
                 deliveries.push((broker_id, client));
             }

@@ -4,8 +4,9 @@
 //! Architecture:
 //!
 //! * an **accept thread** polls the listener (non-blocking, so shutdown is
-//!   observed without a wake-up connection) and hands each accepted socket
-//!   to
+//!   observed without a wake-up connection), applies the connection cap —
+//!   over-cap peers get a typed [`Frame::Rejected`] answer instead of an
+//!   accept-then-stall — and hands each admitted socket to
 //! * a **connection worker team** — the same long-lived channel-fed
 //!   [`QueryPool`] the sharded index uses for queries — where each
 //!   connection is served to completion by one worker;
@@ -19,17 +20,48 @@
 //! requests are already readable and flushed when the connection goes
 //! idle, so a pipelining client pays one syscall per burst instead of one
 //! per publish.
+//!
+//! # Failure handling
+//!
+//! The daemon is the resilient half of the client/server pair:
+//!
+//! * **Sessions are connection-scoped.** Every subscription registered over
+//!   a connection is tracked in a session map; when the connection ends —
+//!   clean EOF, protocol error, slow-consumer eviction or idle reap — its
+//!   surviving registrations are retracted exactly like `unsubscribe`
+//!   (the *drained-state invariant*: a dead client leaves no routing
+//!   entries behind).
+//! * **Replay is idempotent.** [`Frame::Resubscribe`]/[`Frame::Retract`]
+//!   carry the client's session *epoch*; the daemon acts only on frames
+//!   whose epoch is current, so a stalled request from a pre-reconnect
+//!   connection can never clobber state the reconnected client already
+//!   replayed.
+//! * **Overload is answered, not queued.** Beyond
+//!   [`DaemonOptions::max_connections`] the accept thread answers
+//!   [`Frame::Rejected`] and closes; beyond
+//!   [`DaemonOptions::max_inflight`] unflushed responses, further
+//!   pipelined requests on that connection are answered `Rejected`
+//!   without executing.
+//! * **Faults are injectable.** With [`DaemonOptions::chaos`], every
+//!   admitted connection is wrapped in a pair of seeded
+//!   [`FaultyStream`]s, so unmodified clients on clean sockets experience
+//!   drops, corruption, stalls and disconnects deterministically.
 
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use acd_covering::ordered::{OrderedMutex, RANK_SESSION};
 use acd_covering::QueryPool;
-use acd_subscription::{Event, SubscriptionBuilder};
+use acd_subscription::{Event, Schema, SubId, Subscription, SubscriptionBuilder};
 
-use crate::error::ServiceError;
+use crate::broker::BrokerId;
+use crate::error::{BrokerError, ServiceError};
+use crate::faults::{FaultPlan, FaultyStream};
+use crate::metrics::MetricCounters;
 use crate::network::BrokerNetwork;
 use crate::wire::{encode_frame, read_frame, Frame};
 
@@ -39,6 +71,81 @@ const READ_POLL: Duration = Duration::from_millis(50);
 
 /// How long the accept thread sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Write deadline for the `Rejected` frame sent to an over-cap peer — the
+/// one write the daemon performs on a connection it never admitted.
+const REJECT_WRITE_TIMEOUT: Duration = Duration::from_millis(1000);
+
+/// Tuning for a [`BrokerDaemon`]: worker count, overload caps, eviction
+/// deadlines and the optional chaos schedule.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonOptions {
+    /// Connection workers; each serves one connection at a time, so this
+    /// bounds the number of concurrently *served* clients (0 is treated as
+    /// 1 by the pool).
+    pub workers: usize,
+    /// Accepted-connection cap (0 = unlimited). Peers beyond the cap are
+    /// answered with a typed [`Frame::Rejected`] and closed instead of
+    /// being accepted and left to stall in the worker queue.
+    pub max_connections: usize,
+    /// Per-connection cap on unflushed pipelined responses (0 =
+    /// unlimited). Requests beyond it are answered [`Frame::Rejected`]
+    /// without executing, keeping the one-response-per-request cadence.
+    pub max_inflight: usize,
+    /// Evict a connection that has sent no request for this long
+    /// (`None` = never). Reaped sessions are retracted like `unsubscribe`.
+    pub idle_timeout: Option<Duration>,
+    /// Socket write deadline (`None` = block forever). A consumer too slow
+    /// to drain its responses within the deadline is evicted.
+    pub write_timeout: Option<Duration>,
+    /// Fault-injection schedule applied to every admitted connection
+    /// (`None` = clean transport). See [`FaultPlan`].
+    pub chaos: Option<FaultPlan>,
+}
+
+/// One tracked subscription registration: which connection owns it, the
+/// session epoch that installed it, and its home broker (for retraction).
+#[derive(Debug, Clone, Copy)]
+struct SessionEntry {
+    conn: u64,
+    epoch: u64,
+    at: BrokerId,
+}
+
+/// Shared state of a running daemon: the served network, options, the
+/// session registry and the live-connection gauge.
+#[derive(Debug)]
+struct DaemonState {
+    network: Arc<BrokerNetwork>,
+    options: DaemonOptions,
+    chaos: Option<Arc<FaultPlan>>,
+    shutdown: AtomicBool,
+    /// Subscription id → owning session. Rank `session` (3): handlers hold
+    /// this mutex *across* the `network.subscribe`/`unsubscribe` calls that
+    /// install or retract the registration, so replay and retraction of one
+    /// id are serialized — see `LOCKING.md`.
+    sessions: OrderedMutex<HashMap<SubId, SessionEntry>>,
+    active: AtomicUsize,
+}
+
+impl DaemonState {
+    fn new(network: Arc<BrokerNetwork>, options: DaemonOptions) -> DaemonState {
+        let chaos = options
+            .chaos
+            .as_ref()
+            .filter(|plan| !plan.is_noop())
+            .cloned()
+            .map(Arc::new);
+        DaemonState {
+            network,
+            options,
+            chaos,
+            shutdown: AtomicBool::new(false),
+            sessions: OrderedMutex::new(RANK_SESSION, "session", HashMap::new()),
+            active: AtomicUsize::new(0),
+        }
+    }
+}
 
 /// A running broker daemon: owns the listener and the connection worker
 /// team, serves until dropped (or [`shutdown`](Self::shutdown)).
@@ -58,17 +165,16 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// ```
 #[derive(Debug)]
 pub struct BrokerDaemon {
-    network: Arc<BrokerNetwork>,
+    state: Arc<DaemonState>,
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl BrokerDaemon {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `network` with a team of `workers` connection workers. Each worker
-    /// serves one connection at a time, so `workers` bounds the number of
-    /// concurrently served clients; further connections queue.
+    /// `network` with a team of `workers` connection workers and no caps —
+    /// the permissive configuration PR-7 shipped. See
+    /// [`start_with`](Self::start_with) for the tunable version.
     ///
     /// # Errors
     ///
@@ -78,22 +184,41 @@ impl BrokerDaemon {
         addr: impl ToSocketAddrs,
         workers: usize,
     ) -> Result<BrokerDaemon, ServiceError> {
+        BrokerDaemon::start_with(
+            network,
+            addr,
+            DaemonOptions {
+                workers,
+                ..DaemonOptions::default()
+            },
+        )
+    }
+
+    /// Binds `addr` and starts serving `network` with full [`DaemonOptions`]
+    /// control: overload caps, eviction deadlines and chaos injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn start_with(
+        network: Arc<BrokerNetwork>,
+        addr: impl ToSocketAddrs,
+        options: DaemonOptions,
+    ) -> Result<BrokerDaemon, ServiceError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(DaemonState::new(network, options));
         let accept_thread = {
-            let network = Arc::clone(&network);
-            let shutdown = Arc::clone(&shutdown);
+            let state = Arc::clone(&state);
             std::thread::Builder::new()
                 .name("acd-brokerd-accept".into())
-                .spawn(move || accept_loop(listener, network, shutdown, workers))
+                .spawn(move || accept_loop(listener, state))
                 .map_err(ServiceError::from)?
         };
         Ok(BrokerDaemon {
-            network,
+            state,
             addr,
-            shutdown,
             accept_thread: Some(accept_thread),
         })
     }
@@ -107,13 +232,13 @@ impl BrokerDaemon {
     /// The served network — callers can inspect metrics or drive it
     /// in-process alongside the remote clients.
     pub fn network(&self) -> &Arc<BrokerNetwork> {
-        &self.network
+        &self.state.network
     }
 
     /// Stops accepting, drains the worker team, and returns once every
     /// connection worker has exited. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.state.shutdown.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
             // Joining the accept thread drops the pool, which joins every
             // connection worker.
@@ -128,26 +253,35 @@ impl Drop for BrokerDaemon {
     }
 }
 
-/// Accepts until shutdown, dispatching each connection to the worker team.
-fn accept_loop(
-    listener: TcpListener,
-    network: Arc<BrokerNetwork>,
-    shutdown: Arc<AtomicBool>,
-    workers: usize,
-) {
-    let pool = QueryPool::new(workers);
-    while !shutdown.load(Ordering::SeqCst) {
+/// Accepts until shutdown, dispatching each admitted connection to the
+/// worker team and answering over-cap peers with [`Frame::Rejected`].
+fn accept_loop(listener: TcpListener, state: Arc<DaemonState>) {
+    let pool = QueryPool::new(state.options.workers);
+    let mut next_conn: u64 = 0;
+    while !state.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let network = Arc::clone(&network);
-                let shutdown = Arc::clone(&shutdown);
+                let cap = state.options.max_connections;
+                if cap != 0 && state.active.load(Ordering::SeqCst) >= cap {
+                    reject_connection(&state, stream, cap);
+                    continue;
+                }
+                let conn = next_conn;
+                next_conn += 1;
+                // Counted at accept (not at first service) so queued
+                // connections hold a slot — the cap bounds admission, and
+                // over-cap peers learn it immediately instead of stalling
+                // in the worker queue.
+                state.active.fetch_add(1, Ordering::SeqCst);
+                let state = Arc::clone(&state);
                 pool.execute(move || {
                     // A connection failing (corrupt frames, peer reset) only
                     // closes that connection; the daemon keeps serving.
-                    let _ = serve_connection(&network, stream, &shutdown);
+                    let _ = serve_connection(&state, stream, conn);
+                    state.active.fetch_sub(1, Ordering::SeqCst);
                 });
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
             }
             Err(_) => std::thread::sleep(ACCEPT_POLL),
@@ -157,83 +291,200 @@ fn accept_loop(
     // observe the shutdown flag within one READ_POLL.
 }
 
-/// A [`Read`] adapter that turns read timeouts into polite polling: it
-/// retries on `WouldBlock`/`TimedOut` until bytes arrive or the daemon
-/// shuts down (reported as EOF, so frame-boundary reads end cleanly).
-/// Because the retry lives *inside* `read`, `read_exact` above it never
-/// sees a timeout mid-frame and partial reads are never lost.
-#[derive(Debug)]
-struct PatientStream<'a> {
-    stream: &'a TcpStream,
-    shutdown: &'a AtomicBool,
+/// Answers an over-cap peer with a typed rejection and closes — bounded by
+/// a short write deadline so a hostile peer cannot stall the accept loop.
+fn reject_connection(state: &DaemonState, stream: TcpStream, cap: usize) {
+    MetricCounters::bump(&state.network.counters().connections_rejected);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
+    let mut out = Vec::new();
+    encode_frame(
+        &Frame::Rejected {
+            reason: format!("connection cap reached ({cap} active)"),
+        },
+        &mut out,
+    );
+    let mut writer = &stream;
+    let _ = writer.write_all(&out);
+    let _ = writer.flush();
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
-impl Read for PatientStream<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        loop {
-            if self.shutdown.load(Ordering::SeqCst) {
-                return Ok(0);
-            }
-            match self.stream.read(buf) {
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    continue;
-                }
-                result => return result,
-            }
+/// Configures the admitted socket and serves it, applying the chaos
+/// schedule when one is installed.
+fn serve_connection(state: &DaemonState, stream: TcpStream, conn: u64) -> Result<(), ServiceError> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_POLL))?;
+    if state.options.write_timeout.is_some() {
+        // try_clone shares the fd, so one call covers both halves.
+        stream.set_write_timeout(state.options.write_timeout)?;
+    }
+    let read_half = stream.try_clone()?;
+    match &state.chaos {
+        Some(plan) => {
+            // Separate per-direction salts: the two halves draw
+            // independent, reproducible fault schedules.
+            let reader = FaultyStream::new(read_half, Arc::clone(plan), conn * 2);
+            let writer = FaultyStream::new(stream, Arc::clone(plan), conn * 2 + 1);
+            serve_session(state, reader, writer, conn)
         }
+        None => serve_session(state, read_half, stream, conn),
     }
 }
 
-/// Serves one connection to completion: `Hello` greeting, then one
-/// response per request with flush-on-idle batching.
-fn serve_connection(
-    network: &BrokerNetwork,
-    stream: TcpStream,
-    shutdown: &AtomicBool,
+/// Serves one connection over any transport, then retracts whatever the
+/// session still has registered — the drained-state invariant holds on
+/// *every* exit path: clean EOF, corrupt frame, slow-consumer eviction,
+/// idle reap, or daemon shutdown.
+fn serve_session<S: Read, W: Write>(
+    state: &DaemonState,
+    transport: S,
+    sink: W,
+    conn: u64,
 ) -> Result<(), ServiceError> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(READ_POLL))?;
-    let mut writer = BufWriter::new(stream.try_clone()?);
-    let mut reader = BufReader::new(PatientStream {
-        stream: &stream,
-        shutdown,
-    });
+    let result = session_loop(state, transport, sink, conn);
+    cleanup_sessions(state, conn);
+    result
+}
+
+/// The request/response loop: `Hello` greeting, then one response per
+/// request with flush-on-idle batching and the in-flight cap.
+fn session_loop<S: Read, W: Write>(
+    state: &DaemonState,
+    transport: S,
+    sink: W,
+    conn: u64,
+) -> Result<(), ServiceError> {
+    let mut writer = BufWriter::new(sink);
+    let mut reader = BufReader::new(PatientStream::new(
+        transport,
+        &state.shutdown,
+        state.options.idle_timeout,
+    ));
     let mut out = Vec::new();
     let mut scratch = Vec::new();
+    let counters = state.network.counters();
 
-    let schema_json =
-        serde_json::to_string(network.schema()).map_err(|e| ServiceError::Io(e.to_string()))?;
+    let schema_json = serde_json::to_string(state.network.schema())
+        .map_err(|e| ServiceError::Io(e.to_string()))?;
     encode_frame(&Frame::Hello { schema_json }, &mut out);
-    writer.write_all(&out)?;
-    writer.flush()?;
+    send(state, &mut writer, &out)?;
+    flush(state, &mut writer)?;
 
+    let mut inflight = 0usize;
     loop {
         // Peek for data so a clean disconnect (EOF at a frame boundary,
-        // including our own shutdown) ends the loop without an error.
+        // including our own shutdown and the idle reaper) ends the loop
+        // without an error.
         if reader.fill_buf()?.is_empty() {
-            writer.flush()?;
+            flush(state, &mut writer)?;
+            if reader.get_ref().reaped() {
+                MetricCounters::bump(&counters.connections_evicted);
+            }
             return Ok(());
         }
-        let request = read_frame(&mut reader, &mut scratch)?;
-        let response = handle_request(network, request)?;
+        let request = match read_frame(&mut reader, &mut scratch) {
+            Ok(frame) => frame,
+            Err(e) => {
+                if matches!(
+                    e,
+                    ServiceError::CorruptFrame { .. } | ServiceError::VersionMismatch { .. }
+                ) {
+                    MetricCounters::bump(&counters.frames_corrupt);
+                }
+                return Err(e);
+            }
+        };
+        let cap = state.options.max_inflight;
+        let response = if cap != 0 && inflight >= cap {
+            MetricCounters::bump(&counters.connections_rejected);
+            Frame::Rejected {
+                reason: format!("in-flight cap reached ({cap} unflushed responses)"),
+            }
+        } else {
+            handle_request(state, conn, request)?
+        };
+        inflight += 1;
         encode_frame(&response, &mut out);
-        writer.write_all(&out)?;
+        send(state, &mut writer, &out)?;
         // Flush-on-idle: only pay the syscall when no further request is
         // already buffered (a pipelining client gets its whole burst of
         // responses in one write).
         if reader.buffer().is_empty() {
-            writer.flush()?;
+            flush(state, &mut writer)?;
+            inflight = 0;
         }
     }
+}
+
+/// Writes through, classifying a timed-out write as a slow-consumer
+/// eviction before surfacing the error.
+fn send<W: Write>(state: &DaemonState, writer: &mut W, bytes: &[u8]) -> Result<(), ServiceError> {
+    writer
+        .write_all(bytes)
+        .map_err(|e| classify_write_error(state, e))
+}
+
+/// Flush counterpart of [`send`].
+fn flush<W: Write>(state: &DaemonState, writer: &mut W) -> Result<(), ServiceError> {
+    writer.flush().map_err(|e| classify_write_error(state, e))
+}
+
+/// A response write that hit the socket write deadline means the consumer
+/// is not draining: count the eviction (the session cleanup then retracts
+/// its registrations).
+fn classify_write_error(state: &DaemonState, e: std::io::Error) -> ServiceError {
+    if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) {
+        MetricCounters::bump(&state.network.counters().connections_evicted);
+    }
+    ServiceError::from(e)
+}
+
+/// Retracts every registration still owned by connection `conn` — exactly
+/// like `unsubscribe`, so an evicted or vanished client leaves no routing
+/// entries behind. Sessions taken over by a reconnected client (different
+/// `conn`) are left alone.
+fn cleanup_sessions(state: &DaemonState, conn: u64) {
+    let mut sessions = state.sessions.lock();
+    let owned: Vec<(SubId, BrokerId)> = sessions
+        .iter()
+        .filter(|(_, entry)| entry.conn == conn)
+        .map(|(id, entry)| (*id, entry.at))
+        .collect();
+    for (id, at) in owned {
+        sessions.remove(&id);
+        // Racing an in-process unsubscribe is benign: the entry is gone
+        // either way.
+        let _ = state.network.unsubscribe(at, id);
+    }
+}
+
+/// Rebuilds a subscription from its wire form, reporting schema problems
+/// as a reply message rather than a connection error.
+fn build_subscription(
+    schema: &Schema,
+    id: SubId,
+    bounds: &[(f64, f64)],
+) -> Result<Subscription, String> {
+    if bounds.len() != schema.arity() {
+        return Err(format!(
+            "subscription has {} bounds but the schema has {} attributes",
+            bounds.len(),
+            schema.arity()
+        ));
+    }
+    let mut builder = SubscriptionBuilder::new(schema);
+    for (attribute, (lo, hi)) in schema.attributes().iter().zip(bounds) {
+        builder = builder.range(attribute.name(), *lo, *hi);
+    }
+    builder.build(id).map_err(|e| e.to_string())
 }
 
 /// Executes one request against the network. Broker-level rejections come
 /// back as [`Frame::Err`] (the connection continues); protocol violations
 /// are returned as hard errors (the connection closes).
-fn handle_request(network: &BrokerNetwork, request: Frame) -> Result<Frame, ServiceError> {
+fn handle_request(state: &DaemonState, conn: u64, request: Frame) -> Result<Frame, ServiceError> {
+    let counters = state.network.counters();
     match request {
         Frame::Subscribe {
             at,
@@ -241,31 +492,121 @@ fn handle_request(network: &BrokerNetwork, request: Frame) -> Result<Frame, Serv
             id,
             bounds,
         } => {
-            let schema = network.schema();
-            if bounds.len() != schema.arity() {
-                return Ok(Frame::Err {
-                    message: format!(
-                        "subscription has {} bounds but the schema has {} attributes",
-                        bounds.len(),
-                        schema.arity()
-                    ),
-                });
+            let subscription = match build_subscription(state.network.schema(), id, &bounds) {
+                Ok(s) => s,
+                Err(message) => return Ok(Frame::Err { message }),
+            };
+            let mut sessions = state.sessions.lock();
+            match state.network.subscribe(at, client, &subscription) {
+                Ok(()) => {
+                    sessions.insert(id, SessionEntry { conn, epoch: 0, at });
+                    Ok(Frame::Ok)
+                }
+                Err(e) => Ok(Frame::Err {
+                    message: e.to_string(),
+                }),
             }
-            let mut builder = SubscriptionBuilder::new(schema);
-            for (attribute, (lo, hi)) in schema.attributes().iter().zip(&bounds) {
-                builder = builder.range(attribute.name(), *lo, *hi);
-            }
-            let outcome = builder
-                .build(id)
-                .map_err(crate::BrokerError::from)
-                .and_then(|subscription| network.subscribe(at, client, &subscription));
-            Ok(reply(outcome.map(|()| Frame::Ok)))
         }
-        Frame::Unsubscribe { at, id } => Ok(reply(network.unsubscribe(at, id).map(|()| Frame::Ok))),
+        Frame::Resubscribe {
+            at,
+            client,
+            id,
+            bounds,
+            epoch,
+        } => {
+            let subscription = match build_subscription(state.network.schema(), id, &bounds) {
+                Ok(s) => s,
+                Err(message) => return Ok(Frame::Err { message }),
+            };
+            let mut sessions = state.sessions.lock();
+            let previous = sessions.get(&id).copied();
+            if let Some(entry) = previous {
+                if epoch < entry.epoch {
+                    // A stalled replay from a pre-reconnect connection: the
+                    // newer session owns this id; absorb without acting.
+                    MetricCounters::bump(&counters.client_retries);
+                    return Ok(Frame::Ok);
+                }
+                // Current epoch (a retry) or a newer one (a takeover):
+                // reinstall from scratch so the home broker can move.
+                match state.network.unsubscribe(entry.at, id) {
+                    Ok(()) | Err(BrokerError::UnknownSubscription { .. }) => {}
+                    Err(e) => {
+                        sessions.remove(&id);
+                        return Ok(Frame::Err {
+                            message: e.to_string(),
+                        });
+                    }
+                }
+                if entry.conn != conn {
+                    MetricCounters::bump(&counters.client_reconnects);
+                } else {
+                    MetricCounters::bump(&counters.client_retries);
+                }
+            }
+            match state.network.subscribe(at, client, &subscription) {
+                Ok(()) => {
+                    sessions.insert(id, SessionEntry { conn, epoch, at });
+                    Ok(Frame::Ok)
+                }
+                Err(e) => {
+                    sessions.remove(&id);
+                    Ok(Frame::Err {
+                        message: e.to_string(),
+                    })
+                }
+            }
+        }
+        Frame::Retract { at, id, epoch } => {
+            let mut sessions = state.sessions.lock();
+            match sessions.get(&id).copied() {
+                Some(entry) if epoch < entry.epoch => {
+                    // Stale retraction of an id a newer session replayed.
+                    MetricCounters::bump(&counters.client_retries);
+                    Ok(Frame::Ok)
+                }
+                Some(entry) => {
+                    sessions.remove(&id);
+                    match state.network.unsubscribe(entry.at, id) {
+                        Ok(()) => Ok(Frame::Ok),
+                        Err(BrokerError::UnknownSubscription { .. }) => {
+                            MetricCounters::bump(&counters.client_retries);
+                            Ok(Frame::Ok)
+                        }
+                        Err(e) => Ok(Frame::Err {
+                            message: e.to_string(),
+                        }),
+                    }
+                }
+                None => match state.network.unsubscribe(at, id) {
+                    Ok(()) => Ok(Frame::Ok),
+                    // Already gone — a retried retraction is a success.
+                    Err(BrokerError::UnknownSubscription { .. }) => {
+                        MetricCounters::bump(&counters.client_retries);
+                        Ok(Frame::Ok)
+                    }
+                    Err(e) => Ok(Frame::Err {
+                        message: e.to_string(),
+                    }),
+                },
+            }
+        }
+        Frame::Unsubscribe { at, id } => {
+            let mut sessions = state.sessions.lock();
+            match state.network.unsubscribe(at, id) {
+                Ok(()) => {
+                    sessions.remove(&id);
+                    Ok(Frame::Ok)
+                }
+                Err(e) => Ok(Frame::Err {
+                    message: e.to_string(),
+                }),
+            }
+        }
         Frame::Publish { at, values } => {
-            let outcome = Event::new(network.schema(), values)
+            let outcome = Event::new(state.network.schema(), values)
                 .map_err(crate::BrokerError::from)
-                .and_then(|event| network.publish(at, &event))
+                .and_then(|event| state.network.publish(at, &event))
                 .map(|pairs| Frame::Deliveries { pairs });
             Ok(reply(outcome))
         }
@@ -285,6 +626,71 @@ fn reply(outcome: Result<Frame, crate::BrokerError>) -> Frame {
     }
 }
 
+/// A [`Read`] adapter that turns read timeouts into polite polling: it
+/// retries on `WouldBlock`/`TimedOut` until bytes arrive, the daemon shuts
+/// down, or the idle deadline passes (both reported as EOF, so
+/// frame-boundary reads end cleanly); `Interrupted` reads are retried like
+/// the kernel convention requires. Because the retry lives *inside*
+/// `read`, `read_exact` above it never sees a timeout mid-frame and
+/// partial reads are never lost.
+#[derive(Debug)]
+struct PatientStream<'a, S> {
+    inner: S,
+    shutdown: &'a AtomicBool,
+    idle_timeout: Option<Duration>,
+    idle_since: Instant,
+    reaped: bool,
+}
+
+impl<'a, S: Read> PatientStream<'a, S> {
+    fn new(
+        inner: S,
+        shutdown: &'a AtomicBool,
+        idle_timeout: Option<Duration>,
+    ) -> PatientStream<'a, S> {
+        PatientStream {
+            inner,
+            shutdown,
+            idle_timeout,
+            idle_since: Instant::now(),
+            reaped: false,
+        }
+    }
+
+    /// True when the last EOF was the idle reaper, not the peer.
+    fn reaped(&self) -> bool {
+        self.reaped
+    }
+}
+
+impl<S: Read> Read for PatientStream<'_, S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Ok(0);
+            }
+            match self.inner.read(buf) {
+                Ok(0) => return Ok(0),
+                Ok(n) => {
+                    self.idle_since = Instant::now();
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if let Some(limit) = self.idle_timeout {
+                        if self.idle_since.elapsed() >= limit {
+                            self.reaped = true;
+                            return Ok(0);
+                        }
+                    }
+                    continue;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                result => return result,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,19 +700,51 @@ mod tests {
     use acd_covering::CoveringPolicy;
     use acd_subscription::Schema;
 
-    fn daemon(policy: CoveringPolicy) -> BrokerDaemon {
-        let schema = Schema::builder()
+    fn test_schema() -> Schema {
+        Schema::builder()
             .attribute("x", 0.0, 100.0)
             .bits_per_attribute(8)
             .build()
-            .unwrap();
-        let net = Arc::new(
-            BrokerConfig::new(Topology::line(3).unwrap(), &schema)
+            .unwrap()
+    }
+
+    fn test_network(policy: CoveringPolicy) -> Arc<BrokerNetwork> {
+        Arc::new(
+            BrokerConfig::new(Topology::line(3).unwrap(), &test_schema())
                 .policy(policy)
                 .build()
                 .unwrap(),
-        );
-        BrokerDaemon::start(net, "127.0.0.1:0", 2).unwrap()
+        )
+    }
+
+    fn daemon(policy: CoveringPolicy) -> BrokerDaemon {
+        BrokerDaemon::start(test_network(policy), "127.0.0.1:0", 2).unwrap()
+    }
+
+    fn state_with(options: DaemonOptions) -> DaemonState {
+        DaemonState::new(test_network(CoveringPolicy::ExactSfc), options)
+    }
+
+    /// Encodes `frames` as one pipelined request stream.
+    fn requests(frames: &[Frame]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut one = Vec::new();
+        for frame in frames {
+            encode_frame(frame, &mut one);
+            buf.extend_from_slice(&one);
+        }
+        buf
+    }
+
+    /// Decodes every response frame the session wrote (Hello first).
+    fn responses(bytes: &[u8]) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        let mut scratch = Vec::new();
+        let mut cursor = bytes;
+        while !cursor.is_empty() {
+            frames.push(read_frame(&mut cursor, &mut scratch).expect("well-formed response"));
+        }
+        frames
     }
 
     #[test]
@@ -394,5 +832,372 @@ mod tests {
         let result = client.publish(0, &Event::new(&schema, vec![1.0]).unwrap());
         assert!(result.is_err());
         assert!(BrokerClient::connect(addr).is_err());
+    }
+
+    #[test]
+    fn connection_cap_answers_rejected_instead_of_stalling() {
+        let net = test_network(CoveringPolicy::ExactSfc);
+        let daemon = BrokerDaemon::start_with(
+            Arc::clone(&net),
+            "127.0.0.1:0",
+            DaemonOptions {
+                workers: 1,
+                max_connections: 1,
+                ..DaemonOptions::default()
+            },
+        )
+        .unwrap();
+        let _first = BrokerClient::connect(daemon.local_addr()).unwrap();
+        let started = Instant::now();
+        let second = BrokerClient::connect(daemon.local_addr());
+        assert!(
+            matches!(
+                second,
+                Err(ServiceError::Overloaded { ref reason }) if reason.contains("connection cap")
+            ),
+            "over-cap connect must be a typed rejection, got {second:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "rejection must arrive within the deadline, not hang"
+        );
+        assert_eq!(net.metrics().connections_rejected, 1);
+    }
+
+    #[test]
+    fn inflight_cap_rejects_excess_pipelined_requests_without_executing() {
+        let state = state_with(DaemonOptions {
+            max_inflight: 2,
+            ..DaemonOptions::default()
+        });
+        // One pipelined burst: 4 publishes, all buffered before the first
+        // response flush, so the cap sees them as one in-flight window.
+        let burst = requests(&[
+            Frame::Publish {
+                at: 0,
+                values: vec![10.0],
+            },
+            Frame::Publish {
+                at: 0,
+                values: vec![20.0],
+            },
+            Frame::Publish {
+                at: 0,
+                values: vec![30.0],
+            },
+            Frame::Publish {
+                at: 0,
+                values: vec![40.0],
+            },
+        ]);
+        let mut sink = Vec::new();
+        serve_session(&state, burst.as_slice(), &mut sink, 1).unwrap();
+        let frames = responses(&sink);
+        assert!(matches!(frames[0], Frame::Hello { .. }));
+        assert!(matches!(frames[1], Frame::Deliveries { .. }));
+        assert!(matches!(frames[2], Frame::Deliveries { .. }));
+        assert!(matches!(frames[3], Frame::Rejected { .. }));
+        assert!(matches!(frames[4], Frame::Rejected { .. }));
+        // Only the two admitted publishes executed.
+        assert_eq!(state.network.metrics().events_published, 2);
+        assert_eq!(state.network.metrics().connections_rejected, 2);
+    }
+
+    #[test]
+    fn disconnect_retracts_sessions_like_unsubscribe() {
+        let state = state_with(DaemonOptions::default());
+        let stream = requests(&[Frame::Subscribe {
+            at: 0,
+            client: 7,
+            id: 1,
+            bounds: vec![(0.0, 50.0)],
+        }]);
+        let mut sink = Vec::new();
+        // The transport ends (EOF) right after the subscribe — a client
+        // that vanished without unsubscribing.
+        serve_session(&state, stream.as_slice(), &mut sink, 1).unwrap();
+        let frames = responses(&sink);
+        assert!(matches!(frames[1], Frame::Ok));
+        // Drained-state invariant: the registration was retracted exactly
+        // like an unsubscribe, so nothing matches and nothing lingers.
+        let metrics = state.network.metrics();
+        assert_eq!(metrics.unsubscriptions, 1);
+        assert_eq!(metrics.routing_table_entries, 0);
+        let event = Event::new(state.network.schema(), vec![25.0]).unwrap();
+        assert_eq!(state.network.publish(2, &event).unwrap(), vec![]);
+        assert!(state.sessions.lock().is_empty());
+    }
+
+    #[test]
+    fn resubscribe_epoch_takeover_defeats_stale_replays() {
+        let state = state_with(DaemonOptions::default());
+        let bounds = vec![(0.0, 50.0)];
+        // Connection 1 registers id 9 at broker 0 (epoch 0).
+        let reply = handle_request(
+            &state,
+            1,
+            Frame::Resubscribe {
+                at: 0,
+                client: 7,
+                id: 9,
+                bounds: bounds.clone(),
+                epoch: 0,
+            },
+        )
+        .unwrap();
+        assert!(matches!(reply, Frame::Ok));
+        // Connection 2 (the reconnected client, epoch 1) replays it at
+        // broker 2: a takeover that moves the home broker.
+        let reply = handle_request(
+            &state,
+            2,
+            Frame::Resubscribe {
+                at: 2,
+                client: 7,
+                id: 9,
+                bounds: bounds.clone(),
+                epoch: 1,
+            },
+        )
+        .unwrap();
+        assert!(matches!(reply, Frame::Ok));
+        // A stalled replay from the dead connection arrives late: absorbed
+        // without clobbering the takeover.
+        let reply = handle_request(
+            &state,
+            1,
+            Frame::Resubscribe {
+                at: 0,
+                client: 7,
+                id: 9,
+                bounds: bounds.clone(),
+                epoch: 0,
+            },
+        )
+        .unwrap();
+        assert!(matches!(reply, Frame::Ok));
+        let event = Event::new(state.network.schema(), vec![25.0]).unwrap();
+        assert_eq!(
+            state.network.publish(1, &event).unwrap(),
+            vec![(2, 7)],
+            "registration must live at the takeover's broker"
+        );
+        let metrics = state.network.metrics();
+        assert_eq!(metrics.client_reconnects, 1);
+        assert_eq!(metrics.client_retries, 1);
+        // The dead connection's cleanup must not touch the taken-over id...
+        cleanup_sessions(&state, 1);
+        assert_eq!(state.network.publish(1, &event).unwrap(), vec![(2, 7)]);
+        // ...while the owner's cleanup retracts it.
+        cleanup_sessions(&state, 2);
+        assert_eq!(state.network.publish(1, &event).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn stale_retract_is_absorbed_and_fresh_retract_is_idempotent() {
+        let state = state_with(DaemonOptions::default());
+        let bounds = vec![(0.0, 50.0)];
+        for (conn, epoch) in [(1u64, 0u64), (2, 1)] {
+            let reply = handle_request(
+                &state,
+                conn,
+                Frame::Resubscribe {
+                    at: 0,
+                    client: 7,
+                    id: 9,
+                    bounds: bounds.clone(),
+                    epoch,
+                },
+            )
+            .unwrap();
+            assert!(matches!(reply, Frame::Ok));
+        }
+        // Stale retract (epoch 0) from the dead connection: no-op.
+        let reply = handle_request(
+            &state,
+            1,
+            Frame::Retract {
+                at: 0,
+                id: 9,
+                epoch: 0,
+            },
+        )
+        .unwrap();
+        assert!(matches!(reply, Frame::Ok));
+        let event = Event::new(state.network.schema(), vec![25.0]).unwrap();
+        assert_eq!(state.network.publish(1, &event).unwrap(), vec![(0, 7)]);
+        // Current retract removes it; a retried retract still answers Ok.
+        for _ in 0..2 {
+            let reply = handle_request(
+                &state,
+                2,
+                Frame::Retract {
+                    at: 0,
+                    id: 9,
+                    epoch: 1,
+                },
+            )
+            .unwrap();
+            assert!(matches!(reply, Frame::Ok));
+        }
+        assert_eq!(state.network.publish(1, &event).unwrap(), vec![]);
+    }
+
+    /// A transport that yields `Interrupted` a few times before the data,
+    /// then EOF — the syscall-restart convention.
+    struct InterruptedSource {
+        interruptions: usize,
+        data: Vec<u8>,
+        served: bool,
+    }
+
+    impl Read for InterruptedSource {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.interruptions > 0 {
+                self.interruptions -= 1;
+                return Err(std::io::Error::new(ErrorKind::Interrupted, "signal"));
+            }
+            if self.served || buf.is_empty() {
+                return Ok(0);
+            }
+            self.served = true;
+            let n = self.data.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.data[..n]);
+            Ok(n)
+        }
+    }
+
+    /// A transport that always times out, like a socket with a read
+    /// timeout and a silent peer.
+    struct SilentSource;
+
+    impl Read for SilentSource {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            std::thread::sleep(Duration::from_millis(1));
+            Err(std::io::Error::new(ErrorKind::WouldBlock, "timeout"))
+        }
+    }
+
+    #[test]
+    fn patient_stream_retries_interrupted_reads() {
+        let shutdown = AtomicBool::new(false);
+        let source = InterruptedSource {
+            interruptions: 3,
+            data: b"abc".to_vec(),
+            served: false,
+        };
+        let mut patient = PatientStream::new(source, &shutdown, None);
+        let mut buf = [0u8; 8];
+        assert_eq!(patient.read(&mut buf).unwrap(), 3);
+        assert_eq!(&buf[..3], b"abc");
+        // And the eventual EOF still comes through.
+        assert_eq!(patient.read(&mut buf).unwrap(), 0);
+        assert!(!patient.reaped());
+    }
+
+    #[test]
+    fn patient_stream_zero_length_reads_return_without_blocking() {
+        let shutdown = AtomicBool::new(false);
+        let source = InterruptedSource {
+            interruptions: 0,
+            data: b"pending".to_vec(),
+            served: false,
+        };
+        let mut patient = PatientStream::new(source, &shutdown, None);
+        // An empty destination is satisfied immediately (not EOF, not a
+        // hang) and consumes nothing...
+        assert_eq!(patient.read(&mut []).unwrap(), 0);
+        // ...the pending data is still there for the next real read.
+        let mut buf = [0u8; 16];
+        assert_eq!(patient.read(&mut buf).unwrap(), 7);
+        assert_eq!(&buf[..7], b"pending");
+    }
+
+    #[test]
+    fn patient_stream_read_timeout_racing_shutdown_ends_as_eof() {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        // The reader is mid-poll (every poll times out) when another
+        // thread raises the shutdown flag: the read must end as a clean
+        // EOF, not hang and not error.
+        let reader = std::thread::spawn(move || {
+            let mut patient = PatientStream::new(SilentSource, &flag, None);
+            let mut buf = [0u8; 8];
+            patient.read(&mut buf)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        shutdown.store(true, Ordering::SeqCst);
+        let result = reader.join().expect("reader must not panic");
+        assert_eq!(result.unwrap(), 0, "shutdown mid-poll reads as EOF");
+    }
+
+    #[test]
+    fn patient_stream_reaps_idle_connections() {
+        let shutdown = AtomicBool::new(false);
+        let mut patient =
+            PatientStream::new(SilentSource, &shutdown, Some(Duration::from_millis(10)));
+        let mut buf = [0u8; 8];
+        assert_eq!(patient.read(&mut buf).unwrap(), 0, "idle deadline → EOF");
+        assert!(patient.reaped(), "EOF must be attributed to the reaper");
+    }
+
+    #[test]
+    fn idle_reap_is_counted_and_drains_the_session() {
+        let state = state_with(DaemonOptions {
+            idle_timeout: Some(Duration::from_millis(10)),
+            ..DaemonOptions::default()
+        });
+        // A subscribe, then silence: the reaper must end the session and
+        // the cleanup must retract the registration.
+        struct ThenSilent {
+            data: Vec<u8>,
+            offset: usize,
+        }
+        impl Read for ThenSilent {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.offset < self.data.len() && !buf.is_empty() {
+                    let n = (self.data.len() - self.offset).min(buf.len());
+                    buf[..n].copy_from_slice(&self.data[self.offset..self.offset + n]);
+                    self.offset += n;
+                    return Ok(n);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "timeout"))
+            }
+        }
+        let transport = ThenSilent {
+            data: requests(&[Frame::Subscribe {
+                at: 0,
+                client: 7,
+                id: 1,
+                bounds: vec![(0.0, 50.0)],
+            }]),
+            offset: 0,
+        };
+        let mut sink = Vec::new();
+        serve_session(&state, transport, &mut sink, 1).unwrap();
+        let metrics = state.network.metrics();
+        assert_eq!(metrics.connections_evicted, 1, "reap counts as eviction");
+        assert_eq!(metrics.routing_table_entries, 0, "session drained");
+    }
+
+    #[test]
+    fn corrupt_request_frames_are_counted_and_close_the_connection() {
+        let state = state_with(DaemonOptions::default());
+        let mut garbage = requests(&[Frame::Publish {
+            at: 0,
+            values: vec![10.0],
+        }]);
+        let last = garbage.len() - 1;
+        garbage[last] ^= 0xff; // break the checksum
+        let mut sink = Vec::new();
+        let result = serve_session(&state, garbage.as_slice(), &mut sink, 1);
+        assert!(matches!(result, Err(ServiceError::CorruptFrame { .. })));
+        assert_eq!(state.network.metrics().frames_corrupt, 1);
+        assert_eq!(
+            state.network.metrics().events_published,
+            0,
+            "a corrupt request must not execute"
+        );
     }
 }

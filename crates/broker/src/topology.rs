@@ -58,8 +58,14 @@ impl Topology {
                     reason: format!("self-loop at broker {a}"),
                 });
             }
-            adjacency[a].push(b);
-            adjacency[b].push(a);
+            adjacency
+                .get_mut(a)
+                .expect("edge endpoints were range-checked above")
+                .push(b);
+            adjacency
+                .get_mut(b)
+                .expect("edge endpoints were range-checked above")
+                .push(a);
             normalized.push((a.min(b), a.max(b)));
         }
         for adj in adjacency.iter_mut() {
@@ -170,9 +176,9 @@ impl Topology {
         &self.edges
     }
 
-    /// Neighbors of broker `id`, sorted.
+    /// Neighbors of broker `id`, sorted. Out-of-range ids have none.
     pub fn neighbors(&self, id: usize) -> &[usize] {
-        &self.adjacency[id]
+        self.adjacency.get(id).map_or(&[], Vec::as_slice)
     }
 
     /// Whether `id` names a broker of this topology.
@@ -208,14 +214,21 @@ impl Topology {
             return Ok(0);
         }
         let mut dist = vec![usize::MAX; self.brokers];
-        dist[from] = 0;
+        *dist.get_mut(from).expect("`from` was range-checked above") = 0;
         let mut queue = std::collections::VecDeque::from([from]);
         while let Some(b) = queue.pop_front() {
+            let hops = dist
+                .get(b)
+                .copied()
+                .expect("the queue holds only in-range broker ids");
             for &n in self.neighbors(b) {
-                if dist[n] == usize::MAX {
-                    dist[n] = dist[b] + 1;
+                let slot = dist
+                    .get_mut(n)
+                    .expect("adjacency holds only in-range broker ids");
+                if *slot == usize::MAX {
+                    *slot = hops + 1;
                     if n == to {
-                        return Ok(dist[n]);
+                        return Ok(hops + 1);
                     }
                     queue.push_back(n);
                 }
@@ -231,13 +244,18 @@ impl Topology {
 
     fn is_connected(&self) -> bool {
         let mut seen = vec![false; self.brokers];
-        seen[0] = true;
+        *seen
+            .first_mut()
+            .expect("the constructor rejects empty topologies") = true;
         let mut queue = std::collections::VecDeque::from([0usize]);
         let mut count = 1;
         while let Some(b) = queue.pop_front() {
             for &n in self.neighbors(b) {
-                if !seen[n] {
-                    seen[n] = true;
+                let slot = seen
+                    .get_mut(n)
+                    .expect("adjacency holds only in-range broker ids");
+                if !*slot {
+                    *slot = true;
                     count += 1;
                     queue.push_back(n);
                 }

@@ -101,6 +101,45 @@ pub enum Frame {
         /// Display rendering of the daemon-side error.
         message: String,
     },
+    /// Daemon → client: the daemon is shedding load and did not execute the
+    /// request (or, before `Hello`, refused the connection outright). Unlike
+    /// [`Frame::Err`] this is retryable by construction — nothing was
+    /// applied — so resilient clients back off and try again.
+    Rejected {
+        /// Why the daemon shed this request/connection.
+        reason: String,
+    },
+    /// Client → daemon: idempotently (re-)register a subscription. Where
+    /// [`Frame::Subscribe`] fails on a duplicate id, `Resubscribe` takes the
+    /// registration over: if `id` is live under an older session epoch it is
+    /// retracted and re-registered fresh, so a client replaying its live set
+    /// after a reconnect (or retrying an ack it never saw) always converges.
+    Resubscribe {
+        /// Broker the client is attached to.
+        at: BrokerId,
+        /// The subscribing client.
+        client: ClientId,
+        /// Network-unique subscription identifier.
+        id: SubId,
+        /// Per-attribute `[lo, hi]` ranges in schema attribute order.
+        bounds: Vec<(f64, f64)>,
+        /// The client's session epoch (bumped on every reconnect). A frame
+        /// carrying an epoch older than the registration's current owner is
+        /// acknowledged without acting, so a stalled pre-reconnect request
+        /// can never clobber the replayed state that superseded it.
+        epoch: u64,
+    },
+    /// Client → daemon: idempotently retract a subscription. Where
+    /// [`Frame::Unsubscribe`] fails on an unknown id, `Retract` treats
+    /// "already gone" as success — the state a retrying client wants.
+    Retract {
+        /// Broker the subscription was registered at.
+        at: BrokerId,
+        /// The identifier to retract.
+        id: SubId,
+        /// The client's session epoch, as in [`Frame::Resubscribe`].
+        epoch: u64,
+    },
 }
 
 /// Frame kind discriminants (the `kind` header byte).
@@ -112,6 +151,9 @@ mod kind {
     pub const DELIVERIES: u8 = 4;
     pub const OK: u8 = 5;
     pub const ERR: u8 = 6;
+    pub const REJECTED: u8 = 7;
+    pub const RESUBSCRIBE: u8 = 8;
+    pub const RETRACT: u8 = 9;
 }
 
 impl Frame {
@@ -125,6 +167,9 @@ impl Frame {
             Frame::Deliveries { .. } => kind::DELIVERIES,
             Frame::Ok => kind::OK,
             Frame::Err { .. } => kind::ERR,
+            Frame::Rejected { .. } => kind::REJECTED,
+            Frame::Resubscribe { .. } => kind::RESUBSCRIBE,
+            Frame::Retract { .. } => kind::RETRACT,
         }
     }
 
@@ -138,6 +183,9 @@ impl Frame {
             Frame::Deliveries { .. } => "Deliveries",
             Frame::Ok => "Ok",
             Frame::Err { .. } => "Err",
+            Frame::Rejected { .. } => "Rejected",
+            Frame::Resubscribe { .. } => "Resubscribe",
+            Frame::Retract { .. } => "Retract",
         }
     }
 
@@ -148,6 +196,22 @@ impl Frame {
             client,
             id: subscription.id(),
             bounds: subscription.raw_bounds().to_vec(),
+        }
+    }
+
+    /// Builds a `Resubscribe` frame from a subscription's raw bounds.
+    pub fn resubscribe(
+        at: BrokerId,
+        client: ClientId,
+        subscription: &Subscription,
+        epoch: u64,
+    ) -> Frame {
+        Frame::Resubscribe {
+            at,
+            client,
+            id: subscription.id(),
+            bounds: subscription.raw_bounds().to_vec(),
+            epoch,
         }
     }
 }
@@ -168,6 +232,7 @@ const CRC_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
+        // acd-lint: allow(panic-hygiene) const-fn table builder; `i` is the loop bound over table.len()
         table[i] = crc;
         i += 1;
     }
@@ -178,6 +243,7 @@ const CRC_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = u32::MAX;
     for &b in bytes {
+        // acd-lint: allow(panic-hygiene) index is masked to 0..256 on a 256-entry table
         crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
@@ -191,22 +257,23 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// [`ServiceError::CorruptFrame`] on a bad magic or an oversized length,
 /// [`ServiceError::VersionMismatch`] on a foreign version byte.
 pub fn check_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), ServiceError> {
-    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let [m0, m1, m2, m3, version, kind, l0, l1, l2, l3] = *header;
+    let magic = u32::from_le_bytes([m0, m1, m2, m3]);
     if magic != MAGIC {
         return Err(ServiceError::CorruptFrame {
             reason: format!("bad magic 0x{magic:08x}, expected 0x{MAGIC:08x}"),
         });
     }
-    if header[4] != VERSION {
-        return Err(ServiceError::VersionMismatch { found: header[4] });
+    if version != VERSION {
+        return Err(ServiceError::VersionMismatch { found: version });
     }
-    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
     if len > MAX_PAYLOAD {
         return Err(ServiceError::CorruptFrame {
             reason: format!("payload length {len} exceeds cap {MAX_PAYLOAD}"),
         });
     }
-    Ok((header[5], len))
+    Ok((kind, len))
 }
 
 /// Validates a frame's trailing checksum against the one computed over the
@@ -276,9 +343,36 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
         Frame::Err { message } => {
             put_bytes(out, message.as_bytes());
         }
+        Frame::Rejected { reason } => {
+            put_bytes(out, reason.as_bytes());
+        }
+        Frame::Resubscribe {
+            at,
+            client,
+            id,
+            bounds,
+            epoch,
+        } => {
+            out.extend_from_slice(&(*at as u64).to_le_bytes());
+            out.extend_from_slice(&client.to_le_bytes());
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&(bounds.len() as u32).to_le_bytes());
+            for (lo, hi) in bounds {
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+        }
+        Frame::Retract { at, id, epoch } => {
+            out.extend_from_slice(&(*at as u64).to_le_bytes());
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&epoch.to_le_bytes());
+        }
     }
     let payload_len = (out.len() - HEADER_LEN) as u32;
-    out[6..HEADER_LEN].copy_from_slice(&payload_len.to_le_bytes());
+    out.get_mut(6..HEADER_LEN)
+        .expect("encode starts by writing a full header")
+        .copy_from_slice(&payload_len.to_le_bytes());
     let crc = crc32(out);
     out.extend_from_slice(&crc.to_le_bytes());
 }
@@ -321,6 +415,7 @@ pub fn read_frame<R: Read>(reader: &mut R, scratch: &mut Vec<u8>) -> Result<Fram
 fn continue_crc32(finished: u32, bytes: &[u8]) -> u32 {
     let mut crc = !finished;
     for &b in bytes {
+        // acd-lint: allow(panic-hygiene) index is masked to 0..256 on a 256-entry table
         crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
@@ -393,6 +488,33 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ServiceError> {
         kind::ERR => Frame::Err {
             message: c.take_string()?,
         },
+        kind::REJECTED => Frame::Rejected {
+            reason: c.take_string()?,
+        },
+        kind::RESUBSCRIBE => {
+            let at = c.take_u64()? as BrokerId;
+            let client = c.take_u64()?;
+            let id = c.take_u64()?;
+            let epoch = c.take_u64()?;
+            let n = c.take_u32()? as usize;
+            c.check_remaining(n, 16)?;
+            let mut bounds = Vec::with_capacity(n);
+            for _ in 0..n {
+                bounds.push((c.take_f64()?, c.take_f64()?));
+            }
+            Frame::Resubscribe {
+                at,
+                client,
+                id,
+                bounds,
+                epoch,
+            }
+        }
+        kind::RETRACT => Frame::Retract {
+            at: c.take_u64()? as BrokerId,
+            id: c.take_u64()?,
+            epoch: c.take_u64()?,
+        },
         other => {
             return Err(ServiceError::CorruptFrame {
                 reason: format!("unknown frame kind {other}"),
@@ -413,10 +535,9 @@ struct Cursor<'a> {
 impl Cursor<'_> {
     fn take(&mut self, n: usize) -> Result<&[u8], ServiceError> {
         let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
-        match end {
-            Some(end) => {
-                let slice = &self.buf[self.at..end];
-                self.at = end;
+        match end.and_then(|end| self.buf.get(self.at..end)) {
+            Some(slice) => {
+                self.at = self.at.saturating_add(n);
                 Ok(slice)
             }
             None => Err(ServiceError::CorruptFrame {
@@ -426,15 +547,19 @@ impl Cursor<'_> {
     }
 
     fn take_u32(&mut self) -> Result<u32, ServiceError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .expect("take(4) returns exactly four bytes");
+        Ok(u32::from_le_bytes(b))
     }
 
     fn take_u64(&mut self) -> Result<u64, ServiceError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .expect("take(8) returns exactly eight bytes");
+        Ok(u64::from_le_bytes(b))
     }
 
     fn take_f64(&mut self) -> Result<f64, ServiceError> {
@@ -501,6 +626,21 @@ mod tests {
             Frame::Ok,
             Frame::Err {
                 message: "subscription 7 is already registered".into(),
+            },
+            Frame::Rejected {
+                reason: "connection cap reached (4 of 4 busy)".into(),
+            },
+            Frame::Resubscribe {
+                at: 2,
+                client: 13,
+                id: 9,
+                bounds: vec![(1.0, 2.0)],
+                epoch: 3,
+            },
+            Frame::Retract {
+                at: 1,
+                id: 9,
+                epoch: 3,
             },
         ]
     }

@@ -49,6 +49,26 @@ fn any_frame() -> impl Strategy<Value = Frame> {
             .prop_map(|pairs| Frame::Deliveries { pairs }),
         Just(Frame::Ok),
         ascii_string().prop_map(|message| Frame::Err { message }),
+        ascii_string().prop_map(|reason| Frame::Rejected { reason }),
+        (
+            0usize..64,
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec((wire_f64(), wire_f64()), 0..6),
+            any::<u64>(),
+        )
+            .prop_map(|(at, client, id, bounds, epoch)| Frame::Resubscribe {
+                at,
+                client,
+                id,
+                bounds,
+                epoch,
+            }),
+        (0usize..64, any::<u64>(), any::<u64>()).prop_map(|(at, id, epoch)| Frame::Retract {
+            at,
+            id,
+            epoch
+        }),
     ]
 }
 

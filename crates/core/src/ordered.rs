@@ -16,7 +16,9 @@
 //! "ascending shard order" rule falls out of the strict-increase check. The
 //! broker overlay's classes ([`RANK_BROKER`], [`RANK_NET_REGISTRY`]) sit
 //! *below* the index classes because a broker runs covering-index operations
-//! while its own lock is held.
+//! while its own lock is held; the daemon's [`RANK_SESSION`] class sits
+//! below even those because session replay calls into the overlay while
+//! holding the session map.
 //!
 //! Poison recovery (`unwrap_or_else(|e| e.into_inner())`) lives *inside*
 //! these wrappers: a panic mid-update can at worst leave a stale statistic,
@@ -26,11 +28,18 @@
 use std::ops::{Deref, DerefMut};
 use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+/// Rank of the daemon's client-session registration lock (`sessions`).
+/// Below [`RANK_BROKER`]: replaying or retracting a session must hold the
+/// session entry while it runs `BrokerNetwork::subscribe`/`unsubscribe`
+/// (which acquire `broker` and upward), so `session` sits at the very
+/// bottom of the hierarchy.
+pub const RANK_SESSION: u32 = 3;
 /// Rank of the per-broker overlay locks (`brokers`). Below every index rank:
 /// a broker decides forwarding by running covering-index operations (which
 /// acquire [`RANK_LAYOUT`] and upward) while its own lock is held, so the
-/// broker class must sit at the bottom of the hierarchy. All brokers share
-/// one rank — the overlay never holds two broker locks at once.
+/// broker class must sit below every index class. Only the daemon's
+/// [`RANK_SESSION`] lock ranks lower. All brokers share one rank — the
+/// overlay never holds two broker locks at once.
 pub const RANK_BROKER: u32 = 5;
 /// Rank of the broker-network subscription-registration lock (`registered`).
 /// Above [`RANK_BROKER`] so suppressed-state compaction can consult the
@@ -59,6 +68,7 @@ pub const RANK_STATS: u32 = 110;
 /// prose in `LOCKING.md`; a workspace test cross-checks the two.
 pub fn rank_table() -> &'static [(u32, &'static str)] {
     &[
+        (RANK_SESSION, "session"),
         (RANK_BROKER, "broker"),
         (RANK_NET_REGISTRY, "netreg"),
         (RANK_LAYOUT, "layout"),
@@ -104,8 +114,8 @@ mod tracking {
                         rank > top_rank,
                         "lock-order violation: acquiring `{name}` (rank {rank}) while \
                          holding `{top_name}` (rank {top_rank}); locks must be taken in \
-                         the order broker → netreg → layout → registry → shards \
-                         (ascending) → policy → stats — see LOCKING.md"
+                         the order session → broker → netreg → layout → registry → \
+                         shards (ascending) → policy → stats — see LOCKING.md"
                     );
                 }
                 held.push((token, rank, name));

@@ -5,7 +5,7 @@
 
 use std::path::PathBuf;
 
-use acd_analysis::{lint_workspace, Config};
+use acd_analysis::{lint_paths, lint_workspace, Config};
 
 /// `CARGO_MANIFEST_DIR` of the root `acd` package is the workspace root.
 fn workspace_root() -> PathBuf {
@@ -37,6 +37,35 @@ fn workspace_is_lint_clean() {
         report.manifests >= 7,
         "walker found {} manifests",
         report.manifests
+    );
+}
+
+/// The broker crate is the wire boundary — it parses untrusted bytes — so it
+/// is additionally held to `--strict-indexing`: no bare slice/array indexing,
+/// only `get`/`get_mut`, destructuring, or reasoned suppressions. Mirrors the
+/// dedicated CI step so a violation also fails plain `cargo test`.
+#[test]
+fn broker_crate_passes_strict_indexing() {
+    let config = Config {
+        root: workspace_root(),
+        strict_indexing: true,
+    };
+    let report = lint_paths(&config, &[workspace_root().join("crates/broker/src")])
+        .expect("broker sources readable");
+    assert!(
+        report.is_clean(),
+        "acd-lint --strict-indexing found {} violation(s) in crates/broker/src:\n{}",
+        report.diagnostics.len(),
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.render())
+            .collect::<String>()
+    );
+    assert!(
+        report.sources >= 10,
+        "walker found {} sources",
+        report.sources
     );
 }
 
