@@ -1,0 +1,72 @@
+//! Criterion bench for the batched publish path: the same event stream
+//! delivered through `BrokerNetwork::publish` one event at a time and
+//! through `BrokerNetwork::publish_batch` in one call. The batched kernel
+//! walks the overlay once per burst and matches subscription-outer /
+//! event-inner, so the win grows with the standing population.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use acd_broker::{BrokerConfig, BrokerNetwork, Topology};
+use acd_covering::CoveringPolicy;
+use acd_workload::{EventWorkload, Scenario, SubscriptionWorkload};
+
+/// A populated overlay plus an event burst, shared by both publish shapes.
+fn build(subscriptions: usize, events: usize) -> (BrokerNetwork, Vec<acd_subscription::Event>) {
+    let config = Scenario::StockTicker.workload_config(17);
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let population = workload.take(subscriptions);
+    let stream = EventWorkload::with_schema(&config, &schema)
+        .unwrap()
+        .take(events);
+    let topology = Topology::balanced_tree(2, 3).unwrap(); // 15 brokers
+    let net = BrokerConfig::new(topology, &schema)
+        .policy(CoveringPolicy::ExactSfc)
+        .build()
+        .unwrap();
+    for (i, s) in population.iter().enumerate() {
+        let at = (i * 7) % net.topology().brokers();
+        net.subscribe(at, i as u64 + 1, s).unwrap();
+    }
+    (net, stream)
+}
+
+fn bench_batched_publish(c: &mut Criterion) {
+    const EVENTS: usize = 64;
+
+    let mut group = c.benchmark_group("batched_publish");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for subscriptions in [500usize, 2_000] {
+        let (net, events) = build(subscriptions, EVENTS);
+        group.bench_with_input(
+            BenchmarkId::new("serial", subscriptions),
+            &subscriptions,
+            |b, _| {
+                b.iter(|| {
+                    let mut delivered = 0usize;
+                    for e in &events {
+                        delivered += net.publish(3, e).unwrap().len();
+                    }
+                    std::hint::black_box(delivered)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched", subscriptions),
+            &subscriptions,
+            |b, _| {
+                b.iter(|| {
+                    let lists = net.publish_batch(3, &events).unwrap();
+                    std::hint::black_box(lists.iter().map(Vec::len).sum::<usize>())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_publish);
+criterion_main!(benches);

@@ -179,6 +179,17 @@ fn main() -> ExitCode {
             chaos.client_reconnects,
         );
     }
+    if let Some(batched) = &report.batched_publish {
+        println!(
+            "batched publish ({} subscriptions, bursts of {}): {:>9.0} events/s serial, \
+             {:>9.0} events/s batched — {:.2}x",
+            batched.subscriptions,
+            batched.batch,
+            batched.serial_events_per_sec,
+            batched.batched_events_per_sec,
+            batched.speedup,
+        );
+    }
 
     let json = match serde_json::to_string(&report) {
         Ok(j) => j,

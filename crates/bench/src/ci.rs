@@ -17,8 +17,11 @@
 //! floor on the auto-rebalanced update throughput under the skewed-drift
 //! stream and a ceiling on the imbalance factor the rebalanced index ends
 //! with, and the end-to-end daemon gates (a floor on loopback publish
-//! throughput and a ceiling on the mean publish→deliveries round trip
-//! through a live `acd-brokerd`). The report also records pool-vs-scoped
+//! throughput, a ceiling on the mean publish→deliveries round trip
+//! through a live `acd-brokerd`, and a floor on the pipelined
+//! `publish_batch` throughput that keeps the batched execution path from
+//! degenerating back to one overlay walk per event). The report also
+//! records pool-vs-scoped
 //! parallel dispatch latencies, and [`trend_table`] renders the
 //! run-over-run delta table the nightly workflow posts to its job summary.
 
@@ -174,6 +177,31 @@ pub struct ChaosCost {
     pub client_reconnects: u64,
 }
 
+/// Batched-publish phase: the same loopback daemon serving one client that
+/// publishes the same event stream twice — one round trip per event, then
+/// pipelined in fixed-size bursts through
+/// [`publish_batch`](BrokerClient::publish_batch), which the daemon drains
+/// into a single batched [`BrokerNetwork`] execution per burst. The speedup
+/// is the whole point of the batched kernels: one flush, one overlay walk
+/// and one subscription-outer matching pass amortized over the burst.
+///
+/// [`BrokerNetwork`]: acd_broker::BrokerNetwork
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchedPublishCost {
+    /// Standing subscriptions registered on the overlay.
+    pub subscriptions: usize,
+    /// Events per pipelined burst.
+    pub batch: usize,
+    /// Events per second publishing one event per round trip.
+    pub serial_events_per_sec: f64,
+    /// Events per second publishing pipelined bursts.
+    pub batched_events_per_sec: f64,
+    /// Batched over serial events per second.
+    pub speedup: f64,
+    /// Wall-clock window of each of the two measurements, in milliseconds.
+    pub window_millis: u64,
+}
+
 /// The quick-scale perf report written to `BENCH_ci.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfSmokeReport {
@@ -230,6 +258,9 @@ pub struct PerfSmokeReport {
     /// Reconnect + resubscribe recovery measurement (`None` when the
     /// timed phases were skipped, and in older reports).
     pub chaos: Option<ChaosCost>,
+    /// Batched vs serial publish throughput through the daemon (`None`
+    /// when the timed phases were skipped, and in older reports).
+    pub batched_publish: Option<BatchedPublishCost>,
 }
 
 impl PerfSmokeReport {
@@ -300,6 +331,12 @@ pub struct PerfBudget {
     /// the recovery path stalling or retrying quadratically, not to time
     /// the network stack.
     pub max_reconnect_resubscribe_ms: f64,
+    /// Lower bound on the batched-publish throughput (events per second
+    /// through `publish_batch` bursts against the loopback daemon). Set
+    /// with headroom below the measured batched rate; it exists to catch
+    /// the batched path degenerating back to one network walk per event,
+    /// not to time the loopback stack.
+    pub min_batched_publish_events_per_sec: f64,
 }
 
 /// Populates `index`, times the query batch, and extracts the cost counters.
@@ -769,6 +806,95 @@ fn run_chaos(subscriptions: usize) -> ChaosCost {
     }
 }
 
+/// Batched-publish phase: register `subscriptions` standing subscriptions
+/// straight on the overlay (so the setup is not bounded by that many
+/// subscribe round trips), then drive the same deterministic event stream
+/// through one loopback client twice for `millis` of wall clock each —
+/// one publish round trip per event, and pipelined 128-event
+/// `publish_batch` bursts the daemon drains into single batched
+/// `BrokerNetwork::publish_batch` executions.
+fn run_batched_publish(subscriptions: usize, millis: u64) -> BatchedPublishCost {
+    use acd_subscription::{Event, Schema, SubscriptionBuilder};
+
+    const DOMAIN: f64 = 1000.0;
+    const BROKERS: usize = 4;
+    const BATCH: usize = 128;
+
+    let schema = Schema::builder()
+        .attribute("x", 0.0, DOMAIN)
+        .attribute("y", 0.0, DOMAIN)
+        .bits_per_attribute(8)
+        .build()
+        .expect("batched-publish schema");
+    let network = BrokerConfig::new(Topology::line(BROKERS).expect("line topology"), &schema)
+        .policy(CoveringPolicy::ExactSfc)
+        .build()
+        .expect("batched-publish network");
+    // Narrow x slices spread deterministically over the domain: each event
+    // matches a thin band of the population, so the measurement times the
+    // matching sweep and the wire round trips, not delivery-list encoding.
+    for id in 1..=subscriptions as u64 {
+        let lo = ((id * 37) % 995) as f64 / 1000.0 * DOMAIN;
+        let sub = SubscriptionBuilder::new(&schema)
+            .range("x", lo, lo + DOMAIN * 0.002)
+            .range("y", 0.0, DOMAIN)
+            .build(id)
+            .expect("batched-publish subscription");
+        network
+            .subscribe((id % BROKERS as u64) as usize, id, &sub)
+            .expect("batched-publish subscribe");
+    }
+    let daemon = BrokerDaemon::start(std::sync::Arc::new(network), "127.0.0.1:0", 2)
+        .expect("start batched-publish daemon");
+    let mut client = BrokerClient::connect(daemon.local_addr()).expect("connect batched client");
+    let events: Vec<Event> = (0..1024u64)
+        .map(|i| {
+            let x = ((i * 193) % 1000) as f64 / 1000.0 * DOMAIN;
+            Event::new(&schema, vec![x, DOMAIN / 2.0]).expect("batched-publish event")
+        })
+        .collect();
+    let window = Duration::from_millis(millis);
+
+    let mut serial = 0u64;
+    let serial_start = Instant::now();
+    let deadline = serial_start + window;
+    while Instant::now() < deadline {
+        let event = &events[serial as usize % events.len()];
+        client
+            .publish((serial % BROKERS as u64) as usize, event)
+            .expect("serial publish");
+        serial += 1;
+    }
+    let serial_elapsed = serial_start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut batched = 0u64;
+    let mut bursts = 0u64;
+    let batched_start = Instant::now();
+    let deadline = batched_start + window;
+    while Instant::now() < deadline {
+        let offset = (bursts as usize * BATCH) % (events.len() - BATCH);
+        let burst = &events[offset..offset + BATCH];
+        client
+            .publish_batch((bursts % BROKERS as u64) as usize, burst)
+            .expect("batched publish");
+        batched += BATCH as u64;
+        bursts += 1;
+    }
+    let batched_elapsed = batched_start.elapsed().as_secs_f64().max(1e-9);
+    drop(daemon);
+
+    let serial_events_per_sec = serial as f64 / serial_elapsed;
+    let batched_events_per_sec = batched as f64 / batched_elapsed;
+    BatchedPublishCost {
+        subscriptions,
+        batch: BATCH,
+        serial_events_per_sec,
+        batched_events_per_sec,
+        speedup: batched_events_per_sec / serial_events_per_sec.max(1e-9),
+        window_millis: millis,
+    }
+}
+
 /// Runs the perf-smoke measurement: the e08 workload shape (3 attributes,
 /// 10 bits) at the given population size, against the linear baseline, the
 /// exact-SFC index (skip engine), the PR-1 eager engine (kept as the
@@ -923,6 +1049,15 @@ pub fn run(
         Some(run_chaos(32))
     };
 
+    // Batched-publish phase: serial vs pipelined publish throughput through
+    // the daemon at the full population size (skipped with the other timed
+    // phases).
+    let batched_publish = if churn_millis == 0 {
+        None
+    } else {
+        Some(run_batched_publish(subscriptions, churn_millis))
+    };
+
     PerfSmokeReport {
         subscriptions,
         queries,
@@ -943,6 +1078,7 @@ pub fn run(
         e2e,
         resilience,
         chaos,
+        batched_publish,
     }
 }
 
@@ -1057,6 +1193,17 @@ pub fn check_budget(report: &PerfSmokeReport, budget: &PerfBudget) -> Result<(),
             }
         }
     }
+    match &report.batched_publish {
+        None => violations.push("report has no batched-publish measurement".to_string()),
+        Some(cost) => {
+            if cost.batched_events_per_sec < budget.min_batched_publish_events_per_sec {
+                violations.push(format!(
+                    "batched publish throughput {:.0} events/s below budget {:.0}",
+                    cost.batched_events_per_sec, budget.min_batched_publish_events_per_sec
+                ));
+            }
+        }
+    }
     if violations.is_empty() {
         Ok(())
     } else {
@@ -1132,6 +1279,19 @@ fn trend_metrics(report: &PerfSmokeReport) -> Vec<(&'static str, Option<f64>, bo
             "reconnect + resubscribe (ms)",
             report.chaos.as_ref().map(|c| c.reconnect_resubscribe_ms),
             true,
+        ),
+        (
+            "batched publish throughput (events/s)",
+            report
+                .batched_publish
+                .as_ref()
+                .map(|b| b.batched_events_per_sec),
+            false,
+        ),
+        (
+            "batched publish speedup (x)",
+            report.batched_publish.as_ref().map(|b| b.speedup),
+            false,
         ),
     ]
 }
@@ -1252,6 +1412,7 @@ mod tests {
             min_e2e_events_per_sec: 0.0,
             max_e2e_publish_latency_us: f64::INFINITY,
             max_reconnect_resubscribe_ms: f64::INFINITY,
+            min_batched_publish_events_per_sec: 0.0,
         };
         check_budget(&report, &budget).unwrap();
         // An impossible budget must trip every gate (the query-speedup gate
@@ -1269,12 +1430,13 @@ mod tests {
             min_e2e_events_per_sec: f64::INFINITY,
             max_e2e_publish_latency_us: 0.0,
             max_reconnect_resubscribe_ms: 0.0,
+            min_batched_publish_events_per_sec: f64::INFINITY,
         };
         let violations = check_budget(&report, &impossible).unwrap_err();
         let expected = if report.churn_query_workers >= 2 {
-            12
+            13
         } else {
-            11
+            12
         };
         assert_eq!(violations.len(), expected, "{violations:?}");
         // The bulk-build measurement must be populated and sane; the actual
@@ -1335,6 +1497,17 @@ mod tests {
         assert_eq!(chaos.subscriptions, 32);
         assert!(chaos.reconnect_resubscribe_ms > 0.0, "{chaos:?}");
         assert!(chaos.client_reconnects >= 1, "{chaos:?}");
+        // The batched-publish phase measured both publish shapes. The >= 3x
+        // speedup claim is enforced by the release perf gate, not here — a
+        // debug unit test on a shared runner would make it flaky.
+        let batched = report
+            .batched_publish
+            .as_ref()
+            .expect("batched-publish phase ran");
+        assert_eq!(batched.subscriptions, report.subscriptions);
+        assert!(batched.serial_events_per_sec > 0.0, "{batched:?}");
+        assert!(batched.batched_events_per_sec > 0.0, "{batched:?}");
+        assert!(batched.speedup > 0.0, "{batched:?}");
     }
 
     #[test]
@@ -1353,6 +1526,7 @@ mod tests {
         // read back as None too.
         assert_eq!(back.resilience, None);
         assert_eq!(back.chaos, None);
+        assert_eq!(back.batched_publish, None);
         assert_eq!(back.pool_workers, report.pool_workers);
     }
 
@@ -1436,6 +1610,7 @@ mod tests {
             min_e2e_events_per_sec: 0.0,
             max_e2e_publish_latency_us: f64::INFINITY,
             max_reconnect_resubscribe_ms: f64::INFINITY,
+            min_batched_publish_events_per_sec: 0.0,
         };
         let violations = check_budget(&report, &budget).unwrap_err();
         assert!(
@@ -1460,6 +1635,12 @@ mod tests {
             violations.iter().any(|v| v.contains("chaos")),
             "{violations:?}"
         );
+        // ... and the batched-publish phase.
+        assert_eq!(report.batched_publish, None);
+        assert!(
+            violations.iter().any(|v| v.contains("batched-publish")),
+            "{violations:?}"
+        );
     }
 
     #[test]
@@ -1475,7 +1656,8 @@ mod tests {
                 "max_imbalance_after_rebalance": 2.5,
                 "min_e2e_events_per_sec": 200.0,
                 "max_e2e_publish_latency_us": 50000.0,
-                "max_reconnect_resubscribe_ms": 5000.0}"#,
+                "max_reconnect_resubscribe_ms": 5000.0,
+                "min_batched_publish_events_per_sec": 600.0}"#,
         )
         .unwrap();
         assert_eq!(budget.max_mean_runs_probed_exact_sfc, 48.0);
@@ -1490,5 +1672,6 @@ mod tests {
         assert_eq!(budget.min_e2e_events_per_sec, 200.0);
         assert_eq!(budget.max_e2e_publish_latency_us, 50000.0);
         assert_eq!(budget.max_reconnect_resubscribe_ms, 5000.0);
+        assert_eq!(budget.min_batched_publish_events_per_sec, 600.0);
     }
 }

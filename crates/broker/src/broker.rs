@@ -346,6 +346,59 @@ impl Broker {
         self.matching_local_clients_iter(event).collect()
     }
 
+    /// Batched form of
+    /// [`matching_local_clients_iter`](Self::matching_local_clients_iter):
+    /// calls `deliver(chunk event index, client)` for every (local
+    /// subscription, event) match over the chunk events selected by the
+    /// `active` bitmask. Subscription-outer / event-inner: each
+    /// subscription's bounds are loaded once and compared against whole
+    /// attribute columns (see [`EventChunk::match_mask`]); allocation-free.
+    /// Match order differs from the per-event sweep, which is fine — the
+    /// publish path sorts and dedups deliveries per event.
+    // acd-lint: hot
+    pub fn matching_local_clients_mask<F: FnMut(usize, ClientId)>(
+        &self,
+        chunk: &EventChunk<'_>,
+        active: u64,
+        mut deliver: F,
+    ) {
+        for (client, s) in &self.local {
+            let mut mask = chunk.match_mask(s, active);
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                deliver(i, *client);
+            }
+        }
+    }
+
+    /// Batched form of [`neighbor_interested`](Self::neighbor_interested):
+    /// the bitmask of `active` chunk events that match at least one
+    /// subscription received from `neighbor`. Subscription-outer with a
+    /// shrinking remaining set: an event leaves the remaining mask the
+    /// moment one subscription claims it, so a broad subscription settles
+    /// the whole chunk in one pass. Allocation-free.
+    // acd-lint: hot
+    pub fn neighbor_interested_mask(
+        &self,
+        neighbor: BrokerId,
+        chunk: &EventChunk<'_>,
+        active: u64,
+    ) -> u64 {
+        let Some(subs) = self.received.get(&neighbor) else {
+            return 0;
+        };
+        let mut interested = 0u64;
+        for s in subs {
+            let remaining = active & !interested;
+            if remaining == 0 {
+                break;
+            }
+            interested |= chunk.match_mask(s, remaining);
+        }
+        interested
+    }
+
     /// Whether any subscription received from `neighbor` matches `event`
     /// (i.e. the event must be forwarded toward that neighbor).
     pub fn neighbor_interested(&self, neighbor: BrokerId, event: &Event) -> bool {
@@ -358,6 +411,96 @@ impl Broker {
     /// Number of subscriptions this broker has sent to `neighbor`.
     pub fn sent_to(&self, neighbor: BrokerId) -> u64 {
         self.sent_counts.get(&neighbor).copied().unwrap_or(0)
+    }
+}
+
+/// A column-major (structure-of-arrays) view over one chunk of at most 64
+/// batched events: `columns[attr]` holds attribute `attr` of every event in
+/// the batch, and the chunk windows `offset..offset + len` of each column.
+///
+/// The batched publish path builds the columns once per batch
+/// ([`BrokerNetwork::publish_batch`]) and evaluates one subscription against
+/// a whole chunk with branchless per-attribute range compares accumulated
+/// into a `u64` bitmask — four comparator lanes at a time, the same shape as
+/// the `acd_sfc::simd` lower-bound kernels — instead of one virtual
+/// [`Subscription::matches`] walk (with its per-call schema comparison) per
+/// (subscription, event) pair.
+///
+/// [`BrokerNetwork::publish_batch`]: crate::BrokerNetwork::publish_batch
+#[derive(Debug, Clone, Copy)]
+pub struct EventChunk<'a> {
+    columns: &'a [Vec<f64>],
+    offset: usize,
+    len: usize,
+    /// Bits of chunk events that belong to the expected schema. Events of a
+    /// foreign schema keep their column slot (as NaN) but never match —
+    /// exactly the verdict `Subscription::matches` gives them.
+    valid: u64,
+}
+
+impl<'a> EventChunk<'a> {
+    /// Events per chunk: one bit of the match mask each.
+    pub const WIDTH: usize = 64;
+
+    /// Windows `columns` at `offset..offset + len`; `valid` flags the chunk
+    /// events whose schema matched the network's when the columns were
+    /// built. The caller guarantees `len <= WIDTH` and that every column is
+    /// at least `offset + len` long.
+    pub fn new(columns: &'a [Vec<f64>], offset: usize, len: usize, valid: u64) -> EventChunk<'a> {
+        debug_assert!(len <= Self::WIDTH);
+        debug_assert!(columns.iter().all(|c| c.len() >= offset + len));
+        EventChunk {
+            columns,
+            offset,
+            len,
+            valid,
+        }
+    }
+
+    /// The mask with one bit set per chunk event (valid or not).
+    pub fn full_mask(&self) -> u64 {
+        if self.len == Self::WIDTH {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        }
+    }
+
+    /// The bitmask of `active` chunk events that satisfy every range bound
+    /// of `sub`, which the caller guarantees was validated against the same
+    /// schema as the columns (every subscription stored in a [`Broker`]
+    /// was, at subscribe time). Attributes are evaluated column-wise with
+    /// branchless compares, short-circuiting once the mask is empty.
+    // acd-lint: hot
+    pub fn match_mask(&self, sub: &Subscription, active: u64) -> u64 {
+        let mut mask = active & self.valid;
+        for (&(lo, hi), column) in sub.raw_bounds().iter().zip(self.columns) {
+            if mask == 0 {
+                break;
+            }
+            let Some(column) = column.get(self.offset..self.offset + self.len) else {
+                return 0;
+            };
+            let mut in_range = 0u64;
+            let mut bit = 0u32;
+            let mut lanes = column.chunks_exact(4);
+            for lane in lanes.by_ref() {
+                // chunks_exact(4) guarantees four lanes; the else arm is dead.
+                let &[l0, l1, l2, l3] = lane else { break };
+                let word = u64::from(l0 >= lo && l0 <= hi)
+                    | u64::from(l1 >= lo && l1 <= hi) << 1
+                    | u64::from(l2 >= lo && l2 <= hi) << 2
+                    | u64::from(l3 >= lo && l3 <= hi) << 3;
+                in_range |= word << bit;
+                bit += 4;
+            }
+            for &v in lanes.remainder() {
+                in_range |= u64::from(v >= lo && v <= hi) << bit;
+                bit += 1;
+            }
+            mask &= in_range;
+        }
+        mask
     }
 }
 

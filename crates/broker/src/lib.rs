@@ -69,7 +69,7 @@ pub mod service;
 pub mod topology;
 pub mod wire;
 
-pub use broker::{Broker, BrokerId, ClientId};
+pub use broker::{Broker, BrokerId, ClientId, EventChunk};
 pub use client::{BatchError, BrokerClient};
 pub use error::{BrokerError, ServiceError};
 pub use faults::{FaultPlan, FaultyStream};

@@ -38,7 +38,7 @@ use acd_covering::ordered::{OrderedReadGuard, RANK_BROKER, RANK_NET_REGISTRY};
 use acd_covering::{CoveringPolicy, OrderedMutex, OrderedRwLock};
 use acd_subscription::{Event, Schema, SubId, Subscription};
 
-use crate::broker::{Broker, BrokerId, ClientId, ForwardDecision};
+use crate::broker::{Broker, BrokerId, ClientId, EventChunk, ForwardDecision};
 use crate::error::BrokerError;
 use crate::metrics::{MetricCounters, NetworkMetrics};
 use crate::topology::Topology;
@@ -432,6 +432,102 @@ impl BrokerNetwork {
         MetricCounters::add(&self.counters.deliveries, deliveries.len() as u64);
         Ok(deliveries)
     }
+
+    /// Publishes a batch of events at broker `at` in one overlay walk per
+    /// 64-event chunk, returning each event's deliveries in input order —
+    /// exactly what [`publish`](Self::publish) would have returned event by
+    /// event.
+    ///
+    /// The batch is transposed once into column-major attribute arrays;
+    /// every broker on a chunk's propagation subtree is read-locked once
+    /// per chunk instead of once per event, and matching inside a broker
+    /// runs subscription-outer over whole attribute columns with branchless
+    /// bitmask compares (see [`EventChunk::match_mask`],
+    /// [`Broker::matching_local_clients_mask`] and
+    /// [`Broker::neighbor_interested_mask`]). The BFS frontier carries the
+    /// per-link *active mask* of chunk events, which shrinks as propagation
+    /// descends: an event crosses a link exactly when the serial walk would
+    /// have forwarded it there.
+    ///
+    /// Counters advance exactly as the serial loop would: `events_published`
+    /// bumps once per batch element, `event_messages` once per (event, link)
+    /// crossing and `deliveries` once per delivered pair — never once per
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the broker does not exist; the batch is validated
+    /// before any counter moves, so on error nothing was published.
+    pub fn publish_batch(
+        &self,
+        at: BrokerId,
+        events: &[Event],
+    ) -> Result<Vec<Vec<(BrokerId, ClientId)>>> {
+        self.topology.check_broker(at)?;
+        let mut deliveries: Vec<Vec<(BrokerId, ClientId)>> = vec![Vec::new(); events.len()];
+        if events.is_empty() {
+            return Ok(deliveries);
+        }
+        MetricCounters::add(&self.counters.events_published, events.len() as u64);
+
+        // Transpose to column-major once. Events of a foreign schema keep
+        // their slot (as NaN) with their valid bit clear, so they deliver
+        // nowhere — the verdict the serial path's `matches` gives them.
+        let arity = self.schema.arity();
+        let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(events.len()); arity];
+        let mut valid: Vec<u64> = vec![0; events.len().div_ceil(EventChunk::WIDTH)];
+        for (i, event) in events.iter().enumerate() {
+            if event.schema() == &self.schema {
+                if let Some(word) = valid.get_mut(i / EventChunk::WIDTH) {
+                    *word |= 1 << (i % EventChunk::WIDTH);
+                }
+                for (column, &v) in columns.iter_mut().zip(event.values()) {
+                    column.push(v);
+                }
+            } else {
+                for column in &mut columns {
+                    column.push(f64::NAN);
+                }
+            }
+        }
+
+        let mut queue: VecDeque<(BrokerId, Option<BrokerId>, u64)> = VecDeque::new();
+        for (chunk_index, offset) in (0..events.len()).step_by(EventChunk::WIDTH).enumerate() {
+            let len = EventChunk::WIDTH.min(events.len() - offset);
+            let word = valid.get(chunk_index).copied().unwrap_or(0);
+            let chunk = EventChunk::new(&columns, offset, len, word);
+            queue.push_back((at, None, chunk.full_mask()));
+            while let Some((broker_id, from, active)) = queue.pop_front() {
+                let broker = self.cell(broker_id).read();
+                broker.matching_local_clients_mask(&chunk, active, |i, client| {
+                    if let Some(list) = deliveries.get_mut(offset + i) {
+                        list.push((broker_id, client));
+                    }
+                });
+                for &neighbor in self.topology.neighbors(broker_id) {
+                    if Some(neighbor) == from {
+                        continue;
+                    }
+                    let interested = broker.neighbor_interested_mask(neighbor, &chunk, active);
+                    if interested != 0 {
+                        MetricCounters::add(
+                            &self.counters.event_messages,
+                            u64::from(interested.count_ones()),
+                        );
+                        queue.push_back((neighbor, Some(broker_id), interested));
+                    }
+                }
+            }
+        }
+        let mut total = 0u64;
+        for list in &mut deliveries {
+            list.sort_unstable();
+            list.dedup();
+            total += list.len() as u64;
+        }
+        MetricCounters::add(&self.counters.deliveries, total);
+        Ok(deliveries)
+    }
 }
 
 #[cfg(test)]
@@ -714,6 +810,83 @@ mod tests {
             .sum();
         assert_eq!(entries, 0, "suppressed state leaked churn history");
         assert_eq!(net.metrics().routing_table_entries, 0);
+    }
+
+    #[test]
+    fn publish_batch_matches_serial_publishes_and_counters() {
+        let s = schema();
+        for policy in [
+            CoveringPolicy::None,
+            CoveringPolicy::ExactSfc,
+            CoveringPolicy::ShardedSfc { shards: 3 },
+        ] {
+            let brokers = Topology::balanced_tree(2, 3).unwrap().brokers();
+            let build = || {
+                let net = network(Topology::balanced_tree(2, 3).unwrap(), &s, policy);
+                for i in 0..12u64 {
+                    let lo = (i * 7 % 80) as f64;
+                    net.subscribe(
+                        (i as usize) % brokers,
+                        100 + i,
+                        &sub(&s, i + 1, (lo, lo + 15.0), (lo, lo + 15.0)),
+                    )
+                    .unwrap();
+                }
+                net
+            };
+            // 150 events: the batch spans two full 64-event mask chunks
+            // plus a 22-event tail, so chunk seams and partial masks are
+            // both on the differential path.
+            let events: Vec<Event> = (0..150)
+                .map(|i| {
+                    let v = (i * 9 % 100) as f64;
+                    Event::new(&s, vec![v, v]).unwrap()
+                })
+                .collect();
+            let serial_net = build();
+            let batch_net = build();
+            let serial: Vec<Vec<(BrokerId, ClientId)>> = events
+                .iter()
+                .map(|e| serial_net.publish(1, e).unwrap())
+                .collect();
+            let batched = batch_net.publish_batch(1, &events).unwrap();
+            assert_eq!(serial, batched, "policy {}", policy.label());
+
+            // The batch advances the counters exactly as the serial loop:
+            // per event, per (event, link) crossing, per delivered pair.
+            let sm = serial_net.metrics();
+            let bm = batch_net.metrics();
+            assert_eq!(sm.events_published, bm.events_published);
+            assert_eq!(sm.event_messages, bm.event_messages);
+            assert_eq!(sm.deliveries, bm.deliveries);
+
+            // An empty batch publishes nothing and counts nothing.
+            assert!(batch_net.publish_batch(1, &[]).unwrap().is_empty());
+            assert_eq!(batch_net.metrics().events_published, bm.events_published);
+
+            // A foreign-schema event in the middle of a batch delivers
+            // nowhere (its valid bit is clear), exactly like the serial
+            // path, while its neighbors still deliver.
+            let foreign_schema = Schema::builder()
+                .attribute("other", 0.0, 1.0)
+                .bits_per_attribute(4)
+                .build()
+                .unwrap();
+            let mixed = [
+                events[0].clone(),
+                Event::new(&foreign_schema, vec![0.5]).unwrap(),
+                events[1].clone(),
+            ];
+            let mixed_out = batch_net.publish_batch(1, &mixed).unwrap();
+            assert_eq!(mixed_out[0], serial[0], "policy {}", policy.label());
+            assert!(mixed_out[1].is_empty());
+            assert_eq!(mixed_out[2], serial[1]);
+
+            // A bad broker fails the whole batch before any counter moves.
+            let before_err = batch_net.metrics().events_published;
+            assert!(batch_net.publish_batch(99, &events).is_err());
+            assert_eq!(batch_net.metrics().events_published, before_err);
+        }
     }
 
     #[test]

@@ -63,7 +63,7 @@ use crate::error::{BrokerError, ServiceError};
 use crate::faults::{FaultPlan, FaultyStream};
 use crate::metrics::MetricCounters;
 use crate::network::BrokerNetwork;
-use crate::wire::{encode_frame, read_frame, Frame};
+use crate::wire::{buffered_publish, encode_frame, read_frame, Frame};
 
 /// How long a blocked connection read waits before re-checking the
 /// shutdown flag.
@@ -372,6 +372,7 @@ fn session_loop<S: Read, W: Write>(
     flush(state, &mut writer)?;
 
     let mut inflight = 0usize;
+    let mut replies: Vec<Frame> = Vec::new();
     loop {
         // Peek for data so a clean disconnect (EOF at a frame boundary,
         // including our own shutdown and the idle reaper) ends the loop
@@ -396,23 +397,122 @@ fn session_loop<S: Read, W: Write>(
             }
         };
         let cap = state.options.max_inflight;
-        let response = if cap != 0 && inflight >= cap {
+        replies.clear();
+        if cap != 0 && inflight >= cap {
             MetricCounters::bump(&counters.connections_rejected);
-            Frame::Rejected {
+            replies.push(Frame::Rejected {
                 reason: format!("in-flight cap reached ({cap} unflushed responses)"),
+            });
+        } else if let Frame::Publish { at, values } = request {
+            // A pipelining client's burst of same-broker publishes executes
+            // as one batch: drain every *fully buffered* Publish frame for
+            // the same broker (never blocking on a partial frame, never
+            // crossing the in-flight cap — frames beyond it stay buffered
+            // and are answered `Rejected` one by one, as before).
+            let mut batch: Vec<Vec<f64>> = Vec::new();
+            batch.push(values);
+            while cap == 0 || inflight + batch.len() < cap {
+                if buffered_publish(reader.buffer()) != Some(at) {
+                    break;
+                }
+                match read_frame(&mut reader, &mut scratch) {
+                    Ok(Frame::Publish { values, .. }) => batch.push(values),
+                    Ok(other) => {
+                        return Err(ServiceError::UnexpectedFrame {
+                            kind: other.kind_name().to_string(),
+                        })
+                    }
+                    Err(e) => {
+                        // The peek validates the header but not the
+                        // checksum; corruption surfaces here like on the
+                        // ordinary read path.
+                        if matches!(e, ServiceError::CorruptFrame { .. }) {
+                            MetricCounters::bump(&counters.frames_corrupt);
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            if batch.len() == 1 {
+                let values = batch.pop().expect("the batch holds the first publish");
+                replies.push(handle_request(state, conn, Frame::Publish { at, values })?);
+            } else {
+                handle_publish_batch(state, at, batch, &mut replies);
             }
         } else {
-            handle_request(state, conn, request)?
-        };
-        inflight += 1;
-        encode_frame(&response, &mut out);
-        send(state, &mut writer, &out)?;
+            replies.push(handle_request(state, conn, request)?);
+        }
+        for response in &replies {
+            inflight += 1;
+            encode_frame(response, &mut out);
+            send(state, &mut writer, &out)?;
+        }
         // Flush-on-idle: only pay the syscall when no further request is
         // already buffered (a pipelining client gets its whole burst of
         // responses in one write).
         if reader.buffer().is_empty() {
             flush(state, &mut writer)?;
             inflight = 0;
+        }
+    }
+}
+
+/// Executes a drained pipeline of same-broker publishes as **one** batched
+/// overlay walk ([`BrokerNetwork::publish_batch`]), pushing exactly one
+/// response frame per drained request, in order.
+///
+/// Failure semantics match the client's `BatchError::acked` resume
+/// contract: events are parsed in request order and only the valid prefix
+/// executes (as one batch, bumping `events_published` and the delivery
+/// counters exactly once per executed event); the first malformed publish
+/// answers its own error, and everything behind it answers an error
+/// *without executing* — so the daemon's counters always equal the number
+/// of `Deliveries` frames the client acks, never the number of requests it
+/// pipelined.
+fn handle_publish_batch(
+    state: &DaemonState,
+    at: BrokerId,
+    batch: Vec<Vec<f64>>,
+    replies: &mut Vec<Frame>,
+) {
+    let total = batch.len();
+    let mut events = Vec::with_capacity(total);
+    let mut parse_error = None;
+    for values in batch {
+        match Event::new(state.network.schema(), values) {
+            Ok(event) => events.push(event),
+            Err(e) => {
+                parse_error = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    match state.network.publish_batch(at, &events) {
+        Ok(deliveries) => {
+            for pairs in deliveries {
+                replies.push(Frame::Deliveries { pairs });
+            }
+        }
+        Err(e) => {
+            // The batch shares one origin broker, so a network-level refusal
+            // (unknown broker) applies to every event — and the batch was
+            // validated before any counter moved, so nothing executed.
+            let message = e.to_string();
+            for _ in 0..events.len() {
+                replies.push(Frame::Err {
+                    message: message.clone(),
+                });
+            }
+        }
+    }
+    if let Some(message) = parse_error {
+        replies.push(Frame::Err { message });
+        while replies.len() < total {
+            replies.push(Frame::Err {
+                message: "not executed: aborted after an earlier malformed publish in the \
+                          pipelined batch"
+                    .into(),
+            });
         }
     }
 }
@@ -901,6 +1001,127 @@ mod tests {
         // Only the two admitted publishes executed.
         assert_eq!(state.network.metrics().events_published, 2);
         assert_eq!(state.network.metrics().connections_rejected, 2);
+    }
+
+    #[test]
+    fn mid_batch_failure_leaves_counters_at_the_acked_prefix() {
+        let state = state_with(DaemonOptions::default());
+        // Five pipelined same-broker publishes, the third malformed (wrong
+        // arity): the valid prefix executes as one batch, the bad one
+        // answers its own error, and the tail is *not executed* — so the
+        // counters equal the number of Deliveries the client acks before
+        // its `BatchError`, exactly the `acked` resume contract.
+        let burst = requests(&[
+            Frame::Publish {
+                at: 0,
+                values: vec![10.0],
+            },
+            Frame::Publish {
+                at: 0,
+                values: vec![20.0],
+            },
+            Frame::Publish {
+                at: 0,
+                values: vec![1.0, 2.0],
+            },
+            Frame::Publish {
+                at: 0,
+                values: vec![30.0],
+            },
+            Frame::Publish {
+                at: 0,
+                values: vec![40.0],
+            },
+        ]);
+        let mut sink = Vec::new();
+        serve_session(&state, burst.as_slice(), &mut sink, 1).unwrap();
+        let frames = responses(&sink);
+        assert!(matches!(frames[0], Frame::Hello { .. }));
+        assert!(matches!(frames[1], Frame::Deliveries { .. }));
+        assert!(matches!(frames[2], Frame::Deliveries { .. }));
+        assert!(matches!(frames[3], Frame::Err { .. }));
+        assert!(
+            matches!(&frames[4], Frame::Err { message } if message.contains("not executed")),
+            "the tail behind a failed publish must be refused, got {:?}",
+            frames[4]
+        );
+        assert!(matches!(frames[5], Frame::Err { .. }));
+        assert_eq!(frames.len(), 6, "one response per request");
+        assert_eq!(
+            state.network.metrics().events_published,
+            2,
+            "only the acked prefix may execute"
+        );
+
+        // A batch aimed at an unknown broker fails whole: every request
+        // answered, nothing executed, no counter moved.
+        let burst = requests(&[
+            Frame::Publish {
+                at: 99,
+                values: vec![10.0],
+            },
+            Frame::Publish {
+                at: 99,
+                values: vec![20.0],
+            },
+        ]);
+        let mut sink = Vec::new();
+        serve_session(&state, burst.as_slice(), &mut sink, 2).unwrap();
+        let frames = responses(&sink);
+        assert!(matches!(frames[1], Frame::Err { .. }));
+        assert!(matches!(frames[2], Frame::Err { .. }));
+        assert_eq!(frames.len(), 3);
+        assert_eq!(state.network.metrics().events_published, 2);
+    }
+
+    #[test]
+    fn batched_publishes_deliver_like_serial_ones() {
+        let state = state_with(DaemonOptions::default());
+        handle_request(
+            &state,
+            1,
+            Frame::Subscribe {
+                at: 0,
+                client: 7,
+                id: 1,
+                bounds: vec![(0.0, 50.0)],
+            },
+        )
+        .unwrap();
+        // A mixed-broker pipeline splits into per-broker batches and every
+        // response still lands in request order.
+        let burst = requests(&[
+            Frame::Publish {
+                at: 2,
+                values: vec![10.0],
+            },
+            Frame::Publish {
+                at: 2,
+                values: vec![80.0],
+            },
+            Frame::Publish {
+                at: 1,
+                values: vec![20.0],
+            },
+        ]);
+        let mut sink = Vec::new();
+        serve_session(&state, burst.as_slice(), &mut sink, 1).unwrap();
+        let frames = responses(&sink);
+        assert_eq!(
+            frames[1],
+            Frame::Deliveries {
+                pairs: vec![(0, 7)]
+            }
+        );
+        assert_eq!(frames[2], Frame::Deliveries { pairs: vec![] });
+        assert_eq!(
+            frames[3],
+            Frame::Deliveries {
+                pairs: vec![(0, 7)]
+            }
+        );
+        assert_eq!(state.network.metrics().events_published, 3);
+        assert_eq!(state.network.metrics().deliveries, 2);
     }
 
     #[test]

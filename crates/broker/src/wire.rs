@@ -421,6 +421,30 @@ fn continue_crc32(finished: u32, bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// Peeks at the frame heading `buf` without consuming anything: returns the
+/// origin broker iff a **complete** `Publish` frame is buffered (header,
+/// payload and checksum all present). The daemon uses this to drain
+/// pipelined publishes from one connection into a batch without ever
+/// blocking on a partial frame or committing to a frame of another kind.
+/// Anything that is not a whole well-headed Publish — too few bytes, a
+/// different kind, a corrupt header — answers `None`; the frame is then
+/// consumed (and fully validated) by [`read_frame`] on the ordinary path,
+/// which surfaces corruption as an error.
+pub(crate) fn buffered_publish(buf: &[u8]) -> Option<BrokerId> {
+    let header: [u8; HEADER_LEN] = buf.get(..HEADER_LEN)?.try_into().ok()?;
+    let (frame_kind, len) = check_header(&header).ok()?;
+    if frame_kind != kind::PUBLISH {
+        return None;
+    }
+    let payload = buf
+        .get(HEADER_LEN..HEADER_LEN + len as usize + FOOTER_LEN)?
+        .get(..len as usize)?;
+    // The origin broker is the Publish payload's first field; the checksum
+    // is verified by `read_frame` when the frame is actually consumed.
+    let at = u64::from_le_bytes(payload.get(..8)?.try_into().ok()?);
+    Some(at as BrokerId)
+}
+
 /// Maps a mid-frame read failure to `CorruptFrame` (EOF inside a frame is a
 /// framing problem, not a transport one).
 fn truncated(e: std::io::Error) -> ServiceError {
@@ -738,6 +762,35 @@ mod tests {
             read_frame(&mut bad_len.as_slice(), &mut scratch),
             Err(ServiceError::CorruptFrame { reason }) if reason.contains("cap")
         ));
+    }
+
+    #[test]
+    fn buffered_publish_peeks_only_whole_publish_frames() {
+        let mut buf = Vec::new();
+        encode_frame(
+            &Frame::Publish {
+                at: 5,
+                values: vec![1.0, 2.0],
+            },
+            &mut buf,
+        );
+        assert_eq!(buffered_publish(&buf), Some(5));
+        // A second frame behind it does not confuse the peek.
+        let mut two = buf.clone();
+        two.extend_from_slice(&buf);
+        assert_eq!(buffered_publish(&two), Some(5));
+        // Every truncation of a Publish answers None (frame not complete).
+        for cut in 0..buf.len() {
+            assert_eq!(buffered_publish(&buf[..cut]), None, "cut at {cut}");
+        }
+        // Other kinds answer None however complete.
+        let mut other = Vec::new();
+        encode_frame(&Frame::Unsubscribe { at: 5, id: 1 }, &mut other);
+        assert_eq!(buffered_publish(&other), None);
+        // A corrupt header answers None (the consuming path reports it).
+        let mut corrupt = buf.clone();
+        corrupt[0] = b'X';
+        assert_eq!(buffered_publish(&corrupt), None);
     }
 
     #[test]

@@ -325,6 +325,56 @@ fn churn_is_oracle_exact_under_the_full_fault_mix() {
 }
 
 #[test]
+fn batched_publishes_are_oracle_exact_under_faults() {
+    // Large pipelined batches take the daemon's batched execution path;
+    // under drops and disconnects the resilient client resumes each batch
+    // from its acknowledged prefix, and every event's deliveries must still
+    // match the oracle exactly — no event lost, duplicated or re-executed.
+    let daemon = DaemonGuard::start(&["--chaos", "seed=18,drop=0.02,disconnect=0.01"]);
+    let mut client = ResilientClient::connect(&daemon.addr, chaos_policy(0xBA7C4))
+        .expect("client connects under the fault schedule");
+    let schema: Schema = client.schema().clone();
+    let mut rng = Rng(0xFEED);
+    let mut live: Vec<(usize, Subscription)> = Vec::new();
+    for i in 0..6u64 {
+        let lo = rng.unit() * DOMAIN * 0.7;
+        let hi = lo + rng.unit() * (DOMAIN - lo);
+        let sub = SubscriptionBuilder::new(&schema)
+            .range("attr0", lo, hi)
+            .range("attr1", 0.0, DOMAIN)
+            .build(i + 1)
+            .expect("well-formed subscription");
+        let home = (i % BROKERS as u64) as usize;
+        client.subscribe(home, i + 1, &sub).expect("subscribe");
+        live.push((home, sub));
+    }
+    for round in 0..10 {
+        let events: Vec<Event> = (0..16)
+            .map(|_| {
+                Event::new(&schema, vec![rng.unit() * DOMAIN, rng.unit() * DOMAIN])
+                    .expect("in-domain event")
+            })
+            .collect();
+        let deliveries = client
+            .publish_batch(round % BROKERS, &events)
+            .expect("the batch rides out the fault schedule");
+        assert_eq!(deliveries.len(), events.len());
+        for (event, got) in events.iter().zip(&deliveries) {
+            let mut expected: Vec<(usize, u64)> = live
+                .iter()
+                .filter(|(_, sub)| sub.matches(event))
+                .map(|(home, sub)| (*home, sub.id()))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(*got, expected, "round {round}: batched deliveries diverged");
+        }
+    }
+    for (home, sub) in live {
+        client.unsubscribe(home, sub.id()).expect("final drain");
+    }
+}
+
+#[test]
 fn kill_nine_and_restart_mid_churn_leaves_every_client_resubscribed() {
     const SUBS_PER_CLIENT: usize = 4;
     let mut daemon = DaemonGuard::start(&[]);

@@ -259,6 +259,114 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
         }
     }
 
+    /// Answers a whole batch of dominance queries in one pass, returning one
+    /// `(hit, stats)` pair per query **in input order**. `accept` receives
+    /// the query's batch index alongside each candidate value.
+    ///
+    /// The batch is sorted along the curve and, on the Z curve (whose order
+    /// is dominance-monotone: every point dominating `q` has a key ≥
+    /// `key(q)`), all sweeps are served by a single forward gallop of one
+    /// shared [`acd_sfc::SweepCursor`] over the packed key mirror — each
+    /// query's sweep starts from the shared cursor's position at its own
+    /// key instead of galloping up from key zero. Answers are identical to
+    /// running [`query_dominating_where`](Self::query_dominating_where) per
+    /// query; only the `probes`/`runs_skipped` counters may be *lower* (the
+    /// seeded sweep skips the prefix below the query's key without probing
+    /// it). On the Hilbert and Gray curves (not dominance-monotone) and
+    /// under the eager engine each query runs its own full sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any query point lies outside the universe; the
+    /// batch is validated up front, so on error no query has been executed.
+    pub fn query_dominating_batch_where<F>(
+        &self,
+        queries: &[Point],
+        accept: F,
+    ) -> Result<Vec<(Option<V>, QueryStats)>>
+    where
+        F: FnMut(usize, &V) -> bool,
+    {
+        self.query_dominating_batch_with(queries, &self.config, accept)
+    }
+
+    /// [`query_dominating_batch_where`](Self::query_dominating_batch_where)
+    /// with an explicit configuration override.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any query point lies outside the universe.
+    pub fn query_dominating_batch_with<F>(
+        &self,
+        queries: &[Point],
+        config: &ApproxConfig,
+        mut accept: F,
+    ) -> Result<Vec<(Option<V>, QueryStats)>>
+    where
+        F: FnMut(usize, &V) -> bool,
+    {
+        for q in queries {
+            self.universe.validate_point(q)?;
+        }
+        let curve = self.array.curve();
+        // Sort the batch along the curve (index tiebreak for determinism).
+        let mut keys = Vec::with_capacity(queries.len());
+        for q in queries {
+            keys.push(curve.key_of_point(q)?);
+        }
+        let mut order: Vec<u32> = (0..queries.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]).then(a.cmp(&b)));
+
+        // Only the Z curve's order is dominance-monotone; see
+        // [`sweep_region`](Self::sweep_region).
+        let seeded = matches!(curve.kind(), acd_sfc::CurveKind::Z)
+            && matches!(config.engine, QueryEngine::SkipPopulated);
+        let mut seed = self.array.sweep_cursor();
+
+        let mut results: Vec<Option<(Option<V>, QueryStats)>> = Vec::with_capacity(queries.len());
+        results.resize_with(queries.len(), || None);
+        for &i in &order {
+            let i = i as usize;
+            let query = &queries[i];
+            let mut stats = QueryStats::default();
+            if self.array.is_empty() {
+                stats.volume_fraction_searched = 1.0;
+                results[i] = Some((None, stats));
+                continue;
+            }
+            let region = ExtremalRect::dominance_region(&self.universe, query)?;
+            let accept_i = |v: &V| accept(i, v);
+            results[i] = Some(if seeded {
+                // Advance the shared cursor to the first stored cell at the
+                // query's key or after — monotone across the sorted batch —
+                // and sweep a clone of it from the query's own key.
+                seed.next_at_or_after(&keys[i]);
+                self.sweep_region(
+                    query,
+                    &region,
+                    config,
+                    accept_i,
+                    stats,
+                    seed.clone(),
+                    keys[i].clone(),
+                )?
+            } else {
+                match config.engine {
+                    QueryEngine::EagerRuns => {
+                        self.query_eager(query, &region, config, accept_i, stats)?
+                    }
+                    QueryEngine::SkipPopulated => {
+                        self.query_skip(query, &region, config, accept_i, stats)?
+                    }
+                }
+            });
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect())
+    }
+
     /// The effective per-query work budget: the configured cap, additionally
     /// scaled down with the population — enumerating (or seeking) thousands
     /// of times to rule out a handful of points is never worthwhile when the
@@ -389,14 +497,42 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
     /// at-or-after it — via the arithmetic fast seek when the curve has one
     /// ([`SpaceFillingCurve::region_seeker`], the Z curve's BIGMIN), or via
     /// the seekable lazily-merging [`RunStream`] otherwise.
-    // acd-lint: hot
     fn query_skip<F>(
+        &self,
+        query: &Point,
+        region: &ExtremalRect,
+        config: &ApproxConfig,
+        accept: F,
+        stats: QueryStats,
+    ) -> Result<(Option<V>, QueryStats)>
+    where
+        F: FnMut(&V) -> bool,
+    {
+        let gallop = self.array.sweep_cursor();
+        let start = Key::zero(self.universe.key_bits());
+        self.sweep_region(query, region, config, accept, stats, gallop, start)
+    }
+
+    /// The sweep kernel behind [`query_skip`](Self::query_skip), with the
+    /// gallop cursor and the sweep's starting key passed in so the batched
+    /// query path can seed both from a shared position (on the Z curve
+    /// every point dominating `query` has a key ≥ the query's own key, so a
+    /// sorted batch starts each sweep where the previous one started — one
+    /// forward pass over the packed key mirror serves the whole batch).
+    /// Callers must guarantee that no region cell precedes `start` and that
+    /// `gallop` has not advanced past the first stored cell at-or-after
+    /// `start`; `query_skip` passes a fresh cursor and key zero.
+    // acd-lint: hot
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_region<F>(
         &self,
         query: &Point,
         region: &ExtremalRect,
         config: &ApproxConfig,
         mut accept: F,
         mut stats: QueryStats,
+        mut gallop: acd_sfc::SweepCursor<'_, V>,
+        start: Key,
     ) -> Result<(Option<V>, QueryStats)>
     where
         F: FnMut(&V) -> bool,
@@ -409,7 +545,6 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
         // materialized lazily.
         let seeker = curve.region_seeker(&rect);
         let mut stream: Option<RunStream<'_, C>> = None;
-        let mut gallop = self.array.sweep_cursor();
         // Each sweep iteration does one gallop plus at most one region seek;
         // the work cap bounds those iterations — past it the exact point
         // scan is cheaper than more sweeping.
@@ -418,8 +553,9 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
 
         // The sweep cursor: smallest key not yet accounted for. `None` means
         // the key space is exhausted; every exit of the loop has provably
-        // swept the entire region.
-        let mut cursor = Some(Key::zero(self.universe.key_bits()));
+        // swept the entire region (at-or-after `start`, before which the
+        // caller guarantees no region cell lies).
+        let mut cursor = Some(start);
         let outcome = loop {
             let Some(cur) = cursor else {
                 // The cursor ran off the end of the key space.
@@ -922,6 +1058,95 @@ mod tests {
             assert!(stats.fell_back_to_scan);
             assert_eq!(stats.volume_fraction_searched, 1.0);
         }
+    }
+
+    #[test]
+    fn batched_queries_agree_with_serial_on_all_curves() {
+        // The batched kernel must return, per query and in input order, the
+        // same hit/miss (and the same hit value under a first-acceptable
+        // filter) as the serial query — on every curve, for both engines,
+        // including duplicate query points and an empty index.
+        let u = universe(3, 5);
+        let mut state = 0x5eed_cafeu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let points: Vec<Point> = (0..80)
+            .map(|_| p(&[next() % 32, next() % 32, next() % 32]))
+            .collect();
+        let mut queries: Vec<Point> = (0..50)
+            .map(|_| p(&[next() % 32, next() % 32, next() % 32]))
+            .collect();
+        // Duplicates exercise the shared-cursor seeding at equal keys.
+        queries.push(queries[3].clone());
+        queries.push(queries[3].clone());
+        let skip_cfg = ApproxConfig::exhaustive().work_cap(None);
+        let eager_cfg = ApproxConfig::exhaustive()
+            .work_cap(None)
+            .engine(QueryEngine::EagerRuns);
+        macro_rules! check {
+            ($curve:expr, $kind:expr) => {{
+                let mut idx = PointDominanceIndex::new($curve, skip_cfg);
+                // Empty-index batch first.
+                let empty = idx
+                    .query_dominating_batch_where(&queries, |_, _| true)
+                    .unwrap();
+                assert_eq!(empty.len(), queries.len());
+                assert!(empty
+                    .iter()
+                    .all(|(hit, s)| { hit.is_none() && s.volume_fraction_searched == 1.0 }));
+                for (i, point) in points.iter().enumerate() {
+                    idx.insert(point.clone(), i as u64).unwrap();
+                }
+                for cfg in [&skip_cfg, &eager_cfg] {
+                    let batch = idx
+                        .query_dominating_batch_with(&queries, cfg, |_, _| true)
+                        .unwrap();
+                    assert_eq!(batch.len(), queries.len());
+                    for (i, q) in queries.iter().enumerate() {
+                        let (serial, serial_stats) =
+                            idx.query_dominating_with(q, cfg, |_| true).unwrap();
+                        let (batched, batched_stats) = &batch[i];
+                        assert_eq!(
+                            batched.is_some(),
+                            serial.is_some(),
+                            "{:?} batch disagrees with serial on query {i}",
+                            $kind
+                        );
+                        // The seeded sweep never pays more probes than the
+                        // serial sweep from key zero.
+                        assert!(
+                            batched_stats.probes <= serial_stats.probes,
+                            "{:?} batch probed more than serial on query {i}",
+                            $kind
+                        );
+                    }
+                }
+                // An index-aware accept filter sees the right batch index.
+                let batch = idx
+                    .query_dominating_batch_where(&queries, |i, &v| v != i as u64)
+                    .unwrap();
+                for (i, q) in queries.iter().enumerate() {
+                    let (serial, _) = idx.query_dominating_where(q, |&v| v != i as u64).unwrap();
+                    assert_eq!(batch[i].0.is_some(), serial.is_some());
+                }
+                // Empty batches are fine.
+                assert!(idx
+                    .query_dominating_batch_where(&[], |_, _| true)
+                    .unwrap()
+                    .is_empty());
+                // One bad point fails the whole batch up front.
+                let mut bad = queries.clone();
+                bad.push(p(&[32, 0, 0]));
+                assert!(idx.query_dominating_batch_where(&bad, |_, _| true).is_err());
+            }};
+        }
+        check!(ZCurve::new(u.clone()), acd_sfc::CurveKind::Z);
+        check!(HilbertCurve::new(u.clone()), acd_sfc::CurveKind::Hilbert);
+        check!(GrayCurve::new(u.clone()), acd_sfc::CurveKind::Gray);
     }
 
     #[test]

@@ -47,6 +47,24 @@ pub trait CoveringIndex: std::fmt::Debug + Send + Sync {
     /// Returns an error if the query's schema does not match the index.
     fn find_covering(&mut self, query: &Subscription) -> Result<QueryOutcome>;
 
+    /// Answers a batch of covering queries, returning one outcome per query
+    /// **in input order**. Semantically equivalent to calling
+    /// [`find_covering`](CoveringIndex::find_covering) once per query — any
+    /// implementation override must return the same answers and keep the
+    /// accounting invariant that recorded per-query [`QueryOutcome`]s sum to
+    /// the index's [`IndexStats`] totals (`queries` bumped once per batch
+    /// element, probe counters once per physical probe). Batched
+    /// implementations may *reduce* per-query probe work (a shared sweep),
+    /// never change answers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any query's schema does not match the index;
+    /// overrides validate the batch up front so no query executes on error.
+    fn find_covering_batch(&mut self, queries: &[Subscription]) -> Result<Vec<QueryOutcome>> {
+        queries.iter().map(|q| self.find_covering(q)).collect()
+    }
+
     /// Returns the identifiers of every stored subscription that the query
     /// covers (the reverse relation, used for routing-table pruning).
     ///

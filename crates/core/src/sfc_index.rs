@@ -108,6 +108,21 @@ impl Engine {
         }
     }
 
+    fn query_batch_where<F>(
+        &self,
+        queries: &[Point],
+        accept: F,
+    ) -> Result<Vec<(Option<SubId>, QueryStats)>>
+    where
+        F: FnMut(usize, &SubId) -> bool,
+    {
+        match self {
+            Engine::Z(i) => i.query_dominating_batch_where(queries, accept),
+            Engine::Hilbert(i) => i.query_dominating_batch_where(queries, accept),
+            Engine::Gray(i) => i.query_dominating_batch_where(queries, accept),
+        }
+    }
+
     fn all_dominating(&self, query: &Point) -> Result<Vec<SubId>> {
         match self {
             Engine::Z(i) => i.all_dominating(query),
@@ -366,6 +381,48 @@ impl SfcCoveringIndex {
         })
     }
 
+    /// Read-only batched covering query: one outcome per query, in input
+    /// order, with the same answers as calling
+    /// [`find_covering_ref`](Self::find_covering_ref) per query. The batch
+    /// is sorted along the curve and (on the Z curve) served by a single
+    /// forward gallop of a shared sweep cursor over the packed key mirror —
+    /// see [`PointDominanceIndex::query_dominating_batch_where`]. Like the
+    /// `_ref` single-query form, nothing is recorded into the index's
+    /// accumulated [`IndexStats`]; the sharded index and
+    /// [`CoveringIndex::find_covering_batch`] record at their own level.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any query's schema does not match the index; the
+    /// batch is validated up front, so on error no query has been executed.
+    pub fn find_covering_batch_ref(&self, queries: &[Subscription]) -> Result<Vec<QueryOutcome>> {
+        let mut points = Vec::with_capacity(queries.len());
+        for query in queries {
+            self.check_schema(query)?;
+            points.push(dominance_point(query)?);
+        }
+        let hits = self
+            .forward
+            .query_batch_where(&points, |i, &id| id != queries[i].id())?;
+        let mut out = Vec::with_capacity(queries.len());
+        for (i, (hit, stats)) in hits.into_iter().enumerate() {
+            out.push(match hit {
+                Some(id) => {
+                    debug_assert!(
+                        self.subscriptions
+                            .get(&id)
+                            .map(|s| s.covers(&queries[i]))
+                            .unwrap_or(false),
+                        "dominance hit {id} does not cover batch query {i}"
+                    );
+                    QueryOutcome::found(id, stats)
+                }
+                None => QueryOutcome::empty(stats),
+            });
+        }
+        Ok(out)
+    }
+
     /// Read-only reverse query: the same answer as
     /// [`CoveringIndex::find_covered_by`] without touching accumulated
     /// statistics.
@@ -425,6 +482,17 @@ impl CoveringIndex for SfcCoveringIndex {
         let outcome = self.find_covering_ref(query)?;
         self.stats.record_query(&outcome);
         Ok(outcome)
+    }
+
+    fn find_covering_batch(&mut self, queries: &[Subscription]) -> Result<Vec<QueryOutcome>> {
+        let outcomes = self.find_covering_batch_ref(queries)?;
+        // One `record_query` per batch element keeps the accounting
+        // invariant: per-query outcomes sum to the `IndexStats` totals even
+        // though one shared gallop served the whole batch.
+        for outcome in &outcomes {
+            self.stats.record_query(outcome);
+        }
+        Ok(outcomes)
     }
 
     fn find_covered_by(&mut self, query: &Subscription) -> Result<Vec<SubId>> {

@@ -612,6 +612,113 @@ impl ShardedCoveringIndex {
         Ok(self.find_covering_with_shard_stats(query)?.0)
     }
 
+    /// Batched covering query: answers every query in `queries` under one
+    /// layout guard, visiting each candidate shard **once** and serving all
+    /// still-pending queries against it through the shard's batched kernel
+    /// ([`SfcCoveringIndex::find_covering_batch_ref`]). Returns one merged
+    /// outcome per query, in input order, plus the per-shard statistics each
+    /// query accumulated (in shard visit order).
+    ///
+    /// Answers and the stats invariant match the serial sweep exactly: every
+    /// query visits the same ascending shard range
+    /// ([`covering_candidates`](Self::covering_candidates)) and retires at
+    /// its first hit, and each query's merged counters are the sums of its
+    /// per-shard counters (`volume_fraction_searched` their maximum). The
+    /// batched kernel may *reduce* per-query probe work inside a shard
+    /// (shared Z sweep), never change answers. Each outcome is recorded in
+    /// the sharded-level statistics, so per-query outcomes still sum to the
+    /// [`IndexStats`] totals.
+    ///
+    /// The sweep is sequential rather than routed through the
+    /// [`QueryPool`]: each shard's pending set depends on the hits of every
+    /// lower-keyed shard (the early exit), so shards form a dependency chain
+    /// and the batch already amortises lock and decomposition work.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any query's schema does not match the index; the
+    /// whole batch is validated up front, so on error no query has executed
+    /// or been recorded.
+    pub fn find_covering_batch_with_shard_stats(
+        &self,
+        queries: &[Subscription],
+    ) -> Result<(Vec<QueryOutcome>, Vec<Vec<QueryStats>>)> {
+        for query in queries {
+            self.check_schema(query)?;
+        }
+        let mut prefixes = Vec::with_capacity(queries.len());
+        for query in queries {
+            prefixes.push(self.prefix_of(query)?);
+        }
+        let n = queries.len();
+        let mut hits: Vec<Option<SubId>> = vec![None; n];
+        let mut done = vec![false; n];
+        let mut merged = vec![QueryStats::default(); n];
+        let mut per_shard: Vec<Vec<QueryStats>> = vec![Vec::new(); n];
+        {
+            // One layout guard across the whole batch: every query routes
+            // against the same shard boundaries.
+            let starts = self.starts.read();
+            let first_shard: Vec<usize> = prefixes
+                .iter()
+                .map(|&p| *self.covering_candidates(&starts, p).start())
+                .collect();
+            let mut sub_batch: Vec<Subscription> = Vec::new();
+            let mut batch_idx: Vec<usize> = Vec::new();
+            for shard in 0..self.shards.len() {
+                sub_batch.clear();
+                batch_idx.clear();
+                for i in 0..n {
+                    if !done[i] && first_shard[i] <= shard {
+                        sub_batch.push(queries[i].clone());
+                        batch_idx.push(i);
+                    }
+                }
+                if sub_batch.is_empty() {
+                    continue;
+                }
+                let outcomes = self.shards[shard]
+                    .read()
+                    .find_covering_batch_ref(&sub_batch)?;
+                for (outcome, &i) in outcomes.iter().zip(&batch_idx) {
+                    merged[i].absorb(&outcome.stats);
+                    per_shard[i].push(outcome.stats);
+                    if let Some(id) = outcome.covering {
+                        hits[i] = Some(id);
+                        // Early exit: a hit from the lowest-keyed shard wins,
+                        // exactly like the serial sweep's break.
+                        done[i] = true;
+                    }
+                }
+            }
+        }
+        let outcomes: Vec<QueryOutcome> = hits
+            .into_iter()
+            .zip(merged)
+            .map(|(hit, stats)| match hit {
+                Some(id) => QueryOutcome::found(id, stats),
+                None => QueryOutcome::empty(stats),
+            })
+            .collect();
+        for outcome in &outcomes {
+            self.record(outcome);
+        }
+        Ok((outcomes, per_shard))
+    }
+
+    /// Batched covering query through the shared-sweep shard walk (see
+    /// [`find_covering_batch_with_shard_stats`](Self::find_covering_batch_with_shard_stats)).
+    /// Takes `&self`, so concurrent readers proceed in parallel; every
+    /// outcome is recorded in the sharded-level statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any query's schema does not match the index (the
+    /// batch is validated up front; nothing executes on error).
+    pub fn find_covering_batch_ref(&self, queries: &[Subscription]) -> Result<Vec<QueryOutcome>> {
+        Ok(self.find_covering_batch_with_shard_stats(queries)?.0)
+    }
+
     /// The persistent query pool, created on first use with the current
     /// [`PoolPolicy`].
     fn pool(&self) -> &QueryPool {
@@ -953,6 +1060,10 @@ impl CoveringIndex for ShardedCoveringIndex {
         self.find_covering_ref(query)
     }
 
+    fn find_covering_batch(&mut self, queries: &[Subscription]) -> Result<Vec<QueryOutcome>> {
+        ShardedCoveringIndex::find_covering_batch_ref(self, queries)
+    }
+
     fn find_covered_by(&mut self, query: &Subscription) -> Result<Vec<SubId>> {
         self.find_covered_by_ref(query)
     }
@@ -1162,7 +1273,9 @@ mod tests {
             &subs,
         )
         .unwrap();
-        for q in random_subs(&s, 50, 43).iter() {
+        let queries = random_subs(&s, 50, 43);
+        let mut serial = Vec::new();
+        for q in queries.iter() {
             let (outcome, per_shard) = sharded.find_covering_with_shard_stats(q).unwrap();
             assert!(!per_shard.is_empty());
             assert_eq!(
@@ -1180,6 +1293,37 @@ mod tests {
                     .map(|s| s.candidates_inspected)
                     .sum::<usize>()
             );
+            serial.push(outcome);
+        }
+        // The batched path keeps the same invariant: each query's merged
+        // counters are exactly the sums of its per-shard counters, the
+        // answers match the serial sweep, and the shared Z sweep may only
+        // *reduce* per-query probe work.
+        let before = sharded.stats().queries;
+        let (batched, batched_per_shard) = sharded
+            .find_covering_batch_with_shard_stats(&queries)
+            .unwrap();
+        assert_eq!(batched.len(), queries.len());
+        assert_eq!(sharded.stats().queries, before + queries.len() as u64);
+        for ((outcome, per_shard), serial) in batched.iter().zip(&batched_per_shard).zip(&serial) {
+            assert_eq!(outcome.covering, serial.covering);
+            assert!(!per_shard.is_empty());
+            assert_eq!(
+                outcome.stats.probes,
+                per_shard.iter().map(|s| s.probes).sum::<usize>()
+            );
+            assert_eq!(
+                outcome.stats.runs_probed,
+                per_shard.iter().map(|s| s.runs_probed).sum::<usize>()
+            );
+            assert_eq!(
+                outcome.stats.candidates_inspected,
+                per_shard
+                    .iter()
+                    .map(|s| s.candidates_inspected)
+                    .sum::<usize>()
+            );
+            assert!(outcome.stats.probes <= serial.stats.probes);
         }
     }
 

@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 
-use acd_covering::{ApproxConfig, CoveringIndex, LinearScanIndex, QueryEngine, SfcCoveringIndex};
+use acd_covering::{
+    ApproxConfig, CoveringIndex, CoveringPolicy, LinearScanIndex, QueryEngine, SfcCoveringIndex,
+    ShardedCoveringIndex,
+};
 use acd_sfc::CurveKind;
 use acd_subscription::{RangePredicate, Schema, Subscription};
 
@@ -184,6 +187,111 @@ proptest! {
         prop_assert!(
             skip.stats().total_runs_probed <= eager.stats().total_runs_probed.max(1)
         );
+    }
+
+    /// The batched covering kernel answers exactly like the per-event query
+    /// on every curve, for both the single and the sharded index — including
+    /// duplicate queries in one batch, the empty batch, and batches whose
+    /// sorted keys span shard boundaries — and through the policy-built
+    /// trait objects (where `CoveringPolicy::None` builds no index at all).
+    #[test]
+    fn batched_covering_agrees_with_serial(
+        population in bounds_strategy(40),
+        queries in bounds_strategy(12),
+        dup in 0usize..12,
+    ) {
+        let schema = schema(6);
+        let subs: Vec<Subscription> = population
+            .iter()
+            .enumerate()
+            .map(|(i, b)| build_sub(&schema, i as u64 + 1, b))
+            .collect();
+        let mut batch: Vec<Subscription> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, b)| build_sub(&schema, 10_000 + i as u64, b))
+            .collect();
+        // A duplicated query (same id, same bounds) must answer identically
+        // at both of its batch positions.
+        let copy = batch[dup % batch.len()].clone();
+        batch.push(copy);
+
+        for kind in CurveKind::all() {
+            let mut serial =
+                SfcCoveringIndex::with_curve(&schema, ApproxConfig::exhaustive(), kind).unwrap();
+            let mut batched =
+                SfcCoveringIndex::with_curve(&schema, ApproxConfig::exhaustive(), kind).unwrap();
+            for s in &subs {
+                serial.insert(s).unwrap();
+                batched.insert(s).unwrap();
+            }
+            let serial_out: Vec<_> = batch
+                .iter()
+                .map(|q| serial.find_covering(q).unwrap())
+                .collect();
+            let batched_out = batched.find_covering_batch(&batch).unwrap();
+            prop_assert_eq!(batched_out.len(), batch.len());
+            for (a, b) in serial_out.iter().zip(&batched_out) {
+                prop_assert_eq!(a.covering, b.covering, "curve {}", kind.name());
+            }
+            // Stats invariant: one recorded query per batch element, so the
+            // totals agree with the per-event path.
+            prop_assert_eq!(batched.stats().queries, serial.stats().queries);
+            prop_assert!(batched.find_covering_batch(&[]).unwrap().is_empty());
+
+            // Sharded over 5 shards, so the sorted batch crosses shard
+            // boundaries; answers must match the single-index truth.
+            let sharded = ShardedCoveringIndex::build_from(
+                &schema,
+                ApproxConfig::exhaustive(),
+                kind,
+                5,
+                &subs,
+            )
+            .unwrap();
+            let sharded_out = sharded.find_covering_batch_ref(&batch).unwrap();
+            for (got, expect) in sharded_out.iter().zip(&serial_out) {
+                prop_assert_eq!(
+                    got.is_covered(),
+                    expect.is_covered(),
+                    "sharded disagrees on curve {}",
+                    kind.name()
+                );
+            }
+            prop_assert!(sharded.find_covering_batch_ref(&[]).unwrap().is_empty());
+        }
+
+        // The trait entry point, through each policy's boxed index.
+        for policy in [
+            CoveringPolicy::None,
+            CoveringPolicy::ExactSfc,
+            CoveringPolicy::ShardedSfc { shards: 3 },
+        ] {
+            let indexes = (
+                policy.build_index(&schema).unwrap(),
+                policy.build_index(&schema).unwrap(),
+            );
+            match indexes {
+                (Some(mut index), Some(mut mirror)) => {
+                    for s in &subs {
+                        index.insert(s).unwrap();
+                        mirror.insert(s).unwrap();
+                    }
+                    let batched = index.find_covering_batch(&batch).unwrap();
+                    prop_assert_eq!(batched.len(), batch.len());
+                    for (q, got) in batch.iter().zip(&batched) {
+                        let expect = mirror.find_covering(q).unwrap();
+                        prop_assert_eq!(
+                            got.is_covered(),
+                            expect.is_covered(),
+                            "policy {}",
+                            policy.label()
+                        );
+                    }
+                }
+                _ => prop_assert!(!policy.detects_covering()),
+            }
+        }
     }
 
     /// The reverse (covered-by) query matches the brute-force answer.

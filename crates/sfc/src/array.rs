@@ -13,7 +13,8 @@
 //!   shapes), and per-cell buckets. Probes,
 //!   [`first_key_at_or_after`](SfcArray::first_key_at_or_after) and the
 //!   [`SweepCursor`] binary-search or gallop the dense numeric array
-//!   (16-byte stride, branch-free compares) instead of hopping tree nodes;
+//!   (16-byte stride, with the [`crate::simd`] lane comparators finishing
+//!   every packed search branch-free) instead of hopping tree nodes;
 //! * each cell's entries live in a bucket: the single-entry case (by far
 //!   the most common) is stored inline, only true duplicate cells spill to
 //!   a `Vec`;
@@ -133,7 +134,7 @@ impl<V> Level<V> {
     fn position_at_or_after(&self, key: &Key) -> usize {
         if self.pack {
             let v = key.to_u128().expect("≤128-bit keys always fit a u128");
-            self.packed.partition_point(|&p| p < v)
+            crate::simd::lower_bound_u128(&self.packed, v)
         } else {
             self.keys.partition_point(|k| k < key)
         }
@@ -184,11 +185,12 @@ impl<V> Level<V> {
         self.buckets.remove(idx)
     }
 
-    /// First index ≥ `from` whose key is ≥ `key` (see [`gallop_sorted`]).
+    /// First index ≥ `from` whose key is ≥ `key` (see [`gallop_sorted`]);
+    /// the packed mirror takes the lane-comparator gallop.
     fn gallop_at_or_after(&self, from: usize, key: &Key) -> usize {
         if self.pack {
             let v = key.to_u128().expect("≤128-bit keys always fit a u128");
-            gallop_sorted(&self.packed, from, &v)
+            crate::simd::lower_bound_u128_from(&self.packed, from, v)
         } else {
             gallop_sorted(&self.keys, from, key)
         }
@@ -249,7 +251,7 @@ impl<V> Staging<V> {
     fn position_at_or_after(&self, key: &Key) -> usize {
         if self.pack {
             let v = key.to_u128().expect("≤128-bit keys always fit a u128");
-            self.packed.partition_point(|&p| p < v)
+            crate::simd::lower_bound_u128(&self.packed, v)
         } else {
             self.order
                 .partition_point(|&s| &self.slab[s as usize].0 < key)
@@ -277,7 +279,7 @@ impl<V> Staging<V> {
     fn gallop_at_or_after(&self, from: usize, key: &Key) -> usize {
         if self.pack {
             let v = key.to_u128().expect("≤128-bit keys always fit a u128");
-            gallop_sorted(&self.packed, from, &v)
+            crate::simd::lower_bound_u128_from(&self.packed, from, v)
         } else {
             self.position_at_or_after(key).max(from)
         }
@@ -860,13 +862,29 @@ impl<V: Clone> SfcArray<V, crate::zorder::ZCurve> {
 ///
 /// The probe keys passed to
 /// [`next_at_or_after`](SweepCursor::next_at_or_after) must be
-/// non-decreasing; the cursor never rewinds.
+/// non-decreasing; the cursor never rewinds. Cloning is cheap (two shared
+/// references and two positions) — the batched query kernel keeps one
+/// *seed* cursor advanced along the sorted batch and clones it as the
+/// starting position of each per-query sweep.
 #[derive(Debug)]
 pub struct SweepCursor<'a, V> {
     main: &'a Level<V>,
     staging: &'a Staging<V>,
     main_pos: usize,
     staging_pos: usize,
+}
+
+// Manual impl: a derive would demand `V: Clone`, but only references are
+// copied here.
+impl<V> Clone for SweepCursor<'_, V> {
+    fn clone(&self) -> Self {
+        SweepCursor {
+            main: self.main,
+            staging: self.staging,
+            main_pos: self.main_pos,
+            staging_pos: self.staging_pos,
+        }
+    }
 }
 
 impl<'a, V> SweepCursor<'a, V> {

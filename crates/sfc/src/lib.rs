@@ -62,6 +62,7 @@ pub mod hilbert;
 pub mod key;
 pub mod rect;
 pub mod runs;
+pub mod simd;
 pub mod universe;
 pub mod zorder;
 
