@@ -62,6 +62,12 @@ pub const LOCK_CLASSES: &[LockClass] = &[
         multi: false,
     },
     LockClass {
+        rank: 4,
+        name: "journal",
+        fields: &["journal"],
+        multi: false,
+    },
+    LockClass {
         rank: 5,
         name: "broker",
         fields: &["brokers"],
@@ -90,6 +96,12 @@ pub const LOCK_CLASSES: &[LockClass] = &[
         name: "shard",
         fields: &["shards"],
         multi: true,
+    },
+    LockClass {
+        rank: 95,
+        name: "segments",
+        fields: &["segments"],
+        multi: false,
     },
     LockClass {
         rank: 100,

@@ -190,6 +190,19 @@ fn main() -> ExitCode {
             batched.speedup,
         );
     }
+    if let Some(restart) = &report.restart {
+        println!(
+            "restart ({} subscriptions, {} segment bytes): save {:>7.1} ms, \
+             cold open {:>7.1} ms vs {}-op journal replay {:>7.1} ms — {:.2}x",
+            restart.subscriptions,
+            restart.segment_bytes,
+            restart.save_ms,
+            restart.cold_open_ms,
+            restart.journal_ops,
+            restart.rebuild_ms,
+            restart.speedup,
+        );
+    }
 
     let json = match serde_json::to_string(&report) {
         Ok(j) => j,

@@ -20,7 +20,9 @@
 //! throughput, a ceiling on the mean publish→deliveries round trip
 //! through a live `acd-brokerd`, and a floor on the pipelined
 //! `publish_batch` throughput that keeps the batched execution path from
-//! degenerating back to one overlay walk per event). The report also
+//! degenerating back to one overlay walk per event), and the restart gates
+//! (a floor on the durable-segment cold-open speedup over a full journal
+//! replay, and a ceiling on the cold-open time itself). The report also
 //! records pool-vs-scoped
 //! parallel dispatch latencies, and [`trend_table`] renders the
 //! run-over-run delta table the nightly workflow posts to its job summary.
@@ -202,6 +204,41 @@ pub struct BatchedPublishCost {
     pub window_millis: u64,
 }
 
+/// Restart phase: the exact-Z index bulk-built at the full population
+/// size, persisted as durable segments, dropped, and then brought back two
+/// ways — a cold [`open_segments`](SfcCoveringIndex::open_segments) that
+/// decodes the sorted column-wise segment files straight into the packed
+/// layout, and the segment-less restart the daemon paid before segments
+/// existed: replaying its append-only subscription journal, decoding every
+/// subscribe and unsubscribe record back into a live operation against a
+/// fresh index. A segment snapshots only the surviving set; the journal
+/// carries the whole churn history (here one retracted subscription per
+/// live one, the steady-state mix of the churn phase), which is exactly
+/// why the broker checkpoints. The speedup is the point of the segment
+/// codec: a restart should pay decode cost, not history-replay cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestartCost {
+    /// Indexed subscriptions persisted and reloaded (the live set).
+    pub subscriptions: usize,
+    /// Journal records the replay baseline applies: one subscribe per live
+    /// subscription plus a subscribe/unsubscribe pair per retracted one.
+    pub journal_ops: usize,
+    /// Wall-clock time of `save_segments` (encode + fsync-free write +
+    /// commit rename), in milliseconds.
+    pub save_ms: f64,
+    /// Wall-clock time of the cold `open_segments`, in milliseconds (best
+    /// of three rounds, so the gate times the codec, not the page cache).
+    pub cold_open_ms: f64,
+    /// Wall-clock time of the journal replay — decoding all `journal_ops`
+    /// records back into `Subscription`s and applying them one at a time
+    /// to a fresh index — in milliseconds.
+    pub rebuild_ms: f64,
+    /// Replay time over cold-open time.
+    pub speedup: f64,
+    /// Total bytes of the on-disk segment directory.
+    pub segment_bytes: u64,
+}
+
 /// The quick-scale perf report written to `BENCH_ci.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfSmokeReport {
@@ -261,6 +298,9 @@ pub struct PerfSmokeReport {
     /// Batched vs serial publish throughput through the daemon (`None`
     /// when the timed phases were skipped, and in older reports).
     pub batched_publish: Option<BatchedPublishCost>,
+    /// Durable-segment cold-open vs rebuild measurement (`None` when the
+    /// timed phases were skipped, and in older reports).
+    pub restart: Option<RestartCost>,
 }
 
 impl PerfSmokeReport {
@@ -337,6 +377,19 @@ pub struct PerfBudget {
     /// the batched path degenerating back to one network walk per event,
     /// not to time the loopback stack.
     pub min_batched_publish_events_per_sec: f64,
+    /// Lower bound on the restart phase's replay-over-cold-open ratio.
+    /// Algorithmic at heart — `open_segments` decodes the live set from
+    /// pre-sorted columns while the segment-less restart replays the whole
+    /// journal history, paying one decode plus one incremental index
+    /// operation per subscribe *and* unsubscribe ever logged — so the
+    /// ratio holds on slow machines; it exists to catch the segment load
+    /// path degenerating back into a replay.
+    pub min_restart_speedup: f64,
+    /// Upper bound on the cold `open_segments` wall clock in milliseconds
+    /// at the report's population size. Wall-clock dependent, so set with
+    /// very generous headroom; it exists to catch the decode path going
+    /// quadratic or re-validating per entry, not to time the disk.
+    pub max_cold_open_ms: f64,
 }
 
 /// Populates `index`, times the query batch, and extracts the cost counters.
@@ -895,6 +948,108 @@ fn run_batched_publish(subscriptions: usize, millis: u64) -> BatchedPublishCost 
     }
 }
 
+/// Restart phase: bulk-build the exact-Z index at `subscriptions`, persist
+/// it as durable segments, drop it, then time a cold `open_segments`
+/// against the segment-less restart path: replaying the subscription
+/// journal. The replayed history is the live population plus one retracted
+/// subscription per live one — the 50/50 subscribe/unsubscribe mix the
+/// churn phase runs at steady state — and each record pays its decode
+/// (`Subscription::from_raw_bounds`, the journal-parse analogue) plus one
+/// incremental index operation, exactly like `acd-brokerd` recovering
+/// without a snapshot. A handful of covering queries certify the reopened
+/// index answers exactly like the replayed one before either timing is
+/// trusted.
+fn run_restart(subscriptions: usize) -> RestartCost {
+    use acd_subscription::Subscription;
+
+    let config = WorkloadConfig::builder()
+        .attributes(3)
+        .bits_per_attribute(10)
+        .seed(606)
+        .build()
+        .unwrap();
+    let mut workload = SubscriptionWorkload::new(&config).unwrap();
+    let schema = workload.schema().clone();
+    let population = workload.take(subscriptions);
+    let churned = workload.take(subscriptions);
+    let queries = workload.take(32);
+
+    let index = SfcCoveringIndex::build_from(
+        &schema,
+        ApproxConfig::exhaustive(),
+        CurveKind::Z,
+        &population,
+    )
+    .expect("restart build");
+    let dir = std::env::temp_dir().join(format!("acd-perf-restart-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let save_start = Instant::now();
+    index.save_segments(&dir).expect("save segments");
+    let save_ms = save_start.elapsed().as_secs_f64() * 1e3;
+    drop(index);
+
+    // Best of three cold opens: the first round may pay the page cache's
+    // mood on a shared runner; the gate is about codec cost.
+    let mut cold_open_ms = f64::INFINITY;
+    let mut loaded = None;
+    for _ in 0..3 {
+        let open_start = Instant::now();
+        let reopened = SfcCoveringIndex::open_segments(&dir).expect("cold open");
+        cold_open_ms = cold_open_ms.min(open_start.elapsed().as_secs_f64() * 1e3);
+        loaded = Some(reopened);
+    }
+    let mut loaded = loaded.expect("at least one cold-open round");
+    assert_eq!(loaded.len(), population.len());
+
+    // Journal replay: subscribe(live), subscribe(churned), unsubscribe
+    // (churned), interleaved — three records per live subscription, each
+    // decoded from its raw bounds and applied incrementally.
+    let journal_ops = population.len() + 2 * churned.len();
+    let rebuild_start = Instant::now();
+    let mut replayed =
+        SfcCoveringIndex::new(&schema, ApproxConfig::exhaustive()).expect("restart replay index");
+    for (live, churn) in population.iter().zip(&churned) {
+        let sub = Subscription::from_raw_bounds(&schema, live.id(), live.raw_bounds())
+            .expect("replay live record");
+        replayed.insert(&sub).expect("replay live insert");
+        let ghost = Subscription::from_raw_bounds(&schema, churn.id(), churn.raw_bounds())
+            .expect("replay churn record");
+        replayed.insert(&ghost).expect("replay churn insert");
+        replayed.remove(ghost.id()).expect("replay churn remove");
+    }
+    let rebuild_ms = rebuild_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(replayed.len(), loaded.len());
+
+    for q in &queries {
+        assert_eq!(
+            loaded.find_covering(q).expect("loaded query").covering,
+            replayed.find_covering(q).expect("replayed query").covering,
+            "the reopened index must answer exactly like the replayed one"
+        );
+    }
+    let segment_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("segment directory")
+        .map(|entry| {
+            entry
+                .expect("readable entry")
+                .metadata()
+                .expect("metadata")
+                .len()
+        })
+        .sum();
+    std::fs::remove_dir_all(&dir).ok();
+
+    RestartCost {
+        subscriptions,
+        journal_ops,
+        save_ms,
+        cold_open_ms,
+        rebuild_ms,
+        speedup: rebuild_ms / cold_open_ms.max(1e-9),
+        segment_bytes,
+    }
+}
+
 /// Runs the perf-smoke measurement: the e08 workload shape (3 attributes,
 /// 10 bits) at the given population size, against the linear baseline, the
 /// exact-SFC index (skip engine), the PR-1 eager engine (kept as the
@@ -1058,6 +1213,14 @@ pub fn run(
         Some(run_batched_publish(subscriptions, churn_millis))
     };
 
+    // Restart phase: durable-segment cold open vs a full rebuild (skipped
+    // with the other timed phases).
+    let restart = if churn_millis == 0 {
+        None
+    } else {
+        Some(run_restart(subscriptions))
+    };
+
     PerfSmokeReport {
         subscriptions,
         queries,
@@ -1079,6 +1242,7 @@ pub fn run(
         resilience,
         chaos,
         batched_publish,
+        restart,
     }
 }
 
@@ -1204,6 +1368,23 @@ pub fn check_budget(report: &PerfSmokeReport, budget: &PerfBudget) -> Result<(),
             }
         }
     }
+    match &report.restart {
+        None => violations.push("report has no restart measurement".to_string()),
+        Some(cost) => {
+            if cost.speedup < budget.min_restart_speedup {
+                violations.push(format!(
+                    "restart speedup {:.2}x (journal replay / cold open) below budget {:.2}x",
+                    cost.speedup, budget.min_restart_speedup
+                ));
+            }
+            if cost.cold_open_ms > budget.max_cold_open_ms {
+                violations.push(format!(
+                    "restart cold open {:.1} ms exceeds budget {:.1} ms",
+                    cost.cold_open_ms, budget.max_cold_open_ms
+                ));
+            }
+        }
+    }
     if violations.is_empty() {
         Ok(())
     } else {
@@ -1291,6 +1472,16 @@ fn trend_metrics(report: &PerfSmokeReport) -> Vec<(&'static str, Option<f64>, bo
         (
             "batched publish speedup (x)",
             report.batched_publish.as_ref().map(|b| b.speedup),
+            false,
+        ),
+        (
+            "restart cold open (ms)",
+            report.restart.as_ref().map(|r| r.cold_open_ms),
+            true,
+        ),
+        (
+            "restart speedup (x)",
+            report.restart.as_ref().map(|r| r.speedup),
             false,
         ),
     ]
@@ -1413,6 +1604,8 @@ mod tests {
             max_e2e_publish_latency_us: f64::INFINITY,
             max_reconnect_resubscribe_ms: f64::INFINITY,
             min_batched_publish_events_per_sec: 0.0,
+            min_restart_speedup: 0.0,
+            max_cold_open_ms: f64::INFINITY,
         };
         check_budget(&report, &budget).unwrap();
         // An impossible budget must trip every gate (the query-speedup gate
@@ -1431,12 +1624,14 @@ mod tests {
             max_e2e_publish_latency_us: 0.0,
             max_reconnect_resubscribe_ms: 0.0,
             min_batched_publish_events_per_sec: f64::INFINITY,
+            min_restart_speedup: f64::INFINITY,
+            max_cold_open_ms: 0.0,
         };
         let violations = check_budget(&report, &impossible).unwrap_err();
         let expected = if report.churn_query_workers >= 2 {
-            13
+            15
         } else {
-            12
+            14
         };
         assert_eq!(violations.len(), expected, "{violations:?}");
         // The bulk-build measurement must be populated and sane; the actual
@@ -1508,6 +1703,17 @@ mod tests {
         assert!(batched.serial_events_per_sec > 0.0, "{batched:?}");
         assert!(batched.batched_events_per_sec > 0.0, "{batched:?}");
         assert!(batched.speedup > 0.0, "{batched:?}");
+        // The restart phase persisted, reopened and timed both paths. The
+        // >= 5x speedup claim is enforced by the release perf gate, not
+        // here — debug-mode wall clocks on a shared runner would be flaky.
+        let restart = report.restart.as_ref().expect("restart phase ran");
+        assert_eq!(restart.subscriptions, report.subscriptions);
+        assert_eq!(restart.journal_ops, 3 * report.subscriptions);
+        assert!(restart.save_ms > 0.0, "{restart:?}");
+        assert!(restart.cold_open_ms > 0.0, "{restart:?}");
+        assert!(restart.rebuild_ms > 0.0, "{restart:?}");
+        assert!(restart.speedup.is_finite() && restart.speedup > 0.0);
+        assert!(restart.segment_bytes > 0, "{restart:?}");
     }
 
     #[test]
@@ -1527,6 +1733,7 @@ mod tests {
         assert_eq!(back.resilience, None);
         assert_eq!(back.chaos, None);
         assert_eq!(back.batched_publish, None);
+        assert_eq!(back.restart, None);
         assert_eq!(back.pool_workers, report.pool_workers);
     }
 
@@ -1611,6 +1818,8 @@ mod tests {
             max_e2e_publish_latency_us: f64::INFINITY,
             max_reconnect_resubscribe_ms: f64::INFINITY,
             min_batched_publish_events_per_sec: 0.0,
+            min_restart_speedup: 0.0,
+            max_cold_open_ms: f64::INFINITY,
         };
         let violations = check_budget(&report, &budget).unwrap_err();
         assert!(
@@ -1641,6 +1850,12 @@ mod tests {
             violations.iter().any(|v| v.contains("batched-publish")),
             "{violations:?}"
         );
+        // ... and the restart phase.
+        assert_eq!(report.restart, None);
+        assert!(
+            violations.iter().any(|v| v.contains("restart")),
+            "{violations:?}"
+        );
     }
 
     #[test]
@@ -1657,7 +1872,9 @@ mod tests {
                 "min_e2e_events_per_sec": 200.0,
                 "max_e2e_publish_latency_us": 50000.0,
                 "max_reconnect_resubscribe_ms": 5000.0,
-                "min_batched_publish_events_per_sec": 600.0}"#,
+                "min_batched_publish_events_per_sec": 600.0,
+                "min_restart_speedup": 5.0,
+                "max_cold_open_ms": 1000.0}"#,
         )
         .unwrap();
         assert_eq!(budget.max_mean_runs_probed_exact_sfc, 48.0);
@@ -1673,5 +1890,7 @@ mod tests {
         assert_eq!(budget.max_e2e_publish_latency_us, 50000.0);
         assert_eq!(budget.max_reconnect_resubscribe_ms, 5000.0);
         assert_eq!(budget.min_batched_publish_events_per_sec, 600.0);
+        assert_eq!(budget.min_restart_speedup, 5.0);
+        assert_eq!(budget.max_cold_open_ms, 1000.0);
     }
 }

@@ -6,7 +6,7 @@
 //!              sharded-sfc:SHARDS|approx:EPSILON]
 //!             [--workers N] [--attributes N] [--bits B] [--seed S]
 //!             [--max-connections N] [--max-inflight N]
-//!             [--idle-timeout-ms MS] [--chaos SPEC]
+//!             [--idle-timeout-ms MS] [--chaos SPEC] [--data-dir PATH]
 //! ```
 //!
 //! `--chaos` injects deterministic transport faults into every accepted
@@ -15,7 +15,11 @@
 //! harness the chaos test suite drives. `--max-connections` /
 //! `--max-inflight` bound admission (excess work is answered with typed
 //! `Rejected` frames instead of stalling), and `--idle-timeout-ms` reaps
-//! connections that stay silent.
+//! connections that stay silent. `--data-dir` makes the subscription set
+//! durable: every acknowledged subscribe/unsubscribe is journaled before
+//! its ack, a snapshot is written on graceful shutdown, and start-up
+//! replays `snapshot ∘ journal` — so a restarted daemon (even after a
+//! kill -9) serves the same registrations.
 //!
 //! The schema is the synthetic-workload one (`attr0..attrN-1`, domain
 //! `[0, 1e6]`), so `acd-brokerload` streams are compatible out of the box.
@@ -42,6 +46,7 @@ struct Args {
     max_inflight: usize,
     idle_timeout_ms: u64,
     chaos: Option<FaultPlan>,
+    data_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_policy(s: &str) -> Result<CoveringPolicy, String> {
@@ -80,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         max_inflight: 0,
         idle_timeout_ms: 0,
         chaos: None,
+        data_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -129,6 +135,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--idle-timeout-ms: {e}"))?
             }
             "--chaos" => args.chaos = Some(FaultPlan::parse(&value("--chaos")?)?),
+            "--data-dir" => args.data_dir = Some(std::path::PathBuf::from(value("--data-dir")?)),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -187,6 +194,9 @@ fn run() -> Result<(), String> {
     if args.chaos.is_some() {
         eprintln!("acd-brokerd: chaos enabled — injecting transport faults");
     }
+    if let Some(dir) = &args.data_dir {
+        eprintln!("acd-brokerd: durable subscriptions in {}", dir.display());
+    }
     let options = DaemonOptions {
         workers: args.workers,
         max_connections: args.max_connections,
@@ -194,6 +204,7 @@ fn run() -> Result<(), String> {
         idle_timeout: (args.idle_timeout_ms > 0)
             .then(|| std::time::Duration::from_millis(args.idle_timeout_ms)),
         chaos: args.chaos,
+        data_dir: args.data_dir,
         ..DaemonOptions::default()
     };
     let daemon = BrokerDaemon::start_with(network, args.addr.as_str(), options)

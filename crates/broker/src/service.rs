@@ -50,11 +50,15 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use acd_covering::ordered::{OrderedMutex, RANK_SESSION};
+use acd_covering::ordered::{OrderedMutex, RANK_JOURNAL, RANK_SESSION};
+use acd_covering::storage::{
+    read_snapshot, write_snapshot, JournalRecord, StorageError, SubscriptionJournal,
+};
 use acd_covering::QueryPool;
 use acd_subscription::{Event, Schema, SubId, Subscription, SubscriptionBuilder};
 
@@ -75,6 +79,18 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// Write deadline for the `Rejected` frame sent to an over-cap peer — the
 /// one write the daemon performs on a connection it never admitted.
 const REJECT_WRITE_TIMEOUT: Duration = Duration::from_millis(1000);
+
+/// The append-only journal inside [`DaemonOptions::data_dir`].
+const JOURNAL_FILE: &str = "journal.acd";
+
+/// The graceful-shutdown snapshot inside [`DaemonOptions::data_dir`].
+const SNAPSHOT_FILE: &str = "snapshot.acd";
+
+/// Session owner of subscriptions restored from the data directory. No
+/// real connection ever gets this id (they count up from zero), so a
+/// recovered registration is never swept by connection cleanup — it lives
+/// until a client retracts it or takes it over by resubscribing.
+const RECOVERED_CONN: u64 = u64::MAX;
 
 /// Tuning for a [`BrokerDaemon`]: worker count, overload caps, eviction
 /// deadlines and the optional chaos schedule.
@@ -101,6 +117,12 @@ pub struct DaemonOptions {
     /// Fault-injection schedule applied to every admitted connection
     /// (`None` = clean transport). See [`FaultPlan`].
     pub chaos: Option<FaultPlan>,
+    /// Durable state directory (`None` = in-memory only). When set, every
+    /// acknowledged subscribe/unsubscribe is journaled before the ack is
+    /// sent, the journal is compacted into a snapshot on graceful
+    /// shutdown, and start-up replays `snapshot ∘ journal` — so the
+    /// subscription set survives even a kill -9.
+    pub data_dir: Option<PathBuf>,
 }
 
 /// One tracked subscription registration: which connection owns it, the
@@ -110,6 +132,17 @@ struct SessionEntry {
     conn: u64,
     epoch: u64,
     at: BrokerId,
+}
+
+/// The daemon's durable half: the open journal, the directory it lives
+/// in, and the durable live set (id → its `Subscribe` record), maintained
+/// in lockstep with every append so the shutdown snapshot needs no
+/// replay.
+#[derive(Debug)]
+struct Persistence {
+    dir: PathBuf,
+    journal: SubscriptionJournal,
+    live: HashMap<SubId, JournalRecord>,
 }
 
 /// Shared state of a running daemon: the served network, options, the
@@ -125,25 +158,139 @@ struct DaemonState {
     /// install or retract the registration, so replay and retraction of one
     /// id are serialized — see `LOCKING.md`.
     sessions: OrderedMutex<HashMap<SubId, SessionEntry>>,
+    /// The durable journal, `None` without a data directory. Rank
+    /// `journal` (4): appended to while the session entry is held, so the
+    /// journal order matches the serialization the session lock imposes.
+    journal: OrderedMutex<Option<Persistence>>,
     active: AtomicUsize,
 }
 
 impl DaemonState {
-    fn new(network: Arc<BrokerNetwork>, options: DaemonOptions) -> DaemonState {
+    fn new(
+        network: Arc<BrokerNetwork>,
+        options: DaemonOptions,
+    ) -> Result<DaemonState, ServiceError> {
         let chaos = options
             .chaos
             .as_ref()
             .filter(|plan| !plan.is_noop())
             .cloned()
             .map(Arc::new);
-        DaemonState {
+        let mut sessions = HashMap::new();
+        let persistence = match &options.data_dir {
+            Some(dir) => Some(recover(&network, dir, &mut sessions)?),
+            None => None,
+        };
+        Ok(DaemonState {
             network,
             options,
             chaos,
             shutdown: AtomicBool::new(false),
-            sessions: OrderedMutex::new(RANK_SESSION, "session", HashMap::new()),
+            sessions: OrderedMutex::new(RANK_SESSION, "session", sessions),
+            journal: OrderedMutex::new(RANK_JOURNAL, "journal", persistence),
             active: AtomicUsize::new(0),
+        })
+    }
+}
+
+/// The id a journal record is about.
+fn record_id(record: &JournalRecord) -> SubId {
+    match record {
+        JournalRecord::Subscribe { id, .. } | JournalRecord::Unsubscribe { id, .. } => *id,
+    }
+}
+
+/// Loads `snapshot ∘ journal` from the data directory, re-registers every
+/// surviving subscription with the network, and seeds the session map
+/// (owner [`RECOVERED_CONN`]) so reconnecting clients take their
+/// registrations over with an ordinary `Resubscribe`.
+fn recover(
+    network: &BrokerNetwork,
+    dir: &Path,
+    sessions: &mut HashMap<SubId, SessionEntry>,
+) -> Result<Persistence, ServiceError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| ServiceError::Io(format!("create {}: {e}", dir.display())))?;
+    let storage = |e: StorageError| ServiceError::Io(e.to_string());
+    let snapshot = read_snapshot(&dir.join(SNAPSHOT_FILE)).map_err(storage)?;
+    let (journal, tail) = SubscriptionJournal::open(&dir.join(JOURNAL_FILE)).map_err(storage)?;
+    let mut live: HashMap<SubId, JournalRecord> = HashMap::new();
+    for record in snapshot.unwrap_or_default().into_iter().chain(tail) {
+        match record {
+            JournalRecord::Subscribe { id, .. } => {
+                live.insert(id, record);
+            }
+            JournalRecord::Unsubscribe { id, .. } => {
+                live.remove(&id);
+            }
         }
+    }
+    let mut restored: Vec<&JournalRecord> = live.values().collect();
+    restored.sort_by_key(|record| record_id(record));
+    for record in restored {
+        let JournalRecord::Subscribe {
+            at,
+            client,
+            id,
+            bounds,
+        } = record
+        else {
+            continue;
+        };
+        let subscription =
+            build_subscription(network.schema(), *id, bounds).map_err(|message| {
+                ServiceError::Io(format!("recovered subscription {id}: {message}"))
+            })?;
+        let at = *at as BrokerId;
+        network
+            .subscribe(at, *client, &subscription)
+            .map_err(ServiceError::Broker)?;
+        sessions.insert(
+            *id,
+            SessionEntry {
+                conn: RECOVERED_CONN,
+                epoch: 0,
+                at,
+            },
+        );
+    }
+    Ok(Persistence {
+        dir: dir.to_owned(),
+        journal,
+        live,
+    })
+}
+
+/// Appends one record to the journal (and the mirrored live set) — a
+/// no-op without a data directory. The caller must already hold the
+/// session entry for the record's id, so appends land in the same order
+/// the mutations were serialized in.
+fn journal_append(state: &DaemonState, record: JournalRecord) -> Result<(), StorageError> {
+    let mut journal = state.journal.lock();
+    let Some(persistence) = journal.as_mut() else {
+        return Ok(());
+    };
+    persistence.journal.append(&record)?;
+    match record {
+        JournalRecord::Subscribe { id, .. } => {
+            persistence.live.insert(id, record);
+        }
+        JournalRecord::Unsubscribe { id, .. } => {
+            persistence.live.remove(&id);
+        }
+    }
+    Ok(())
+}
+
+/// Acks a completed retraction, durably when a journal is configured. A
+/// failed journal write turns the ack into an error so the client
+/// retries — retraction is idempotent, so the retry converges.
+fn journalled_retract_ok(state: &DaemonState, at: BrokerId, id: SubId) -> Frame {
+    match journal_append(state, JournalRecord::Unsubscribe { at: at as u64, id }) {
+        Ok(()) => Frame::Ok,
+        Err(e) => Frame::Err {
+            message: format!("journal write failed: {e}"),
+        },
     }
 }
 
@@ -208,7 +355,7 @@ impl BrokerDaemon {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(DaemonState::new(network, options));
+        let state = Arc::new(DaemonState::new(network, options)?);
         let accept_thread = {
             let state = Arc::clone(&state);
             std::thread::Builder::new()
@@ -236,13 +383,29 @@ impl BrokerDaemon {
     }
 
     /// Stops accepting, drains the worker team, and returns once every
-    /// connection worker has exited. Idempotent; also runs on drop.
+    /// connection worker has exited. With a data directory, the live
+    /// subscription set is then compacted into an atomic snapshot and the
+    /// journal reset, so the next start loads one small file instead of
+    /// replaying the full log. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
             // Joining the accept thread drops the pool, which joins every
             // connection worker.
             let _ = handle.join();
+            // Workers are gone, so the live set is quiescent: snapshot it.
+            let mut journal = self.state.journal.lock();
+            if let Some(persistence) = journal.as_mut() {
+                let mut records: Vec<JournalRecord> = persistence.live.values().cloned().collect();
+                records.sort_by_key(record_id);
+                let outcome = write_snapshot(&persistence.dir.join(SNAPSHOT_FILE), &records)
+                    .and_then(|()| persistence.journal.reset());
+                if let Err(e) = outcome {
+                    // The journal still holds the full history, so a failed
+                    // compaction costs replay time, not data.
+                    eprintln!("acd-brokerd: snapshot on shutdown failed: {e}");
+                }
+            }
         }
     }
 }
@@ -556,6 +719,14 @@ fn cleanup_sessions(state: &DaemonState, conn: u64) {
         // Racing an in-process unsubscribe is benign: the entry is gone
         // either way.
         let _ = state.network.unsubscribe(at, id);
+        // A vanished *client* is journaled (best-effort) like an
+        // unsubscribe. A daemon-initiated teardown is not: those sessions
+        // end because the daemon is stopping, and their registrations
+        // must survive into the shutdown snapshot so a restarted daemon
+        // serves them again (clients take them over by resubscribing).
+        if !state.shutdown.load(Ordering::SeqCst) {
+            let _ = journal_append(state, JournalRecord::Unsubscribe { at: at as u64, id });
+        }
     }
 }
 
@@ -599,6 +770,20 @@ fn handle_request(state: &DaemonState, conn: u64, request: Frame) -> Result<Fram
             let mut sessions = state.sessions.lock();
             match state.network.subscribe(at, client, &subscription) {
                 Ok(()) => {
+                    let record = JournalRecord::Subscribe {
+                        at: at as u64,
+                        client,
+                        id,
+                        bounds,
+                    };
+                    if let Err(e) = journal_append(state, record) {
+                        // Durable-ack discipline: an unjournaled mutation
+                        // is not acknowledged — roll it back and report.
+                        let _ = state.network.unsubscribe(at, id);
+                        return Ok(Frame::Err {
+                            message: format!("journal write failed: {e}"),
+                        });
+                    }
                     sessions.insert(id, SessionEntry { conn, epoch: 0, at });
                     Ok(Frame::Ok)
                 }
@@ -646,11 +831,28 @@ fn handle_request(state: &DaemonState, conn: u64, request: Frame) -> Result<Fram
             }
             match state.network.subscribe(at, client, &subscription) {
                 Ok(()) => {
+                    let record = JournalRecord::Subscribe {
+                        at: at as u64,
+                        client,
+                        id,
+                        bounds,
+                    };
+                    if let Err(e) = journal_append(state, record) {
+                        let _ = state.network.unsubscribe(at, id);
+                        sessions.remove(&id);
+                        return Ok(Frame::Err {
+                            message: format!("journal write failed: {e}"),
+                        });
+                    }
                     sessions.insert(id, SessionEntry { conn, epoch, at });
                     Ok(Frame::Ok)
                 }
                 Err(e) => {
                     sessions.remove(&id);
+                    // The reinstall failed after the old registration was
+                    // retracted: bring the durable state along (best
+                    // effort — the reply is already an error).
+                    let _ = journal_append(state, JournalRecord::Unsubscribe { at: at as u64, id });
                     Ok(Frame::Err {
                         message: e.to_string(),
                     })
@@ -668,10 +870,10 @@ fn handle_request(state: &DaemonState, conn: u64, request: Frame) -> Result<Fram
                 Some(entry) => {
                     sessions.remove(&id);
                     match state.network.unsubscribe(entry.at, id) {
-                        Ok(()) => Ok(Frame::Ok),
+                        Ok(()) => Ok(journalled_retract_ok(state, entry.at, id)),
                         Err(BrokerError::UnknownSubscription { .. }) => {
                             MetricCounters::bump(&counters.client_retries);
-                            Ok(Frame::Ok)
+                            Ok(journalled_retract_ok(state, entry.at, id))
                         }
                         Err(e) => Ok(Frame::Err {
                             message: e.to_string(),
@@ -679,11 +881,11 @@ fn handle_request(state: &DaemonState, conn: u64, request: Frame) -> Result<Fram
                     }
                 }
                 None => match state.network.unsubscribe(at, id) {
-                    Ok(()) => Ok(Frame::Ok),
+                    Ok(()) => Ok(journalled_retract_ok(state, at, id)),
                     // Already gone — a retried retraction is a success.
                     Err(BrokerError::UnknownSubscription { .. }) => {
                         MetricCounters::bump(&counters.client_retries);
-                        Ok(Frame::Ok)
+                        Ok(journalled_retract_ok(state, at, id))
                     }
                     Err(e) => Ok(Frame::Err {
                         message: e.to_string(),
@@ -696,7 +898,7 @@ fn handle_request(state: &DaemonState, conn: u64, request: Frame) -> Result<Fram
             match state.network.unsubscribe(at, id) {
                 Ok(()) => {
                     sessions.remove(&id);
-                    Ok(Frame::Ok)
+                    Ok(journalled_retract_ok(state, at, id))
                 }
                 Err(e) => Ok(Frame::Err {
                     message: e.to_string(),
@@ -822,7 +1024,7 @@ mod tests {
     }
 
     fn state_with(options: DaemonOptions) -> DaemonState {
-        DaemonState::new(test_network(CoveringPolicy::ExactSfc), options)
+        DaemonState::new(test_network(CoveringPolicy::ExactSfc), options).unwrap()
     }
 
     /// Encodes `frames` as one pipelined request stream.
@@ -864,6 +1066,84 @@ mod tests {
         client.unsubscribe(0, 1).unwrap();
         assert_eq!(client.publish(2, &hit).unwrap(), vec![]);
         assert_eq!(daemon.network().metrics().events_published, 3);
+    }
+
+    #[test]
+    fn data_dir_restores_subscriptions_after_graceful_restart() {
+        let dir = std::env::temp_dir().join(format!("acd-daemon-data-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let options = || DaemonOptions {
+            workers: 2,
+            data_dir: Some(dir.clone()),
+            ..DaemonOptions::default()
+        };
+        let mut daemon = BrokerDaemon::start_with(
+            test_network(CoveringPolicy::ExactSfc),
+            "127.0.0.1:0",
+            options(),
+        )
+        .unwrap();
+        let mut client = BrokerClient::connect(daemon.local_addr()).unwrap();
+        let schema = client.schema().clone();
+        let keep = SubscriptionBuilder::new(&schema)
+            .range("x", 10.0, 40.0)
+            .build(1)
+            .unwrap();
+        let gone = SubscriptionBuilder::new(&schema)
+            .range("x", 0.0, 90.0)
+            .build(2)
+            .unwrap();
+        client.subscribe(0, 7, &keep).unwrap();
+        client.subscribe(1, 8, &gone).unwrap();
+        client.unsubscribe(1, 2).unwrap();
+        // Graceful shutdown with the client still connected: the teardown
+        // retraction must NOT count as an unsubscribe — the registration
+        // belongs in the shutdown snapshot.
+        daemon.shutdown();
+        drop(daemon);
+        drop(client);
+
+        // A fresh daemon over the same directory serves the survivors.
+        let daemon = BrokerDaemon::start_with(
+            test_network(CoveringPolicy::ExactSfc),
+            "127.0.0.1:0",
+            options(),
+        )
+        .unwrap();
+        let mut client = BrokerClient::connect(daemon.local_addr()).unwrap();
+        let hit = Event::new(&schema, vec![25.0]).unwrap();
+        assert_eq!(
+            client.publish(2, &hit).unwrap(),
+            vec![(0, 7)],
+            "the subscription that was live at shutdown must be restored"
+        );
+        let miss = Event::new(&schema, vec![80.0]).unwrap();
+        assert_eq!(
+            client.publish(2, &miss).unwrap(),
+            vec![],
+            "the unsubscribed id must stay retracted across the restart"
+        );
+        // The restored registration is owned by no live connection, yet an
+        // ordinary unsubscribe retracts it — durably.
+        client.unsubscribe(0, 1).unwrap();
+        assert_eq!(client.publish(2, &hit).unwrap(), vec![]);
+        drop(client);
+        drop(daemon);
+        let daemon = BrokerDaemon::start_with(
+            test_network(CoveringPolicy::ExactSfc),
+            "127.0.0.1:0",
+            options(),
+        )
+        .unwrap();
+        let mut client = BrokerClient::connect(daemon.local_addr()).unwrap();
+        assert_eq!(
+            client.publish(2, &hit).unwrap(),
+            vec![],
+            "the retraction must be durable too"
+        );
+        drop(client);
+        drop(daemon);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

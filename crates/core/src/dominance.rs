@@ -115,6 +115,23 @@ impl<V: Clone, C: SpaceFillingCurve> PointDominanceIndex<V, C> {
         })
     }
 
+    /// Wraps an already-built array (e.g. one decoded from a durable
+    /// segment by `acd-storage`) without re-keying or re-sorting anything.
+    pub fn from_array(array: SfcArray<V, C>, config: ApproxConfig) -> Self {
+        let universe = array.curve().universe().clone();
+        PointDominanceIndex {
+            array,
+            universe,
+            config,
+        }
+    }
+
+    /// The underlying SFC array (read-only; used by the storage layer to
+    /// stream the sorted cells into a segment file).
+    pub fn array(&self) -> &SfcArray<V, C> {
+        &self.array
+    }
+
     /// The universe the indexed points live in.
     pub fn universe(&self) -> &Universe {
         &self.universe

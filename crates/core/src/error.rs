@@ -1,11 +1,13 @@
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use acd_sfc::SfcError;
+use acd_storage::StorageError;
 use acd_subscription::SubscriptionError;
 
 /// Error type for the covering-detection indexes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum CoveringError {
     /// The epsilon parameter of an approximate query is outside `(0, 1)`.
@@ -40,6 +42,30 @@ pub enum CoveringError {
     Subscription(SubscriptionError),
     /// An error bubbled up from the space-filling-curve substrate.
     Sfc(SfcError),
+    /// An error bubbled up from the durable segment storage layer
+    /// (`Arc`-wrapped so this enum stays `Clone` — `std::io::Error` is not).
+    Storage(Arc<StorageError>),
+}
+
+// Not derivable: `StorageError` carries an `std::io::Error`, which has no
+// equality. Storage errors compare by identity; every other variant keeps
+// its structural comparison.
+impl PartialEq for CoveringError {
+    fn eq(&self, other: &Self) -> bool {
+        use CoveringError::*;
+        match (self, other) {
+            (InvalidEpsilon { epsilon: a }, InvalidEpsilon { epsilon: b }) => a == b,
+            (InvalidShardCount { shards: a }, InvalidShardCount { shards: b }) => a == b,
+            (SchemaMismatch, SchemaMismatch) => true,
+            (UnknownSubscription { id: a }, UnknownSubscription { id: b }) => a == b,
+            (DuplicateSubscription { id: a }, DuplicateSubscription { id: b }) => a == b,
+            (InvalidPolicy { reason: a }, InvalidPolicy { reason: b }) => a == b,
+            (Subscription(a), Subscription(b)) => a == b,
+            (Sfc(a), Sfc(b)) => a == b,
+            (Storage(a), Storage(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for CoveringError {
@@ -68,6 +94,7 @@ impl fmt::Display for CoveringError {
             }
             CoveringError::Subscription(e) => write!(f, "subscription error: {e}"),
             CoveringError::Sfc(e) => write!(f, "space filling curve error: {e}"),
+            CoveringError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -77,6 +104,7 @@ impl Error for CoveringError {
         match self {
             CoveringError::Subscription(e) => Some(e),
             CoveringError::Sfc(e) => Some(e),
+            CoveringError::Storage(e) => Some(e.as_ref()),
             _ => None,
         }
     }
@@ -91,6 +119,24 @@ impl From<SubscriptionError> for CoveringError {
 impl From<SfcError> for CoveringError {
     fn from(e: SfcError) -> Self {
         CoveringError::Sfc(e)
+    }
+}
+
+impl From<StorageError> for CoveringError {
+    fn from(e: StorageError) -> Self {
+        CoveringError::Storage(Arc::new(e))
+    }
+}
+
+impl CoveringError {
+    /// The underlying storage error, if this is a storage failure. Callers
+    /// recovering from on-disk corruption match on
+    /// [`StorageError::is_corrupt`] through this accessor.
+    pub fn as_storage(&self) -> Option<&StorageError> {
+        match self {
+            CoveringError::Storage(e) => Some(e.as_ref()),
+            _ => None,
+        }
     }
 }
 

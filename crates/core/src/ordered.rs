@@ -34,6 +34,12 @@ use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 /// (which acquire `broker` and upward), so `session` sits at the very
 /// bottom of the hierarchy.
 pub const RANK_SESSION: u32 = 3;
+/// Rank of the daemon's durable subscription-journal lock (`journal`).
+/// Above [`RANK_SESSION`]: a journal append happens while the session entry
+/// is held (the ack must not race the durability write), and below
+/// [`RANK_BROKER`] so the handler can journal before or after running the
+/// overlay operation without ever inverting with it.
+pub const RANK_JOURNAL: u32 = 4;
 /// Rank of the per-broker overlay locks (`brokers`). Below every index rank:
 /// a broker decides forwarding by running covering-index operations (which
 /// acquire [`RANK_LAYOUT`] and upward) while its own lock is held, so the
@@ -53,6 +59,12 @@ pub const RANK_REGISTRY: u32 = 20;
 /// which stays below [`RANK_POLICY`] because shard counts are capped at
 /// [`crate::sharded::MAX_SHARDS`].
 pub const RANK_SHARD_BASE: u32 = 30;
+/// Rank of the segment-manager lock guarding a sharded index's attached
+/// data directory (generation counter + last committed manifest). Above
+/// every shard rank — a segment save walks the shard guards first — and
+/// below [`RANK_POLICY`]/[`RANK_STATS`] so rebalance can compact segments
+/// after its shard writes and still take policy and stats afterwards.
+pub const RANK_SEGMENTS: u32 = 95;
 /// Rank of the rebalance-policy lock.
 pub const RANK_POLICY: u32 = 100;
 /// Rank of the pool-policy lock (same class as [`RANK_POLICY`], ordered
@@ -69,11 +81,13 @@ pub const RANK_STATS: u32 = 110;
 pub fn rank_table() -> &'static [(u32, &'static str)] {
     &[
         (RANK_SESSION, "session"),
+        (RANK_JOURNAL, "journal"),
         (RANK_BROKER, "broker"),
         (RANK_NET_REGISTRY, "netreg"),
         (RANK_LAYOUT, "layout"),
         (RANK_REGISTRY, "registry"),
         (RANK_SHARD_BASE, "shard"),
+        (RANK_SEGMENTS, "segments"),
         (RANK_POLICY, "policy"),
         (RANK_STATS, "stats"),
     ]
@@ -114,8 +128,9 @@ mod tracking {
                         rank > top_rank,
                         "lock-order violation: acquiring `{name}` (rank {rank}) while \
                          holding `{top_name}` (rank {top_rank}); locks must be taken in \
-                         the order session → broker → netreg → layout → registry → \
-                         shards (ascending) → policy → stats — see LOCKING.md"
+                         the order session → journal → broker → netreg → layout → \
+                         registry → shards (ascending) → segments → policy → stats — \
+                         see LOCKING.md"
                     );
                 }
                 held.push((token, rank, name));

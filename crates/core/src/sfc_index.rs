@@ -16,8 +16,13 @@
 //! dramatically lower cost analysed in Theorem 3.1.
 
 use std::collections::HashMap;
+use std::path::Path;
 
 use acd_sfc::{CurveKind, GrayCurve, HilbertCurve, Point, Universe, ZCurve};
+use acd_storage::{
+    commit_file_name, curve_from_tag, curve_tag, latest_commit, prune, read_commit, segment_stem,
+    write_commit, CommitManifest, SegmentReader, SegmentWriter, ShardRef, StorageError,
+};
 use acd_subscription::{
     dominance_point, dominance_universe, mirrored_dominance_point, Schema, SubId, Subscription,
 };
@@ -434,6 +439,228 @@ impl SfcCoveringIndex {
         self.check_schema(query)?;
         self.covered_by_exact(query)
     }
+
+    /// Persists the index into `dir` as one immutable segment under a fresh
+    /// commit generation, then prunes files the new commit does not
+    /// reference. Crash-safe at every point: the generation becomes visible
+    /// only when its commit file lands (atomic rename), and the previous
+    /// generation's files are deleted only after that.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoveringError::Storage`] error if writing fails.
+    pub fn save_segments(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir).map_err(|e| StorageError::io(dir.display().to_string(), e))?;
+        let generation = latest_commit(dir)?.map_or(1, |(g, _)| g + 1);
+        let shard = self.write_segment(dir, &segment_stem(generation, 0), generation)?;
+        let manifest = CommitManifest {
+            generation,
+            curve_tag: curve_tag(self.curve),
+            schema_json: encode_json(&self.schema, dir)?,
+            config_json: encode_json(&self.config, dir)?,
+            starts: Vec::new(),
+            shards: vec![shard],
+        };
+        write_commit(dir, &manifest)?;
+        prune(dir, &manifest)?;
+        Ok(())
+    }
+
+    /// Reopens the most recent [`save_segments`](Self::save_segments)
+    /// generation in `dir` **without rebuilding anything**: the segment's
+    /// columns are already in curve order, so the dominance arrays are
+    /// gathered back with no keying pass and no sort.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NoCommit`] (wrapped in [`CoveringError::Storage`])
+    /// if the directory holds no commit; `CorruptSegment` on any
+    /// malformation of the files.
+    pub fn open_segments(dir: &Path) -> Result<Self> {
+        let Some((_, path)) = latest_commit(dir)? else {
+            return Err(StorageError::NoCommit {
+                dir: dir.display().to_string(),
+            }
+            .into());
+        };
+        let manifest = read_commit(&path)?;
+        if !manifest.starts.is_empty() || manifest.shards.len() != 1 {
+            return Err(StorageError::corrupt(
+                commit_file_name(manifest.generation),
+                format!(
+                    "commit describes a sharded layout ({} shards, {} boundaries); \
+                     open it with ShardedCoveringIndex::open_segments",
+                    manifest.shards.len(),
+                    manifest.starts.len()
+                ),
+            )
+            .into());
+        }
+        Self::open_shard_segment(dir, &manifest, &manifest.shards[0])
+    }
+
+    /// Streams this index into one segment file pair. Shared with the
+    /// sharded index, which writes one segment per shard.
+    pub(crate) fn write_segment(
+        &self,
+        dir: &Path,
+        stem: &str,
+        generation: u64,
+    ) -> Result<ShardRef> {
+        let mut writer = SegmentWriter::new(generation);
+        writer.subscriptions(self.schema.arity(), self.subscriptions.values());
+        match &self.forward {
+            Engine::Z(i) => writer.forward_array(i.array()),
+            Engine::Hilbert(i) => writer.forward_array(i.array()),
+            Engine::Gray(i) => writer.forward_array(i.array()),
+        }
+        match &self.mirrored {
+            Engine::Z(i) => writer.mirrored_array(i.array()),
+            Engine::Hilbert(i) => writer.mirrored_array(i.array()),
+            Engine::Gray(i) => writer.mirrored_array(i.array()),
+        }
+        Ok(writer.write(dir, stem)?)
+    }
+
+    /// Loads one shard's segment back into a full index. Shared with the
+    /// sharded index, which calls it once per manifest shard.
+    pub(crate) fn open_shard_segment(
+        dir: &Path,
+        manifest: &CommitManifest,
+        shard: &ShardRef,
+    ) -> Result<Self> {
+        let commit_name = commit_file_name(manifest.generation);
+        let schema: Schema = decode_json(&manifest.schema_json, &commit_name, "schema")?;
+        let config: ApproxConfig = decode_json(&manifest.config_json, &commit_name, "config")?;
+        let Some(curve) = curve_from_tag(manifest.curve_tag) else {
+            return Err(StorageError::corrupt(
+                &commit_name,
+                format!("unknown curve tag {}", manifest.curve_tag),
+            )
+            .into());
+        };
+        let reader = SegmentReader::open(dir, &shard.stem)?;
+        let data_file = format!("{}.dat", shard.stem);
+        // The commit re-pins each data file: a checksum-intact segment from
+        // a different save can never be substituted under a live commit.
+        if reader.meta.data_crc != shard.data_crc {
+            return Err(StorageError::corrupt(
+                &data_file,
+                "segment checksum disagrees with the commit manifest",
+            )
+            .into());
+        }
+        if reader.meta.sub_count != shard.entries {
+            return Err(StorageError::corrupt(
+                &data_file,
+                "segment entry count disagrees with the commit manifest",
+            )
+            .into());
+        }
+        if reader.meta.forward_entries != reader.meta.sub_count
+            || reader.meta.mirrored_entries != reader.meta.sub_count
+        {
+            return Err(StorageError::corrupt(
+                &data_file,
+                "array sections disagree with the subscription table",
+            )
+            .into());
+        }
+
+        // The three sections are independent once the reader has verified
+        // the envelopes and checksums, so the subscription table and the
+        // two dominance arrays decode on their own threads: a cold open's
+        // wall clock is the *longest* section, not the sum. (Restart time
+        // is the whole point of segments — a daemon is unavailable until
+        // this returns.)
+        let universe = dominance_universe(&schema)?;
+        let engine = |mirrored: bool| -> Result<Engine> {
+            Ok(match curve {
+                CurveKind::Z => Engine::Z(PointDominanceIndex::from_array(
+                    reader.array(mirrored, ZCurve::new(universe.clone()))?,
+                    config,
+                )),
+                CurveKind::Hilbert => Engine::Hilbert(PointDominanceIndex::from_array(
+                    reader.array(mirrored, HilbertCurve::new(universe.clone()))?,
+                    config,
+                )),
+                CurveKind::Gray => Engine::Gray(PointDominanceIndex::from_array(
+                    reader.array(mirrored, GrayCurve::new(universe.clone()))?,
+                    config,
+                )),
+            })
+        };
+        let decode_subscriptions = || -> Result<HashMap<SubId, Subscription>> {
+            let mut subscriptions = HashMap::with_capacity(reader.meta.sub_count as usize);
+            reader.for_each_subscription_row(|id, bounds| {
+                // Checksums catch accidents; a crafted checksum-valid file
+                // can still carry impossible bounds (wrong arity, inverted
+                // or out-of-domain ranges), which must surface as
+                // corruption rather than as a schema error.
+                // `from_raw_bounds` validates all of that without the
+                // per-attribute name lookups of the builder path.
+                let sub = Subscription::from_raw_bounds(&schema, id, bounds).map_err(|e| {
+                    StorageError::corrupt(&data_file, format!("stored bounds are invalid: {e}"))
+                })?;
+                if subscriptions.insert(id, sub).is_some() {
+                    return Err(StorageError::corrupt(
+                        &data_file,
+                        format!("duplicate subscription id {id}"),
+                    ));
+                }
+                Ok(())
+            })?;
+            Ok(subscriptions)
+        };
+        let (subscriptions, forward, mirrored) = std::thread::scope(|s| {
+            let forward = s.spawn(|| engine(false));
+            let mirrored = s.spawn(|| engine(true));
+            let subscriptions = decode_subscriptions();
+            (
+                subscriptions,
+                forward.join().expect("array decode does not panic"),
+                mirrored.join().expect("array decode does not panic"),
+            )
+        });
+        let (subscriptions, forward, mirrored) = (subscriptions?, forward?, mirrored?);
+        let stats = IndexStats {
+            inserts: subscriptions.len() as u64,
+            ..IndexStats::default()
+        };
+        Ok(SfcCoveringIndex {
+            schema,
+            config,
+            curve,
+            forward,
+            mirrored,
+            subscriptions,
+            stats,
+        })
+    }
+}
+
+/// JSON-encodes a manifest field; an encoding failure is an I/O-shaped
+/// defect of the save, not corruption.
+pub(crate) fn encode_json<T: serde::Serialize>(value: &T, dir: &Path) -> Result<String> {
+    serde_json::to_string(value).map_err(|e| {
+        StorageError::io(
+            dir.display().to_string(),
+            std::io::Error::other(format!("manifest field failed to encode: {e}")),
+        )
+        .into()
+    })
+}
+
+/// JSON-decodes a manifest field; parse failures are corruption of the
+/// commit file.
+pub(crate) fn decode_json<T: serde::Deserialize>(
+    json: &str,
+    commit_name: &str,
+    what: &str,
+) -> Result<T> {
+    serde_json::from_str(json).map_err(|e| {
+        StorageError::corrupt(commit_name, format!("{what} does not parse: {e}")).into()
+    })
 }
 
 impl CoveringIndex for SfcCoveringIndex {
@@ -823,6 +1050,98 @@ mod tests {
         // The approximate query never does more work than the exhaustive one
         // on the same state.
         assert!(approx_out.stats.runs_probed <= exhaustive_out.stats.runs_probed.max(1));
+    }
+
+    #[test]
+    fn segments_round_trip_identically_on_all_curves() {
+        let s = schema();
+        let subs = random_subs(&s, 150, 21);
+        let queries = random_subs(&s, 50, 22);
+        for curve in CurveKind::all() {
+            let mut built =
+                SfcCoveringIndex::build_from(&s, ApproxConfig::exhaustive(), curve, &subs).unwrap();
+            let dir = std::env::temp_dir().join(format!(
+                "acd-sfc-roundtrip-{}-{curve:?}",
+                std::process::id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            built.save_segments(&dir).unwrap();
+            let mut reopened = SfcCoveringIndex::open_segments(&dir).unwrap();
+            assert_eq!(reopened.len(), built.len());
+            assert_eq!(reopened.stats().inserts, built.stats().inserts);
+            assert_eq!(reopened.curve(), curve);
+            assert_eq!(reopened.schema(), &s);
+            assert_eq!(reopened.config(), built.config());
+            for q in &queries {
+                assert_eq!(
+                    built.find_covering(q).unwrap().is_covered(),
+                    reopened.find_covering(q).unwrap().is_covered(),
+                    "{curve:?} reopened index disagrees on {}",
+                    q.id()
+                );
+                let mut a = built.find_covered_by(q).unwrap();
+                let mut b = reopened.find_covered_by(q).unwrap();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{curve:?} covered-by disagrees on {}", q.id());
+            }
+            // The reopened index stays fully mutable.
+            let victim = subs[3].id();
+            reopened.remove(victim).unwrap();
+            assert!(!reopened.contains(victim));
+            reopened.insert(&subs[3]).unwrap();
+            assert!(reopened.contains(victim));
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn saves_are_generational_and_old_files_are_pruned() {
+        let s = schema();
+        let dir = std::env::temp_dir().join(format!("acd-sfc-gen-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let first = SfcCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            &random_subs(&s, 30, 1),
+        )
+        .unwrap();
+        first.save_segments(&dir).unwrap();
+        let second_subs = random_subs(&s, 45, 2);
+        let second = SfcCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            &second_subs,
+        )
+        .unwrap();
+        second.save_segments(&dir).unwrap();
+        // The newest generation wins and the first generation's files are
+        // gone.
+        let reopened = SfcCoveringIndex::open_segments(&dir).unwrap();
+        assert_eq!(reopened.len(), second_subs.len());
+        let seg_files = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("seg-")
+            })
+            .count();
+        assert_eq!(seg_files, 2, "one .dat + one .meta for the live generation");
+        // An empty directory is a typed NoCommit error, not a panic.
+        let empty = std::env::temp_dir().join(format!("acd-sfc-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = SfcCoveringIndex::open_segments(&empty).unwrap_err();
+        assert!(matches!(
+            err.as_storage(),
+            Some(acd_storage::StorageError::NoCommit { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&empty).ok();
     }
 
     #[test]

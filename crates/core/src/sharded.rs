@@ -62,10 +62,15 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Once, OnceLock};
 
 use acd_sfc::{CurveKind, Key, SpaceFillingCurve};
+use acd_storage::{
+    commit_file_name, curve_from_tag, curve_tag, latest_commit, prune, read_commit, segment_stem,
+    write_commit, CommitManifest, StorageError,
+};
 use acd_subscription::{dominance_point, dominance_universe, Schema, SubId, Subscription};
 
 use crate::config::ApproxConfig;
@@ -73,12 +78,12 @@ use crate::error::CoveringError;
 use crate::index::CoveringIndex;
 use crate::ordered::{
     OrderedMutex, OrderedRwLock, RANK_LAYOUT, RANK_POLICY, RANK_POOL_POLICY, RANK_REGISTRY,
-    RANK_SHARD_BASE, RANK_STATS,
+    RANK_SEGMENTS, RANK_SHARD_BASE, RANK_STATS,
 };
 use crate::policy::{PoolPolicy, RebalancePolicy};
 use crate::pool::QueryPool;
 use crate::rebalance::{imbalance_of, quantile_starts, shard_of_prefix, RebalanceOutcome};
-use crate::sfc_index::SfcCoveringIndex;
+use crate::sfc_index::{decode_json, encode_json, SfcCoveringIndex};
 use crate::stats::{IndexStats, QueryOutcome, QueryStats};
 use crate::Result;
 
@@ -200,6 +205,18 @@ pub struct ShardedCoveringIndex {
     /// (a pool job panicked and never reported); logging only the first
     /// occurrence keeps a sick pool from flooding stderr.
     fallback_logged: Once,
+    /// The attached durable-segment directory, if the index was saved to or
+    /// opened from one: the directory path plus the last committed manifest
+    /// (whose shard refs a compaction reuses for clean shards). Rank
+    /// [`RANK_SEGMENTS`]: taken after all shard guards, before `stats`.
+    segments: OrderedMutex<Option<SegmentAttachment>>,
+}
+
+/// See [`ShardedCoveringIndex::save_segments`].
+#[derive(Debug)]
+struct SegmentAttachment {
+    dir: PathBuf,
+    manifest: CommitManifest,
 }
 
 /// See [`ShardedCoveringIndex::set_pool_policy`].
@@ -353,6 +370,7 @@ impl ShardedCoveringIndex {
             pool: OnceLock::new(),
             pool_policy: OrderedMutex::new(RANK_POOL_POLICY, "policy", PoolPolicyState::default()),
             fallback_logged: Once::new(),
+            segments: OrderedMutex::new(RANK_SEGMENTS, "segments", None),
         })
     }
 
@@ -621,7 +639,7 @@ impl ShardedCoveringIndex {
     ///
     /// Answers and the stats invariant match the serial sweep exactly: every
     /// query visits the same ascending shard range
-    /// ([`covering_candidates`](Self::covering_candidates)) and retires at
+    /// (`covering_candidates`) and retires at
     /// its first hit, and each query's merged counters are the sums of its
     /// per-shard counters (`volume_fraction_searched` their maximum). The
     /// batched kernel may *reduce* per-query probe work inside a shard
@@ -882,6 +900,127 @@ impl ShardedCoveringIndex {
         Ok(ids)
     }
 
+    /// Persists every shard into `dir` as one immutable segment each, under
+    /// a fresh commit generation, and **attaches** the index to the
+    /// directory: subsequent [`rebalance`](Self::rebalance) passes compact
+    /// incrementally — only shards whose membership changed are rewritten,
+    /// clean shards keep their existing files under the new commit.
+    ///
+    /// Runs under the read side of the layout and shard locks, so concurrent
+    /// queries proceed; concurrent writers wait for the snapshot to finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoveringError::Storage`] error if writing fails; a
+    /// failed save leaves the previous generation fully readable.
+    pub fn save_segments(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir).map_err(|e| StorageError::io(dir.display().to_string(), e))?;
+        let starts = self.starts.read();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let mut segments = self.segments.lock();
+        let generation = latest_commit(dir)?.map_or(1, |(g, _)| g + 1);
+        let mut shards = Vec::with_capacity(guards.len());
+        for (i, guard) in guards.iter().enumerate() {
+            shards.push(guard.write_segment(dir, &segment_stem(generation, i), generation)?);
+        }
+        let manifest = CommitManifest {
+            generation,
+            curve_tag: curve_tag(self.curve),
+            schema_json: encode_json(&self.schema, dir)?,
+            config_json: encode_json(&self.config, dir)?,
+            starts: starts.clone(),
+            shards,
+        };
+        write_commit(dir, &manifest)?;
+        prune(dir, &manifest)?;
+        *segments = Some(SegmentAttachment {
+            dir: dir.to_owned(),
+            manifest,
+        });
+        Ok(())
+    }
+
+    /// Reopens the most recent [`save_segments`](Self::save_segments)
+    /// generation in `dir` without rebuilding: each shard's arrays are
+    /// gathered straight from its segment's sorted columns (no keying pass,
+    /// no sort), the registry is refilled from the loaded shards, and the
+    /// index comes back attached to `dir` for incremental compaction.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NoCommit`] if the directory holds no commit;
+    /// `CorruptSegment` on any malformation, including a subscription
+    /// filed in a shard its key does not route to.
+    pub fn open_segments(dir: &Path) -> Result<Self> {
+        let Some((_, path)) = latest_commit(dir)? else {
+            return Err(StorageError::NoCommit {
+                dir: dir.display().to_string(),
+            }
+            .into());
+        };
+        let manifest = read_commit(&path)?;
+        let commit_name = commit_file_name(manifest.generation);
+        if manifest.starts.len() != manifest.shards.len()
+            || manifest.starts.first() != Some(&0)
+            || !manifest.starts.windows(2).all(|w| w[0] <= w[1])
+            || manifest.shards.len() > MAX_SHARDS
+        {
+            return Err(StorageError::corrupt(
+                &commit_name,
+                format!(
+                    "commit's shard layout is unusable ({} shards, {} boundaries)",
+                    manifest.shards.len(),
+                    manifest.starts.len()
+                ),
+            )
+            .into());
+        }
+        let schema: Schema = decode_json(&manifest.schema_json, &commit_name, "schema")?;
+        let config: ApproxConfig = decode_json(&manifest.config_json, &commit_name, "config")?;
+        let Some(curve) = curve_from_tag(manifest.curve_tag) else {
+            return Err(StorageError::corrupt(
+                &commit_name,
+                format!("unknown curve tag {}", manifest.curve_tag),
+            )
+            .into());
+        };
+        let index = Self::with_boundaries(&schema, config, curve, manifest.starts.clone())?;
+        {
+            let starts = index.starts.read();
+            let mut registry = index.registry.lock();
+            for (i, shard_ref) in manifest.shards.iter().enumerate() {
+                let loaded = SfcCoveringIndex::open_shard_segment(dir, &manifest, shard_ref)?;
+                for sub in loaded.subscriptions() {
+                    // A checksum-valid commit could still file a
+                    // subscription in a shard its key does not route to,
+                    // which would make queries silently wrong — the one
+                    // thing a load must never be.
+                    let prefix = index.prefix_of(sub)?;
+                    if shard_of_prefix(&starts, prefix) != i {
+                        return Err(StorageError::corrupt(
+                            format!("{}.dat", shard_ref.stem),
+                            format!("subscription {} does not route to shard {i}", sub.id()),
+                        )
+                        .into());
+                    }
+                    if registry.insert(sub.id(), i as u32).is_some() {
+                        return Err(StorageError::corrupt(
+                            format!("{}.dat", shard_ref.stem),
+                            format!("subscription {} appears in two shards", sub.id()),
+                        )
+                        .into());
+                    }
+                }
+                *index.shards[i].write() = loaded;
+            }
+        }
+        *index.segments.lock() = Some(SegmentAttachment {
+            dir: dir.to_owned(),
+            manifest,
+        });
+        Ok(index)
+    }
+
     /// Re-cuts the shard boundaries to the current population's key
     /// quantiles, migrating subscriptions whose shard changed. Runs under a
     /// brief global write pause (the layout lock held for write plus every
@@ -972,6 +1111,45 @@ impl ShardedCoveringIndex {
             registry.insert(*id, *shard);
         }
         *starts = new_starts;
+
+        // LSM-style compaction of the attached data directory: only the
+        // shards whose membership changed get fresh segment files; clean
+        // shards are re-referenced from the new commit unchanged, and the
+        // superseded generation's files are pruned only after the new
+        // commit has landed. Runs while the shard guards are still held so
+        // the files match exactly what was committed in memory. A storage
+        // failure here is surfaced to the caller, but the in-memory
+        // rebalance above has already committed and the directory still
+        // holds its previous fully-readable generation.
+        let mut segments = self.segments.lock();
+        if let Some(attachment) = segments.as_mut() {
+            let generation = attachment.manifest.generation + 1;
+            let mut shard_refs = Vec::with_capacity(shard_count);
+            for (i, guard) in guards.iter().enumerate() {
+                if dirty[i] {
+                    shard_refs.push(guard.write_segment(
+                        &attachment.dir,
+                        &segment_stem(generation, i),
+                        generation,
+                    )?);
+                } else {
+                    shard_refs.push(attachment.manifest.shards[i].clone());
+                }
+            }
+            let manifest = CommitManifest {
+                generation,
+                curve_tag: curve_tag(self.curve),
+                schema_json: encode_json(&self.schema, &attachment.dir)?,
+                config_json: encode_json(&self.config, &attachment.dir)?,
+                starts: starts.clone(),
+                shards: shard_refs,
+            };
+            write_commit(&attachment.dir, &manifest)?;
+            prune(&attachment.dir, &manifest)?;
+            attachment.manifest = manifest;
+        }
+        drop(segments);
+
         let lens_after: Vec<usize> = guards.iter().map(|g| g.len()).collect();
         let outcome = RebalanceOutcome {
             moved: moved.len(),
@@ -1397,6 +1575,87 @@ mod tests {
             ),
             Err(CoveringError::DuplicateSubscription { .. })
         ));
+    }
+
+    #[test]
+    fn sharded_segments_round_trip_and_rebalance_compacts() {
+        let s = schema();
+        let subs = random_subs(&s, 300, 31);
+        let queries = random_subs(&s, 60, 32);
+        let index = ShardedCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            4,
+            &subs,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("acd-sharded-seg-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        index.save_segments(&dir).unwrap();
+
+        let reopened = ShardedCoveringIndex::open_segments(&dir).unwrap();
+        assert_eq!(reopened.len(), index.len());
+        assert_eq!(reopened.boundaries(), index.boundaries());
+        assert_eq!(reopened.shard_lens(), index.shard_lens());
+        assert_eq!(
+            ShardedCoveringIndex::stats(&reopened).inserts,
+            subs.len() as u64
+        );
+        for q in &queries {
+            assert_eq!(
+                reopened.find_covering_ref(q).unwrap().is_covered(),
+                index.find_covering_ref(q).unwrap().is_covered(),
+                "reopened sharded index disagrees on {}",
+                q.id()
+            );
+            let mut a = reopened.find_covered_by_ref(q).unwrap();
+            let mut b = index.find_covered_by_ref(q).unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+
+        // Drift the reopened (attached) index and rebalance: the pass must
+        // compact the changed shards into a fresh generation on disk, and
+        // reopening that generation must reflect the post-rebalance state.
+        let drifted = corner_subs(&s, 150, 20_000, 33);
+        for sub in &drifted {
+            reopened.insert(sub).unwrap();
+        }
+        for sub in subs.iter().take(250) {
+            reopened.remove(sub.id()).unwrap();
+        }
+        let outcome = reopened.rebalance().unwrap();
+        assert!(outcome.changed(), "{outcome:?}");
+        let after = ShardedCoveringIndex::open_segments(&dir).unwrap();
+        assert_eq!(after.len(), reopened.len());
+        assert_eq!(after.boundaries(), reopened.boundaries());
+        for sub in &drifted {
+            assert!(after.contains(sub.id()));
+        }
+        for q in queries.iter().chain(drifted.iter().take(10)) {
+            assert_eq!(
+                after.find_covering_ref(q).unwrap().is_covered(),
+                reopened.find_covering_ref(q).unwrap().is_covered(),
+                "compacted generation disagrees on {}",
+                q.id()
+            );
+        }
+        // Exactly one commit and one .dat/.meta pair per shard survive.
+        let mut commits = 0;
+        let mut dats = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+            if name.starts_with("commit-") {
+                commits += 1;
+            } else if name.ends_with(".dat") {
+                dats += 1;
+            }
+        }
+        assert_eq!(commits, 1, "old generations must be pruned");
+        assert_eq!(dats, 4, "one data file per shard");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

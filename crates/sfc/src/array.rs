@@ -458,6 +458,85 @@ impl<V, C: SpaceFillingCurve> SfcArray<V, C> {
         })
     }
 
+    /// Bulk-builds the array from entries **already in curve-key order**,
+    /// each carrying its packed ≤128-bit key: no keying, no sort — one
+    /// gather pass straight into the flat layout. This is the segment-load
+    /// fast path of the storage layer: a segment file stores exactly the
+    /// stream [`sorted_cells`](SfcArray::sorted_cells) exported, so opening
+    /// it skips the two costs that dominate
+    /// [`from_sorted`](SfcArray::from_sorted) (the per-point keying pass and
+    /// the sort).
+    ///
+    /// Every entry is still validated — the point must lie inside the
+    /// curve's universe and the packed key must fit its width — so a
+    /// corrupt-but-checksum-valid batch cannot construct a malformed array.
+    /// The keys are **trusted** to be the curve keys of their points (the
+    /// storage layer guards this with its checksums); duplicate keys group
+    /// into one cell in batch order, exactly as `from_sorted` would.
+    ///
+    /// Accepts any iterator so the segment loader can stream decoded rows
+    /// straight off its column slices — cold open never materializes an
+    /// intermediate entry vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the universe's keys exceed 128 bits, a key
+    /// decreases ([`crate::SfcError::UnsortedBatch`]), a key does not fit
+    /// the universe's width, or a point lies outside the universe.
+    pub fn from_sorted_packed<I>(curve: C, entries: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (u128, Point, V)>,
+    {
+        let universe = curve.universe().clone();
+        let bits = universe.key_bits();
+        if bits > 128 {
+            return Err(crate::SfcError::KeyLengthMismatch {
+                expected: bits,
+                actual: 128,
+            });
+        }
+        let entries = entries.into_iter();
+        let mut main = Level::new(true);
+        let (reserve, _) = entries.size_hint();
+        main.keys.reserve(reserve);
+        main.buckets.reserve(reserve);
+        main.packed.reserve(reserve);
+        let mut prev = 0u128;
+        let mut len = 0usize;
+        for (index, (packed, point, value)) in entries.enumerate() {
+            if bits < 128 && packed >> bits != 0 {
+                return Err(crate::SfcError::KeyLengthMismatch {
+                    expected: bits,
+                    actual: 128 - packed.leading_zeros(),
+                });
+            }
+            if packed < prev {
+                return Err(crate::SfcError::UnsortedBatch { index });
+            }
+            prev = packed;
+            universe.validate_point(&point)?;
+            main.push_packed_grouped(packed, bits, SfcEntry { point, value });
+            len += 1;
+        }
+        Ok(SfcArray {
+            curve,
+            main,
+            staging: Staging::new(true),
+            len,
+        })
+    }
+
+    /// All occupied cells in key order, merged across the two levels: each
+    /// item is the cell's key plus the entries stored there. This is the
+    /// column-wise export stream consumed by segment persistence — the same
+    /// order [`from_sorted_packed`](SfcArray::from_sorted_packed) accepts
+    /// back, so a save/load round trip never re-sorts. Because the view
+    /// merges staging into the stream, saving through it *flushes* the
+    /// staging level: the reloaded array is fully compacted.
+    pub fn sorted_cells(&self) -> impl Iterator<Item = (&Key, &[SfcEntry<V>])> {
+        self.cells().map(|(key, entries)| (key, entries.as_slice()))
+    }
+
     /// The curve that orders this array.
     pub fn curve(&self) -> &C {
         &self.curve

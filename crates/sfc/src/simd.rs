@@ -65,7 +65,7 @@ pub fn count_below_u128x4(xs: &[u128], v: u128) -> usize {
 }
 
 /// First index into sorted `xs` whose element is ≥ `v`: binary search
-/// narrowed to a [`LANE_WINDOW`], finished with one lane count. Equivalent
+/// narrowed to a `LANE_WINDOW`, finished with one lane count. Equivalent
 /// to `xs.partition_point(|&x| x < v)`.
 // acd-lint: hot
 pub fn lower_bound_u64(xs: &[u64], v: u64) -> usize {

@@ -260,6 +260,10 @@ impl Point {
     /// allocation-free when `dims` fits the inline buffer. The hot-path
     /// constructor for derived points (dominance transforms, mirrors).
     ///
+    /// `f` is called exactly once per dimension, in ascending order —
+    /// callers may drive a stateful iterator from it (the segment decoder
+    /// streams coordinates off a column slice this way).
+    ///
     /// # Panics
     ///
     /// Panics in debug builds if `dims` is zero.

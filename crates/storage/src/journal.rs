@@ -1,0 +1,430 @@
+//! The broker daemon's subscription journal and snapshot.
+//!
+//! The journal (`journal.acd`) is an **append-only** record log: each
+//! accepted subscribe/unsubscribe is encoded as a length-prefixed,
+//! CRC-framed record and flushed before the daemon acknowledges the
+//! request, so a kill -9 can lose at most operations that were never
+//! acked. On restart the journal is replayed up to its **durable prefix**:
+//! replay stops at the first truncated or corrupt record (a torn tail
+//! from a crash mid-append is expected, not an error) and the file is
+//! truncated back to that prefix so subsequent appends never interleave
+//! with garbage. This prefix-tolerance is deliberately looser than the
+//! segment codec's all-or-nothing discipline — a journal's tail is the
+//! one place where a half-written record is a normal crash artifact.
+//!
+//! The snapshot (`snapshot.acd`) compacts the journal on graceful
+//! shutdown: the live subscription set is written as one
+//! checksummed-envelope file (temp + rename, so it is never seen
+//! half-written) and the journal is reset. Start-up state is
+//! `snapshot ∘ journal`: load the snapshot if present, then replay the
+//! journal tail over it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use acd_subscription::SubId;
+
+use crate::codec::{self, file_kind, Cursor};
+use crate::error::StorageError;
+use crate::Result;
+
+/// One journaled operation. Broker and client identifiers travel as raw
+/// `u64`s so the storage layer stays independent of the broker crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A subscription was registered (or re-registered) at a broker.
+    Subscribe {
+        /// Broker the subscription is registered at.
+        at: u64,
+        /// The owning client.
+        client: u64,
+        /// Network-unique subscription identifier.
+        id: SubId,
+        /// Per-attribute `[lo, hi]` ranges in schema attribute order.
+        bounds: Vec<(f64, f64)>,
+    },
+    /// A subscription was retracted.
+    Unsubscribe {
+        /// Broker the subscription was registered at.
+        at: u64,
+        /// The identifier that was retracted.
+        id: SubId,
+    },
+}
+
+mod record_kind {
+    pub const SUBSCRIBE: u8 = 1;
+    pub const UNSUBSCRIBE: u8 = 2;
+}
+
+fn encode_record(record: &JournalRecord, out: &mut Vec<u8>) {
+    out.clear();
+    // Record envelope: payload_len u32 | payload | crc32 over the payload.
+    out.extend_from_slice(&[0, 0, 0, 0]);
+    match record {
+        JournalRecord::Subscribe {
+            at,
+            client,
+            id,
+            bounds,
+        } => {
+            out.push(record_kind::SUBSCRIBE);
+            out.extend_from_slice(&at.to_le_bytes());
+            out.extend_from_slice(&client.to_le_bytes());
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(bounds.len() as u32).to_le_bytes());
+            for (lo, hi) in bounds {
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+        }
+        JournalRecord::Unsubscribe { at, id } => {
+            out.push(record_kind::UNSUBSCRIBE);
+            out.extend_from_slice(&at.to_le_bytes());
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+    let payload_len = (out.len() - 4) as u32;
+    let (len_field, payload) = out.split_at_mut(4);
+    len_field.copy_from_slice(&payload_len.to_le_bytes());
+    let crc = codec::crc32(payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Decodes the records in `buf`, stopping at the durable prefix. Returns
+/// the records and the byte length of the prefix they occupy.
+fn decode_records(buf: &[u8], file: &str) -> (Vec<JournalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while let Some(len_bytes) = buf.get(at..at + 4) {
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("slice of 4")) as usize;
+        let Some(payload) = buf.get(at + 4..at + 4 + len) else {
+            break;
+        };
+        let Some(crc_bytes) = buf.get(at + 4 + len..at + 8 + len) else {
+            break;
+        };
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("slice of 4"));
+        if stored != codec::crc32(payload) {
+            break;
+        }
+        let Ok(record) = decode_payload(payload, file) else {
+            break;
+        };
+        records.push(record);
+        at += 8 + len;
+    }
+    (records, at)
+}
+
+fn decode_payload(payload: &[u8], file: &str) -> Result<JournalRecord> {
+    let mut c = Cursor::new(payload, file);
+    let record = match c.take_u8()? {
+        record_kind::SUBSCRIBE => {
+            let at = c.take_u64()?;
+            let client = c.take_u64()?;
+            let id = c.take_u64()?;
+            let n = c.take_u32()? as usize;
+            c.check_remaining(n, 16)?;
+            let mut bounds = Vec::with_capacity(n);
+            for _ in 0..n {
+                bounds.push((c.take_f64()?, c.take_f64()?));
+            }
+            JournalRecord::Subscribe {
+                at,
+                client,
+                id,
+                bounds,
+            }
+        }
+        record_kind::UNSUBSCRIBE => JournalRecord::Unsubscribe {
+            at: c.take_u64()?,
+            id: c.take_u64()?,
+        },
+        other => {
+            return Err(StorageError::corrupt(
+                file,
+                format!("unknown journal record kind {other}"),
+            ))
+        }
+    };
+    c.finish()?;
+    Ok(record)
+}
+
+/// The append-only subscription journal.
+pub struct SubscriptionJournal {
+    file: File,
+    path: PathBuf,
+    scratch: Vec<u8>,
+}
+
+impl std::fmt::Debug for SubscriptionJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubscriptionJournal")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl SubscriptionJournal {
+    /// Opens (creating if absent) the journal at `path` and replays its
+    /// durable prefix. A torn or corrupt tail is truncated away — the
+    /// returned records are exactly what survives — but a malformed
+    /// *header* means the file is not a journal at all and is a typed
+    /// error, never silently clobbered.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] on filesystem failure;
+    /// [`StorageError::CorruptSegment`] / [`StorageError::UnsupportedVersion`]
+    /// if an existing file's header is not a valid journal header.
+    pub fn open(path: &Path) -> Result<(Self, Vec<JournalRecord>)> {
+        let display = path.display().to_string();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StorageError::io(&display, e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| StorageError::io(&display, e))?;
+
+        let records = if bytes.is_empty() {
+            let header = codec::begin_file(file_kind::JOURNAL, 0);
+            file.write_all(&header)
+                .and_then(|()| file.flush())
+                .map_err(|e| StorageError::io(&display, e))?;
+            Vec::new()
+        } else {
+            if bytes.len() < codec::HEADER_LEN {
+                return Err(StorageError::corrupt(
+                    &display,
+                    "journal shorter than its header",
+                ));
+            }
+            codec::check_index_header(
+                // The journal has no footer; validate the header fields
+                // against a synthetic minimal envelope length.
+                &pad_for_header_check(&bytes),
+                file_kind::JOURNAL,
+                &display,
+            )?;
+            let body = bytes.get(codec::HEADER_LEN..).unwrap_or_default();
+            let (replayed, durable) = decode_records(body, &display);
+            let durable_end = (codec::HEADER_LEN + durable) as u64;
+            if durable_end < bytes.len() as u64 {
+                file.set_len(durable_end)
+                    .map_err(|e| StorageError::io(&display, e))?;
+            }
+            file.seek(SeekFrom::Start(durable_end))
+                .map_err(|e| StorageError::io(&display, e))?;
+            replayed
+        };
+        Ok((
+            SubscriptionJournal {
+                file,
+                path: path.to_owned(),
+                scratch: Vec::new(),
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record and flushes it to the operating system before
+    /// returning, so an acknowledgement sent after this call survives the
+    /// death of the process.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] if the write fails.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        encode_record(record, &mut scratch);
+        let outcome = self
+            .file
+            .write_all(&scratch)
+            .and_then(|()| self.file.flush());
+        self.scratch = scratch;
+        outcome.map_err(|e| StorageError::io(self.path.display().to_string(), e))
+    }
+
+    /// Resets the journal to empty (header only). Called after the live
+    /// set has been compacted into a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] if the truncation fails.
+    pub fn reset(&mut self) -> Result<()> {
+        let display = self.path.display().to_string();
+        self.file
+            .set_len(codec::HEADER_LEN as u64)
+            .and_then(|_| self.file.seek(SeekFrom::Start(codec::HEADER_LEN as u64)))
+            .map(|_| ())
+            .map_err(|e| StorageError::io(&display, e))
+    }
+}
+
+/// `check_index_header` insists on room for a footer because every other
+/// storage file has one; the journal does not. Hand it the real header
+/// padded to the minimum envelope length.
+fn pad_for_header_check(bytes: &[u8]) -> Vec<u8> {
+    let (head, _) = bytes.split_at(codec::HEADER_LEN.min(bytes.len()));
+    let mut padded = head.to_vec();
+    padded.resize(codec::HEADER_LEN + codec::FOOTER_LEN, 0);
+    padded
+}
+
+/// Atomically writes the live subscription set as a snapshot file.
+///
+/// # Errors
+///
+/// [`StorageError::Io`] if the write fails.
+pub fn write_snapshot(path: &Path, records: &[JournalRecord]) -> Result<()> {
+    let mut out = codec::begin_file(file_kind::SNAPSHOT, 0);
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    let mut scratch = Vec::new();
+    for record in records {
+        encode_record(record, &mut scratch);
+        out.extend_from_slice(&scratch);
+    }
+    let out = codec::finish_file(out);
+    codec::write_atomic(path, &out)
+}
+
+/// Reads a snapshot file back; `Ok(None)` if it does not exist.
+///
+/// Unlike the journal, a snapshot is written atomically, so any
+/// malformation inside it is real corruption and surfaces as a typed
+/// error — never as a silently shortened subscription set.
+///
+/// # Errors
+///
+/// [`StorageError::Io`] / [`StorageError::CorruptSegment`] as above.
+pub fn read_snapshot(path: &Path) -> Result<Option<Vec<JournalRecord>>> {
+    let display = path.display().to_string();
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StorageError::io(&display, e)),
+    };
+    let (_, payload) = codec::open_envelope(&bytes, file_kind::SNAPSHOT, &display)?;
+    let mut c = Cursor::new(payload, &display);
+    let count = c.take_u64()?;
+    let count = usize::try_from(count)
+        .map_err(|_| StorageError::corrupt(&display, "record count exceeds the address space"))?;
+    c.check_remaining(count, 8 + 1)?;
+    let rest = c.take(c.remaining())?;
+    let (records, used) = decode_records(rest, &display);
+    if records.len() != count || used != rest.len() {
+        return Err(StorageError::corrupt(
+            &display,
+            format!(
+                "snapshot claims {count} records but {} decode cleanly",
+                records.len()
+            ),
+        ));
+    }
+    Ok(Some(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Subscribe {
+                at: 0,
+                client: 7,
+                id: 100,
+                bounds: vec![(0.0, 1.0), (-3.5, 2.25)],
+            },
+            JournalRecord::Unsubscribe { at: 0, id: 100 },
+            JournalRecord::Subscribe {
+                at: 2,
+                client: 8,
+                id: 101,
+                bounds: vec![(10.0, 20.0), (30.0, 40.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn journal_replays_what_was_appended() {
+        let path = std::env::temp_dir().join(format!("acd-journal-{}.acd", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let (mut journal, replayed) = SubscriptionJournal::open(&path).unwrap();
+        assert!(replayed.is_empty());
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        drop(journal);
+        let (_, replayed) = SubscriptionJournal::open(&path).unwrap();
+        assert_eq!(replayed, sample_records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_the_durable_prefix() {
+        let path =
+            std::env::temp_dir().join(format!("acd-journal-torn-{}.acd", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let (mut journal, _) = SubscriptionJournal::open(&path).unwrap();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        drop(journal);
+        // Simulate a crash mid-append: chop bytes off the last record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (mut journal, replayed) = SubscriptionJournal::open(&path).unwrap();
+        assert_eq!(replayed, sample_records()[..2].to_vec());
+        // The truncated journal stays appendable and consistent.
+        journal
+            .append(&JournalRecord::Unsubscribe { at: 1, id: 55 })
+            .unwrap();
+        drop(journal);
+        let (_, replayed) = SubscriptionJournal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[2], JournalRecord::Unsubscribe { at: 1, id: 55 });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_rejects_corruption() {
+        let path = std::env::temp_dir().join(format!("acd-snap-{}.acd", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        assert!(read_snapshot(&path).unwrap().is_none());
+        write_snapshot(&path, &sample_records()).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap().unwrap(), sample_records());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_snapshot(&path).unwrap_err().is_corrupt());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_empties_the_journal() {
+        let path =
+            std::env::temp_dir().join(format!("acd-journal-reset-{}.acd", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let (mut journal, _) = SubscriptionJournal::open(&path).unwrap();
+        journal
+            .append(&JournalRecord::Unsubscribe { at: 0, id: 1 })
+            .unwrap();
+        journal.reset().unwrap();
+        journal
+            .append(&JournalRecord::Unsubscribe { at: 0, id: 2 })
+            .unwrap();
+        drop(journal);
+        let (_, replayed) = SubscriptionJournal::open(&path).unwrap();
+        assert_eq!(replayed, vec![JournalRecord::Unsubscribe { at: 0, id: 2 }]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,61 @@
+//! Durable segment storage for the SFC covering index.
+//!
+//! This crate persists bulk-built [`acd_sfc::SfcArray`]s as **immutable
+//! segment files**, in the discipline of a search-engine index codec:
+//!
+//! * every file opens with a versioned header (magic, codec version, file
+//!   kind, generation) and closes with a CRC-32 footer over everything
+//!   before it — [`check_index_header`] / [`check_footer`] bracket every
+//!   read, and nothing between an unverified header and an unverified
+//!   footer is ever interpreted;
+//! * each segment is a **pair** of files: a thin `.meta` file describing
+//!   the fat `.dat` file (its length, its checksum, its entry counts). The
+//!   meta's generation and recorded checksum must match the data file
+//!   exactly, so a meta paired with the wrong data — or a data file
+//!   rewritten behind the meta's back — is a typed
+//!   [`StorageError::CorruptSegment`], never a silently wrong index;
+//! * the `.dat` payload is **column-wise**: the sorted packed `u128` key
+//!   mirror, the point coordinates, and the values are stored as three
+//!   contiguous columns in key order, so a segment loads back through
+//!   [`acd_sfc::SfcArray::from_sorted_packed`] — a single gather pass, no
+//!   keying, no re-sort;
+//! * a **generation commit file** makes multi-file states atomic: segment
+//!   files are written first (to fresh names), then the commit manifest
+//!   referencing them lands via write-to-temp + rename. Readers open the
+//!   highest-numbered commit; files not referenced by it are garbage from
+//!   an interrupted save and are pruned on the next successful commit.
+//!   Old segment files are deleted only *after* the new generation's
+//!   commit file lands — a crash at any point leaves the previous
+//!   generation fully readable.
+//!
+//! Alongside the segment codec, the crate carries the broker daemon's
+//! [`SubscriptionJournal`]: an append-only log of subscribe/unsubscribe
+//! records with a per-record CRC, replayed up to its durable prefix on
+//! restart, plus an atomically-written snapshot that compacts the journal
+//! on graceful shutdown.
+//!
+//! Everything is hand-rolled little-endian (the build environment vendors
+//! no serialization crates); the codec style — const-fn CRC-32 table,
+//! bounds-checked cursor, typed errors and no panics on untrusted bytes —
+//! follows the broker's wire protocol (`acd-broker`'s `wire.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod commit;
+mod error;
+mod journal;
+mod segment;
+
+pub use codec::{check_footer, check_index_header, crc32, file_kind, MAGIC, VERSION};
+pub use commit::{
+    commit_file_name, latest_commit, prune, read_commit, segment_stem, write_commit,
+    CommitManifest, ShardRef,
+};
+pub use error::StorageError;
+pub use journal::{read_snapshot, write_snapshot, JournalRecord, SubscriptionJournal};
+pub use segment::{curve_from_tag, curve_tag, SegmentMeta, SegmentReader, SegmentWriter};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -80,6 +80,47 @@ impl Subscription {
         })
     }
 
+    /// Builds a subscription directly from per-attribute raw bounds in
+    /// schema declaration order — the bulk-reload fast path (segment opens,
+    /// rebuild baselines): no predicate list, no attribute-name lookups.
+    ///
+    /// Validation is not relaxed: the arity must match the schema, every
+    /// range must be non-empty, and every bound is quantized against its
+    /// attribute's domain exactly as [`Subscription::from_predicates`]
+    /// would, so out-of-domain or inverted bounds from a hostile source
+    /// surface as errors rather than as a malformed subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bounds.len()` differs from the schema arity,
+    /// any range has `low > high`, or any bound is outside its domain.
+    pub fn from_raw_bounds(schema: &Schema, id: SubId, bounds: &[(f64, f64)]) -> Result<Self> {
+        let arity = schema.arity();
+        if bounds.len() != arity {
+            return Err(SubscriptionError::ArityMismatch {
+                expected: arity,
+                actual: bounds.len(),
+            });
+        }
+        let mut grid = Vec::with_capacity(arity);
+        for (idx, &(low, high)) in bounds.iter().enumerate() {
+            if low > high {
+                return Err(SubscriptionError::EmptyRange {
+                    attribute: schema.attributes()[idx].name().to_string(),
+                    low,
+                    high,
+                });
+            }
+            grid.push((schema.quantize(idx, low)?, schema.quantize(idx, high)?));
+        }
+        Ok(Subscription {
+            id,
+            schema: schema.clone(),
+            grid_bounds: Arc::new(grid),
+            raw_bounds: Arc::new(bounds.to_vec()),
+        })
+    }
+
     /// The subscription's identifier.
     pub fn id(&self) -> SubId {
         self.id
@@ -329,6 +370,31 @@ mod tests {
         assert!(half.aspect_ratio() >= 1);
         let square = sub(3, (0.0, 500.0), (0.0, 50.0));
         assert_eq!(square.aspect_ratio(), 0);
+    }
+
+    #[test]
+    fn from_raw_bounds_agrees_with_the_builder_path() {
+        let s = schema();
+        let via_predicates = sub(11, (100.0, 900.0), (5.0, 95.0));
+        let via_bounds =
+            Subscription::from_raw_bounds(&s, 11, &[(100.0, 900.0), (5.0, 95.0)]).unwrap();
+        assert_eq!(via_bounds, via_predicates);
+
+        assert!(matches!(
+            Subscription::from_raw_bounds(&s, 1, &[(0.0, 1.0)]),
+            Err(SubscriptionError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+        assert!(matches!(
+            Subscription::from_raw_bounds(&s, 1, &[(9.0, 3.0), (0.0, 100.0)]),
+            Err(SubscriptionError::EmptyRange { .. })
+        ));
+        assert!(matches!(
+            Subscription::from_raw_bounds(&s, 1, &[(0.0, 2000.0), (0.0, 100.0)]),
+            Err(SubscriptionError::ValueOutOfDomain { .. })
+        ));
     }
 
     #[test]
