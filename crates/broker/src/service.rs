@@ -118,10 +118,11 @@ pub struct DaemonOptions {
     /// (`None` = clean transport). See [`FaultPlan`].
     pub chaos: Option<FaultPlan>,
     /// Durable state directory (`None` = in-memory only). When set, every
-    /// acknowledged subscribe/unsubscribe is journaled before the ack is
-    /// sent, the journal is compacted into a snapshot on graceful
-    /// shutdown, and start-up replays `snapshot ∘ journal` — so the
-    /// subscription set survives even a kill -9.
+    /// acknowledged subscribe/unsubscribe is journaled **and fsynced**
+    /// before the ack is sent, the journal is compacted into a snapshot on
+    /// graceful shutdown, and start-up replays `snapshot ∘ journal` — so
+    /// the acked subscription set survives a kill -9, an OS crash, or
+    /// power loss.
     pub data_dir: Option<PathBuf>,
 }
 
@@ -506,18 +507,25 @@ fn serve_session<S: Read, W: Write>(
     conn: u64,
 ) -> Result<(), ServiceError> {
     let result = session_loop(state, transport, sink, conn);
-    cleanup_sessions(state, conn);
-    result
+    // Only a session the *daemon* tore down (the shutdown flag synthesized
+    // its EOF) keeps its registrations out of the journal; a client that
+    // genuinely vanished — real EOF, corrupt frame, eviction — is cleaned
+    // up like an unsubscribe even if a graceful shutdown is racing us.
+    let daemon_teardown = matches!(result, Ok(true));
+    cleanup_sessions(state, conn, daemon_teardown);
+    result.map(|_| ())
 }
 
 /// The request/response loop: `Hello` greeting, then one response per
-/// request with flush-on-idle batching and the in-flight cap.
+/// request with flush-on-idle batching and the in-flight cap. A clean end
+/// returns whether the *daemon* ended the session (its shutdown flag
+/// synthesized the EOF) rather than the peer.
 fn session_loop<S: Read, W: Write>(
     state: &DaemonState,
     transport: S,
     sink: W,
     conn: u64,
-) -> Result<(), ServiceError> {
+) -> Result<bool, ServiceError> {
     let mut writer = BufWriter::new(sink);
     let mut reader = BufReader::new(PatientStream::new(
         transport,
@@ -545,7 +553,7 @@ fn session_loop<S: Read, W: Write>(
             if reader.get_ref().reaped() {
                 MetricCounters::bump(&counters.connections_evicted);
             }
-            return Ok(());
+            return Ok(reader.get_ref().ended_by_shutdown());
         }
         let request = match read_frame(&mut reader, &mut scratch) {
             Ok(frame) => frame,
@@ -707,7 +715,12 @@ fn classify_write_error(state: &DaemonState, e: std::io::Error) -> ServiceError 
 /// like `unsubscribe`, so an evicted or vanished client leaves no routing
 /// entries behind. Sessions taken over by a reconnected client (different
 /// `conn`) are left alone.
-fn cleanup_sessions(state: &DaemonState, conn: u64) {
+///
+/// `daemon_teardown` is the session's *own* end cause, not the global
+/// shutdown flag: keying off the flag would let a genuine client
+/// disconnect that races a graceful shutdown skip its journal entry and
+/// leave an ownerless registration in the shutdown snapshot.
+fn cleanup_sessions(state: &DaemonState, conn: u64, daemon_teardown: bool) {
     let mut sessions = state.sessions.lock();
     let owned: Vec<(SubId, BrokerId)> = sessions
         .iter()
@@ -724,7 +737,7 @@ fn cleanup_sessions(state: &DaemonState, conn: u64) {
         // end because the daemon is stopping, and their registrations
         // must survive into the shutdown snapshot so a restarted daemon
         // serves them again (clients take them over by resubscribing).
-        if !state.shutdown.load(Ordering::SeqCst) {
+        if !daemon_teardown {
             let _ = journal_append(state, JournalRecord::Unsubscribe { at: at as u64, id });
         }
     }
@@ -942,6 +955,7 @@ struct PatientStream<'a, S> {
     idle_timeout: Option<Duration>,
     idle_since: Instant,
     reaped: bool,
+    shutdown_eof: bool,
 }
 
 impl<'a, S: Read> PatientStream<'a, S> {
@@ -956,6 +970,7 @@ impl<'a, S: Read> PatientStream<'a, S> {
             idle_timeout,
             idle_since: Instant::now(),
             reaped: false,
+            shutdown_eof: false,
         }
     }
 
@@ -963,12 +978,19 @@ impl<'a, S: Read> PatientStream<'a, S> {
     fn reaped(&self) -> bool {
         self.reaped
     }
+
+    /// True when the last EOF was synthesized by the daemon's shutdown
+    /// flag — a daemon-initiated teardown, not a vanished peer.
+    fn ended_by_shutdown(&self) -> bool {
+        self.shutdown_eof
+    }
 }
 
 impl<S: Read> Read for PatientStream<'_, S> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
+                self.shutdown_eof = true;
                 return Ok(0);
             }
             match self.inner.read(buf) {
@@ -1487,10 +1509,10 @@ mod tests {
         assert_eq!(metrics.client_reconnects, 1);
         assert_eq!(metrics.client_retries, 1);
         // The dead connection's cleanup must not touch the taken-over id...
-        cleanup_sessions(&state, 1);
+        cleanup_sessions(&state, 1, false);
         assert_eq!(state.network.publish(1, &event).unwrap(), vec![(2, 7)]);
         // ...while the owner's cleanup retracts it.
-        cleanup_sessions(&state, 2);
+        cleanup_sessions(&state, 2, false);
         assert_eq!(state.network.publish(1, &event).unwrap(), vec![]);
     }
 
@@ -1680,6 +1702,63 @@ mod tests {
         let metrics = state.network.metrics();
         assert_eq!(metrics.connections_evicted, 1, "reap counts as eviction");
         assert_eq!(metrics.routing_table_entries, 0, "session drained");
+    }
+
+    /// Regression: the journal-or-not decision at cleanup keys off the
+    /// session's own teardown cause, not the global shutdown flag. A
+    /// client whose genuine EOF lands just as a graceful shutdown begins
+    /// must still have its retraction journaled — otherwise the shutdown
+    /// snapshot restores a registration whose owner is gone.
+    #[test]
+    fn client_eof_racing_shutdown_still_journals_the_retraction() {
+        let dir = std::env::temp_dir().join(format!("acd-eof-race-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let state = state_with(DaemonOptions {
+            data_dir: Some(dir.clone()),
+            ..DaemonOptions::default()
+        });
+        // A subscribe, then a *real* peer hang-up whose EOF is observed
+        // while a graceful shutdown flips the flag concurrently.
+        struct EofFlipsShutdown<'a> {
+            data: Vec<u8>,
+            offset: usize,
+            shutdown: &'a AtomicBool,
+        }
+        impl Read for EofFlipsShutdown<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.offset < self.data.len() && !buf.is_empty() {
+                    let n = (self.data.len() - self.offset).min(buf.len());
+                    buf[..n].copy_from_slice(&self.data[self.offset..self.offset + n]);
+                    self.offset += n;
+                    return Ok(n);
+                }
+                self.shutdown.store(true, Ordering::SeqCst);
+                Ok(0)
+            }
+        }
+        let transport = EofFlipsShutdown {
+            data: requests(&[Frame::Subscribe {
+                at: 0,
+                client: 7,
+                id: 1,
+                bounds: vec![(0.0, 50.0)],
+            }]),
+            offset: 0,
+            shutdown: &state.shutdown,
+        };
+        let mut sink = Vec::new();
+        serve_session(&state, transport, &mut sink, 1).unwrap();
+        assert_eq!(state.network.metrics().routing_table_entries, 0);
+        {
+            let journal = state.journal.lock();
+            let live = &journal.as_ref().unwrap().live;
+            assert!(
+                live.is_empty(),
+                "the vanished client's registration must not survive into \
+                 the shutdown snapshot: {live:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -63,7 +63,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Once, OnceLock};
 
 use acd_sfc::{CurveKind, Key, SpaceFillingCurve};
@@ -210,6 +210,13 @@ pub struct ShardedCoveringIndex {
     /// (whose shard refs a compaction reuses for clean shards). Rank
     /// [`RANK_SEGMENTS`]: taken after all shard guards, before `stats`.
     segments: OrderedMutex<Option<SegmentAttachment>>,
+    /// Per-shard modified-since-last-commit flags: set by `insert`/`remove`
+    /// under the shard's write lock, cleared once a commit naming fresh
+    /// files for every flagged shard has landed. A rebalance compaction may
+    /// re-reference an existing segment file only for a shard that is both
+    /// unflagged and membership-unchanged — otherwise the new manifest
+    /// would pin files that no longer match the in-memory shard.
+    modified: Vec<AtomicBool>,
 }
 
 /// See [`ShardedCoveringIndex::save_segments`].
@@ -344,6 +351,7 @@ impl ShardedCoveringIndex {
         starts: Vec<u64>,
     ) -> Result<Self> {
         debug_assert_eq!(starts.first(), Some(&0));
+        let shard_count = starts.len();
         let universe = dominance_universe(schema)?;
         let shards = starts
             .iter()
@@ -371,6 +379,7 @@ impl ShardedCoveringIndex {
             pool_policy: OrderedMutex::new(RANK_POOL_POLICY, "policy", PoolPolicyState::default()),
             fallback_logged: Once::new(),
             segments: OrderedMutex::new(RANK_SEGMENTS, "segments", None),
+            modified: (0..shard_count).map(|_| AtomicBool::new(false)).collect(),
         })
     }
 
@@ -525,6 +534,8 @@ impl ShardedCoveringIndex {
             let result = self.shards[shard].write().insert(subscription);
             if result.is_err() {
                 self.registry.lock().remove(&subscription.id());
+            } else {
+                self.modified[shard].store(true, Ordering::Relaxed);
             }
             result
         };
@@ -556,6 +567,8 @@ impl ShardedCoveringIndex {
                 // Leave the registry consistent with the shard on the (never
                 // expected) failure path.
                 self.registry.lock().insert(id, shard as u32);
+            } else {
+                self.modified[shard].store(true, Ordering::Relaxed);
             }
             result
         };
@@ -933,6 +946,13 @@ impl ShardedCoveringIndex {
         };
         write_commit(dir, &manifest)?;
         prune(dir, &manifest)?;
+        // The commit named a fresh file for every shard; clearing the flags
+        // here is race-free because the shard read guards are still held,
+        // so no writer can have mutated a shard since its segment was
+        // written.
+        for flag in &self.modified {
+            flag.store(false, Ordering::Relaxed);
+        }
         *segments = Some(SegmentAttachment {
             dir: dir.to_owned(),
             manifest,
@@ -1112,21 +1132,22 @@ impl ShardedCoveringIndex {
         }
         *starts = new_starts;
 
-        // LSM-style compaction of the attached data directory: only the
-        // shards whose membership changed get fresh segment files; clean
-        // shards are re-referenced from the new commit unchanged, and the
-        // superseded generation's files are pruned only after the new
-        // commit has landed. Runs while the shard guards are still held so
-        // the files match exactly what was committed in memory. A storage
-        // failure here is surfaced to the caller, but the in-memory
-        // rebalance above has already committed and the directory still
-        // holds its previous fully-readable generation.
+        // LSM-style compaction of the attached data directory: only shards
+        // whose on-disk segment still matches their contents — membership
+        // unchanged by this pass AND unmodified since the last commit — are
+        // re-referenced from the new commit; every other shard gets a fresh
+        // segment file, and the superseded generation's files are pruned
+        // only after the new commit has landed. Runs while the shard guards
+        // are still held so the files match exactly what was committed in
+        // memory. A storage failure here is surfaced to the caller, but the
+        // in-memory rebalance above has already committed and the directory
+        // still holds its previous fully-readable generation.
         let mut segments = self.segments.lock();
         if let Some(attachment) = segments.as_mut() {
             let generation = attachment.manifest.generation + 1;
             let mut shard_refs = Vec::with_capacity(shard_count);
             for (i, guard) in guards.iter().enumerate() {
-                if dirty[i] {
+                if dirty[i] || self.modified[i].load(Ordering::Relaxed) {
                     shard_refs.push(guard.write_segment(
                         &attachment.dir,
                         &segment_stem(generation, i),
@@ -1147,6 +1168,13 @@ impl ShardedCoveringIndex {
             write_commit(&attachment.dir, &manifest)?;
             prune(&attachment.dir, &manifest)?;
             attachment.manifest = manifest;
+            // Every shard the new commit references is now current on disk
+            // (rewritten above, or unmodified since its file was written);
+            // the shard write guards are still held, so no mutation can
+            // race the clear.
+            for flag in &self.modified {
+                flag.store(false, Ordering::Relaxed);
+            }
         }
         drop(segments);
 
@@ -1655,6 +1683,122 @@ mod tests {
         }
         assert_eq!(commits, 1, "old generations must be pruned");
         assert_eq!(dats, 4, "one data file per shard");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: a rebalance compaction may re-pin an existing segment
+    /// file only for a shard that was *also* untouched by `insert`/`remove`
+    /// since the last commit. The churn here is shaped so the boundary
+    /// re-cut leaves the top shard's membership unchanged while a removal
+    /// and an insert have modified it since the save — a compaction keyed
+    /// on migration-dirtiness alone would re-reference its stale file and
+    /// resurrect the removed subscription on reopen.
+    #[test]
+    fn rebalance_compaction_rewrites_shards_modified_since_save() {
+        let s = schema();
+        let subs = random_subs(&s, 300, 41);
+        let index = ShardedCoveringIndex::build_from(
+            &s,
+            ApproxConfig::exhaustive(),
+            CurveKind::Z,
+            4,
+            &subs,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("acd-sharded-modseg-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        index.save_segments(&dir).unwrap();
+
+        // Net-zero churn per key range: 10 out of shard 0 / 10 into shard
+        // 1 shifts only the first boundary, while 1 out / 1 in within
+        // shard 3's range leaves every other boundary value untouched —
+        // shard 3 stays migration-clean but is modified since the save.
+        let shard_ids = |shard: u32| -> Vec<SubId> {
+            let registry = index.registry.lock();
+            let mut ids: Vec<SubId> = registry
+                .iter()
+                .filter(|&(_, &at)| at == shard)
+                .map(|(&id, _)| id)
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        let route_of = |sub: &Subscription| -> usize {
+            let prefix = index.prefix_of(sub).unwrap();
+            shard_of_prefix(&index.starts.read(), prefix)
+        };
+        let candidates = random_subs(&s, 400, 47)
+            .into_iter()
+            .map(|c| Subscription::from_raw_bounds(&s, c.id() + 50_000, c.raw_bounds()).unwrap())
+            .collect::<Vec<_>>();
+        let into_shard1: Vec<&Subscription> = candidates
+            .iter()
+            .filter(|c| route_of(c) == 1)
+            .take(10)
+            .collect();
+        let into_shard3 = candidates
+            .iter()
+            .find(|c| route_of(c) == 3)
+            .expect("some candidate routes to shard 3");
+        assert_eq!(
+            into_shard1.len(),
+            10,
+            "need 10 candidates routed to shard 1"
+        );
+        let out_of_shard0 = shard_ids(0).into_iter().take(10).collect::<Vec<_>>();
+        assert_eq!(out_of_shard0.len(), 10, "shard 0 should hold at least 10");
+        let victim = *shard_ids(3).first().expect("shard 3 should be populated");
+
+        for id in &out_of_shard0 {
+            index.remove(*id).unwrap();
+        }
+        for c in &into_shard1 {
+            index.insert(c).unwrap();
+        }
+        index.remove(victim).unwrap();
+        index.insert(into_shard3).unwrap();
+
+        let outcome = index.rebalance().unwrap();
+        assert!(outcome.moved > 0, "the first boundary must have shifted");
+        assert!(
+            outcome.shards_rebuilt < 4,
+            "the scenario needs a migration-clean shard, got {outcome:?}"
+        );
+        {
+            // The modified-but-clean shard 3 must have been rewritten into
+            // the new generation, while some untouched shard still rides
+            // its original file.
+            let segments = index.segments.lock();
+            let manifest = &segments.as_ref().unwrap().manifest;
+            assert_eq!(manifest.generation, 2);
+            assert_eq!(manifest.shards[3].stem, segment_stem(2, 3));
+            assert!(
+                manifest
+                    .shards
+                    .iter()
+                    .any(|r| r.stem.starts_with("seg-0000000001-")),
+                "incremental compaction should keep at least one gen-1 file: {manifest:?}"
+            );
+        }
+
+        let after = ShardedCoveringIndex::open_segments(&dir).unwrap();
+        assert_eq!(after.len(), index.len());
+        assert!(
+            !after.contains(victim),
+            "subscription {victim} removed after the save came back from a stale segment"
+        );
+        assert!(after.contains(into_shard3.id()));
+        for id in &out_of_shard0 {
+            assert!(!after.contains(*id));
+        }
+        for q in random_subs(&s, 60, 48) {
+            assert_eq!(
+                after.find_covering_ref(&q).unwrap().is_covered(),
+                index.find_covering_ref(&q).unwrap().is_covered(),
+                "reopened compacted generation disagrees on {}",
+                q.id()
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

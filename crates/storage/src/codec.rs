@@ -285,16 +285,45 @@ pub(crate) fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(bytes);
 }
 
-/// Writes `bytes` to `path` atomically: the contents land under a
-/// temporary name in the same directory and are renamed into place, so a
-/// reader (or a crash) never observes a half-written file.
+/// Writes `bytes` to `path` atomically **and durably**: the contents land
+/// under a temporary name in the same directory, are synced to stable
+/// storage, and are renamed into place — so a reader (or a crash) never
+/// observes a half-written file. The temp file is fsynced before the
+/// rename (a rename can otherwise outlive its contents on power loss) and
+/// the directory is fsynced after it, so the new name itself survives an
+/// OS crash, not just a process death.
 pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<()> {
+    use std::io::Write;
+
     let display = path.display().to_string();
+    let io = |e: std::io::Error| StorageError::io(&display, e);
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, bytes).map_err(|e| StorageError::io(&display, e))?;
-    std::fs::rename(&tmp, path).map_err(|e| StorageError::io(&display, e))
+    let mut file = std::fs::File::create(&tmp).map_err(io)?;
+    file.write_all(bytes)
+        .and_then(|()| file.sync_all())
+        .map_err(io)?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(io)?;
+    sync_parent_dir(path).map_err(io)
+}
+
+/// Fsyncs the directory holding `path`, making a just-renamed entry
+/// durable. Directories cannot be opened for syncing on every platform;
+/// where they cannot, the rename-then-sync discipline of the callers is
+/// the strongest guarantee available.
+#[cfg(unix)]
+fn sync_parent_dir(path: &std::path::Path) -> std::io::Result<()> {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => std::fs::File::open(dir)?.sync_all(),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &std::path::Path) -> std::io::Result<()> {
+    Ok(())
 }
 
 /// A bounds-checked reader over a payload slice: every primitive read can

@@ -170,11 +170,13 @@ pub fn latest_commit(dir: &Path) -> Result<Option<(u64, PathBuf)>> {
     Ok(best)
 }
 
-/// Deletes commit files older than `live` and segment files `live` does
-/// not reference. Called only after `live`'s commit file has landed, so
-/// the deletions can never touch the readable generation. Returns the
-/// number of files removed; deletion failures are ignored (a stray file
-/// is garbage, not corruption — the next prune retries).
+/// Deletes commit files older than `live`, segment files `live` does not
+/// reference, and any leftover `*.tmp` file (commit *or* segment — every
+/// live file landed via rename, so a surviving temp name is always a
+/// crashed write's debris). Called only after `live`'s commit file has
+/// landed, so the deletions can never touch the readable generation.
+/// Returns the number of files removed; deletion failures are ignored (a
+/// stray file is garbage, not corruption — the next prune retries).
 pub fn prune(dir: &Path, live: &CommitManifest) -> Result<usize> {
     let entries =
         std::fs::read_dir(dir).map_err(|e| StorageError::io(dir.display().to_string(), e))?;
@@ -183,7 +185,12 @@ pub fn prune(dir: &Path, live: &CommitManifest) -> Result<usize> {
         let entry = entry.map_err(|e| StorageError::io(dir.display().to_string(), e))?;
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        let stale = if let Some(generation) = name
+        let stale = if name.ends_with(".tmp") {
+            // A temp name that survived to a prune pass is a crashed
+            // write's leftover: every live file (commit included) was
+            // renamed away from its temp name before this prune ran.
+            true
+        } else if let Some(generation) = name
             .strip_prefix("commit-")
             .and_then(|rest| rest.strip_suffix(".acd"))
             .and_then(|digits| digits.parse::<u64>().ok())
@@ -192,10 +199,7 @@ pub fn prune(dir: &Path, live: &CommitManifest) -> Result<usize> {
         } else if let Some(stem) = name
             .strip_suffix(".dat")
             .or_else(|| name.strip_suffix(".meta"))
-            .or_else(|| name.strip_suffix(".tmp"))
         {
-            let stem = stem.strip_suffix(".dat").unwrap_or(stem);
-            let stem = stem.strip_suffix(".meta").unwrap_or(stem);
             stem.starts_with("seg-") && !live.shards.iter().any(|s| s.stem == stem)
         } else {
             false
@@ -250,8 +254,15 @@ mod tests {
     fn prune_keeps_only_the_live_generation() {
         let dir = std::env::temp_dir().join(format!("acd-storage-prune-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        // Old generation's files plus a stray temp file.
-        for name in ["seg-0000000001-000.dat", "seg-0000000001-000.meta"] {
+        // Old generation's files plus crashed-write temp leftovers — a
+        // commit temp and a segment temp whose stem matches a *live*
+        // segment (the temp is still debris: the real file was renamed).
+        for name in [
+            "seg-0000000001-000.dat",
+            "seg-0000000001-000.meta",
+            "commit-0000000099.acd.tmp",
+            "seg-0000000002-000.dat.tmp",
+        ] {
             std::fs::write(dir.join(name), b"old").unwrap();
         }
         write_commit(&dir, &manifest(1)).unwrap();
@@ -262,7 +273,12 @@ mod tests {
         }
         write_commit(&dir, &live).unwrap();
         let removed = prune(&dir, &live).unwrap();
-        assert_eq!(removed, 3, "two old segment files and one old commit");
+        assert_eq!(
+            removed, 5,
+            "two old segment files, one old commit, two temp leftovers"
+        );
+        assert!(!dir.join("commit-0000000099.acd.tmp").exists());
+        assert!(!dir.join("seg-0000000002-000.dat.tmp").exists());
         assert!(dir.join(commit_file_name(2)).exists());
         for shard in &live.shards {
             assert!(dir.join(format!("{}.dat", shard.stem)).exists());

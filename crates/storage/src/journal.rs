@@ -2,9 +2,10 @@
 //!
 //! The journal (`journal.acd`) is an **append-only** record log: each
 //! accepted subscribe/unsubscribe is encoded as a length-prefixed,
-//! CRC-framed record and flushed before the daemon acknowledges the
-//! request, so a kill -9 can lose at most operations that were never
-//! acked. On restart the journal is replayed up to its **durable prefix**:
+//! CRC-framed record and fsynced (`fdatasync`) before the daemon
+//! acknowledges the request, so even an OS crash or power loss can lose
+//! at most operations that were never acked — not just a kill -9.
+//! On restart the journal is replayed up to its **durable prefix**:
 //! replay stops at the first truncated or corrupt record (a torn tail
 //! from a crash mid-append is expected, not an error) and the file is
 //! truncated back to that prefix so subsequent appends never interleave
@@ -196,7 +197,7 @@ impl SubscriptionJournal {
         let records = if bytes.is_empty() {
             let header = codec::begin_file(file_kind::JOURNAL, 0);
             file.write_all(&header)
-                .and_then(|()| file.flush())
+                .and_then(|()| file.sync_data())
                 .map_err(|e| StorageError::io(&display, e))?;
             Vec::new()
         } else {
@@ -234,20 +235,21 @@ impl SubscriptionJournal {
         ))
     }
 
-    /// Appends one record and flushes it to the operating system before
-    /// returning, so an acknowledgement sent after this call survives the
-    /// death of the process.
+    /// Appends one record and syncs it to stable storage (`fdatasync`)
+    /// before returning, so an acknowledgement sent after this call
+    /// survives not just the death of the process but an OS crash or
+    /// power loss.
     ///
     /// # Errors
     ///
-    /// [`StorageError::Io`] if the write fails.
+    /// [`StorageError::Io`] if the write or sync fails.
     pub fn append(&mut self, record: &JournalRecord) -> Result<()> {
         let mut scratch = std::mem::take(&mut self.scratch);
         encode_record(record, &mut scratch);
         let outcome = self
             .file
             .write_all(&scratch)
-            .and_then(|()| self.file.flush());
+            .and_then(|()| self.file.sync_data());
         self.scratch = scratch;
         outcome.map_err(|e| StorageError::io(self.path.display().to_string(), e))
     }
@@ -262,6 +264,7 @@ impl SubscriptionJournal {
         let display = self.path.display().to_string();
         self.file
             .set_len(codec::HEADER_LEN as u64)
+            .and_then(|_| self.file.sync_all())
             .and_then(|_| self.file.seek(SeekFrom::Start(codec::HEADER_LEN as u64)))
             .map(|_| ())
             .map_err(|e| StorageError::io(&display, e))
